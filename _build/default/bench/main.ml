@@ -1,0 +1,177 @@
+(* The full benchmark harness.
+
+   Two sections:
+   - Bechamel micro-benchmarks of the IO-Lite primitives (real wall-clock
+     cost of the library's own operations);
+   - the paper-reproduction harness: every figure of the evaluation
+     (Figs. 3-13), printed as tables + ASCII plots in simulated-testbed
+     units (Mb/s on the 1999 cost model).
+
+   Usage:
+     dune exec bench/main.exe                 # micro + all figures (scale 0.5)
+     dune exec bench/main.exe -- micro        # micro-benchmarks only
+     dune exec bench/main.exe -- figures 1.0  # figures at a given scale
+*)
+
+open Bechamel
+open Toolkit
+module Iosys = Iolite_core.Iosys
+module Iobuf = Iolite_core.Iobuf
+module Transfer = Iolite_core.Transfer
+module Filecache = Iolite_core.Filecache
+module Cksum = Iolite_net.Cksum
+module Vm = Iolite_mem.Vm
+module Pdomain = Iolite_mem.Pdomain
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmark fixtures                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fixture () =
+  let sys = Iosys.create ~capacity:(256 * 1024 * 1024) () in
+  let d = Iosys.new_domain sys ~name:"bench" in
+  let pool =
+    Iobuf.Pool.create sys ~name:"bench"
+      ~acl:(Vm.Only (Pdomain.Set.singleton d))
+  in
+  (sys, d, pool)
+
+let test_pool_alloc_free =
+  let _, d, pool = fixture () in
+  Test.make ~name:"pool: alloc+seal+free 4KB buffer"
+    (Staged.stage (fun () ->
+         let b = Iobuf.Pool.alloc pool ~producer:d 4096 in
+         Iobuf.Buffer.seal b;
+         Iobuf.Buffer.decr_ref b))
+
+let test_agg_of_string =
+  let _, d, pool = fixture () in
+  let payload = String.make 4096 'x' in
+  Test.make ~name:"agg: of_string 4KB (+free)"
+    (Staged.stage (fun () ->
+         Iobuf.Agg.free (Iobuf.Agg.of_string pool ~producer:d payload)))
+
+let test_agg_concat_split =
+  let _, d, pool = fixture () in
+  let a = Iobuf.Agg.of_string pool ~producer:d (String.make 1024 'a') in
+  let b = Iobuf.Agg.of_string pool ~producer:d (String.make 1024 'b') in
+  Test.make ~name:"agg: concat + split + free"
+    (Staged.stage (fun () ->
+         let ab = Iobuf.Agg.concat a b in
+         let l, r = Iobuf.Agg.split ab ~at:1500 in
+         Iobuf.Agg.free l;
+         Iobuf.Agg.free r;
+         Iobuf.Agg.free ab))
+
+let test_cksum_cold =
+  let _, d, pool = fixture () in
+  let agg = Iobuf.Agg.of_string pool ~producer:d (String.make 4096 'c') in
+  Test.make ~name:"cksum: 4KB computed (uncached)"
+    (Staged.stage (fun () -> ignore (Cksum.of_agg agg)))
+
+let test_cksum_cached =
+  let _, d, pool = fixture () in
+  let cache = Cksum.Cache.create () in
+  let agg = Iobuf.Agg.of_string pool ~producer:d (String.make 4096 'c') in
+  let _ = Cksum.Cache.agg_sum cache agg in
+  Test.make ~name:"cksum: 4KB via checksum cache (hit)"
+    (Staged.stage (fun () -> ignore (Cksum.Cache.agg_sum cache agg)))
+
+let test_transfer_warm =
+  let sys, d, pool = fixture () in
+  ignore pool;
+  let reader = Iosys.new_domain sys ~name:"reader" in
+  let pool2 =
+    Iobuf.Pool.create sys ~name:"shared"
+      ~acl:(Vm.Only (Pdomain.Set.of_list [ d; reader ]))
+  in
+  let agg = Iobuf.Agg.of_string pool2 ~producer:d (String.make 4096 't') in
+  Iobuf.Agg.free (Transfer.send sys agg ~to_:reader);
+  Test.make ~name:"transfer: warm cross-domain send 4KB"
+    (Staged.stage (fun () -> Iobuf.Agg.free (Transfer.send sys agg ~to_:reader)))
+
+let test_cache_hit =
+  let sys, d, pool = fixture () in
+  let cache = Filecache.create ~register_with_pageout:false sys () in
+  Filecache.insert cache ~file:1 ~off:0
+    (Iobuf.Agg.of_string pool ~producer:d (String.make 65536 'f'));
+  Test.make ~name:"filecache: lookup hit 16KB range"
+    (Staged.stage (fun () ->
+         match Filecache.lookup cache ~file:1 ~off:8192 ~len:16384 with
+         | Some a -> Iobuf.Agg.free a
+         | None -> assert false))
+
+let test_zipf =
+  let z = Iolite_util.Zipf.create ~n:37703 ~alpha:1.0 in
+  let rng = Iolite_util.Rng.create 3L in
+  Test.make ~name:"workload: zipf sample (n=37703)"
+    (Staged.stage (fun () -> ignore (Iolite_util.Zipf.sample z rng)))
+
+let test_sim_engine =
+  Test.make ~name:"sim: spawn+run 100-event engine"
+    (Staged.stage (fun () ->
+         let e = Iolite_sim.Engine.create () in
+         Iolite_sim.Engine.spawn e (fun () ->
+             for _ = 1 to 100 do
+               Iolite_sim.Engine.Proc.sleep 0.001
+             done);
+         Iolite_sim.Engine.run e))
+
+let micro_tests =
+  [
+    test_pool_alloc_free;
+    test_agg_of_string;
+    test_agg_concat_split;
+    test_cksum_cold;
+    test_cksum_cached;
+    test_transfer_warm;
+    test_cache_hit;
+    test_zipf;
+    test_sim_engine;
+  ]
+
+let run_micro () =
+  print_endline "== Micro-benchmarks (Bechamel, real wall-clock) ==";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  (* stabilize:false — Bechamel's per-sample Gc.compact stabilization
+     permanently degrades the OCaml 5.1 runtime's page reuse, ballooning
+     the RSS of everything that runs afterwards (observed: the figure
+     harness OOMs after micro-benchmarks run with stabilization). Our
+     operations are allocation-light, so estimates are unaffected. *)
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols (List.hd instances) results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "  %-42s %10.1f ns/op\n%!" name est
+          | Some _ | None -> Printf.printf "  %-42s (no estimate)\n%!" name)
+        analyzed)
+    micro_tests
+
+(* ------------------------------------------------------------------ *)
+(* Paper figures                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let run_figures scale =
+  Printf.printf
+    "\n== Paper reproduction: Figs. 3-13 (simulated 1999 testbed; scale %.2f) ==\n"
+    scale;
+  Iolite_workload.Experiments.run_all ~scale ()
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "micro" :: _ -> run_micro ()
+  | _ :: "figures" :: rest ->
+    let scale = match rest with s :: _ -> float_of_string s | [] -> 0.5 in
+    run_figures scale
+  | _ ->
+    run_micro ();
+    run_figures 0.5

@@ -1,0 +1,115 @@
+(* Command-line driver: run any experiment of the IO-Lite reproduction. *)
+
+module E = Iolite_workload.Experiments
+
+let scale_arg =
+  let doc =
+    "Measurement-window scale factor (1.0 = recorded defaults; smaller is \
+     quicker and noisier)."
+  in
+  Cmdliner.Arg.(value & opt float 1.0 & info [ "s"; "scale" ] ~docv:"SCALE" ~doc)
+
+let verbose_arg =
+  let doc = "Enable subsystem logging to stderr (repeat for debug)." in
+  Cmdliner.Arg.(value & flag_all & info [ "v"; "verbose" ] ~doc)
+
+let with_logging verbose =
+  match verbose with
+  | [] -> ()
+  | [ _ ] -> Iolite_util.Logging.setup ~level:Logs.Info ()
+  | _ -> Iolite_util.Logging.setup ~level:Logs.Debug ()
+
+let series_cmd name title x_label runner =
+  let run verbose scale =
+    with_logging verbose;
+    E.print_series ~title ~x_label (runner ~scale ())
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info name ~doc:title)
+    Cmdliner.Term.(const run $ verbose_arg $ scale_arg)
+
+let unit_cmd name doc run =
+  let run verbose scale =
+    with_logging verbose;
+    run scale
+  in
+  Cmdliner.Cmd.v (Cmdliner.Cmd.info name ~doc)
+    Cmdliner.Term.(const run $ verbose_arg $ scale_arg)
+
+let cmds =
+  [
+    series_cmd "fig3" "Fig 3: HTTP single-file test (non-persistent)" "KB"
+      (fun ~scale () -> E.fig3 ~scale ());
+    series_cmd "fig4" "Fig 4: persistent HTTP single-file test" "KB"
+      (fun ~scale () -> E.fig4 ~scale ());
+    series_cmd "fig5" "Fig 5: HTTP/FastCGI" "KB" (fun ~scale () ->
+        E.fig5 ~scale ());
+    series_cmd "fig6" "Fig 6: persistent HTTP/FastCGI" "KB" (fun ~scale () ->
+        E.fig6 ~scale ());
+    unit_cmd "fig7" "Fig 7: trace characteristics" (fun _scale ->
+        E.print_fig7 ());
+    unit_cmd "fig8" "Fig 8: overall trace performance" (fun scale ->
+        E.print_fig8 ~scale ());
+    unit_cmd "fig9" "Fig 9: 150MB subtrace characteristics" (fun _scale ->
+        E.print_fig9 ());
+    series_cmd "fig10" "Fig 10: MERGED subtrace performance" "dataset MB"
+      (fun ~scale () -> E.fig10 ~scale ());
+    series_cmd "fig11" "Fig 11: optimization contributions" "dataset MB"
+      (fun ~scale () -> E.fig11 ~scale ());
+    series_cmd "fig12" "Fig 12: throughput versus WAN delay" "RTT ms"
+      (fun ~scale () -> E.fig12 ~scale ());
+    unit_cmd "fig13" "Fig 13: application runtimes" (fun scale ->
+        E.print_fig13 ~scale ());
+    series_cmd "sendfile" "Extension: the sendfile ablation" "KB"
+      (fun ~scale () -> E.ablation_sendfile ~scale ());
+    series_cmd "cgi11" "Extension: CGI 1.1 vs FastCGI" "KB" (fun ~scale () ->
+        E.ablation_cgi11 ~scale ());
+    unit_cmd "all" "Run every figure in order" (fun scale ->
+        E.run_all ~scale ());
+    (let trace_name =
+       Cmdliner.Arg.(
+         value
+         & pos 0 (enum [ ("ece", `Ece); ("cs", `Cs); ("merged", `Merged) ]) `Ece
+         & info [] ~docv:"TRACE" ~doc:"Trace to inspect: ece, cs or merged.")
+     in
+     let run verbose which =
+       with_logging verbose;
+       let module Trace = Iolite_workload.Trace in
+       let spec =
+         match which with
+         | `Ece -> Trace.ece
+         | `Cs -> Trace.cs
+         | `Merged -> Trace.merged
+       in
+       let t = Trace.synthesize spec in
+       Printf.printf "%s: %d files, %s total, mean transfer %s\n"
+         spec.Trace.sname (Trace.file_count t)
+         (Iolite_util.Table.fmt_bytes (Trace.total_bytes t))
+         (Iolite_util.Table.fmt_bytes
+            (int_of_float (Trace.mean_request_bytes t)));
+       Printf.printf "\n%-12s %-14s %-12s\n" "top-N" "% requests" "% bytes";
+       List.iter
+         (fun top ->
+           if top <= Trace.file_count t then begin
+             let reqs, bytes = Trace.cdf_row t ~top in
+             Printf.printf "%-12d %-14.1f %-12.1f\n" top (100. *. reqs)
+               (100. *. bytes)
+           end)
+         [ 10; 100; 1000; 5000; 10000; 20000; Trace.file_count t ];
+       let sizes =
+         List.init 10 (fun i -> Trace.file_size t ~rank:(i * 37))
+       in
+       Printf.printf "\nsample sizes by popularity rank (0,37,74,...): %s\n"
+         (String.concat ", " (List.map Iolite_util.Table.fmt_bytes sizes))
+     in
+     Cmdliner.Cmd.v
+       (Cmdliner.Cmd.info "trace" ~doc:"Inspect a synthesized trace")
+       Cmdliner.Term.(const run $ verbose_arg $ trace_name));
+  ]
+
+let () =
+  let info =
+    Cmdliner.Cmd.info "iolite-cli" ~version:"1.0"
+      ~doc:"IO-Lite (OSDI'99) reproduction experiments"
+  in
+  exit (Cmdliner.Cmd.eval (Cmdliner.Cmd.group info cmds))

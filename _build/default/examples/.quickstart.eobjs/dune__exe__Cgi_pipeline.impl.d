@@ -1,0 +1,1 @@
+examples/cgi_pipeline.ml: Iolite_httpd Iolite_os Iolite_sim Iolite_util Printf

@@ -1,0 +1,1 @@
+examples/matrix_mmap.ml: Iolite_apps Iolite_os Iolite_sim Iolite_util Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Iolite_core Iolite_mem Iolite_net Iolite_util List Printf String

@@ -1,0 +1,1 @@
+examples/unix_pipeline.ml: Iolite_apps Iolite_ipc Iolite_os Iolite_sim Iolite_util Option Printf

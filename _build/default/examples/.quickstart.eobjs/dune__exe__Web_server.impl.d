@@ -1,0 +1,1 @@
+examples/web_server.ml: Array Iolite_httpd Iolite_os Iolite_sim Iolite_util Iolite_workload Printf

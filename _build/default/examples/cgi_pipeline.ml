@@ -1,0 +1,67 @@
+(* Dynamic content with fault isolation: a third-party FastCGI program
+   feeds a web server over a pipe (Section 3.10 / 5.3 of the paper).
+
+   The CGI application lives in its own protection domain — a crash or
+   compromise cannot touch the server — yet with IO-Lite the dynamic
+   document crosses the pipe and reaches TCP without a single copy, and
+   its checksums are cached across requests.
+
+   Run with: dune exec examples/cgi_pipeline.exe *)
+
+module Engine = Iolite_sim.Engine
+module Kernel = Iolite_os.Kernel
+module Sock = Iolite_os.Sock
+module Flash = Iolite_httpd.Flash
+module Http = Iolite_httpd.Http
+module Counter = Iolite_util.Stats.Counter
+module Table = Iolite_util.Table
+
+let doc_size = 48_000
+let requests = 20
+
+let drive variant =
+  let engine = Engine.create () in
+  let kernel = Kernel.create engine in
+  let server = Flash.start ~variant ~cgi_doc_size:doc_size kernel ~port:80 in
+  let elapsed = ref 0.0 in
+  Engine.spawn engine (fun () ->
+      let t0 = Engine.Proc.now () in
+      let conn = Sock.connect kernel (Flash.listener server) in
+      for _ = 1 to requests do
+        let n = Sock.request conn (Http.request_string ~keep_alive:true "/cgi") in
+        assert (n > doc_size)
+      done;
+      Sock.close conn;
+      elapsed := Engine.Proc.now () -. t0);
+  Engine.run engine;
+  (kernel, !elapsed)
+
+let () =
+  Printf.printf
+    "Fetching a %s dynamic document %d times from a FastCGI program...\n\n"
+    (Table.fmt_bytes doc_size) requests;
+  let k_lite, t_lite = drive Flash.Iolite in
+  let k_conv, t_conv = drive Flash.Conventional in
+  let row name k t =
+    let c = Kernel.counters k in
+    [
+      name;
+      Table.fmt_time_s t;
+      Table.fmt_bytes (Counter.get c "bytes.copied");
+      Table.fmt_bytes (Counter.get c "net.cksum_bytes");
+    ]
+  in
+  Table.print
+    ~header:[ "system"; "elapsed (sim)"; "bytes copied"; "bytes checksummed" ]
+    ~rows:
+      [
+        row "IO-Lite pipe + zero-copy TCP" k_lite t_lite;
+        row "conventional pipe + copying TCP" k_conv t_conv;
+      ];
+  Printf.printf
+    "\nConventional CGI pays per request: two pipe copies (app->kernel, \
+     kernel->server)\nplus a socket copy and a full checksum. With IO-Lite \
+     the caching CGI program\npasses the same immutable buffers every time: \
+     after the first response there\nare no copies and no checksum \
+     computations at all. Speedup: %.0f%%.\n"
+    (100.0 *. (t_conv -. t_lite) /. t_lite)

@@ -1,0 +1,60 @@
+(* Section 3.8's third case: widely scattered in-place modifications.
+
+   A "scientific application" updates random cells of a matrix stored in
+   a file. Rebuilding an immutable buffer aggregate around every store
+   fragments it until chaining/indexing dominate; the mmap interface,
+   with its lazy per-page copies, is the right tool — this is why
+   IO-Lite keeps mmap at all. Both strategies are verified to produce
+   bitwise-identical matrices.
+
+   Run with: dune exec examples/matrix_mmap.exe *)
+
+module Engine = Iolite_sim.Engine
+module Kernel = Iolite_os.Kernel
+module Process = Iolite_os.Process
+module Matrix = Iolite_apps.Matrix
+module Table = Iolite_util.Table
+
+let rows = 256
+let cols = 512
+let updates_per_row = 6
+
+let run strategy =
+  let kernel = Kernel.create (Engine.create ()) in
+  let file = Kernel.add_file kernel ~name:"/matrix" ~size:(rows * cols) in
+  (* Warm the cache so both runs measure update cost, not the fetch. *)
+  ignore
+    (Process.spawn kernel ~name:"warm" (fun proc ->
+         Iolite_os.Fileio.fetch_unified proc ~file));
+  Engine.run (Kernel.engine kernel);
+  let t0 = Engine.now (Kernel.engine kernel) in
+  let result = ref "" in
+  let frag = ref 0 in
+  ignore
+    (Process.spawn kernel ~name:"matrix" (fun proc ->
+         result := Matrix.run proc ~file ~rows ~cols ~updates_per_row strategy;
+         frag := Matrix.fragmentation proc ~file));
+  Engine.run (Kernel.engine kernel);
+  (Engine.now (Kernel.engine kernel) -. t0, !result, !frag)
+
+let () =
+  Printf.printf
+    "Applying %d scattered single-cell updates to a %dx%d matrix...\n\n"
+    (Matrix.update_count ~rows ~updates_per_row)
+    rows cols;
+  let t_agg, r_agg, frag_agg = run Matrix.Via_aggregates in
+  let t_mmap, r_mmap, frag_mmap = run Matrix.Via_mmap in
+  assert (String.equal r_agg r_mmap);
+  Table.print
+    ~header:[ "strategy"; "runtime (sim)"; "cache fragmentation (slices)" ]
+    ~rows:
+      [
+        [ "aggregate recombination"; Table.fmt_time_s t_agg; string_of_int frag_agg ];
+        [ "mmap, in-place"; Table.fmt_time_s t_mmap; string_of_int frag_mmap ];
+      ];
+  Printf.printf
+    "\nBoth strategies produced identical matrices (verified). With updates \
+     this\nscattered, aggregate recombination is %.0fx slower and leaves the \
+     cached file\nin %d fragments; the contiguous mapping pays only lazy \
+     page copies.\n"
+    (t_agg /. t_mmap) frag_agg

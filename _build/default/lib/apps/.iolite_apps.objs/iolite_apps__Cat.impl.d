@@ -1,0 +1,1 @@
+lib/apps/cat.ml: Iolite_core Iolite_ipc Iolite_os

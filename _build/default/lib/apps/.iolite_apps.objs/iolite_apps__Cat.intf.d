@@ -1,0 +1,1 @@
+lib/apps/cat.mli: Iolite_ipc Iolite_os

@@ -1,0 +1,1 @@
+lib/apps/gccpipe.ml: Char Iolite_core Iolite_ipc Iolite_os Iolite_sim List Printf String

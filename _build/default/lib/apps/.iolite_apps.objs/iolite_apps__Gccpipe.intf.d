@@ -1,0 +1,1 @@
+lib/apps/gccpipe.mli: Iolite_os

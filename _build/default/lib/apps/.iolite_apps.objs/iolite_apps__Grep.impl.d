@@ -1,0 +1,1 @@
+lib/apps/grep.ml: Buffer Bytes Iolite_core Iolite_ipc Iolite_os List String

@@ -1,0 +1,1 @@
+lib/apps/grep.mli: Iolite_ipc Iolite_os

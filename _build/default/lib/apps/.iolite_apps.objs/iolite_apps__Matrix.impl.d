@@ -1,0 +1,1 @@
+lib/apps/matrix.ml: Buffer Char Iolite_core Iolite_os List String

@@ -1,0 +1,1 @@
+lib/apps/permute.ml: Array Buffer Fun Iolite_core Iolite_ipc Iolite_os String

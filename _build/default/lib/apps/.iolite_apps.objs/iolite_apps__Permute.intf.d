@@ -1,0 +1,1 @@
+lib/apps/permute.mli: Iolite_ipc Iolite_os

@@ -1,0 +1,1 @@
+lib/apps/wc.ml: Bytes Iolite_core Iolite_ipc Iolite_os String

@@ -1,0 +1,1 @@
+lib/apps/wc.mli: Iolite_ipc Iolite_os

@@ -1,0 +1,27 @@
+module Process = Iolite_os.Process
+module Fileio = Iolite_os.Fileio
+module Kernel = Iolite_os.Kernel
+module Iobuf = Iolite_core.Iobuf
+module Pipe = Iolite_ipc.Pipe
+
+let chunk = 65536
+
+let run proc ~file ~out ~iolite =
+  let size = Fileio.stat_size proc ~file in
+  let syscall = (Kernel.cost (Process.kernel proc)).Iolite_os.Costmodel.syscall in
+  let pos = ref 0 in
+  while !pos < size do
+    let n = min chunk (size - !pos) in
+    if iolite then begin
+      let agg = Fileio.iol_read proc ~file ~off:!pos ~len:n in
+      Pipe.write out agg;
+      Process.charge proc syscall
+    end
+    else begin
+      let s = Fileio.read_string proc ~file ~off:!pos ~len:n in
+      Pipe.write_posix out s;
+      Process.charge proc syscall
+    end;
+    pos := !pos + n
+  done;
+  Pipe.close_write out

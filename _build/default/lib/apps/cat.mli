@@ -1,0 +1,16 @@
+(** The [cat] utility: stream a file into a pipe (Section 5.8).
+
+    [cat] performs no per-byte computation; its cost is pure I/O, which
+    is why the converted version was the simplest in the paper — UNIX
+    read/write replaced by their IO-Lite equivalents. *)
+
+val run :
+  Iolite_os.Process.t ->
+  file:int ->
+  out:Iolite_ipc.Pipe.t ->
+  iolite:bool ->
+  unit
+(** Streams the whole file in 64 KB units and closes the pipe's write
+    end. With [iolite:false] each unit is read with copying [read] and
+    written with copying [write]; with [iolite:true] aggregates pass
+    from the file cache to the pipe untouched. *)

@@ -1,0 +1,159 @@
+module Engine = Iolite_sim.Engine
+module Sync = Iolite_sim.Sync
+module Process = Iolite_os.Process
+module Kernel = Iolite_os.Kernel
+module Fileio = Iolite_os.Fileio
+module Iosys = Iolite_core.Iosys
+module Iobuf = Iolite_core.Iobuf
+module Pipe = Iolite_ipc.Pipe
+
+type spec = {
+  files : int;
+  source_bytes : int;
+  cpp_expand : float;
+  cc1_shrink : float;
+}
+
+let default_spec =
+  { files = 27; source_bytes = 167 * 1024; cpp_expand = 6.0; cc1_shrink = 0.5 }
+
+let cpp_rate = 2.0e6
+let cc1_rate = 0.4e6
+let as_rate = 2.5e6
+
+let portion = 65536
+
+(* A stage's standard output: the IO-Lite stdio library when the program
+   is relinked (its buffer lives in IO-Lite space, so the app-to-stdio
+   copy is the only one), or a conventional stdio over a copying pipe. *)
+type stage_out =
+  | Out_stdiol of Iolite_os.Stdiol.out_channel
+  | Out_posix of Process.t * Pipe.t
+
+let stage_out proc pipe ~iolite =
+  if iolite then Out_stdiol (Iolite_os.Stdiol.open_pipe_out proc pipe)
+  else Out_posix (proc, pipe)
+
+let stage_out_close = function
+  | Out_stdiol oc -> Iolite_os.Stdiol.close_out oc
+  | Out_posix (_, pipe) -> Pipe.close_write pipe
+
+(* Emit [len] bytes of freshly generated stage output. *)
+let stage_emit out ~len =
+  let pos = ref 0 in
+  while !pos < len do
+    let n = min portion (len - !pos) in
+    let data = String.init n (fun i -> Char.chr (33 + ((!pos + i) mod 90))) in
+    (match out with
+    | Out_stdiol oc -> Iolite_os.Stdiol.output_string oc data
+    | Out_posix (proc, pipe) ->
+      let kernel = Process.kernel proc in
+      (* app -> private stdio buffer, then the two conventional pipe
+         copies inside write_posix/read. *)
+      Iosys.touch (Kernel.sys kernel) Iosys.Copy n;
+      Process.charge proc (Kernel.cost kernel).Iolite_os.Costmodel.syscall;
+      Pipe.write_posix pipe data);
+    pos := !pos + n
+  done
+
+(* Consume a whole input channel, charging per-byte compute. *)
+let stage_consume proc ic ~rate =
+  let total = ref 0 in
+  let rec loop () =
+    match Iolite_os.Stdiol.input_agg ic portion with
+    | None -> ()
+    | Some agg ->
+      let n = Iobuf.Agg.length agg in
+      total := !total + n;
+      Process.compute_at proc ~bytes:n ~rate;
+      Iobuf.Agg.free agg;
+      loop ()
+  in
+  loop ();
+  !total
+
+let run kernel spec ~iolite =
+  let t0 = Engine.now (Kernel.engine kernel) in
+  let finished = Sync.Ivar.create () in
+  let mode = if iolite then Pipe.Zero_copy else Pipe.Copying in
+  (* Register the source files. *)
+  let per_file = spec.source_bytes / spec.files in
+  let sources =
+    List.init spec.files (fun i ->
+        Kernel.add_file kernel
+          ~name:(Printf.sprintf "/src/gcc-%d-%d.c" (if iolite then 1 else 0) i)
+          ~size:per_file)
+  in
+  (* Create the three stage processes up front so each pipe can name its
+     writer and reader domains (the pipes' stream pools carry those
+     ACLs). *)
+  let cpp_proc = Process.make kernel ~name:"cpp" in
+  let cc1_proc = Process.make kernel ~name:"cc1" in
+  let as_proc = Process.make kernel ~name:"as" in
+  let sys = Kernel.sys kernel in
+  let pipe_cpp_cc1 =
+    Pipe.create sys ~mode
+      ~writer:(Process.domain cpp_proc)
+      ~reader:(Process.domain cc1_proc)
+      ~reader_pool:(Process.pool cc1_proc) ()
+  in
+  let pipe_cc1_as =
+    Pipe.create sys ~mode
+      ~writer:(Process.domain cc1_proc)
+      ~reader:(Process.domain as_proc)
+      ~reader_pool:(Process.pool as_proc) ()
+  in
+  let engine = Kernel.engine kernel in
+  Engine.spawn engine (fun () ->
+      let out = stage_out cpp_proc pipe_cpp_cc1 ~iolite in
+      List.iter
+        (fun file ->
+          let size = Fileio.stat_size cpp_proc ~file in
+          (* Read the source through stdio (copying read). *)
+          let pos = ref 0 in
+          while !pos < size do
+            let n = min portion (size - !pos) in
+            ignore (Fileio.read_string cpp_proc ~file ~off:!pos ~len:n);
+            pos := !pos + n
+          done;
+          Process.compute_at cpp_proc ~bytes:size ~rate:cpp_rate;
+          let len = int_of_float (float_of_int size *. spec.cpp_expand) in
+          stage_emit out ~len;
+          (* The driver runs one compilation unit at a time: the
+             preprocessor's output is flushed per file. *)
+          match out with
+          | Out_stdiol oc -> Iolite_os.Stdiol.flush oc
+          | Out_posix _ -> ())
+        sources;
+      stage_out_close out;
+      Process.exit cpp_proc);
+  Engine.spawn engine (fun () ->
+      (* Compile incrementally so the pipeline stages overlap. *)
+      let ic = Iolite_os.Stdiol.open_pipe_in cc1_proc pipe_cpp_cc1 in
+      let out = stage_out cc1_proc pipe_cc1_as ~iolite in
+      let rec compile () =
+        match Iolite_os.Stdiol.input_agg ic portion with
+        | None -> ()
+        | Some agg ->
+          let n = Iobuf.Agg.length agg in
+          Process.compute_at cc1_proc ~bytes:n ~rate:cc1_rate;
+          Iobuf.Agg.free agg;
+          stage_emit out ~len:(int_of_float (float_of_int n *. spec.cc1_shrink));
+          compile ()
+      in
+      compile ();
+      stage_out_close out;
+      Process.exit cc1_proc);
+  Engine.spawn engine (fun () ->
+      let ic = Iolite_os.Stdiol.open_pipe_in as_proc pipe_cc1_as in
+      ignore (stage_consume as_proc ic ~rate:as_rate);
+      Process.exit as_proc;
+      Sync.Ivar.fill finished (Engine.now engine -. t0));
+  Sync.Ivar.read finished
+
+let run_blocking kernel spec ~iolite =
+  let result = ref nan in
+  Engine.spawn (Kernel.engine kernel) (fun () ->
+      result := run kernel spec ~iolite);
+  Engine.run (Kernel.engine kernel);
+  !result

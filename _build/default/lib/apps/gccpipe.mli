@@ -1,0 +1,34 @@
+(** The gcc compiler-chain pipeline (Section 5.8): driver, C
+    preprocessor, compiler proper, and assembler connected by pipes
+    through the stdio library.
+
+    The paper converted gcc only by relinking the stdio library with an
+    IO-Lite version, eliminating the {e interprocess} copies; copies
+    between the applications and their stdio buffers remain, and
+    computation dominates — so IO-Lite shows no benefit. The model
+    reproduces both properties: per-stage compute at realistic 1999
+    compiler speeds, stdio-internal copies charged in both modes, and
+    only the pipe discipline switching. *)
+
+type spec = {
+  files : int;  (** source files compiled (paper: 27) *)
+  source_bytes : int;  (** total source size (paper: 167 KB) *)
+  cpp_expand : float;  (** preprocessor output / input ratio *)
+  cc1_shrink : float;  (** assembler-source / preprocessed ratio *)
+}
+
+val default_spec : spec
+
+val cpp_rate : float
+val cc1_rate : float
+val as_rate : float
+
+val run : Iolite_os.Kernel.t -> spec -> iolite:bool -> float
+(** Compiles the whole file set through a three-process pipeline and
+    returns the elapsed simulated time. Spawns its own processes; call
+    within a fresh engine and [Engine.run] afterwards via
+    {!run_blocking}. *)
+
+val run_blocking : Iolite_os.Kernel.t -> spec -> iolite:bool -> float
+(** Convenience wrapper: drives the engine to completion and returns the
+    elapsed simulated seconds. Must be called from outside the engine. *)

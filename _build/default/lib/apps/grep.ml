@@ -1,0 +1,88 @@
+module Process = Iolite_os.Process
+module Kernel = Iolite_os.Kernel
+module Iosys = Iolite_core.Iosys
+module Iobuf = Iolite_core.Iobuf
+module Pipe = Iolite_ipc.Pipe
+
+let compute_rate = 50e6
+
+let line_matches line ~pattern =
+  let n = String.length line and m = String.length pattern in
+  let rec scan i = i + m <= n && (String.sub line i m = pattern || scan (i + 1)) in
+  m > 0 && scan 0
+
+let count_matches s ~pattern =
+  let matches = ref 0 in
+  List.iter
+    (fun line -> if line_matches line ~pattern then incr matches)
+    (String.split_on_char '\n' s);
+  !matches
+
+(* Streaming matcher: feed byte ranges; lines that straddle range
+   boundaries are accumulated in [carry] — the contiguity copy the
+   IO-Lite port needs (charged by the caller via [carried]). *)
+type state = {
+  pattern : string;
+  carry : Buffer.t;
+  mutable matches : int;
+  mutable carried : int; (* bytes copied for contiguity *)
+}
+
+let fresh pattern = { pattern; carry = Buffer.create 256; matches = 0; carried = 0 }
+
+let finish_line st line =
+  if line_matches line ~pattern:st.pattern then st.matches <- st.matches + 1
+
+let feed st data off len =
+  let start = ref off in
+  for i = off to off + len - 1 do
+    if Bytes.get data i = '\n' then begin
+      let piece = Bytes.sub_string data !start (i - !start) in
+      if Buffer.length st.carry > 0 then begin
+        (* Straddling line: complete it in contiguous private memory. *)
+        st.carried <- st.carried + String.length piece;
+        Buffer.add_string st.carry piece;
+        finish_line st (Buffer.contents st.carry);
+        Buffer.clear st.carry
+      end
+      else finish_line st piece;
+      start := i + 1
+    end
+  done;
+  let tail = off + len - !start in
+  if tail > 0 then begin
+    st.carried <- st.carried + tail;
+    Buffer.add_subbytes st.carry data !start tail
+  end
+
+let flush st =
+  if Buffer.length st.carry > 0 then begin
+    finish_line st (Buffer.contents st.carry);
+    Buffer.clear st.carry
+  end
+
+let run_pipe proc pipe ~pattern ~iolite =
+  let kernel = Process.kernel proc in
+  let syscall = (Kernel.cost kernel).Iolite_os.Costmodel.syscall in
+  let st = fresh pattern in
+  let rec loop () =
+    match Pipe.read pipe with
+    | None -> ()
+    | Some agg ->
+      let n = Iobuf.Agg.length agg in
+      let carried_before = st.carried in
+      Iobuf.Agg.fold_bytes agg ~init:() ~f:(fun () data off len ->
+          feed st data off len);
+      (* The IO-Lite port pays for the contiguity copies of straddling
+         lines; the conventional grep scans its private buffer, where
+         carry-over costs nothing extra. *)
+      if iolite then
+        Iosys.touch (Kernel.sys kernel) Iosys.Copy (st.carried - carried_before);
+      Process.compute_at proc ~bytes:n ~rate:compute_rate;
+      Process.charge proc syscall;
+      Iobuf.Agg.free agg;
+      loop ()
+  in
+  loop ();
+  flush st;
+  st.matches

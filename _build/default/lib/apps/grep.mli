@@ -1,0 +1,20 @@
+(** The [grep] utility, consuming a pipe (the paper runs
+    [cat file | grep pattern], Section 5.8).
+
+    grep is line-oriented and expects each line contiguous in memory.
+    The converted (IO-Lite) version scans lines that lie entirely inside
+    one slice in place, but must copy a line that straddles slice (or
+    read) boundaries into private contiguous memory — exactly the
+    adaptation the paper describes. The conventional version receives
+    privately copied pipe data and scans it directly. *)
+
+val compute_rate : float
+(** Per-byte scanning work. *)
+
+val run_pipe :
+  Iolite_os.Process.t -> Iolite_ipc.Pipe.t -> pattern:string -> iolite:bool -> int
+(** Number of lines containing [pattern]. Matching is performed for real
+    on the actual bytes. *)
+
+val count_matches : string -> pattern:string -> int
+(** Reference implementation over a flat string (for tests). *)

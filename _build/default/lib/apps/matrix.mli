@@ -1,0 +1,32 @@
+(** The Section 3.8 "third case": a scientific application that reads a
+    large matrix and modifies it in complex, widely scattered ways.
+
+    For such access patterns, rebuilding buffer aggregates around every
+    store fragments the aggregate until chaining and indexing cost more
+    than a flat copy would have — which is exactly why IO-Lite keeps the
+    [mmap] interface for in-place modification. Both strategies are
+    implemented over the same update schedule and must produce identical
+    matrices; their simulated runtimes quantify the trade-off. *)
+
+type strategy =
+  | Via_mmap  (** contiguous mapping, in-place stores, lazy copies *)
+  | Via_aggregates  (** recombine an aggregate around every store *)
+
+val update_count : rows:int -> updates_per_row:int -> int
+
+val run :
+  Iolite_os.Process.t ->
+  file:int ->
+  rows:int ->
+  cols:int ->
+  updates_per_row:int ->
+  strategy ->
+  string
+(** Applies a deterministic schedule of scattered single-cell updates to
+    the [rows] x [cols] byte matrix stored in [file], then returns the
+    final matrix contents (for cross-checking). With [Via_mmap] the
+    result is also synced back to the file cache. *)
+
+val fragmentation : Iolite_os.Process.t -> file:int -> int
+(** Slices in the file's current cache representation (diagnostic: shows
+    aggregate fragmentation after a [Via_aggregates] run). *)

@@ -1,0 +1,84 @@
+module Process = Iolite_os.Process
+module Kernel = Iolite_os.Kernel
+module Iosys = Iolite_core.Iosys
+module Iobuf = Iolite_core.Iobuf
+module Pipe = Iolite_ipc.Pipe
+
+let compute_rate = 58e6
+
+let default_words =
+  [| "abcd"; "efgh"; "ijkl"; "mnop"; "qrst"; "uvwx"; "yzAB"; "CDEF"; "GHIJ"; "KLMN" |]
+
+let factorial n =
+  let rec go acc n = if n <= 1 then acc else go (acc * n) (n - 1) in
+  go 1 n
+
+let total_output_bytes ~words =
+  let n = Array.length words in
+  let wlen = String.length words.(0) in
+  factorial n * n * wlen
+
+let batch_size = 65536
+
+let run proc ~out ~words ~iolite =
+  let n = Array.length words in
+  if n = 0 then invalid_arg "Permute.run: no words";
+  let wlen = String.length words.(0) in
+  Array.iter
+    (fun w ->
+      if String.length w <> wlen then
+        invalid_arg "Permute.run: words must have uniform length")
+    words;
+  let kernel = Process.kernel proc in
+  let sys = Kernel.sys kernel in
+  let syscall = (Kernel.cost kernel).Iolite_os.Costmodel.syscall in
+  let record = n * wlen in
+  let batch = Buffer.create (batch_size + record) in
+  let flush () =
+    if Buffer.length batch > 0 then begin
+      let data = Buffer.contents batch in
+      Buffer.clear batch;
+      Process.compute_at proc ~bytes:(String.length data) ~rate:compute_rate;
+      if iolite then begin
+        (* Store the generated records directly into IO-Lite buffers: the
+           store is part of the generation work already charged above
+           (just as the POSIX variant stores into private memory), so the
+           fill itself is free; the buffers then recycle on the warm pipe
+           stream. *)
+        let agg =
+          Iosys.with_fill_mode sys `Dma (fun () ->
+              Iobuf.Agg.of_string (Pipe.stream_pool out)
+                ~producer:(Process.domain proc) data)
+        in
+        Pipe.write out agg
+      end
+      else Pipe.write_posix out data;
+      Process.charge proc syscall
+    end
+  in
+  let order = Array.init n Fun.id in
+  let emit () =
+    if Buffer.length batch + record > batch_size then flush ();
+    Array.iter (fun i -> Buffer.add_string batch words.(i)) order
+  in
+  (* Heap's algorithm, iterative. *)
+  let c = Array.make n 0 in
+  emit ();
+  let i = ref 0 in
+  while !i < n do
+    if c.(!i) < !i then begin
+      let j = if !i land 1 = 0 then 0 else c.(!i) in
+      let tmp = order.(j) in
+      order.(j) <- order.(!i);
+      order.(!i) <- tmp;
+      emit ();
+      c.(!i) <- c.(!i) + 1;
+      i := 0
+    end
+    else begin
+      c.(!i) <- 0;
+      incr i
+    end
+  done;
+  flush ();
+  Pipe.close_write out

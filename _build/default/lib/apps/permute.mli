@@ -1,0 +1,27 @@
+(** The [permute] producer (Section 5.8): generates every permutation of
+    the 4-character words in a 40-character string (10 words, 10! =
+    3,628,800 permutations, 145,152,000 output bytes) and pipes them to a
+    consumer (the paper pipes into [wc]).
+
+    Permutations are produced for real (Heap's algorithm) so the
+    consumer's counts can be verified; the generation CPU is charged at
+    {!compute_rate}. *)
+
+val compute_rate : float
+
+val default_words : string array
+(** Ten distinct 4-character words (the 40-character input). *)
+
+val total_output_bytes : words:string array -> int
+
+val run :
+  Iolite_os.Process.t ->
+  out:Iolite_ipc.Pipe.t ->
+  words:string array ->
+  iolite:bool ->
+  unit
+(** Generates all permutations, writing 64 KB batches to the pipe, and
+    closes it. [iolite:false] uses POSIX writes (copying);
+    [iolite:true] fills IO-Lite buffers directly and passes them by
+    reference (recycled on the warm stream). Word length must be
+    uniform; raises [Invalid_argument] otherwise. *)

@@ -1,0 +1,88 @@
+module Process = Iolite_os.Process
+module Fileio = Iolite_os.Fileio
+module Iobuf = Iolite_core.Iobuf
+module Pipe = Iolite_ipc.Pipe
+
+type counts = { lines : int; words : int; chars : int }
+
+let compute_rate = 98e6
+
+type state = {
+  mutable lines : int;
+  mutable words : int;
+  mutable chars : int;
+  mutable in_word : bool;
+}
+
+let fresh () = { lines = 0; words = 0; chars = 0; in_word = false }
+
+let feed_byte st c =
+  st.chars <- st.chars + 1;
+  if c = '\n' then st.lines <- st.lines + 1;
+  let space = c = ' ' || c = '\n' || c = '\t' in
+  if space then st.in_word <- false
+  else if not st.in_word then begin
+    st.in_word <- true;
+    st.words <- st.words + 1
+  end
+
+let feed_bytes st data off len =
+  for i = off to off + len - 1 do
+    feed_byte st (Bytes.get data i)
+  done
+
+let result st = { lines = st.lines; words = st.words; chars = st.chars }
+
+let count_string s =
+  let st = fresh () in
+  String.iter (feed_byte st) s;
+  result st
+
+let chunk = 65536
+
+let run_posix proc ~file =
+  let size = Fileio.stat_size proc ~file in
+  let st = fresh () in
+  let pos = ref 0 in
+  while !pos < size do
+    let n = min chunk (size - !pos) in
+    let s = Fileio.read_string proc ~file ~off:!pos ~len:n in
+    String.iter (feed_byte st) s;
+    Process.compute_at proc ~bytes:n ~rate:compute_rate;
+    pos := !pos + n
+  done;
+  result st
+
+let run_iolite proc ~file =
+  let size = Fileio.stat_size proc ~file in
+  let st = fresh () in
+  let pos = ref 0 in
+  while !pos < size do
+    let n = min chunk (size - !pos) in
+    let agg = Fileio.iol_read proc ~file ~off:!pos ~len:n in
+    let got = Iobuf.Agg.length agg in
+    (* Iterate the slices in place: zero-copy data access. *)
+    Iobuf.Agg.fold_bytes agg ~init:()
+      ~f:(fun () data off len -> feed_bytes st data off len);
+    Process.compute_at proc ~bytes:got ~rate:compute_rate;
+    Iobuf.Agg.free agg;
+    pos := !pos + got
+  done;
+  result st
+
+let run_pipe proc pipe =
+  let st = fresh () in
+  let rec loop () =
+    match Pipe.read pipe with
+    | None -> ()
+    | Some agg ->
+      let n = Iobuf.Agg.length agg in
+      Iobuf.Agg.fold_bytes agg ~init:()
+        ~f:(fun () data off len -> feed_bytes st data off len);
+      Process.compute_at proc ~bytes:n ~rate:compute_rate;
+      Process.charge proc (Iolite_os.Kernel.cost (Process.kernel proc)).Iolite_os.Costmodel.syscall;
+      Iobuf.Agg.free agg;
+      loop ()
+  in
+  loop ();
+  result st

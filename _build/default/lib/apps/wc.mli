@@ -1,0 +1,27 @@
+(** The [wc] word-count utility, in its unmodified (POSIX [read]) and
+    IO-Lite ([IOL_read] + slice iteration) forms (Section 5.8).
+
+    Counting is performed for real on the file's actual bytes, so the two
+    variants must agree exactly; only the I/O path — and therefore the
+    simulated runtime — differs. *)
+
+type counts = { lines : int; words : int; chars : int }
+
+val compute_rate : float
+(** Per-byte counting work (bytes/second of CPU). *)
+
+val run_posix : Iolite_os.Process.t -> file:int -> counts
+(** Reads the file in 64 KB [read] calls: each copies out of the file
+    cache into the process buffer. *)
+
+val run_iolite : Iolite_os.Process.t -> file:int -> counts
+(** Reads with [IOL_read] and iterates slices in place: no copies; the
+    remaining I/O cost is mapping the cache's buffers (page maps). *)
+
+val run_pipe : Iolite_os.Process.t -> Iolite_ipc.Pipe.t -> counts
+(** Consume a whole pipe stream (used as the downstream of
+    [permute | wc]). Works for both pipe disciplines; aggregates are
+    scanned in place. *)
+
+val count_string : string -> counts
+(** Reference counter (for tests). *)

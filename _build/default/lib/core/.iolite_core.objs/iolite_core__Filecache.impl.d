@@ -1,0 +1,1 @@
+lib/core/filecache.ml: Hashtbl Iobuf Iolite_mem Iolite_util Iosys List Logs Option Policy

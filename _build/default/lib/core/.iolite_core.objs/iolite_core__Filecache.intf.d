@@ -1,0 +1,1 @@
+lib/core/filecache.mli: Iobuf Iosys Policy

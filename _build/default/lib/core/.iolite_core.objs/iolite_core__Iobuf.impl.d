@@ -1,0 +1,1 @@
+lib/core/iobuf.ml: Bytes Format Iolite_mem Iolite_util Iosys List Option Page Pageout Pdomain Printf Stdlib String Vm

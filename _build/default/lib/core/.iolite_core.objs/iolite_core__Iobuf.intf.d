@@ -1,0 +1,1 @@
+lib/core/iobuf.mli: Bytes Format Iolite_mem Iosys Pdomain Vm

@@ -1,0 +1,1 @@
+lib/core/iosys.ml: Iolite_mem Iolite_util Pageout Pdomain Physmem Vm

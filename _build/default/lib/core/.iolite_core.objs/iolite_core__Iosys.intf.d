@@ -1,0 +1,1 @@
+lib/core/iosys.mli: Iolite_mem Iolite_util Pageout Pdomain Physmem Vm

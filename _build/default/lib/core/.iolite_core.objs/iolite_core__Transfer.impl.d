@@ -1,0 +1,1 @@
+lib/core/transfer.ml: Iobuf Iolite_mem Iolite_util Iosys List Vm

@@ -1,0 +1,270 @@
+module Counter = Iolite_util.Stats.Counter
+
+let log = Iolite_util.Logging.src "cache"
+
+type entry = { efile : int; eoff : int; elen : int; eagg : Iobuf.Agg.t }
+
+type t = {
+  sys : Iosys.t;
+  mutable policy : Policy.t;
+  files : (int, entry list ref) Hashtbl.t; (* per-file, sorted by offset *)
+  index : (Policy.key, entry) Hashtbl.t;
+  mutable bytes : int;
+  mutable capacity : (unit -> int) option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let key e = (e.efile, e.eoff)
+
+let pin agg =
+  Iobuf.Agg.iter_slices agg (fun s ->
+      Iobuf.Buffer.incr_cache_ref (Iobuf.Slice.buffer s))
+
+let unpin agg =
+  Iobuf.Agg.iter_slices agg (fun s ->
+      Iobuf.Buffer.decr_cache_ref (Iobuf.Slice.buffer s))
+
+let entry_referenced e =
+  (* An entry is "currently referenced" when some underlying buffer is
+     held by anything besides cache entries (Section 3.7). *)
+  let referenced = ref false in
+  Iobuf.Agg.iter_slices e.eagg (fun s ->
+      if Iobuf.Buffer.externally_referenced (Iobuf.Slice.buffer s) then
+        referenced := true);
+  !referenced
+
+let file_entries t file =
+  match Hashtbl.find_opt t.files file with
+  | Some r -> r
+  | None ->
+    let r = ref [] in
+    Hashtbl.replace t.files file r;
+    r
+
+let add_entry t e =
+  let r = file_entries t e.efile in
+  r := List.sort (fun a b -> compare a.eoff b.eoff) (e :: !r);
+  Hashtbl.replace t.index (key e) e;
+  pin e.eagg;
+  t.bytes <- t.bytes + e.elen;
+  t.policy.Policy.on_insert (key e) ~size:e.elen
+
+let drop_entry t e =
+  let r = file_entries t e.efile in
+  r := List.filter (fun e' -> not (e' == e)) !r;
+  if !r = [] then Hashtbl.remove t.files e.efile;
+  Hashtbl.remove t.index (key e);
+  t.policy.Policy.on_remove (key e);
+  unpin e.eagg;
+  Iobuf.Agg.free e.eagg;
+  t.bytes <- t.bytes - e.elen
+
+let evict_one t =
+  let eligible_unref k =
+    match Hashtbl.find_opt t.index k with
+    | Some e -> not (entry_referenced e)
+    | None -> false
+  in
+  let victim =
+    match t.policy.Policy.choose ~eligible:eligible_unref with
+    | Some k -> Some k
+    | None ->
+      (* All entries are referenced: fall back to the policy's choice
+         among them (Section 3.7). *)
+      t.policy.Policy.choose ~eligible:(fun k -> Hashtbl.mem t.index k)
+  in
+  match victim with
+  | None -> 0
+  | Some k -> (
+    match Hashtbl.find_opt t.index k with
+    | None -> 0
+    | Some e ->
+      drop_entry t e;
+      t.evictions <- t.evictions + 1;
+      Counter.incr (Iosys.counters t.sys) "cache.eviction";
+      Logs.debug ~src:log (fun m ->
+          m "evicted file %d [%d,+%d) under %s; %d entries / %d bytes remain"
+            e.efile e.eoff e.elen t.policy.Policy.name
+            (Hashtbl.length t.index) t.bytes);
+      e.elen)
+
+let create ?(policy = Policy.lru ()) ?(register_with_pageout = true) sys () =
+  let t =
+    {
+      sys;
+      policy;
+      files = Hashtbl.create 512;
+      index = Hashtbl.create 512;
+      bytes = 0;
+      capacity = None;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+    }
+  in
+  if register_with_pageout then begin
+    let pageout = Iosys.pageout sys in
+    Iolite_mem.Pageout.register_segment pageout ~name:"filecache"
+      ~is_io_cache:true
+      ~resident:(fun () -> t.bytes)
+      ~reclaim:(fun _ -> 0);
+    Iolite_mem.Pageout.set_entry_evictor pageout (fun () -> evict_one t)
+  end;
+  t
+
+let set_policy t policy =
+  (* Re-register current entries under the new policy. *)
+  Hashtbl.iter (fun k e -> policy.Policy.on_insert k ~size:e.elen) t.index;
+  t.policy <- policy
+
+let policy_name t = t.policy.Policy.name
+let set_capacity t fn = t.capacity <- fn
+
+let enforce_capacity t =
+  match t.capacity with
+  | None -> ()
+  | Some cap_fn ->
+    let continue = ref true in
+    while !continue do
+      if t.bytes > cap_fn () then begin
+        if evict_one t = 0 then continue := false
+      end
+      else continue := false
+    done
+
+(* Entries (sorted by offset) that together cover [off, off+len) with no
+   gaps; [None] if any byte is missing. *)
+let find_covering t ~file ~off ~len =
+  match Hashtbl.find_opt t.files file with
+  | None -> None
+  | Some r ->
+    let rec walk cursor acc = function
+      | [] -> None
+      | e :: rest ->
+        if e.eoff + e.elen <= cursor then walk cursor acc rest
+        else if e.eoff > cursor then None (* gap *)
+        else begin
+          let acc = e :: acc in
+          if e.eoff + e.elen >= off + len then Some (List.rev acc)
+          else walk (e.eoff + e.elen) acc rest
+        end
+    in
+    walk off [] !r
+
+let covered t ~file ~off ~len =
+  len = 0 || Option.is_some (find_covering t ~file ~off ~len)
+
+let lookup t ~file ~off ~len =
+  match find_covering t ~file ~off ~len with
+  | Some entries ->
+    t.hits <- t.hits + 1;
+    let parts =
+      List.map
+        (fun e ->
+          t.policy.Policy.on_access (key e) ~size:e.elen;
+          let lo = max off e.eoff and hi = min (off + len) (e.eoff + e.elen) in
+          Iobuf.Agg.sub e.eagg ~off:(lo - e.eoff) ~len:(hi - lo))
+        entries
+    in
+    let agg = Iobuf.Agg.concat_list parts in
+    List.iter Iobuf.Agg.free parts;
+    Some agg
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+(* Remove the parts of existing entries overlapping [off, off+len),
+   keeping trimmed remainders (whose buffers persist — snapshot
+   semantics). *)
+let carve t ~file ~off ~len =
+  match Hashtbl.find_opt t.files file with
+  | None -> ()
+  | Some r ->
+    let overlapping, _ =
+      List.partition
+        (fun e -> e.eoff < off + len && off < e.eoff + e.elen)
+        !r
+    in
+    List.iter
+      (fun e ->
+        let keep_left = off - e.eoff in
+        let keep_right = e.eoff + e.elen - (off + len) in
+        (* Build remainders before dropping (sub needs the live agg). *)
+        let remainders = ref [] in
+        if keep_left > 0 then begin
+          let agg = Iobuf.Agg.sub e.eagg ~off:0 ~len:keep_left in
+          remainders :=
+            { efile = file; eoff = e.eoff; elen = keep_left; eagg = agg }
+            :: !remainders
+        end;
+        if keep_right > 0 then begin
+          let agg =
+            Iobuf.Agg.sub e.eagg ~off:(off + len - e.eoff) ~len:keep_right
+          in
+          remainders :=
+            { efile = file; eoff = off + len; elen = keep_right; eagg = agg }
+            :: !remainders
+        end;
+        drop_entry t e;
+        List.iter (add_entry t) !remainders)
+      overlapping
+
+let insert t ~file ~off agg =
+  let len = Iobuf.Agg.length agg in
+  if len = 0 then Iobuf.Agg.free agg
+  else begin
+    carve t ~file ~off ~len;
+    add_entry t { efile = file; eoff = off; elen = len; eagg = agg };
+    enforce_capacity t
+  end
+
+let backfill t ~file ~off agg =
+  let len = Iobuf.Agg.length agg in
+  if len = 0 then Iobuf.Agg.free agg
+  else begin
+    (* Gaps of [off, off+len) not covered by existing (newer) entries. *)
+    let existing =
+      match Hashtbl.find_opt t.files file with Some r -> !r | None -> []
+    in
+    let gaps = ref [] in
+    let cursor = ref off in
+    List.iter
+      (fun e ->
+        let e_end = e.eoff + e.elen in
+        if e_end > !cursor && e.eoff < off + len then begin
+          if e.eoff > !cursor then gaps := (!cursor, e.eoff - !cursor) :: !gaps;
+          cursor := max !cursor e_end
+        end)
+      existing;
+    if !cursor < off + len then gaps := (!cursor, off + len - !cursor) :: !gaps;
+    List.iter
+      (fun (gap_off, gap_len) ->
+        let sub = Iobuf.Agg.sub agg ~off:(gap_off - off) ~len:gap_len in
+        add_entry t { efile = file; eoff = gap_off; elen = gap_len; eagg = sub })
+      (List.rev !gaps);
+    Iobuf.Agg.free agg;
+    enforce_capacity t
+  end
+
+let invalidate_file t ~file =
+  match Hashtbl.find_opt t.files file with
+  | None -> ()
+  | Some r -> List.iter (fun e -> drop_entry t e) !r
+
+let file_bytes t ~file =
+  match Hashtbl.find_opt t.files file with
+  | None -> 0
+  | Some r -> List.fold_left (fun acc e -> acc + e.elen) 0 !r
+
+let total_bytes t = t.bytes
+let entry_count t = Hashtbl.length t.index
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0

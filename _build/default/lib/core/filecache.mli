@@ -1,0 +1,84 @@
+(** The unified IO-Lite file cache (Sections 3.5 and 3.7).
+
+    A mapping ⟨file-id, offset, length⟩ → buffer aggregate. The cache has
+    no statically allocated storage: entries pin ordinary pageable IO-Lite
+    buffers. Because the buffers are immutable, a write to a cached range
+    {e replaces} the overlapping entries; replaced buffers persist while
+    other references exist, which is what gives [IOL_read] its snapshot
+    semantics.
+
+    Two trimming regimes are supported:
+    - {b unified} (IO-Lite): the cache registers with the pageout daemon;
+      entries are evicted when the Section 3.7 rule fires. The cache
+      grows on every miss.
+    - {b capacity} (conventional file cache model): a byte capacity is
+      supplied (usually [Physmem.io_budget]) and enforced on insert —
+      used to model the mmap-based servers, whose cache competes with
+      wired network buffers.
+
+    Replacement is delegated to a {!Policy.t} (LRU by default; Flash-Lite
+    installs GDS). Victims are preferentially entries not currently
+    referenced outside the cache. *)
+
+type t
+
+val create :
+  ?policy:Policy.t ->
+  ?register_with_pageout:bool ->
+  Iosys.t ->
+  unit ->
+  t
+(** [register_with_pageout] defaults to [true] (the unified regime). *)
+
+val set_policy : t -> Policy.t -> unit
+(** Swap the replacement policy (application customization). Existing
+    entries are re-registered with the new policy. *)
+
+val policy_name : t -> string
+
+val set_capacity : t -> (unit -> int) option -> unit
+(** Install a dynamic byte-capacity bound (conventional regime), or
+    remove it with [None]. *)
+
+(** {2 Operations} *)
+
+val lookup : t -> file:int -> off:int -> len:int -> Iobuf.Agg.t option
+(** On a hit, a fresh aggregate over exactly the requested range (caller
+    owns and must free it). [None] when the range is not fully covered
+    by a single entry. *)
+
+val covered : t -> file:int -> off:int -> len:int -> bool
+(** Hit test without constructing an aggregate or recording an access. *)
+
+val insert : t -> file:int -> off:int -> Iobuf.Agg.t -> unit
+(** Installs the aggregate as cache contents for
+    [off, off + length agg). Takes ownership of the aggregate.
+    Overlapping older entries are replaced (trimmed or dropped) — their
+    buffers persist while referenced elsewhere. *)
+
+val backfill : t -> file:int -> off:int -> Iobuf.Agg.t -> unit
+(** Like {!insert} but for data arriving from backing store: existing
+    entries are {e newer} than the incoming bytes (they may hold writes
+    not yet visible on disk), so only the gaps they leave are filled.
+    Takes ownership of the aggregate. *)
+
+val invalidate_file : t -> file:int -> unit
+(** Drop all entries of a file (e.g. file deletion/truncation). *)
+
+val evict_one : t -> int
+(** Evict the policy's victim (preferring unreferenced entries, else the
+    best referenced one). Returns bytes unpinned, 0 when empty. *)
+
+val file_bytes : t -> file:int -> int
+(** Cached bytes for one file (diagnostic). *)
+
+(** {2 Introspection} *)
+
+val total_bytes : t -> int
+val entry_count : t -> int
+val hits : t -> int
+val misses : t -> int
+(** [misses] counts [lookup] calls that returned [None]. *)
+
+val evictions : t -> int
+val reset_stats : t -> unit

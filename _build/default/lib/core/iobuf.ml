@@ -1,0 +1,588 @@
+open Iolite_mem
+module Counter = Iolite_util.Stats.Counter
+
+(* A chunkstore is the storage side of a VM chunk: 64 KB of backing bytes
+   plus a bump allocator and liveness counters. *)
+type chunkstore = {
+  vc : Vm.chunk;
+  data : Bytes.t;
+  mutable bump : int;
+  mutable live : int; (* buffers not yet reclaimed *)
+  mutable tail_freed : bool; (* unused tail pages returned to the VM *)
+  mutable writers : (Pdomain.t * int ref) list; (* producers still filling *)
+}
+
+type pool_t = {
+  sys : Iosys.t;
+  pname : string;
+  pacl : Vm.acl;
+  mutable current : chunkstore option;
+  mutable empty_chunks : chunkstore list;
+  mutable all_chunks : chunkstore list;
+}
+
+type buffer_t = {
+  store : chunkstore;
+  boff : int; (* offset of the buffer within its chunk *)
+  blen : int;
+  owns_pages : int; (* pages held exclusively (0 for sub-page buffers) *)
+  mutable generation : int;
+  bpool : pool_t;
+  producer : Pdomain.t;
+  mutable sealed : bool;
+  mutable refs : int;
+  mutable cache_refs : int;
+}
+
+module Buffer = struct
+  type t = buffer_t
+  type uid = { chunk : int; generation : int; offset : int }
+
+  exception Immutable
+
+  let uid b =
+    { chunk = Vm.chunk_id b.store.vc; generation = b.generation; offset = b.boff }
+
+  let length b = b.blen
+  let pool_name b = b.bpool.pname
+  let is_sealed b = b.sealed
+  let refcount b = b.refs
+  let chunk b = b.store.vc
+
+  let incr_ref b =
+    if b.refs <= 0 then invalid_arg "Buffer.incr_ref: buffer already dead";
+    b.refs <- b.refs + 1
+
+  (* Forward-declared hook: Pool installs the chunk-retirement logic. *)
+  let on_buffer_dead : (t -> unit) ref = ref (fun _ -> ())
+
+  let decr_ref b =
+    if b.refs <= 0 then invalid_arg "Buffer.decr_ref: refcount underflow";
+    b.refs <- b.refs - 1;
+    if b.refs = 0 then !on_buffer_dead b
+
+  let incr_cache_ref b = b.cache_refs <- b.cache_refs + 1
+
+  let decr_cache_ref b =
+    if b.cache_refs <= 0 then invalid_arg "Buffer.decr_cache_ref: underflow";
+    b.cache_refs <- b.cache_refs - 1
+
+  let externally_referenced b = b.refs > b.cache_refs
+
+  let writer_cell store producer =
+    match
+      List.find_opt (fun (d, _) -> Pdomain.equal d producer) store.writers
+    with
+    | Some (_, r) -> r
+    | None ->
+      let r = ref 0 in
+      store.writers <- (producer, r) :: store.writers;
+      r
+
+  let blit_string b ~src ~src_off ~dst_off ~len =
+    if b.sealed then raise Immutable;
+    if
+      len < 0 || src_off < 0 || dst_off < 0
+      || src_off + len > String.length src
+      || dst_off + len > b.blen
+    then invalid_arg "Buffer.blit_string: range";
+    Iosys.touch b.bpool.sys Iosys.Fill len;
+    if Iosys.touch_data b.bpool.sys then
+      Bytes.blit_string src src_off b.store.data (b.boff + dst_off) len
+
+  let fill_gen b f =
+    if b.sealed then raise Immutable;
+    Iosys.touch b.bpool.sys Iosys.Fill b.blen;
+    if Iosys.touch_data b.bpool.sys then
+      for i = 0 to b.blen - 1 do
+        Bytes.set b.store.data (b.boff + i) (f i)
+      done
+
+  (* Sealing freezes the buffer. Untrusted producers pay a protection
+     toggle over the buffer's own pages (Section 3.2); the chunk's
+     write-permission state drops to read-only when its last unsealed
+     buffer is sealed. *)
+  let seal b =
+    if not b.sealed then begin
+      b.sealed <- true;
+      if not (Pdomain.trusted b.producer) then begin
+        let vm = Iosys.vm b.bpool.sys in
+        Vm.note_op vm Vm.Revoke_write ~pages:(max 1 b.owns_pages);
+        let cell = writer_cell b.store b.producer in
+        decr cell;
+        if !cell <= 0 then begin
+          b.store.writers <-
+            List.filter
+              (fun (d, _) -> not (Pdomain.equal d b.producer))
+              b.store.writers;
+          Vm.revoke_write vm b.producer b.store.vc
+        end
+      end
+    end
+
+  let get b i =
+    if i < 0 || i >= b.blen then invalid_arg "Buffer.get: index";
+    Bytes.get b.store.data (b.boff + i)
+
+  let view b = (b.store.data, b.boff)
+
+  let sub_string b ~off ~len =
+    if off < 0 || len < 0 || off + len > b.blen then
+      invalid_arg "Buffer.sub_string: range";
+    Iosys.touch b.bpool.sys Iosys.Copy len;
+    Bytes.sub_string b.store.data (b.boff + off) len
+end
+
+module Slice = struct
+  type t = { sbuf : Buffer.t; soff : int; slen : int }
+
+  let make b ~off ~len =
+    if off < 0 || len < 0 || off + len > b.blen then
+      invalid_arg "Slice.make: range";
+    { sbuf = b; soff = off; slen = len }
+
+  let buffer s = s.sbuf
+  let off s = s.soff
+  let len s = s.slen
+
+  let uid s =
+    let u = Buffer.uid s.sbuf in
+    ({ u with Buffer.offset = u.Buffer.offset + s.soff }, s.slen)
+
+  let view s =
+    let data, base = Buffer.view s.sbuf in
+    (data, base + s.soff)
+end
+
+module Pool = struct
+  type t = pool_t
+
+  let max_alloc = Page.chunk_size
+
+  let resident_empty_bytes p =
+    List.fold_left (fun acc c -> acc + Vm.resident_bytes c.vc) 0 p.empty_chunks
+
+  let create sys ~name ~acl =
+    let p =
+      {
+        sys;
+        pname = name;
+        pacl = acl;
+        current = None;
+        empty_chunks = [];
+        all_chunks = [];
+      }
+    in
+    Pageout.register_segment (Iosys.pageout sys) ~name:("pool:" ^ name)
+      ~is_io_cache:false
+      ~resident:(fun () -> resident_empty_bytes p)
+      ~reclaim:(fun n ->
+        let freed = ref 0 in
+        List.iter
+          (fun c ->
+            if !freed < n && Vm.chunk_resident c.vc then
+              freed := !freed + Vm.release_chunk_memory (Iosys.vm sys) c.vc)
+          p.empty_chunks;
+        !freed);
+    p
+
+  let name p = p.pname
+  let acl p = p.pacl
+  let sys p = p.sys
+
+  let fresh_chunk p =
+    let vc = Vm.alloc_chunk (Iosys.vm p.sys) ~label:p.pname ~acl:p.pacl in
+    Counter.incr (Iosys.counters p.sys) "pool.fresh_chunk";
+    let c =
+      {
+        vc;
+        data = Bytes.create Page.chunk_size;
+        bump = 0;
+        live = 0;
+        tail_freed = false;
+        writers = [];
+      }
+    in
+    p.all_chunks <- c :: p.all_chunks;
+    c
+
+  let take_chunk p =
+    match p.empty_chunks with
+    | c :: rest ->
+      p.empty_chunks <- rest;
+      (* Recycling keeps VM mappings: warm allocation costs no map ops
+         (only any released pages are charged back). *)
+      Vm.recycle_chunk (Iosys.vm p.sys) c.vc;
+      Counter.incr (Iosys.counters p.sys) "pool.recycle_chunk";
+      (* Untrusted producers pay the write-permission toggle once per
+         chunk reuse (Section 3.2); stale grants from the previous fill
+         cycle are revoked here so the next fill re-grants. *)
+      List.iter
+        (fun (d, _) -> Vm.revoke_write (Iosys.vm p.sys) d c.vc)
+        c.writers;
+      c.writers <- [];
+      c.bump <- 0;
+      c.tail_freed <- false;
+      c
+    | [] -> fresh_chunk p
+
+  (* A chunk that can no longer satisfy allocations keeps live buffers in
+     [0, bump) but its tail pages were never used: give them back. Hand-
+     off also revokes the producers' write permissions (the buffers are
+     all immutable now). *)
+  let retire_current p =
+    match p.current with
+    | None -> ()
+    | Some c ->
+      p.current <- None;
+      List.iter
+        (fun (d, _) -> Vm.revoke_write (Iosys.vm p.sys) d c.vc)
+        c.writers;
+      c.writers <- [];
+      if not c.tail_freed then begin
+        c.tail_freed <- true;
+        let used_pages = Page.pages_of_bytes c.bump in
+        let tail = Page.pages_per_chunk - used_pages in
+        if tail > 0 then
+          ignore (Vm.free_pages (Iosys.vm p.sys) c.vc ~pages:tail)
+      end
+
+  (* Buffers of half a page or more occupy exclusively-owned whole pages
+     (IO-Lite buffers are an integral number of contiguous pages,
+     Section 3.3), so their memory returns to the VM the moment they are
+     reclaimed. Smaller objects share pages within the chunk and are
+     recovered when the whole chunk drains. *)
+  let large_threshold = Page.page_size / 2
+
+  let shape ~paged size =
+    if paged || size >= large_threshold then `Paged (Page.round_to_pages size)
+    else `Packed
+
+  let fit ~paged store size =
+    match shape ~paged size with
+    | `Paged rounded ->
+      let start = Page.round_to_pages store.bump in
+      if start + rounded <= Page.chunk_size then Some (start, rounded / Page.page_size)
+      else None
+    | `Packed ->
+      if store.bump + size <= Page.chunk_size then Some (store.bump, 0) else None
+
+  let alloc ?(paged = false) p ~producer size =
+    if size <= 0 || size > max_alloc then
+      invalid_arg
+        (Printf.sprintf "Pool.alloc: size %d out of range (1..%d)" size max_alloc);
+    let store, (boff, owns_pages) =
+      match p.current with
+      | Some c when fit ~paged c size <> None -> (c, Option.get (fit ~paged c size))
+      | Some _ | None ->
+        retire_current p;
+        let c = take_chunk p in
+        p.current <- Some c;
+        (c, Option.get (fit ~paged c size))
+    in
+    let vm = Iosys.vm p.sys in
+    Vm.grant_write vm producer store.vc;
+    if not (Pdomain.trusted producer) then begin
+      (* Temporary write permission over the buffer's pages. *)
+      Vm.note_op vm Vm.Grant_write
+        ~pages:
+          (max 1
+             (match shape ~paged size with
+             | `Paged rounded -> rounded / Page.page_size
+             | `Packed -> 1));
+      incr (Buffer.writer_cell store producer)
+    end;
+    let b =
+      {
+        store;
+        boff;
+        blen = size;
+        owns_pages;
+        generation = Vm.chunk_generation store.vc;
+        bpool = p;
+        producer;
+        sealed = false;
+        refs = 1;
+        cache_refs = 0;
+      }
+    in
+    store.bump <- boff + (if owns_pages > 0 then owns_pages * Page.page_size else size);
+    store.live <- store.live + 1;
+    Counter.incr (Iosys.counters p.sys) "pool.alloc";
+    b
+
+  let retire_buffer (b : Buffer.t) =
+    if not b.sealed then Buffer.seal b;
+    let store = b.store in
+    let p = b.bpool in
+    (* Page-granular reclamation: the buffer's own pages return to the VM
+       immediately. *)
+    if b.owns_pages > 0 then
+      ignore (Vm.free_pages (Iosys.vm p.sys) store.vc ~pages:b.owns_pages);
+    store.live <- store.live - 1;
+    if store.live = 0 then begin
+      (* Fully drained: queue for lazy recycling (generation bump and
+         repopulation happen at next reuse, avoiding charge thrash). *)
+      (match p.current with
+      | Some c when c == store -> p.current <- None
+      | Some _ | None -> ());
+      p.empty_chunks <- store :: p.empty_chunks
+    end
+
+  let () = Buffer.on_buffer_dead := retire_buffer
+
+  let resident_bytes p =
+    List.fold_left (fun acc c -> acc + Vm.resident_bytes c.vc) 0 p.all_chunks
+
+  let chunk_count p = List.length p.all_chunks
+  let free_chunk_count p = List.length p.empty_chunks
+
+  let reclaim p n =
+    let freed = ref 0 in
+    List.iter
+      (fun c ->
+        if !freed < n && Vm.chunk_resident c.vc then
+          freed := !freed + Vm.release_chunk_memory (Iosys.vm p.sys) c.vc)
+      p.empty_chunks;
+    !freed
+
+  let destroy p =
+    let live =
+      List.fold_left (fun acc c -> acc + c.live) 0 p.all_chunks
+    in
+    if live > 0 then
+      invalid_arg
+        (Printf.sprintf "Pool.destroy: %d live buffers remain in pool %s" live
+           p.pname);
+    List.iter (fun c -> Vm.destroy_chunk (Iosys.vm p.sys) c.vc) p.all_chunks;
+    p.all_chunks <- [];
+    p.empty_chunks <- [];
+    p.current <- None
+end
+
+module Agg = struct
+  type t = {
+    mutable slices : Slice.t list;
+    mutable total : int;
+    mutable freed : bool;
+  }
+
+  exception Use_after_free
+
+  let check t = if t.freed then raise Use_after_free
+
+  let empty () = { slices = []; total = 0; freed = false }
+
+  let of_slices slices =
+    List.iter (fun s -> Buffer.incr_ref (Slice.buffer s)) slices;
+    {
+      slices;
+      total = List.fold_left (fun acc s -> acc + Slice.len s) 0 slices;
+      freed = false;
+    }
+
+  let of_buffer b = of_slices [ Slice.make b ~off:0 ~len:(Buffer.length b) ]
+
+  let of_buffer_owned b =
+    (* The caller's reference becomes the aggregate's. *)
+    {
+      slices = [ Slice.make b ~off:0 ~len:(Buffer.length b) ];
+      total = Buffer.length b;
+      freed = false;
+    }
+
+  let dup t =
+    check t;
+    of_slices t.slices
+
+  let free t =
+    check t;
+    t.freed <- true;
+    List.iter (fun s -> Buffer.decr_ref (Slice.buffer s)) t.slices;
+    t.slices <- []
+
+  let length t =
+    check t;
+    t.total
+
+  let num_slices t =
+    check t;
+    List.length t.slices
+
+  let slices t =
+    check t;
+    t.slices
+
+  let concat a b =
+    check a;
+    check b;
+    of_slices (a.slices @ b.slices)
+
+  let concat_list ts =
+    List.iter check ts;
+    of_slices (List.concat_map (fun t -> t.slices) ts)
+
+  let of_string pool ~producer s =
+    let n = String.length s in
+    let rec build pos acc =
+      if pos >= n then List.rev acc
+      else begin
+        let size = min Pool.max_alloc (n - pos) in
+        let b = Pool.alloc pool ~producer size in
+        Buffer.blit_string b ~src:s ~src_off:pos ~dst_off:0 ~len:size;
+        Buffer.seal b;
+        build (pos + size) (Slice.make b ~off:0 ~len:size :: acc)
+      end
+    in
+    if n = 0 then empty ()
+    else begin
+      let slices = build 0 [] in
+      (* Transfer the allocation references to the aggregate. *)
+      { slices; total = n; freed = false }
+    end
+
+  (* Slices of [t] overlapping [off, off+len), clipped. *)
+  let ranged t ~off ~len =
+    if off < 0 || len < 0 || off + len > t.total then
+      invalid_arg "Agg.sub: range";
+    let out = ref [] in
+    let pos = ref 0 in
+    List.iter
+      (fun s ->
+        let slen = Slice.len s in
+        let s_start = !pos and s_end = !pos + slen in
+        let lo = max s_start off and hi = min s_end (off + len) in
+        if lo < hi then begin
+          let rel = lo - s_start in
+          out :=
+            Slice.make (Slice.buffer s) ~off:(Slice.off s + rel) ~len:(hi - lo)
+            :: !out
+        end;
+        pos := s_end)
+      t.slices;
+    List.rev !out
+
+  let sub t ~off ~len =
+    check t;
+    of_slices (ranged t ~off ~len)
+
+  let split t ~at =
+    check t;
+    if at < 0 || at > t.total then invalid_arg "Agg.split: position";
+    (of_slices (ranged t ~off:0 ~len:at), of_slices (ranged t ~off:at ~len:(t.total - at)))
+
+  let iter_slices t f =
+    check t;
+    List.iter f t.slices
+
+  let fold_bytes t ~init ~f =
+    check t;
+    List.fold_left
+      (fun acc s ->
+        let data, off = Slice.view s in
+        f acc data off (Slice.len s))
+      init t.slices
+
+  let get t i =
+    check t;
+    if i < 0 || i >= t.total then invalid_arg "Agg.get: index";
+    let rec walk i = function
+      | [] -> assert false
+      | s :: rest ->
+        if i < Slice.len s then Buffer.get (Slice.buffer s) (Slice.off s + i)
+        else walk (i - Slice.len s) rest
+    in
+    walk i t.slices
+
+  let raw_string t =
+    let buf = Stdlib.Buffer.create t.total in
+    List.iter
+      (fun s ->
+        let data, off = Slice.view s in
+        Stdlib.Buffer.add_subbytes buf data off (Slice.len s))
+      t.slices;
+    Stdlib.Buffer.contents buf
+
+  let to_string sys t =
+    check t;
+    Iosys.touch sys Iosys.Copy t.total;
+    raw_string t
+
+  let blit_to_bytes sys t dst ~pos =
+    check t;
+    if pos < 0 || pos + t.total > Bytes.length dst then
+      invalid_arg "Agg.blit_to_bytes: range";
+    Iosys.touch sys Iosys.Copy t.total;
+    if Iosys.touch_data sys then begin
+      let cursor = ref pos in
+      List.iter
+        (fun s ->
+          let data, off = Slice.view s in
+          Bytes.blit data off dst !cursor (Slice.len s);
+          cursor := !cursor + Slice.len s)
+        t.slices
+    end
+
+  (* How many slices of [t] reference buffer [b]. *)
+  let references_within t b =
+    List.fold_left
+      (fun acc s -> if Slice.buffer s == b then acc + 1 else acc)
+      0 t.slices
+
+  let try_overwrite sys t ~off data =
+    check t;
+    let len = String.length data in
+    if off < 0 || off + len > t.total then invalid_arg "Agg.try_overwrite: range";
+    if len = 0 then true
+    else begin
+      (* Footnote 2 of Section 3.1: data may be modified in place only if
+         it is not currently shared — every affected buffer must be held
+         exclusively by this aggregate. *)
+      let affected = ranged t ~off ~len in
+      let exclusive =
+        List.for_all
+          (fun s ->
+            let b = Slice.buffer s in
+            b.cache_refs = 0 && b.refs = references_within t b)
+          affected
+      in
+      if not exclusive then false
+      else begin
+        Iosys.touch sys Iosys.Fill len;
+        let cursor = ref 0 in
+        List.iter
+          (fun s ->
+            let b = Slice.buffer s in
+            let n = Slice.len s in
+            if Iosys.touch_data sys then begin
+              let _, abs = Slice.view s in
+              Bytes.blit_string data !cursor b.store.data abs n
+            end;
+            cursor := !cursor + n;
+            (* The contents changed: give the buffer a fresh system-wide
+               identity so stale cached checksums can never match. *)
+            b.generation <-
+              Vm.bump_generation (Iosys.vm sys) b.store.vc)
+          affected;
+        true
+      end
+    end
+
+  let content_equal a b =
+    check a;
+    check b;
+    a.total = b.total && String.equal (raw_string a) (raw_string b)
+
+  let pp_shape fmt t =
+    if t.freed then Format.fprintf fmt "<freed>"
+    else begin
+      Format.fprintf fmt "agg[%d:" t.total;
+      List.iter
+        (fun s ->
+          let u, len = Slice.uid s in
+          Format.fprintf fmt " c%d.g%d@%d+%d" u.Buffer.chunk u.Buffer.generation
+            u.Buffer.offset len)
+        t.slices;
+      Format.fprintf fmt "]"
+    end
+end

@@ -1,0 +1,218 @@
+(** Immutable I/O buffers, slices, and mutable buffer aggregates — the
+    core abstractions of IO-Lite (Section 3.1), plus the ACL-tagged
+    allocation pools they come from (Section 3.3).
+
+    - A {!Buffer.t} is a contiguous range of an access-control {e chunk}
+      with an initial content that may not change once sealed. Its
+      identity — (chunk, generation, offset) — is system-wide unique and
+      enables cross-subsystem optimizations such as checksum caching
+      (Section 3.9).
+    - A {!Slice.t} is a ⟨pointer, length⟩ reference to a subrange of one
+      buffer.
+    - An {!Agg.t} (buffer aggregate, [IOL_Agg]) is an ordered list of
+      slices. Aggregates are passed by value; the underlying buffers are
+      shared by reference and reclaimed by reference counting.
+    - A {!Pool.t} allocates buffers into chunks that all carry the pool's
+      ACL. Freed chunks are recycled on the same pool with their VM
+      mappings intact, so steady-state allocation costs no VM
+      operations. *)
+
+open Iolite_mem
+
+module Buffer : sig
+  type t
+
+  (** System-wide unique identity of the buffer contents: equal [uid]s
+      imply bitwise-equal data (immutability + generation numbers). *)
+  type uid = { chunk : int; generation : int; offset : int }
+
+  val uid : t -> uid
+  val length : t -> int
+  val pool_name : t -> string
+  val is_sealed : t -> bool
+  val refcount : t -> int
+  val chunk : t -> Vm.chunk
+
+  val incr_ref : t -> unit
+  val decr_ref : t -> unit
+  (** Dropping the last reference returns the buffer's storage to its
+      pool; when a whole chunk becomes free it is recycled (generation
+      bump). Raises [Invalid_argument] on underflow. *)
+
+  (** Cache pinning bookkeeping, used by {!Filecache} to decide whether
+      an entry is "currently referenced" by anything besides the cache
+      (Section 3.7). *)
+
+  val incr_cache_ref : t -> unit
+  val decr_cache_ref : t -> unit
+  val externally_referenced : t -> bool
+
+  (** {2 Filling (producer side)} *)
+
+  exception Immutable
+
+  val blit_string : t -> src:string -> src_off:int -> dst_off:int -> len:int -> unit
+  (** Write initial contents. Raises {!Immutable} once sealed. Charges a
+      [Fill] data touch. *)
+
+  val fill_gen : t -> (int -> char) -> unit
+  (** Fill the whole buffer from an index function (used by the simulated
+      disk to materialize file contents). Charges [Fill]. *)
+
+  val seal : t -> unit
+  (** Freeze the contents. For untrusted producers this revokes the
+      producer's write permission on the chunk when no other buffer in it
+      is still being filled. Idempotent. *)
+
+  (** {2 Reading} *)
+
+  val get : t -> int -> char
+  val view : t -> Bytes.t * int
+  (** [(backing, absolute_offset)] of the buffer's first byte; the
+      returned bytes must not be mutated. *)
+
+  val sub_string : t -> off:int -> len:int -> string
+  (** Copy-free extraction is impossible by definition — this {e copies}
+      and charges a [Copy] touch; meant for tests and copy-semantics
+      APIs. *)
+end
+
+module Slice : sig
+  type t
+
+  val make : Buffer.t -> off:int -> len:int -> t
+  (** Does {e not} change the buffer's refcount; aggregate constructors
+      manage references. Raises [Invalid_argument] when out of range. *)
+
+  val buffer : t -> Buffer.t
+  val off : t -> int
+  val len : t -> int
+
+  val uid : t -> Buffer.uid * int
+  (** Identity of the slice contents: buffer identity adjusted to the
+      slice's absolute offset, plus its length. Key for the checksum
+      cache. *)
+
+  val view : t -> Bytes.t * int
+  (** Backing bytes and absolute offset of the slice's first byte. *)
+end
+
+module Pool : sig
+  type t
+
+  val create : Iosys.t -> name:string -> acl:Vm.acl -> t
+  (** Creates an allocation pool whose chunks are readable exactly by the
+      domains in [acl] (plus trusted domains); [Vm.Public] pools model
+      conventional shared VM pages. Registers the pool's free-chunk
+      memory with the pageout daemon. *)
+
+  val name : t -> string
+  val acl : t -> Vm.acl
+  val sys : t -> Iosys.t
+
+  val alloc : ?paged:bool -> t -> producer:Pdomain.t -> int -> Buffer.t
+  (** A fresh unsealed buffer of exactly the requested size (1 byte to
+      one chunk, 64 KB). The producer gains temporary write permission;
+      raises [Vm.Protection_fault] if the producer is not on the ACL.
+      The returned buffer has refcount 1, owned by the caller.
+
+      Buffers of at least half a page — or any buffer allocated with
+      [paged:true], which callers use for file data ("page-aligned and
+      page-sized", Section 3.5) — occupy exclusively owned whole pages
+      that return to the VM as soon as the buffer is reclaimed. Smaller
+      buffers pack together and are recovered when their chunk drains. *)
+
+  val max_alloc : int
+  (** Largest single buffer (= chunk size). *)
+
+  val resident_bytes : t -> int
+  (** Bytes of chunk memory currently resident. *)
+
+  val chunk_count : t -> int
+  val free_chunk_count : t -> int
+
+  val reclaim : t -> int -> int
+  (** Release up to [n] bytes of empty-chunk memory (retaining mappings);
+      returns bytes freed. Installed as a pageout segment. *)
+
+  val destroy : t -> unit
+  (** Destroys all chunks. Raises [Invalid_argument] if live buffers
+      remain. *)
+end
+
+module Agg : sig
+  type t
+
+  exception Use_after_free
+
+  (** {2 Creation and destruction} *)
+
+  val empty : unit -> t
+
+  val of_buffer : Buffer.t -> t
+  (** Shares the buffer (refcount +1). *)
+
+  val of_buffer_owned : Buffer.t -> t
+  (** Takes over the caller's reference (no refcount change). *)
+
+  val of_slices : Slice.t list -> t
+  (** Shares every referenced buffer. *)
+
+  val of_string : Pool.t -> producer:Pdomain.t -> string -> t
+  (** Allocate, fill and seal buffers holding the string (split across
+      chunks as needed). *)
+
+  val dup : t -> t
+  val free : t -> unit
+  (** Releases the aggregate's references. Every aggregate must be freed
+      exactly once; further use raises {!Use_after_free}. *)
+
+  (** {2 Shape} *)
+
+  val length : t -> int
+  val num_slices : t -> int
+  val slices : t -> Slice.t list
+
+  (** {2 Mutation by recombination (the buffers never change)} *)
+
+  val concat : t -> t -> t
+  (** [concat a b] is a new aggregate [a ++ b]; [a] and [b] remain
+      usable and still owned by the caller. *)
+
+  val concat_list : t list -> t
+
+  val sub : t -> off:int -> len:int -> t
+  (** New aggregate over the byte range; raises [Invalid_argument] when
+      out of range. *)
+
+  val split : t -> at:int -> t * t
+
+  (** {2 Data access} *)
+
+  val iter_slices : t -> (Slice.t -> unit) -> unit
+
+  val fold_bytes : t -> init:'a -> f:('a -> Bytes.t -> int -> int -> 'a) -> 'a
+  (** [f acc backing off len] over each slice view, zero-copy. *)
+
+  val get : t -> int -> char
+
+  val to_string : Iosys.t -> t -> string
+  (** Copies out (charges [Copy]). *)
+
+  val blit_to_bytes : Iosys.t -> t -> Bytes.t -> pos:int -> unit
+
+  val try_overwrite : Iosys.t -> t -> off:int -> string -> bool
+  (** The footnote-2 optimization of Section 3.1: "I/O data can be
+      modified in place if they are not currently shared." Succeeds —
+      writing the bytes and giving every affected buffer a fresh
+      generation (so cached checksums for the old contents can never be
+      mistaken for the new) — only when each affected buffer is
+      referenced exclusively by this aggregate; otherwise returns
+      [false] without touching anything, and the caller must recombine
+      through a new buffer instead. *)
+
+  val content_equal : t -> t -> bool
+  (** Structural byte equality without charging (test helper). *)
+
+  val pp_shape : Format.formatter -> t -> unit
+end

@@ -1,0 +1,74 @@
+open Iolite_mem
+module Counter = Iolite_util.Stats.Counter
+
+type touch = Copy | Fill | Dma
+
+let touch_name = function
+  | Copy -> "bytes.copied"
+  | Fill -> "bytes.filled"
+  | Dma -> "bytes.dma"
+
+type fill_mode = [ `Fill | `As_copy | `Dma ]
+
+type t = {
+  physmem : Physmem.t;
+  vm : Vm.t;
+  pageout : Pageout.t;
+  kernel : Pdomain.t;
+  counters : Counter.t;
+  mutable on_touch : touch -> int -> unit;
+  mutable touch_data : bool;
+  mutable fill_mode : fill_mode;
+}
+
+let create ?(capacity = 128 * 1024 * 1024) ?(seed = 0x10117EL) () =
+  let physmem = Physmem.create ~capacity in
+  let vm = Vm.create ~physmem () in
+  let pageout = Pageout.create ~physmem ~seed in
+  Pageout.install pageout;
+  {
+    physmem;
+    vm;
+    pageout;
+    kernel = Pdomain.make ~trusted:true ~name:"kernel" ();
+    counters = Counter.create ();
+    on_touch = (fun _ _ -> ());
+    touch_data = true;
+    fill_mode = `Fill;
+  }
+
+let physmem t = t.physmem
+let vm t = t.vm
+let pageout t = t.pageout
+let kernel t = t.kernel
+
+let new_domain _t ~name = Pdomain.make ~name ()
+
+let set_on_touch t f = t.on_touch <- f
+
+let touch t kind n =
+  if n > 0 then begin
+    let kind =
+      match kind with
+      | Fill -> (
+        match t.fill_mode with `Fill -> Fill | `As_copy -> Copy | `Dma -> Dma)
+      | Copy | Dma -> kind
+    in
+    Counter.add t.counters (touch_name kind) n;
+    t.on_touch kind n
+  end
+
+let with_fill_mode t mode f =
+  let saved = t.fill_mode in
+  t.fill_mode <- mode;
+  match f () with
+  | v ->
+    t.fill_mode <- saved;
+    v
+  | exception exn ->
+    t.fill_mode <- saved;
+    raise exn
+
+let touch_data t = t.touch_data
+let set_touch_data t v = t.touch_data <- v
+let counters t = t.counters

@@ -1,0 +1,53 @@
+(** The IO-Lite system context.
+
+    Bundles the substrates every IO-Lite operation needs: physical-memory
+    accounting, the VM mapping layer, the pageout daemon, and the kernel
+    protection domain. Also hosts the data-touch observer through which
+    the OS layer charges simulated CPU time for physical copies and
+    fills. *)
+
+open Iolite_mem
+
+type touch =
+  | Copy  (** redundant data copy (the thing IO-Lite eliminates) *)
+  | Fill  (** initial production of data into a buffer *)
+  | Dma  (** device-driven placement: no CPU cost *)
+
+val touch_name : touch -> string
+
+(** How buffer-fill operations are charged in the current dynamic
+    extent: as genuine data production ([`Fill]), as a physical copy
+    ([`As_copy] — e.g. staging data through kernel pipe buffers), or as
+    free device DMA ([`Dma] — disk and NIC data placement). *)
+type fill_mode = [ `Fill | `As_copy | `Dma ]
+
+type t
+
+val create : ?capacity:int -> ?seed:int64 -> unit -> t
+(** [capacity] defaults to 128 MB (the paper's testbed). *)
+
+val physmem : t -> Physmem.t
+val vm : t -> Vm.t
+val pageout : t -> Pageout.t
+val kernel : t -> Pdomain.t
+
+val new_domain : t -> name:string -> Pdomain.t
+(** Fresh untrusted protection domain (a user process). *)
+
+val set_on_touch : t -> (touch -> int -> unit) -> unit
+(** Observer invoked with the byte count of every physical data touch. *)
+
+val touch : t -> touch -> int -> unit
+(** Record a data touch (counters + observer). *)
+
+val with_fill_mode : t -> fill_mode -> (unit -> 'a) -> 'a
+(** Run a thunk with fills recharged per the given mode. *)
+
+val touch_data : t -> bool
+val set_touch_data : t -> bool -> unit
+(** When false, physical blits are skipped (accounting still happens);
+    used only by large benchmark sweeps where contents are never read
+    back. Defaults to true. *)
+
+val counters : t -> Iolite_util.Stats.Counter.t
+(** Byte counts per touch kind plus assorted core events. *)

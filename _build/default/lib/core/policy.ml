@@ -1,0 +1,179 @@
+type key = int * int
+
+type t = {
+  name : string;
+  on_insert : key -> size:int -> unit;
+  on_access : key -> size:int -> unit;
+  on_remove : key -> unit;
+  choose : eligible:(key -> bool) -> key option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* LRU: intrusive doubly-linked list, most-recent at the head.        *)
+(* ------------------------------------------------------------------ *)
+
+module Lru_impl = struct
+  type node = {
+    nkey : key;
+    mutable prev : node option;
+    mutable next : node option;
+  }
+
+  type state = {
+    nodes : (key, node) Hashtbl.t;
+    mutable head : node option;
+    mutable tail : node option;
+  }
+
+  let unlink st n =
+    (match n.prev with
+    | Some p -> p.next <- n.next
+    | None -> st.head <- n.next);
+    (match n.next with
+    | Some s -> s.prev <- n.prev
+    | None -> st.tail <- n.prev);
+    n.prev <- None;
+    n.next <- None
+
+  let push_front st n =
+    n.next <- st.head;
+    (match st.head with Some h -> h.prev <- Some n | None -> st.tail <- Some n);
+    st.head <- Some n
+
+  let touch st k =
+    match Hashtbl.find_opt st.nodes k with
+    | Some n ->
+      unlink st n;
+      push_front st n
+    | None ->
+      let n = { nkey = k; prev = None; next = None } in
+      Hashtbl.replace st.nodes k n;
+      push_front st n
+
+  let remove st k =
+    match Hashtbl.find_opt st.nodes k with
+    | Some n ->
+      unlink st n;
+      Hashtbl.remove st.nodes k
+    | None -> ()
+
+  let choose st ~eligible =
+    let rec walk = function
+      | None -> None
+      | Some n -> if eligible n.nkey then Some n.nkey else walk n.prev
+    in
+    walk st.tail
+end
+
+let lru () =
+  let st =
+    { Lru_impl.nodes = Hashtbl.create 256; head = None; tail = None }
+  in
+  {
+    name = "LRU";
+    on_insert = (fun k ~size:_ -> Lru_impl.touch st k);
+    on_access = (fun k ~size:_ -> Lru_impl.touch st k);
+    on_remove = (fun k -> Lru_impl.remove st k);
+    choose = (fun ~eligible -> Lru_impl.choose st ~eligible);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Greedy-Dual-Size: lazy min-heap over H values.                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A tiny private min-heap of (priority, stamp, key) with lazy deletion. *)
+module Fheap = struct
+  type 'a t = { mutable data : (float * int * 'a) array; mutable len : int }
+
+  let create () = { data = [||]; len = 0 }
+
+  let less (p1, s1, _) (p2, s2, _) = p1 < p2 || (p1 = p2 && s1 < s2)
+
+  let push t entry =
+    let cap = Array.length t.data in
+    if t.len = cap then begin
+      let ndata = Array.make (max 16 (cap * 2)) entry in
+      Array.blit t.data 0 ndata 0 t.len;
+      t.data <- ndata
+    end;
+    t.data.(t.len) <- entry;
+    t.len <- t.len + 1;
+    let i = ref (t.len - 1) in
+    while !i > 0 && less t.data.(!i) t.data.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tmp = t.data.(!i) in
+      t.data.(!i) <- t.data.(p);
+      t.data.(p) <- tmp;
+      i := p
+    done
+
+  let pop t =
+    if t.len = 0 then None
+    else begin
+      let top = t.data.(0) in
+      t.len <- t.len - 1;
+      if t.len > 0 then begin
+        t.data.(0) <- t.data.(t.len);
+        let i = ref 0 and continue = ref true in
+        while !continue do
+          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+          let m = ref !i in
+          if l < t.len && less t.data.(l) t.data.(!m) then m := l;
+          if r < t.len && less t.data.(r) t.data.(!m) then m := r;
+          if !m = !i then continue := false
+          else begin
+            let tmp = t.data.(!i) in
+            t.data.(!i) <- t.data.(!m);
+            t.data.(!m) <- tmp;
+            i := !m
+          end
+        done
+      end;
+      Some top
+    end
+end
+
+let gds ?(cost = fun _ ~size:_ -> 1.0) () =
+  let infos : (key, float * int) Hashtbl.t ref = ref (Hashtbl.create 256) in
+  let heap = Fheap.create () in
+  let inflation = ref 0.0 in
+  let stamp = ref 0 in
+  let set k h =
+    incr stamp;
+    Hashtbl.replace !infos k (h, !stamp);
+    Fheap.push heap (h, !stamp, k)
+  in
+  let priority k ~size =
+    !inflation +. (cost k ~size /. float_of_int (max 1 size))
+  in
+  let choose ~eligible =
+    (* Pop stale and ineligible entries; reinsert what we skipped. *)
+    let skipped = ref [] in
+    let rec hunt () =
+      match Fheap.pop heap with
+      | None -> None
+      | Some ((h, s, k) as entry) -> (
+        match Hashtbl.find_opt !infos k with
+        | Some (h', s') when h = h' && s = s' ->
+          if eligible k then begin
+            (* GDS: L rises to the victim's H. *)
+            inflation := Float.max !inflation h;
+            Some entry
+          end
+          else begin
+            skipped := entry :: !skipped;
+            hunt ()
+          end
+        | Some _ | None -> hunt () (* stale heap entry *))
+    in
+    let result = hunt () in
+    List.iter (fun e -> Fheap.push heap e) !skipped;
+    Option.map (fun (_, _, k) -> k) result
+  in
+  {
+    name = "GDS";
+    on_insert = (fun k ~size -> set k (priority k ~size));
+    on_access = (fun k ~size -> set k (priority k ~size));
+    on_remove = (fun k -> Hashtbl.remove !infos k);
+    choose;
+  }

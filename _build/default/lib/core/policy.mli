@@ -1,0 +1,36 @@
+(** File-cache replacement policies.
+
+    IO-Lite supports application-customized cache replacement (Sections
+    3.7 and 5). Two policies from the paper are provided: classical LRU
+    and Greedy-Dual-Size [Cao & Irani 1997], the policy Flash-Lite
+    installs. Policies are value-level so a cache can be parameterized at
+    run time (Fig. 11 compares them head to head).
+
+    A victim chosen by a policy must satisfy the [eligible] predicate the
+    cache supplies (the cache first restricts victims to entries that are
+    not currently referenced outside the cache, per Section 3.7). *)
+
+type key = int * int
+(** (file id, starting offset) of a cache entry. *)
+
+type t = {
+  name : string;
+  on_insert : key -> size:int -> unit;
+  on_access : key -> size:int -> unit;
+  on_remove : key -> unit;
+  choose : eligible:(key -> bool) -> key option;
+      (** Best victim among tracked keys satisfying [eligible]; [None]
+          when no tracked key qualifies. Choosing does not remove — the
+          cache calls [on_remove] when it actually evicts. *)
+}
+
+val lru : unit -> t
+(** Least-recently-used, O(1) bookkeeping, victim scan from the cold
+    end. *)
+
+val gds : ?cost:(key -> size:int -> float) -> unit -> t
+(** Greedy-Dual-Size. Priority H(e) = L + cost(e)/size(e); the entry
+    with minimal H is evicted and L rises to its H, so small and cheap-
+    to-refetch documents are preferred victims. Default cost is uniform
+    (GDS(1), which maximizes hit rate — the variant used for web
+    workloads in the paper). *)

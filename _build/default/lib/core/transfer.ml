@@ -1,0 +1,25 @@
+module Counter = Iolite_util.Stats.Counter
+open Iolite_mem
+
+let iter_chunks agg f =
+  (* Visit each distinct chunk once (aggregates are short lists). *)
+  let seen = ref [] in
+  Iobuf.Agg.iter_slices agg (fun s ->
+      let c = Iobuf.Buffer.chunk (Iobuf.Slice.buffer s) in
+      let id = Vm.chunk_id c in
+      if not (List.mem id !seen) then begin
+        seen := id :: !seen;
+        f c
+      end)
+
+let grant sys agg ~to_ =
+  Counter.incr (Iosys.counters sys) "transfer.send";
+  Counter.add (Iosys.counters sys) "transfer.bytes" (Iobuf.Agg.length agg);
+  iter_chunks agg (fun c -> Vm.map_read (Iosys.vm sys) to_ c)
+
+let send sys agg ~to_ =
+  grant sys agg ~to_;
+  Iobuf.Agg.dup agg
+
+let check_readable sys domain agg =
+  iter_chunks agg (fun c -> Vm.check_readable (Iosys.vm sys) domain c)

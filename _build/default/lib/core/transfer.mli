@@ -1,0 +1,26 @@
+(** Copy-free cross-domain transfer of buffer aggregates (Section 3.2).
+
+    Aggregates are passed by value, buffers by reference: transferring an
+    aggregate to another protection domain makes the VM chunks under all
+    of its slices readable there. The mappings persist after the buffers
+    are deallocated, so a warm I/O stream (buffers recycled from the same
+    pool) transfers with {e no} VM operations — the fbufs property that
+    makes repeated serving of cached data cheap. *)
+
+open Iolite_mem
+
+val send : Iosys.t -> Iobuf.Agg.t -> to_:Pdomain.t -> Iobuf.Agg.t
+(** Returns the receiver's own aggregate (a duplicate sharing the same
+    buffers); the sender's aggregate remains usable and owned by the
+    sender. Charges [Map_read] VM ops only for chunks the receiver has
+    never seen. Raises [Vm.Protection_fault] if the receiver is not on
+    some buffer's pool ACL. *)
+
+val grant : Iosys.t -> Iobuf.Agg.t -> to_:Pdomain.t -> unit
+(** Like {!send} but only establishes mappings, without duplicating the
+    aggregate (used when the aggregate itself is handed over). *)
+
+val check_readable : Iosys.t -> Pdomain.t -> Iobuf.Agg.t -> unit
+(** Access-control enforcement on the consumer side: raises
+    [Vm.Protection_fault] if the domain cannot read every slice; faults
+    in any paged-out chunk. *)

@@ -1,0 +1,1 @@
+lib/fs/filestore.ml: Array Char Hashtbl Iolite_core String

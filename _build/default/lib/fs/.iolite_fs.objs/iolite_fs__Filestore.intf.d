@@ -1,0 +1,1 @@
+lib/fs/filestore.mli: Iolite_core

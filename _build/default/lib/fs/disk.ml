@@ -1,0 +1,60 @@
+module Sync = Iolite_sim.Sync
+module Proc = Iolite_sim.Engine.Proc
+
+type t = {
+  positioning_s : float;
+  sequential_positioning_s : float;
+  bytes_per_sec : float;
+  lock : Sync.Semaphore.t;
+  mutable last_file : int;
+  mutable last_end : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+  mutable busy : float;
+}
+
+let create ?(positioning_s = 0.008) ?(sequential_positioning_s = 0.0005)
+    ?(bytes_per_sec = 12e6) () =
+  {
+    positioning_s;
+    sequential_positioning_s;
+    bytes_per_sec;
+    lock = Sync.Semaphore.create 1;
+    last_file = -1;
+    last_end = -1;
+    reads = 0;
+    writes = 0;
+    bytes_read = 0;
+    bytes_written = 0;
+    busy = 0.0;
+  }
+
+let service t ~file ~off ~bytes =
+  Sync.Semaphore.with_acquired t.lock (fun () ->
+      let sequential = file = t.last_file && off = t.last_end in
+      let position =
+        if sequential then t.sequential_positioning_s else t.positioning_s
+      in
+      let transfer = float_of_int bytes /. t.bytes_per_sec in
+      Proc.sleep (position +. transfer);
+      t.busy <- t.busy +. position +. transfer;
+      t.last_file <- file;
+      t.last_end <- off + bytes)
+
+let read t ~file ~off ~bytes =
+  service t ~file ~off ~bytes;
+  t.reads <- t.reads + 1;
+  t.bytes_read <- t.bytes_read + bytes
+
+let write t ~file ~off ~bytes =
+  service t ~file ~off ~bytes;
+  t.writes <- t.writes + 1;
+  t.bytes_written <- t.bytes_written + bytes
+
+let reads t = t.reads
+let writes t = t.writes
+let bytes_read t = t.bytes_read
+let bytes_written t = t.bytes_written
+let busy_time t = t.busy

@@ -1,0 +1,30 @@
+(** Simulated disk with a 1999-era latency model.
+
+    A FIFO device: each request positions the head (seek + rotational
+    latency, reduced for sequential hits) and then transfers at media
+    speed. Trace experiments are disk-bound exactly when the paper's are;
+    absolute speeds are configuration. *)
+
+type t
+
+val create :
+  ?positioning_s:float ->
+  ?sequential_positioning_s:float ->
+  ?bytes_per_sec:float ->
+  unit ->
+  t
+(** Defaults: 8 ms average positioning, 0.5 ms when sequential with the
+    previous request, 12 MB/s media transfer. *)
+
+val read : t -> file:int -> off:int -> bytes:int -> unit
+(** Must run inside a simulation process; sleeps for queueing +
+    positioning + transfer. Sequentiality is detected per device from
+    the previous completed request. *)
+
+val write : t -> file:int -> off:int -> bytes:int -> unit
+
+val reads : t -> int
+val writes : t -> int
+val bytes_read : t -> int
+val bytes_written : t -> int
+val busy_time : t -> float

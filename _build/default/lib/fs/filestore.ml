@@ -1,0 +1,79 @@
+type inode = { iname : string; isize : int }
+
+type t = {
+  metadata_bytes_per_file : int;
+  mutable inodes : inode array;
+  mutable count : int;
+  by_name : (string, int) Hashtbl.t;
+  mutable total : int;
+}
+
+let create ?(metadata_bytes_per_file = 256) () =
+  {
+    metadata_bytes_per_file;
+    inodes = Array.make 64 { iname = ""; isize = 0 };
+    count = 0;
+    by_name = Hashtbl.create 256;
+    total = 0;
+  }
+
+let add t ~name ~size =
+  if size < 0 then invalid_arg "Filestore.add: negative size";
+  if Hashtbl.mem t.by_name name then
+    invalid_arg ("Filestore.add: duplicate file " ^ name);
+  if t.count = Array.length t.inodes then begin
+    let bigger = Array.make (2 * t.count) { iname = ""; isize = 0 } in
+    Array.blit t.inodes 0 bigger 0 t.count;
+    t.inodes <- bigger
+  end;
+  let id = t.count in
+  t.inodes.(id) <- { iname = name; isize = size };
+  t.count <- t.count + 1;
+  Hashtbl.replace t.by_name name id;
+  t.total <- t.total + size;
+  id
+
+let check_id t id =
+  if id < 0 || id >= t.count then raise Not_found
+
+let lookup t name = Hashtbl.find_opt t.by_name name
+
+let name t id =
+  check_id t id;
+  t.inodes.(id).iname
+
+let size t id =
+  check_id t id;
+  t.inodes.(id).isize
+
+let file_count t = t.count
+let total_bytes t = t.total
+let metadata_bytes t = t.count * t.metadata_bytes_per_file
+
+(* SplitMix-style avalanche of (file, off): cheap, deterministic, and
+   distinct across files and offsets. *)
+let content_byte ~file ~off =
+  let z = (file * 0x9E3779B9) lxor (off * 0x85EBCA6B) in
+  let z = (z lxor (z lsr 13)) * 0xC2B2AE35 in
+  let z = z lxor (z lsr 16) in
+  (* Mostly printable text with newlines roughly every 64 bytes, so the
+     line-oriented utilities (wc, grep) see realistic input. *)
+  let v = abs z mod 96 in
+  if v = 95 then '\n' else Char.chr (32 + v)
+
+let fill_buffer t buf ~file ~off =
+  check_id t file;
+  Iolite_core.Iobuf.Buffer.fill_gen buf (fun i -> content_byte ~file ~off:(off + i))
+
+let check_string ~file ~off s =
+  let ok = ref true in
+  String.iteri
+    (fun i c -> if c <> content_byte ~file ~off:(off + i) then ok := false)
+    s;
+  !ok
+
+let iter t f =
+  for id = 0 to t.count - 1 do
+    let inode = t.inodes.(id) in
+    f id ~name:inode.iname ~size:inode.isize
+  done

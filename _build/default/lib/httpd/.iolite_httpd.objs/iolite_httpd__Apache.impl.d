@@ -1,0 +1,1 @@
+lib/httpd/apache.ml: Cgi Fileio Http Import Iolite_core Iolite_fs Kernel Printf Process Sock String

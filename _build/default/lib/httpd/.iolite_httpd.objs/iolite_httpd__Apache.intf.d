@@ -1,0 +1,1 @@
+lib/httpd/apache.mli: Import Kernel Sock

@@ -1,0 +1,1 @@
+lib/httpd/cgi.ml: Char Costmodel Import Iolite_core Iolite_ipc Iolite_mem Iolite_sim Kernel List Process String

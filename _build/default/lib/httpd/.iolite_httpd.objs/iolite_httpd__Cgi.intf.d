@@ -1,0 +1,1 @@
+lib/httpd/cgi.mli: Import Iolite_core Kernel Process

@@ -1,0 +1,1 @@
+lib/httpd/flash.ml: Cgi Fileio Hashtbl Http Import Iolite_core Iolite_fs Iolite_mem Iolite_net Iolite_sim Iolite_util Kernel Logs Printf Process Sock String

@@ -1,0 +1,1 @@
+lib/httpd/flash.mli: Cgi Import Iolite_core Kernel Sock

@@ -1,0 +1,1 @@
+lib/httpd/import.ml: Iolite_os

@@ -1,0 +1,49 @@
+type request = { path : string; keep_alive : bool }
+
+let request_string ?(keep_alive = false) path =
+  Printf.sprintf
+    "GET %s HTTP/1.%d\r\nHost: server.example.edu\r\nUser-Agent: \
+     repro-client/1.0\r\nAccept: */*\r\n%s\r\n"
+    path
+    (if keep_alive then 1 else 0)
+    (if keep_alive then "Connection: keep-alive\r\n" else "")
+
+let parse_request s =
+  match String.index_opt s '\r' with
+  | None -> None
+  | Some eol -> (
+    let line = String.sub s 0 eol in
+    match String.split_on_char ' ' line with
+    | [ "GET"; path; proto ] ->
+      let keep_alive =
+        String.equal proto "HTTP/1.1"
+        ||
+        (* Cheap header scan; enough for the simulated clients. *)
+        let rec contains i =
+          i >= 0
+          &&
+          (String.length s - i >= 10 && String.sub s i 10 = "keep-alive"
+          || contains (i - 1))
+        in
+        contains (String.length s - 10)
+      in
+      Some { path; keep_alive }
+    | _ -> None)
+
+let response_header ?(status = 200) ?(keep_alive = false) ~content_length () =
+  Printf.sprintf
+    "HTTP/1.%d %d %s\r\nDate: Thu, 04 Feb 1999 21:00:00 GMT\r\nServer: \
+     Flash/0.1 (FreeBSD 2.2.6)\r\nContent-Type: text/html\r\nLast-Modified: \
+     Mon, 01 Feb 1999 09:00:00 GMT\r\nContent-Length: %d\r\nConnection: \
+     %s\r\n\r\n"
+    (if keep_alive then 1 else 0)
+    status
+    (match status with
+    | 200 -> "OK"
+    | 404 -> "Not Found"
+    | 502 -> "Bad Gateway"
+    | _ -> "Unknown")
+    content_length
+    (if keep_alive then "keep-alive" else "close")
+
+let not_found_body = "<html><body><h1>404 Not Found</h1></body></html>"

@@ -1,0 +1,18 @@
+(** HTTP/1.0 and HTTP/1.1 message formatting and parsing. *)
+
+type request = {
+  path : string;
+  keep_alive : bool;
+}
+
+val request_string : ?keep_alive:bool -> string -> string
+(** A GET request for the path (HTTP/1.1 keep-alive when requested). *)
+
+val parse_request : string -> request option
+(** [None] on a malformed request line. *)
+
+val response_header : ?status:int -> ?keep_alive:bool -> content_length:int -> unit -> string
+(** Standard response header (Date, Server, Content-Type,
+    Content-Length...), about 200 bytes like the paper's servers. *)
+
+val not_found_body : string

@@ -1,0 +1,6 @@
+(* Aliases for the iolite_os modules used throughout the server code. *)
+module Kernel = Iolite_os.Kernel
+module Process = Iolite_os.Process
+module Sock = Iolite_os.Sock
+module Fileio = Iolite_os.Fileio
+module Costmodel = Iolite_os.Costmodel

@@ -1,0 +1,1 @@
+lib/ipc/pipe.ml: Iolite_core Iolite_mem Iolite_sim Pdomain Queue String

@@ -1,0 +1,1 @@
+lib/ipc/pipe.mli: Iolite_core Iolite_mem Pdomain

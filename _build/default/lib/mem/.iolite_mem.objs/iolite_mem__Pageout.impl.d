@@ -1,0 +1,1 @@
+lib/mem/pageout.ml: Iolite_util List Logs Page Physmem

@@ -1,0 +1,1 @@
+lib/mem/pageout.mli: Physmem

@@ -1,0 +1,1 @@
+lib/mem/pdomain.ml: Format Int Set

@@ -1,0 +1,1 @@
+lib/mem/pdomain.mli: Format Set

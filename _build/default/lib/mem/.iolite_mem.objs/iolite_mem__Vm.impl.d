@@ -1,0 +1,1 @@
+lib/mem/vm.ml: Hashtbl Iolite_util Page Pdomain Physmem Printf

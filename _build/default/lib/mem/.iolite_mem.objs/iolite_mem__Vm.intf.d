@@ -1,0 +1,1 @@
+lib/mem/vm.mli: Iolite_util Pdomain Physmem

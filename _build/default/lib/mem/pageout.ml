@@ -1,0 +1,107 @@
+module Rng = Iolite_util.Rng
+
+let log = Iolite_util.Logging.src "pageout"
+
+type segment = {
+  name : string;
+  is_io_cache : bool;
+  resident : unit -> int;
+  reclaim : int -> int;
+}
+
+type t = {
+  physmem : Physmem.t;
+  rng : Rng.t;
+  mutable segments : segment list;
+  mutable evictor : unit -> int;
+  (* Counters for the Section 3.7 rule, reset at each entry eviction. *)
+  mutable selected_since_evict : int;
+  mutable io_selected_since_evict : int;
+  (* Lifetime diagnostics. *)
+  mutable total_selected : int;
+  mutable total_io_selected : int;
+  mutable total_evicted : int;
+}
+
+let create ~physmem ~seed =
+  {
+    physmem;
+    rng = Rng.create seed;
+    segments = [];
+    evictor = (fun () -> 0);
+    selected_since_evict = 0;
+    io_selected_since_evict = 0;
+    total_selected = 0;
+    total_io_selected = 0;
+    total_evicted = 0;
+  }
+
+let register_segment t ~name ~is_io_cache ~resident ~reclaim =
+  t.segments <- t.segments @ [ { name; is_io_cache; resident; reclaim } ]
+
+let set_entry_evictor t f = t.evictor <- f
+
+(* Pick a segment with probability proportional to resident size. *)
+let pick_segment t =
+  let sizes = List.map (fun s -> (s, s.resident ())) t.segments in
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 sizes in
+  if total <= 0 then None
+  else begin
+    let target = Rng.int t.rng total in
+    let rec walk acc = function
+      | [] -> None
+      | (s, n) :: rest ->
+        if target < acc + n then Some s else walk (acc + n) rest
+    in
+    walk 0 sizes
+  end
+
+let run t ~needed =
+  let freed = ref 0 in
+  let stall = ref 0 in
+  (* A stall bound keeps the daemon from spinning when everything resident
+     is pinned by live references. *)
+  while !freed < needed && !stall < 256 do
+    match pick_segment t with
+    | None -> stall := 256
+    | Some s ->
+      t.selected_since_evict <- t.selected_since_evict + 1;
+      t.total_selected <- t.total_selected + 1;
+      if s.is_io_cache then begin
+        t.io_selected_since_evict <- t.io_selected_since_evict + 1;
+        t.total_io_selected <- t.total_io_selected + 1
+      end;
+      let got = s.reclaim Page.page_size in
+      freed := !freed + got;
+      (* Section 3.7 rule: more than half of recent victims held cached
+         I/O data => the file cache is too large; evict one entry. *)
+      let unpinned =
+        if
+          s.is_io_cache
+          && 2 * t.io_selected_since_evict > t.selected_since_evict
+        then begin
+          let unpinned = t.evictor () in
+          if unpinned > 0 then begin
+            t.total_evicted <- t.total_evicted + 1;
+            t.selected_since_evict <- 0;
+            t.io_selected_since_evict <- 0
+          end;
+          unpinned
+        end
+        else 0
+      in
+      freed := !freed + unpinned;
+      if got = 0 && unpinned = 0 then incr stall else stall := 0
+  done;
+  ignore t.physmem;
+  Logs.debug ~src:log (fun m ->
+      m "pageout: needed %d, freed %d (lifetime: %d pages selected, %d io, %d entry evictions)"
+        needed !freed t.total_selected t.total_io_selected t.total_evicted);
+  !freed
+
+let install t =
+  Physmem.set_low_memory_hook t.physmem (fun ~needed -> run t ~needed)
+
+let pages_selected t = t.total_selected
+let io_pages_selected t = t.total_io_selected
+let entries_evicted t = t.total_evicted

@@ -1,0 +1,49 @@
+(** The VM pageout daemon and the unified cache-eviction trigger rule.
+
+    Section 3.7 of the paper: the pageout daemon picks victim VM pages
+    for replacement; each time the victim holds cached I/O data, IO-Lite
+    checks whether {e more than half} of the pages selected since the last
+    cache-entry eviction were I/O cache pages — if so, one cache entry is
+    evicted (unpinning its buffers). Because the cache grows on every
+    miss, this feedback keeps the file cache at a size where about half of
+    all page replacements affect cache pages.
+
+    Memory segments (buffer pools' empty chunks, the file cache's clean
+    pages, process anonymous memory) register themselves; victim pages are
+    drawn from segments with probability proportional to their resident
+    size, deterministically seeded. *)
+
+type t
+
+val create : physmem:Physmem.t -> seed:int64 -> t
+
+val register_segment :
+  t ->
+  name:string ->
+  is_io_cache:bool ->
+  resident:(unit -> int) ->
+  reclaim:(int -> int) ->
+  unit
+(** [resident ()] reports the segment's current resident bytes;
+    [reclaim n] attempts to free up to [n] bytes of them (returning the
+    number actually freed; 0 when everything is pinned). *)
+
+val set_entry_evictor : t -> (unit -> int) -> unit
+(** Evict one file-cache entry, returning the bytes it unpinned and
+    freed. Used when the Section 3.7 rule fires. *)
+
+val run : t -> needed:int -> int
+(** Select victims until [needed] bytes are freed or no progress can be
+    made. Returns bytes freed. Usually installed as the physical memory
+    low-memory hook. *)
+
+val install : t -> unit
+(** [install t] wires [run] into the physmem low-memory hook. *)
+
+val pages_selected : t -> int
+(** Total victim pages selected (lifetime, diagnostic). *)
+
+val io_pages_selected : t -> int
+
+val entries_evicted : t -> int
+(** Number of times the Section 3.7 rule evicted a cache entry. *)

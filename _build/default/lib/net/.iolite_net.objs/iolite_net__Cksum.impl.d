@@ -1,0 +1,1 @@
+lib/net/cksum.ml: Bytes Hashtbl Iolite_core String

@@ -1,0 +1,1 @@
+lib/net/cksum.mli: Bytes Iolite_core

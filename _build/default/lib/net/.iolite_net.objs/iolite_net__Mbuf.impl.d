@@ -1,0 +1,1 @@
+lib/net/mbuf.ml: Iolite_core List String

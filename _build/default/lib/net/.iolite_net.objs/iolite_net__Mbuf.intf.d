@@ -1,0 +1,1 @@
+lib/net/mbuf.mli: Iolite_core

@@ -1,0 +1,1 @@
+lib/net/packetfilter.ml: Hashtbl Iolite_core

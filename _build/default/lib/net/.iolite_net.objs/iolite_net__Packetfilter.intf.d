@@ -1,0 +1,1 @@
+lib/net/packetfilter.mli: Iolite_core

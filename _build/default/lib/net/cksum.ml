@@ -1,0 +1,112 @@
+module Iobuf = Iolite_core.Iobuf
+
+(* Fold a 32+-bit accumulator down to 16 bits. *)
+let fold_carries acc =
+  let acc = ref acc in
+  while !acc > 0xFFFF do
+    acc := (!acc land 0xFFFF) + (!acc lsr 16)
+  done;
+  !acc
+
+let sum16 a b = fold_carries (a + b)
+let swap16 s = ((s land 0xFF) lsl 8) lor ((s lsr 8) land 0xFF)
+let finish s = lnot (fold_carries s) land 0xFFFF
+
+let of_bytes data ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length data then
+    invalid_arg "Cksum.of_bytes: range";
+  let acc = ref 0 in
+  let i = ref off in
+  let stop = off + len in
+  (* Sum 16-bit big-endian words; a trailing odd byte is the high byte of
+     a zero-padded final word. *)
+  while !i + 1 < stop do
+    acc := !acc + (Bytes.get_uint8 data !i lsl 8) + Bytes.get_uint8 data (!i + 1);
+    i := !i + 2
+  done;
+  if !i < stop then acc := !acc + (Bytes.get_uint8 data !i lsl 8);
+  fold_carries !acc
+
+let of_string s = of_bytes (Bytes.unsafe_of_string s) ~off:0 ~len:(String.length s)
+
+let slice_sum_raw s =
+  let data, off = Iobuf.Slice.view s in
+  of_bytes data ~off ~len:(Iobuf.Slice.len s)
+
+(* Fold per-slice sums into an aggregate sum, tracking byte parity: a
+   slice that starts at an odd offset in the aggregate contributes its
+   sum byte-swapped (RFC 1071). *)
+let fold_slices f agg =
+  let acc = ref 0 in
+  let parity_even = ref true in
+  Iobuf.Agg.iter_slices agg (fun s ->
+      let sum = f s in
+      let sum = if !parity_even then sum else swap16 sum in
+      acc := sum16 !acc sum;
+      if Iobuf.Slice.len s land 1 = 1 then parity_even := not !parity_even);
+  !acc
+
+let of_agg agg = fold_slices slice_sum_raw agg
+
+module Cache = struct
+  type key = int * int * int * int (* chunk, generation, offset, length *)
+
+  type t = {
+    mutable enabled : bool;
+    max_entries : int;
+    table : (key, int) Hashtbl.t;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let create ?(enabled = true) ?(max_entries = 65536) () =
+    { enabled; max_entries; table = Hashtbl.create 1024; hits = 0; misses = 0 }
+
+  let enabled t = t.enabled
+  let set_enabled t v = t.enabled <- v
+
+  let key_of_slice s =
+    let uid, len = Iobuf.Slice.uid s in
+    (uid.Iobuf.Buffer.chunk, uid.Iobuf.Buffer.generation, uid.Iobuf.Buffer.offset, len)
+
+  let slice_sum t s =
+    if not t.enabled then begin
+      t.misses <- t.misses + 1;
+      (slice_sum_raw s, false)
+    end
+    else begin
+      let k = key_of_slice s in
+      match Hashtbl.find_opt t.table k with
+      | Some sum ->
+        t.hits <- t.hits + 1;
+        (sum, true)
+      | None ->
+        t.misses <- t.misses + 1;
+        let sum = slice_sum_raw s in
+        (* Crude bound: drop everything when full (generation churn keeps
+           the table from refilling with dead entries). *)
+        if Hashtbl.length t.table >= t.max_entries then Hashtbl.reset t.table;
+        Hashtbl.replace t.table k sum;
+        (sum, false)
+    end
+
+  let agg_sum t agg =
+    let computed = ref 0 in
+    let sum =
+      fold_slices
+        (fun s ->
+          let sum, hit = slice_sum t s in
+          if not hit then computed := !computed + Iobuf.Slice.len s;
+          sum)
+        agg
+    in
+    (sum, !computed)
+
+  let hits t = t.hits
+  let misses t = t.misses
+  let entry_count t = Hashtbl.length t.table
+
+  let reset_stats t =
+    t.hits <- 0;
+    t.misses <- 0
+end

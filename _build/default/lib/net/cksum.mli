@@ -1,0 +1,52 @@
+(** The Internet checksum (RFC 1071) over strings, byte ranges and buffer
+    aggregates, plus the IO-Lite checksum cache (Section 3.9).
+
+    The checksum cache exploits IO-Lite's system-wide unique buffer
+    identity: a slice's (chunk, generation, offset, length) names its
+    contents immutably, so the 16-bit sum computed for it can be reused
+    every time the same slice is transmitted — eliminating the last
+    data-touching operation when serving cached files. Generation numbers
+    invalidate entries automatically when buffer storage is recycled. *)
+
+val of_string : string -> int
+(** 16-bit ones'-complement Internet checksum of the whole string. *)
+
+val of_bytes : Bytes.t -> off:int -> len:int -> int
+
+val sum16 : int -> int -> int
+(** Fold two 16-bit partial sums (ones'-complement addition). *)
+
+val swap16 : int -> int
+(** Byte-swap a 16-bit sum — folding a slice that starts at an odd
+    global offset (RFC 1071 byte-order identity). *)
+
+val finish : int -> int
+(** Ones' complement of a folded sum: the on-the-wire checksum value. *)
+
+val of_agg : Iolite_core.Iobuf.Agg.t -> int
+(** Checksum of an aggregate's contents, slice by slice (uncached). *)
+
+(** Per-slice checksum cache. *)
+module Cache : sig
+  type t
+
+  val create : ?enabled:bool -> ?max_entries:int -> unit -> t
+
+  val enabled : t -> bool
+  val set_enabled : t -> bool -> unit
+
+  val slice_sum : t -> Iolite_core.Iobuf.Slice.t -> int * bool
+  (** [(partial_sum, was_hit)] for the slice's contents (sum assumes the
+      slice starts at even parity). A hit means no data was touched. *)
+
+  val agg_sum :
+    t -> Iolite_core.Iobuf.Agg.t -> int * int
+  (** Fold a whole aggregate: [(checksum_sum, bytes_computed)] where
+      [bytes_computed] counts only the bytes whose sum was {e not} served
+      from the cache — the quantity the cost model charges for. *)
+
+  val hits : t -> int
+  val misses : t -> int
+  val entry_count : t -> int
+  val reset_stats : t -> unit
+end

@@ -1,0 +1,49 @@
+module Sync = Iolite_sim.Sync
+
+type t = {
+  mtu : int;
+  bits_per_sec : float;
+  nlinks : int;
+  lock : Sync.Semaphore.t;
+  mutable bytes_sent : int;
+  mutable busy_time : float;
+}
+
+let frame_overhead = 58 (* Ethernet 14 + IP 20 + TCP 20 + FCS 4 *)
+
+let create ?(mtu = 1500) ?(links = 5) ~bits_per_sec () =
+  if bits_per_sec <= 0.0 then invalid_arg "Link.create: bandwidth";
+  if links <= 0 then invalid_arg "Link.create: links";
+  {
+    mtu;
+    bits_per_sec;
+    nlinks = links;
+    lock = Sync.Semaphore.create links;
+    bytes_sent = 0;
+    busy_time = 0.0;
+  }
+
+let mtu t = t.mtu
+let bits_per_sec t = t.bits_per_sec
+let links t = t.nlinks
+
+let wire_time t ~bytes =
+  if bytes <= 0 then 0.0
+  else begin
+    let packets = ((bytes - 1) / t.mtu) + 1 in
+    let total = bytes + (packets * frame_overhead) in
+    float_of_int (total * 8) /. (t.bits_per_sec /. float_of_int t.nlinks)
+  end
+
+let transmit t ~bytes =
+  if bytes > 0 then begin
+    let dt = wire_time t ~bytes in
+    Sync.Semaphore.with_acquired t.lock (fun () ->
+        Iolite_sim.Engine.Proc.sleep dt);
+    t.bytes_sent <- t.bytes_sent + bytes;
+    t.busy_time <- t.busy_time +. dt
+  end
+
+let bytes_sent t = t.bytes_sent
+
+let utilization t ~now = if now <= 0.0 then 0.0 else t.busy_time /. now

@@ -1,0 +1,64 @@
+module Iobuf = Iolite_core.Iobuf
+module Iosys = Iolite_core.Iosys
+
+type t = Inline of string | External of Iolite_core.Iobuf.Agg.t
+
+type chain = {
+  mbufs : t list;
+  payload : int;
+  units : int; (* mbuf structures in the chain *)
+  mutable freed : bool;
+}
+
+let mbuf_header_size = 128
+let inline_limit = 108 (* BSD MLEN payload area *)
+let cluster_size = 2048 (* BSD MCLBYTES *)
+
+let of_agg_zero_copy agg =
+  let payload = Iobuf.Agg.length agg in
+  (* One mbuf per slice: each out-of-line pointer needs its own header. *)
+  let units = max 1 (Iobuf.Agg.num_slices agg) in
+  { mbufs = [ External agg ]; payload; units; freed = false }
+
+let of_string s =
+  let n = String.length s in
+  if n <= inline_limit then
+    { mbufs = [ Inline s ]; payload = n; units = 1; freed = false }
+  else begin
+    (* Split across clusters. *)
+    let rec split pos acc =
+      if pos >= n then List.rev acc
+      else begin
+        let take = min cluster_size (n - pos) in
+        split (pos + take) (Inline (String.sub s pos take) :: acc)
+      end
+    in
+    let mbufs = split 0 [] in
+    { mbufs; payload = n; units = List.length mbufs; freed = false }
+  end
+
+let of_agg_copied sys agg =
+  let s = Iobuf.Agg.to_string sys agg in
+  of_string s
+
+let length c = c.payload
+
+let wired_bytes c =
+  let inline_payload =
+    List.fold_left
+      (fun acc m -> match m with Inline s -> acc + String.length s | External _ -> acc)
+      0 c.mbufs
+  in
+  (c.units * mbuf_header_size) + inline_payload
+
+let mbuf_count c = c.units
+
+let iter c f = List.iter f c.mbufs
+
+let free c =
+  if not c.freed then begin
+    c.freed <- true;
+    List.iter
+      (fun m -> match m with External agg -> Iobuf.Agg.free agg | Inline _ -> ())
+      c.mbufs
+  end

@@ -1,0 +1,50 @@
+(** BSD mbuf encapsulation of IO-Lite buffers (Section 4.1).
+
+    The prototype adapts the BSD network subsystem by storing bulk data
+    out-of-line: an mbuf's external-data pointer refers to an IO-Lite
+    buffer while small items (protocol headers) stay inline. This keeps
+    the entire protocol stack unmodified while making network send
+    buffers reference — rather than copy — cached file data.
+
+    An mbuf chain is what the simulated TCP layer queues for
+    transmission. [wired_bytes] is the memory the chain pins in wired
+    kernel space: full payload for a copied chain, only the small mbuf
+    headers for an IO-Lite chain. *)
+
+type t =
+  | Inline of string  (** small data copied into the mbuf itself *)
+  | External of Iolite_core.Iobuf.Agg.t
+      (** out-of-line reference to IO-Lite buffers (aggregate is owned by
+          the chain and freed with it) *)
+
+type chain
+
+val mbuf_header_size : int
+(** Bookkeeping bytes per mbuf (128 in BSD). *)
+
+val inline_limit : int
+(** Largest payload stored inline (the BSD [MLEN] payload area). *)
+
+val of_agg_zero_copy : Iolite_core.Iobuf.Agg.t -> chain
+(** Encapsulate without copying: one [External] mbuf per slice; takes
+    ownership of the aggregate. *)
+
+val of_agg_copied : Iolite_core.Iosys.t -> Iolite_core.Iobuf.Agg.t -> chain
+(** Conventional path: copies the payload into mbuf clusters (charges a
+    [Copy] touch); does {e not} take ownership of the aggregate. *)
+
+val of_string : string -> chain
+(** Copied inline/cluster chain from flat data. *)
+
+val length : chain -> int
+(** Payload bytes. *)
+
+val wired_bytes : chain -> int
+(** Wired kernel memory pinned by the chain. *)
+
+val mbuf_count : chain -> int
+
+val iter : chain -> (t -> unit) -> unit
+
+val free : chain -> unit
+(** Releases external aggregate references. *)

@@ -1,0 +1,24 @@
+type t = {
+  flows : (int, Iolite_core.Iobuf.Pool.t) Hashtbl.t;
+  mutable lookups : int;
+  mutable matched : int;
+}
+
+type verdict = Demuxed of Iolite_core.Iobuf.Pool.t | Unmatched
+
+let create () = { flows = Hashtbl.create 64; lookups = 0; matched = 0 }
+
+let bind t ~port pool = Hashtbl.replace t.flows port pool
+let unbind t ~port = Hashtbl.remove t.flows port
+
+let classify t ~port =
+  t.lookups <- t.lookups + 1;
+  match Hashtbl.find_opt t.flows port with
+  | Some pool ->
+    t.matched <- t.matched + 1;
+    Demuxed pool
+  | None -> Unmatched
+
+let lookups t = t.lookups
+let matched t = t.matched
+let flow_count t = Hashtbl.length t.flows

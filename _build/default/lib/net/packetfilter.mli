@@ -1,0 +1,31 @@
+(** Packet filter / early demultiplexing (Section 3.6).
+
+    To place incoming data in a buffer with the right ACL {e before}
+    storing it, network drivers must determine the destination I/O stream
+    from packet headers on arrival. This module models a BPF-style flow
+    table: flows (local port keys) are bound to IO-Lite pools; demuxing a
+    packet returns the bound pool and counts the classification work.
+    Packets with no matching flow land in the kernel's default pool and
+    require a copy when later delivered to a process — exactly the cost
+    early demux avoids. *)
+
+type t
+
+type verdict =
+  | Demuxed of Iolite_core.Iobuf.Pool.t  (** placed copy-free in the flow's pool *)
+  | Unmatched  (** no filter: data must be copied at delivery *)
+
+val create : unit -> t
+
+val bind : t -> port:int -> Iolite_core.Iobuf.Pool.t -> unit
+(** Install a filter mapping the local port to the pool. Rebinding
+    replaces the previous filter. *)
+
+val unbind : t -> port:int -> unit
+
+val classify : t -> port:int -> verdict
+(** One classification (counted). *)
+
+val lookups : t -> int
+val matched : t -> int
+val flow_count : t -> int

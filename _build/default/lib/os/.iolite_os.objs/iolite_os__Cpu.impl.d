@@ -1,0 +1,1 @@
+lib/os/cpu.ml: Iolite_sim

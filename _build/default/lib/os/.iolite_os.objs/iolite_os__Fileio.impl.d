@@ -1,0 +1,1 @@
+lib/os/fileio.ml: Costmodel Iolite_core Iolite_fs Iolite_mem Iolite_sim Iolite_util Kernel List Process

@@ -1,0 +1,1 @@
+lib/os/fileio.mli: Iolite_core Process

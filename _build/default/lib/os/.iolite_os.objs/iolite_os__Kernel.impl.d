@@ -1,0 +1,1 @@
+lib/os/kernel.ml: Costmodel Cpu Iolite_core Iolite_fs Iolite_mem Iolite_net Iolite_sim Iolite_util Logs

@@ -1,0 +1,1 @@
+lib/os/kernel.mli: Costmodel Cpu Iolite_core Iolite_fs Iolite_net Iolite_sim Iolite_util

@@ -1,0 +1,1 @@
+lib/os/mmapio.ml: Buffer Bytes Costmodel Fileio Hashtbl Iolite_core Iolite_mem Kernel List Process String

@@ -1,0 +1,1 @@
+lib/os/mmapio.mli: Process

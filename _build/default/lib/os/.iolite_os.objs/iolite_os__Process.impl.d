@@ -1,0 +1,1 @@
+lib/os/process.ml: Costmodel Cpu Iolite_core Iolite_mem Iolite_sim Kernel

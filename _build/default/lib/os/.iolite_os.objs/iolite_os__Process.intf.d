@@ -1,0 +1,1 @@
+lib/os/process.mli: Iolite_core Iolite_mem Kernel

@@ -1,0 +1,1 @@
+lib/os/sock.ml: Costmodel Fileio Iolite_core Iolite_mem Iolite_net Iolite_sim Iolite_util Kernel Process String

@@ -1,0 +1,1 @@
+lib/os/sock.mli: Iolite_core Kernel Process

@@ -1,0 +1,1 @@
+lib/os/stdiol.ml: Buffer Bytes Costmodel Fileio Iolite_core Iolite_ipc Kernel Process Stdlib String

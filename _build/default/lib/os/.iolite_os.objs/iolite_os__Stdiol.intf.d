@@ -1,0 +1,1 @@
+lib/os/stdiol.mli: Iolite_core Iolite_ipc Process

@@ -1,0 +1,37 @@
+module Sync = Iolite_sim.Sync
+module Proc = Iolite_sim.Engine.Proc
+
+type t = {
+  context_switch : float;
+  lock : Sync.Semaphore.t;
+  mutable last_owner : int;
+  mutable busy : float;
+  mutable switches : int;
+}
+
+let create ?(context_switch = 30e-6) () =
+  {
+    context_switch;
+    lock = Sync.Semaphore.create 1;
+    last_owner = -1;
+    busy = 0.0;
+    switches = 0;
+  }
+
+let charge t ~owner dt =
+  if dt > 0.0 then
+    Sync.Semaphore.with_acquired t.lock (fun () ->
+        let dt =
+          if t.last_owner <> owner && t.last_owner <> -1 then begin
+            t.switches <- t.switches + 1;
+            dt +. t.context_switch
+          end
+          else dt
+        in
+        t.last_owner <- owner;
+        Proc.sleep dt;
+        t.busy <- t.busy +. dt)
+
+let busy_time t = t.busy
+let switches t = t.switches
+let utilization t ~now = if now <= 0.0 then 0.0 else t.busy /. now

@@ -1,0 +1,20 @@
+(** The server's CPU: a FIFO-shared resource on the simulated clock.
+
+    Work is charged in bursts. When consecutive bursts come from
+    different owners a context-switch penalty is added, which is how the
+    per-process costs of Apache's process-per-connection model and of CGI
+    pipe ping-pong emerge without special-casing. *)
+
+type t
+
+val create : ?context_switch:float -> unit -> t
+
+val charge : t -> owner:int -> float -> unit
+(** Acquire the CPU (FIFO), burn the given seconds of simulated time
+    (plus a context switch if the previous owner differs), release.
+    Zero or negative charges are free. Must run inside a simulation
+    process. *)
+
+val busy_time : t -> float
+val switches : t -> int
+val utilization : t -> now:float -> float

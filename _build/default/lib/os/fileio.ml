@@ -1,0 +1,231 @@
+module Iosys = Iolite_core.Iosys
+module Iobuf = Iolite_core.Iobuf
+module Filecache = Iolite_core.Filecache
+module Transfer = Iolite_core.Transfer
+module Filestore = Iolite_fs.Filestore
+module Counter = Iolite_util.Stats.Counter
+
+exception No_such_file of int
+
+let file_size proc ~file =
+  let kernel = Process.kernel proc in
+  match Filestore.size (Kernel.store kernel) file with
+  | size -> size
+  | exception Not_found -> raise (No_such_file file)
+
+let stat_size proc ~file =
+  let kernel = Process.kernel proc in
+  let size = file_size proc ~file in
+  Process.charge proc
+    (Kernel.cost kernel).Costmodel.metadata_lookup;
+  size
+
+(* Read a whole file from disk into IO-Lite buffers allocated from
+   [pool]. The kernel is the producer (trusted: no permission toggling);
+   placement is DMA. Returns the caller-owned aggregate. *)
+let disk_fetch proc ~pool ~file ~size =
+  let kernel = Process.kernel proc in
+  let sys = Kernel.sys kernel in
+  let kd = Iosys.kernel sys in
+  Iolite_fs.Disk.read (Kernel.disk kernel) ~file ~off:0 ~bytes:size;
+  let rec build pos acc =
+    if pos >= size then List.rev acc
+    else begin
+      let n = min Iobuf.Pool.max_alloc (size - pos) in
+      let b = Iobuf.Pool.alloc ~paged:true pool ~producer:kd n in
+      Iosys.with_fill_mode sys `Dma (fun () ->
+          Filestore.fill_buffer (Kernel.store kernel) b ~file ~off:pos);
+      Iobuf.Buffer.seal b;
+      build (pos + n) (Iobuf.Agg.of_buffer_owned b :: acc)
+    end
+  in
+  if size = 0 then Iobuf.Agg.empty ()
+  else begin
+    let parts = build 0 [] in
+    let agg = Iobuf.Agg.concat_list parts in
+    List.iter Iobuf.Agg.free parts;
+    agg
+  end
+
+(* Admission control: an object bigger than this fraction of the cache
+   budget is served uncached — inserting it would wipe out a large slice
+   of the working set for a document that is unlikely to be re-referenced
+   before eviction. *)
+let admission_limit kernel =
+  Iolite_mem.Physmem.io_budget
+    (Iolite_core.Iosys.physmem (Kernel.sys kernel))
+  / 8
+
+let ensure_cached proc cache ~pool ~file =
+  let kernel = Process.kernel proc in
+  let size = file_size proc ~file in
+  if
+    size > 0 && size <= admission_limit kernel
+    && not (Filecache.covered cache ~file ~off:0 ~len:size)
+    && Filecache.file_bytes cache ~file < size
+  then begin
+    let agg = disk_fetch proc ~pool ~file ~size in
+    (* Backfill: cache entries may hold writes newer than the disk. *)
+    Filecache.backfill cache ~file ~off:0 agg
+  end;
+  size
+
+(* The unified cache fills from the kernel's world-readable file pool:
+   access to cached file data is governed by file permissions (all files
+   in this model are world-readable), so any reader of the file may map
+   the buffers. The conventional cache fills from the public VM page
+   pool (mmap-shared pages). *)
+let ensure_unified proc ~file =
+  let kernel = Process.kernel proc in
+  ensure_cached proc (Kernel.unified_cache kernel) ~pool:(Kernel.file_pool kernel)
+    ~file
+
+let ensure_conv proc ~file =
+  let kernel = Process.kernel proc in
+  ensure_cached proc (Kernel.conv_cache kernel) ~pool:(Kernel.page_pool kernel)
+    ~file
+
+let fetch_unified proc ~file = ignore (ensure_unified proc ~file)
+let fetch_conv proc ~file = ignore (ensure_conv proc ~file)
+
+let kernel_view proc ~file =
+  let kernel = Process.kernel proc in
+  let cache = Kernel.conv_cache kernel in
+  let size = ensure_conv proc ~file in
+  if size = 0 then Iolite_core.Iobuf.Agg.empty ()
+  else begin
+    match Filecache.lookup cache ~file ~off:0 ~len:size with
+    | Some agg -> agg (* kernel access: no user mapping needed *)
+    | None -> disk_fetch proc ~pool:(Kernel.page_pool kernel) ~file ~size
+  end
+
+let cached_unified proc ~file =
+  let kernel = Process.kernel proc in
+  let size = file_size proc ~file in
+  size = 0
+  || Filecache.covered (Kernel.unified_cache kernel) ~file ~off:0 ~len:size
+
+let cached_conv proc ~file =
+  let kernel = Process.kernel proc in
+  let size = file_size proc ~file in
+  size = 0 || Filecache.covered (Kernel.conv_cache kernel) ~file ~off:0 ~len:size
+
+(* Grant the caller access to a cache aggregate; if the cached data's ACL
+   excludes the caller (it was fetched into another process's pool), fall
+   back to a physical copy into the caller's pool. *)
+let deliver proc agg =
+  let kernel = Process.kernel proc in
+  let sys = Kernel.sys kernel in
+  match Transfer.grant sys agg ~to_:(Process.domain proc) with
+  | () -> agg
+  | exception Iolite_mem.Vm.Protection_fault _ ->
+    Counter.incr (Kernel.counters kernel) "cache.acl_copy";
+    let data = Iobuf.Agg.to_string sys agg in
+    Iobuf.Agg.free agg;
+    Iobuf.Agg.of_string (Process.pool proc) ~producer:(Process.domain proc) data
+
+let iol_read ?pool proc ~file ~off ~len =
+  let kernel = Process.kernel proc in
+  let cache = Kernel.unified_cache kernel in
+  let size =
+    match pool with
+    | None -> ensure_unified proc ~file
+    | Some pool -> ensure_cached proc cache ~pool ~file
+  in
+  let len = max 0 (min len (size - off)) in
+  let result =
+    if len = 0 then Iobuf.Agg.empty ()
+    else begin
+      match Filecache.lookup cache ~file ~off ~len with
+      | Some agg -> deliver proc agg
+      | None ->
+        (* The covering entry raced away (evicted between insert and
+           lookup under extreme pressure): fetch privately. *)
+        Counter.incr (Kernel.counters kernel) "cache.refetch";
+        let agg = disk_fetch proc ~pool:(Process.pool proc) ~file ~size in
+        let sub = Iobuf.Agg.sub agg ~off ~len in
+        Iobuf.Agg.free agg;
+        sub
+    end
+  in
+  Process.charge proc (Kernel.cost kernel).Costmodel.syscall;
+  result
+
+let write_back kernel ~file ~off ~len =
+  (* Asynchronous write-back: the disk work happens off the caller's
+     critical path, as with any write-behind buffer cache. *)
+  Iolite_sim.Engine.spawn (Kernel.engine kernel) (fun () ->
+      Iolite_fs.Disk.write (Kernel.disk kernel) ~file ~off ~bytes:len)
+
+let iol_write proc ~file ~off agg =
+  let kernel = Process.kernel proc in
+  let _size = file_size proc ~file in
+  let len = Iobuf.Agg.length agg in
+  Filecache.insert (Kernel.unified_cache kernel) ~file ~off agg;
+  if len > 0 then write_back kernel ~file ~off ~len;
+  Process.charge proc (Kernel.cost kernel).Costmodel.syscall
+
+let read_string proc ~file ~off ~len =
+  let kernel = Process.kernel proc in
+  let agg = iol_read proc ~file ~off ~len in
+  (* Backward-compatible POSIX read: one physical copy into the process's
+     private buffer (Section 4.2). *)
+  let s = Iobuf.Agg.to_string (Kernel.sys kernel) agg in
+  Iobuf.Agg.free agg;
+  Process.charge_pending proc;
+  s
+
+let write_string proc ~file ~off s =
+  let kernel = Process.kernel proc in
+  let sys = Kernel.sys kernel in
+  (* Copy semantics: the data is copied into kernel-produced IO-Lite
+     buffers, after which the write proceeds as IOL_write. *)
+  let agg =
+    Iosys.with_fill_mode sys `As_copy (fun () ->
+        Iobuf.Agg.of_string (Process.pool proc) ~producer:(Iosys.kernel sys) s)
+  in
+  iol_write proc ~file ~off agg
+
+type mapping = {
+  magg : Iobuf.Agg.t;
+  mlen : int;
+  mutable live : bool;
+}
+
+let mmap proc ~file =
+  let kernel = Process.kernel proc in
+  let cache = Kernel.conv_cache kernel in
+  let size = ensure_conv proc ~file in
+  let agg =
+    if size = 0 then Iobuf.Agg.empty ()
+    else begin
+      match Filecache.lookup cache ~file ~off:0 ~len:size with
+      | Some agg -> deliver proc agg
+      | None ->
+        disk_fetch proc ~pool:(Kernel.page_pool (Process.kernel proc)) ~file ~size
+    end
+  in
+  (* Establishing the mapping costs page-map work for every page. *)
+  let pages = Iolite_mem.Page.pages_of_bytes size in
+  Process.charge proc
+    ((Kernel.cost kernel).Costmodel.syscall
+    +. (float_of_int pages *. (Kernel.cost kernel).Costmodel.page_map));
+  { magg = agg; mlen = size; live = true }
+
+let mapping_agg m =
+  if not m.live then invalid_arg "Fileio.mapping_agg: unmapped";
+  m.magg
+
+let mapping_len m = m.mlen
+
+let munmap proc m =
+  if m.live then begin
+    m.live <- false;
+    Iobuf.Agg.free m.magg;
+    (* Tearing down the mapping costs per-page work (PTE removal + TLB
+       shootdown), like establishing it did. *)
+    let pages = Iolite_mem.Page.pages_of_bytes m.mlen in
+    let cost = Kernel.cost (Process.kernel proc) in
+    Process.charge proc
+      (cost.Costmodel.syscall +. (float_of_int pages *. cost.Costmodel.page_map))
+  end

@@ -1,0 +1,171 @@
+module Iosys = Iolite_core.Iosys
+module Filecache = Iolite_core.Filecache
+module Policy = Iolite_core.Policy
+module Vm = Iolite_mem.Vm
+module Physmem = Iolite_mem.Physmem
+
+type config = {
+  mem_capacity : int;
+  kernel_overhead : int;
+  link_bits_per_sec : float;
+  cost : Costmodel.t;
+  cksum_cache_enabled : bool;
+  cache_policy : Policy.t;
+  seed : int64;
+}
+
+let log = Iolite_util.Logging.src "kernel"
+
+let default_config () =
+  {
+    mem_capacity = 128 * 1024 * 1024;
+    kernel_overhead = 8 * 1024 * 1024;
+    link_bits_per_sec = 360e6;
+    cost = Costmodel.default;
+    cksum_cache_enabled = true;
+    cache_policy = Policy.lru ();
+    seed = 0x10117EL;
+  }
+
+type t = {
+  engine : Iolite_sim.Engine.t;
+  sys : Iosys.t;
+  config : config;
+  cpu : Cpu.t;
+  disk : Iolite_fs.Disk.t;
+  link : Iolite_net.Link.t;
+  store : Iolite_fs.Filestore.t;
+  unified_cache : Filecache.t;
+  conv_cache : Filecache.t;
+  cksum_cache : Iolite_net.Cksum.Cache.t;
+  filter : Iolite_net.Packetfilter.t;
+  page_pool : Iolite_core.Iobuf.Pool.t;
+  file_pool : Iolite_core.Iobuf.Pool.t;
+  mutable pending : float;
+  mutable next_pid : int;
+  mutable metadata_wired : int;
+}
+
+let create ?config engine =
+  let config = match config with Some c -> c | None -> default_config () in
+  let sys = Iosys.create ~capacity:config.mem_capacity ~seed:config.seed () in
+  Physmem.wire (Iosys.physmem sys) Physmem.Kernel config.kernel_overhead;
+  let unified_cache =
+    Filecache.create ~policy:config.cache_policy ~register_with_pageout:true sys
+      ()
+  in
+  let conv_cache =
+    Filecache.create ~policy:(Policy.lru ()) ~register_with_pageout:false sys ()
+  in
+  (* The conventional cache competes with wired memory for physical
+     pages: its bound follows the io budget with a small reserve for
+     transient buffers. *)
+  Filecache.set_capacity conv_cache
+    (Some
+       (fun () ->
+         let budget = Physmem.io_budget (Iosys.physmem sys) in
+         max 0 (budget - (budget / 16))));
+  (* Conventional VM file pages are reclaimed directly by the pageout
+     daemon (clean pages are just dropped) — this is how growing wired
+     memory squeezes the conventional file cache (Fig. 12). *)
+  Iolite_mem.Pageout.register_segment
+    (Iosys.pageout sys)
+    ~name:"conv_cache" ~is_io_cache:false
+    ~resident:(fun () -> Filecache.total_bytes conv_cache)
+    ~reclaim:(fun n ->
+      let freed = ref 0 in
+      let continue = ref true in
+      while !continue && !freed < n do
+        let got = Filecache.evict_one conv_cache in
+        if got = 0 then continue := false else freed := !freed + got
+      done;
+      !freed);
+  let t =
+    {
+      engine;
+      sys;
+      config;
+      cpu = Cpu.create ~context_switch:config.cost.Costmodel.context_switch ();
+      disk = Iolite_fs.Disk.create ();
+      link = Iolite_net.Link.create ~bits_per_sec:config.link_bits_per_sec ();
+      store = Iolite_fs.Filestore.create ();
+      unified_cache;
+      conv_cache;
+      cksum_cache =
+        Iolite_net.Cksum.Cache.create ~enabled:config.cksum_cache_enabled ();
+      filter = Iolite_net.Packetfilter.create ();
+      page_pool =
+        Iolite_core.Iobuf.Pool.create sys ~name:"vm_pages" ~acl:Vm.Public;
+      file_pool =
+        Iolite_core.Iobuf.Pool.create sys ~name:"filecache" ~acl:Vm.Public;
+      pending = 0.0;
+      next_pid = 0;
+      metadata_wired = 0;
+    }
+  in
+  (* VM operations and data touches accumulate CPU work; syscall
+     wrappers charge it to the calling process. *)
+  Vm.set_on_op (Iosys.vm sys) (fun op ~pages ->
+      let c = config.cost in
+      let dt =
+        match op with
+        | Vm.Map_read | Vm.Grant_write | Vm.Revoke_write | Vm.Unmap
+        | Vm.Page_alloc ->
+          float_of_int pages *. c.Costmodel.page_map
+        | Vm.Page_fault -> float_of_int pages *. c.Costmodel.page_fault
+      in
+      t.pending <- t.pending +. dt);
+  Iosys.set_on_touch sys (fun kind n ->
+      let c = config.cost in
+      let dt =
+        match kind with
+        | Iosys.Copy -> Costmodel.copy_time c n
+        | Iosys.Fill -> Costmodel.fill_time c n
+        | Iosys.Dma -> 0.0
+      in
+      t.pending <- t.pending +. dt);
+  Logs.info ~src:log (fun m ->
+      m "kernel up: %d MB RAM, %.0f Mb/s link, checksum cache %s"
+        (config.mem_capacity / 1048576)
+        (config.link_bits_per_sec /. 1e6)
+        (if config.cksum_cache_enabled then "on" else "off"));
+  t
+
+let engine t = t.engine
+let sys t = t.sys
+let config t = t.config
+let cost t = t.config.cost
+let cpu t = t.cpu
+let disk t = t.disk
+let link t = t.link
+let store t = t.store
+let unified_cache t = t.unified_cache
+let conv_cache t = t.conv_cache
+let cksum_cache t = t.cksum_cache
+let filter t = t.filter
+let page_pool t = t.page_pool
+let file_pool t = t.file_pool
+let now t = Iolite_sim.Engine.now t.engine
+
+let add_pending t dt = t.pending <- t.pending +. dt
+
+let take_pending t =
+  let p = t.pending in
+  t.pending <- 0.0;
+  p
+
+let fresh_pid t =
+  t.next_pid <- t.next_pid + 1;
+  t.next_pid
+
+let add_file t ~name ~size =
+  let id = Iolite_fs.Filestore.add t.store ~name ~size in
+  let md = Iolite_fs.Filestore.metadata_bytes t.store in
+  let delta = md - t.metadata_wired in
+  if delta > 0 then begin
+    Physmem.wire (Iosys.physmem t.sys) Physmem.Kernel delta;
+    t.metadata_wired <- md
+  end;
+  id
+
+let counters t = Iosys.counters t.sys

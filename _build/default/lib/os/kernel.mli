@@ -1,0 +1,83 @@
+(** The simulated operating-system kernel: one object wiring together the
+    simulation engine, physical memory and VM, the disk and file store,
+    the network link, the file cache(s), and the checksum cache.
+
+    Two configurations matter to the experiments:
+    - [iolite = true]: the unified system. File data lives in the
+      IO-Lite file cache (trimmed by the pageout rule); sockets and pipes
+      move aggregates by reference; the checksum cache is active (unless
+      disabled for ablation).
+    - [iolite = false]: the conventional BSD model. The file cache is
+      capacity-bounded by what wired memory leaves free; socket sends
+      copy into wired mbuf clusters; pipes copy twice.
+
+    Both configurations coexist in one kernel object so ablations can mix
+    paths; the server implementations choose per call. *)
+
+type config = {
+  mem_capacity : int;  (** physical memory, default 128 MB *)
+  kernel_overhead : int;  (** wired kernel base footprint *)
+  link_bits_per_sec : float;  (** NIC aggregate, default 360 Mb/s *)
+  cost : Costmodel.t;
+  cksum_cache_enabled : bool;
+  cache_policy : Iolite_core.Policy.t;  (** for the unified cache *)
+  seed : int64;
+}
+
+val default_config : unit -> config
+
+type t
+
+val create : ?config:config -> Iolite_sim.Engine.t -> t
+
+val engine : t -> Iolite_sim.Engine.t
+val sys : t -> Iolite_core.Iosys.t
+val config : t -> config
+val cost : t -> Costmodel.t
+val cpu : t -> Cpu.t
+val disk : t -> Iolite_fs.Disk.t
+val link : t -> Iolite_net.Link.t
+val store : t -> Iolite_fs.Filestore.t
+
+val unified_cache : t -> Iolite_core.Filecache.t
+(** The IO-Lite file cache (pageout-trimmed). *)
+
+val conv_cache : t -> Iolite_core.Filecache.t
+(** The conventional VM file cache (bounded by [Physmem.io_budget] minus
+    a small reserve). *)
+
+val cksum_cache : t -> Iolite_net.Cksum.Cache.t
+val filter : t -> Iolite_net.Packetfilter.t
+
+val page_pool : t -> Iolite_core.Iobuf.Pool.t
+(** Public-ACL pool backing conventional VM file pages (mmap-shared
+    across processes, unlike IO-Lite pools). *)
+
+val file_pool : t -> Iolite_core.Iobuf.Pool.t
+(** Pool backing the unified file cache. World-readable files are cached
+    in a public pool — access to file data is governed by file
+    permissions, so any process that may read the file may map its
+    cached buffers; private pools (per process, per CGI stream) protect
+    application-generated data. *)
+
+val now : t -> float
+
+(** {2 Cost plumbing} *)
+
+val add_pending : t -> float -> unit
+(** Accumulate CPU work attributable to the operation in progress
+    (VM map observers and data-touch observers use this). *)
+
+val take_pending : t -> float
+(** Drain the accumulator — every syscall wrapper charges it to the
+    calling process. *)
+
+val fresh_pid : t -> int
+
+(** {2 Setup helpers} *)
+
+val add_file : t -> name:string -> size:int -> int
+(** Register a file and account its metadata in wired kernel memory. *)
+
+val counters : t -> Iolite_util.Stats.Counter.t
+(** The shared Iosys counter set. *)

@@ -1,0 +1,181 @@
+module Iobuf = Iolite_core.Iobuf
+module Iosys = Iolite_core.Iosys
+module Filecache = Iolite_core.Filecache
+module Page = Iolite_mem.Page
+
+type t = {
+  proc : Process.t;
+  file : int;
+  size : int;
+  base : Iobuf.Agg.t; (* the cached data this mapping covers *)
+  aligned : bool;
+  (* Per-page private frames, created lazily by snapshot/alignment
+     copies; they carry this mapping's stores. *)
+  overlay : (int, Bytes.t) Hashtbl.t;
+  touched : (int, unit) Hashtbl.t; (* pages whose alignment copy is done *)
+  dirty : (int, unit) Hashtbl.t;
+  mutable acopies : int;
+  mutable live : bool;
+}
+
+let page_of off = off / Page.page_size
+
+(* A contiguous user mapping can be built from any page-aligned,
+   page-sized frames (the MMU maps them contiguously in virtual space);
+   only data at sub-page offsets or fragmented within pages needs the
+   lazy alignment copy of Section 3.8. *)
+let is_aligned agg =
+  let ok = ref true in
+  let slices = Iobuf.Agg.slices agg in
+  let n = List.length slices in
+  List.iteri
+    (fun i s ->
+      let uid, len = Iobuf.Slice.uid s in
+      if uid.Iobuf.Buffer.offset mod Page.page_size <> 0 then ok := false;
+      (* Every slice but the last must cover whole pages. *)
+      if i < n - 1 && len mod Page.page_size <> 0 then ok := false)
+    slices;
+  !ok
+
+let map proc ~file =
+  Fileio.fetch_unified proc ~file;
+  let size = Fileio.stat_size proc ~file in
+  let base = Fileio.iol_read proc ~file ~off:0 ~len:size in
+  {
+    proc;
+    file;
+    size;
+    base;
+    aligned = is_aligned base;
+    overlay = Hashtbl.create 64;
+    touched = Hashtbl.create 64;
+    dirty = Hashtbl.create 64;
+    acopies = 0;
+    live = true;
+  }
+
+let length t = t.size
+
+let check_live t = if not t.live then invalid_arg "Mmapio: unmapped"
+
+let kernel t = Process.kernel t.proc
+let sys t = Kernel.sys (kernel t)
+
+(* Bytes [off, off+len) of the base data (no charges). *)
+let base_bytes t ~off ~len =
+  let piece = Iobuf.Agg.sub t.base ~off ~len in
+  let buf = Buffer.create len in
+  Iobuf.Agg.iter_slices piece (fun s ->
+      let data, o = Iobuf.Slice.view s in
+      Buffer.add_subbytes buf data o (Iobuf.Slice.len s));
+  Iobuf.Agg.free piece;
+  Buffer.contents buf
+
+(* The page's current frame: overlay if privatized, else base data. *)
+let page_string t page =
+  match Hashtbl.find_opt t.overlay page with
+  | Some frame -> Bytes.to_string frame
+  | None ->
+    let off = page * Page.page_size in
+    let len = min Page.page_size (t.size - off) in
+    base_bytes t ~off ~len
+
+(* Lazy alignment copy: first access to a page of unaligned data. *)
+let touch_for_access t page =
+  if (not t.aligned) && not (Hashtbl.mem t.touched page) then begin
+    Hashtbl.replace t.touched page ();
+    t.acopies <- t.acopies + 1;
+    Iosys.touch (sys t) Iosys.Copy Page.page_size;
+    Process.charge_pending t.proc
+  end
+
+(* Does anything besides this mapping reference the page's storage? The
+   file cache pins the buffers, and IOL_read snapshots may too; only a
+   buffer with no other references may be stored to in place. *)
+let page_shared t page =
+  let off = page * Page.page_size in
+  let len = min Page.page_size (t.size - off) in
+  let piece = Iobuf.Agg.sub t.base ~off ~len in
+  let shared = ref false in
+  Iobuf.Agg.iter_slices piece (fun s ->
+      (* Our mapping holds [base] plus this [piece]: > 2 means others. *)
+      if Iobuf.Buffer.refcount (Iobuf.Slice.buffer s) > 2 then shared := true);
+  Iobuf.Agg.free piece;
+  !shared
+
+let privatize_for_write t page =
+  if not (Hashtbl.mem t.overlay page) then begin
+    if page_shared t page then begin
+      (* Lazy snapshot copy (Section 3.8). *)
+      Iosys.touch (sys t) Iosys.Copy Page.page_size;
+      Process.charge_pending t.proc
+    end;
+    let frame = Bytes.make Page.page_size '\000' in
+    let current = page_string t page in
+    Bytes.blit_string current 0 frame 0 (String.length current);
+    Hashtbl.replace t.overlay page frame
+  end
+
+let read t ~off ~len =
+  check_live t;
+  if off < 0 || len < 0 || off + len > t.size then
+    invalid_arg "Mmapio.read: range";
+  let buf = Buffer.create len in
+  let pos = ref off in
+  while !pos < off + len do
+    let page = page_of !pos in
+    touch_for_access t page;
+    let page_off = !pos - (page * Page.page_size) in
+    let avail = min (Page.page_size - page_off) (off + len - !pos) in
+    let s = page_string t page in
+    Buffer.add_string buf (String.sub s page_off avail);
+    pos := !pos + avail
+  done;
+  Buffer.contents buf
+
+let write t ~off data =
+  check_live t;
+  let len = String.length data in
+  if off < 0 || off + len > t.size then invalid_arg "Mmapio.write: range";
+  let pos = ref 0 in
+  while !pos < len do
+    let abs = off + !pos in
+    let page = page_of abs in
+    touch_for_access t page;
+    privatize_for_write t page;
+    Hashtbl.replace t.dirty page ();
+    let frame = Hashtbl.find t.overlay page in
+    let page_off = abs - (page * Page.page_size) in
+    let n = min (Page.page_size - page_off) (len - !pos) in
+    Bytes.blit_string data !pos frame page_off n;
+    pos := !pos + n
+  done
+
+let sync t =
+  check_live t;
+  if Hashtbl.length t.dirty > 0 then begin
+    (* Install dirty pages as new cache contents — replacing entries, so
+       earlier IOL_read snapshots keep their data (Section 3.5). *)
+    let pages = Hashtbl.fold (fun p () acc -> p :: acc) t.dirty [] in
+    List.iter
+      (fun page ->
+        let off = page * Page.page_size in
+        let len = min Page.page_size (t.size - off) in
+        let data = String.sub (page_string t page) 0 len in
+        Fileio.write_string t.proc ~file:t.file ~off data)
+      (List.sort compare pages);
+    Hashtbl.reset t.dirty
+  end
+
+let unmap proc t =
+  if t.live then begin
+    t.live <- false;
+    Iobuf.Agg.free t.base;
+    let pages = Page.pages_of_bytes t.size in
+    let cost = Kernel.cost (Process.kernel proc) in
+    Process.charge proc
+      (cost.Costmodel.syscall +. (float_of_int pages *. cost.Costmodel.page_map))
+  end
+
+let private_pages t = Hashtbl.length t.overlay
+let alignment_copies t = t.acopies

@@ -1,0 +1,54 @@
+(** Writable memory mappings with IO-Lite's lazy-copy semantics
+    (Section 3.8).
+
+    Programs whose modifications are widely scattered (the paper's
+    example: scientific codes mutating large matrices) need contiguous
+    storage and in-place modification; for them IO-Lite keeps the [mmap]
+    interface. Two copies may then be needed, both performed lazily one
+    page at a time:
+
+    - {b alignment copy}: if the underlying cached data is not
+      page-aligned and page-sized (e.g. it arrived from the network),
+      the first {e access} to each page copies it into a properly
+      aligned frame;
+    - {b snapshot copy}: a {e store} to a page that is also referenced
+      through an immutable IO-Lite buffer (the file cache itself, or a
+      snapshot some process obtained via [IOL_read]) must not be visible
+      through those references — the first write to such a page copies
+      it privately first.
+
+    [sync] installs the modified contents as the file's new cache data
+    (replacing entries; earlier [IOL_read] snapshots persist) and
+    schedules write-back. *)
+
+type t
+
+val map : Process.t -> file:int -> t
+(** Map the whole file read-write. *)
+
+val length : t -> int
+
+val read : t -> off:int -> len:int -> string
+(** In-place load through the mapping (sees this mapping's writes).
+    Charges lazy alignment copies on first touch of unaligned pages;
+    otherwise free, like any load from mapped memory. *)
+
+val write : t -> off:int -> string -> unit
+(** In-place store. Charges a lazy per-page snapshot copy the first time
+    each shared page is written; stores to pages this mapping already
+    privatized — or that nothing else references — are free. *)
+
+val sync : t -> unit
+(** msync: replace the file's cache contents with the mapping's current
+    data (dirty pages only) and write them back to disk
+    asynchronously. *)
+
+val unmap : Process.t -> t -> unit
+
+(** {2 Diagnostics} *)
+
+val private_pages : t -> int
+(** Pages privatized by snapshot copies so far. *)
+
+val alignment_copies : t -> int
+(** Pages copied to fix alignment so far. *)

@@ -1,0 +1,206 @@
+module Sync = Iolite_sim.Sync
+module Proc = Iolite_sim.Engine.Proc
+module Iobuf = Iolite_core.Iobuf
+module Iosys = Iolite_core.Iosys
+module Physmem = Iolite_mem.Physmem
+module Mbuf = Iolite_net.Mbuf
+module Cksum = Iolite_net.Cksum
+module Counter = Iolite_util.Stats.Counter
+
+type msg = Req of string | Fin
+
+type listener = {
+  lkernel : Kernel.t;
+  lport : int;
+  reserve_tss : bool;
+  incoming : conn Sync.Mailbox.t;
+}
+
+and conn = {
+  ckernel : Kernel.t;
+  cport : int;
+  crtt : float;
+  ctss : int;
+  to_server : msg Sync.Mailbox.t;
+  to_client : int Sync.Mailbox.t;
+  mutable client_closed : bool;
+  mutable pending : int;
+  mutable reserved : int; (* wired socket-buffer reservation *)
+}
+
+let listen ?(reserve_tss = false) kernel ~port =
+  { lkernel = kernel; lport = port; reserve_tss; incoming = Sync.Mailbox.create () }
+
+let port c = c.cport
+let rtt c = c.crtt
+let pending_responses c = c.pending
+
+let connect ?(rtt = 0.0) ?(tss = 65536) kernel listener =
+  (* Three-way handshake: SYN, SYN-ACK, ACK. *)
+  if rtt > 0.0 then Proc.sleep (1.5 *. rtt);
+  let c =
+    {
+      ckernel = kernel;
+      cport = listener.lport;
+      crtt = rtt;
+      ctss = tss;
+      to_server = Sync.Mailbox.create ();
+      to_client = Sync.Mailbox.create ();
+      client_closed = false;
+      pending = 0;
+      reserved = 0;
+    }
+  in
+  Sync.Mailbox.send listener.incoming c;
+  c
+
+let request c req =
+  if c.client_closed then failwith "Sock.request: connection closed";
+  if c.crtt > 0.0 then Proc.sleep (c.crtt /. 2.0);
+  Sync.Mailbox.send c.to_server (Req req);
+  Sync.Mailbox.recv c.to_client
+
+let close c =
+  if not c.client_closed then begin
+    c.client_closed <- true;
+    Sync.Mailbox.send c.to_server Fin
+  end
+
+let accept proc listener =
+  let c = Sync.Mailbox.recv listener.incoming in
+  Process.charge proc (Kernel.cost listener.lkernel).Costmodel.tcp_setup;
+  if listener.reserve_tss then begin
+    (* Conventional socket: the send buffer is wired kernel memory for
+       the connection's lifetime (Section 5.7). *)
+    c.reserved <- c.ctss;
+    Physmem.wire
+      (Iosys.physmem (Kernel.sys listener.lkernel))
+      Physmem.Net_wired c.reserved
+  end;
+  c
+
+let release_reservation c =
+  if c.reserved > 0 then begin
+    Physmem.unwire
+      (Iosys.physmem (Kernel.sys c.ckernel))
+      Physmem.Net_wired c.reserved;
+    c.reserved <- 0
+  end
+
+let recv proc c ~zero_copy =
+  match Sync.Mailbox.recv c.to_server with
+  | Fin ->
+    Process.charge proc (Kernel.cost c.ckernel).Costmodel.tcp_teardown;
+    release_reservation c;
+    None
+  | Req s ->
+    let kernel = Process.kernel proc in
+    let cost = Kernel.cost kernel in
+    let len = String.length s in
+    let mtu = Iolite_net.Link.mtu (Kernel.link kernel) in
+    let pkts = Costmodel.packets ~mtu len in
+    let path_cost =
+      if zero_copy then begin
+        (* Early demultiplexing: the packet filter classifies each packet
+           to the server's pool; data is placed copy-free by the driver. *)
+        (match
+           Iolite_net.Packetfilter.classify (Kernel.filter kernel) ~port:c.cport
+         with
+        | Iolite_net.Packetfilter.Demuxed _ -> ()
+        | Iolite_net.Packetfilter.Unmatched ->
+          (* Fall back to a delivery copy, as a conventional system. *)
+          Kernel.add_pending kernel (Costmodel.copy_time cost len));
+        float_of_int pkts *. cost.Costmodel.demux
+      end
+      else Costmodel.copy_time cost len
+    in
+    Process.charge proc
+      (cost.Costmodel.syscall
+      +. Costmodel.packet_time cost ~mtu len
+      +. path_cost);
+    Some s
+
+(* Asynchronous drain of a queued response: windows of at most Tss
+   occupy the shared link and wait a round trip for acknowledgment. *)
+let drain kernel c ~wired ~len ~chain =
+  let link = Kernel.link kernel in
+  let rec loop remaining =
+    if remaining > 0 then begin
+      let window = min c.ctss remaining in
+      Iolite_net.Link.transmit link ~bytes:window;
+      if c.crtt > 0.0 then Proc.sleep c.crtt;
+      loop (remaining - window)
+    end
+  in
+  loop len;
+  if wired > 0 then
+    Physmem.unwire (Iosys.physmem (Kernel.sys kernel)) Physmem.Net_wired wired;
+  Mbuf.free chain;
+  c.pending <- c.pending - 1;
+  Sync.Mailbox.send c.to_client len
+
+type send_mode =
+  | Copied  (** conventional write(2): copy + full checksum *)
+  | Zero_copy  (** IO-Lite: by reference, checksum cache *)
+  | Spliced  (** sendfile(2): by reference, but full checksum *)
+
+let send_mode proc c mode agg =
+  let kernel = Process.kernel proc in
+  let sys = Kernel.sys kernel in
+  let cost = Kernel.cost kernel in
+  let len = Iobuf.Agg.length agg in
+  let mtu = Iolite_net.Link.mtu (Kernel.link kernel) in
+  let counters = Kernel.counters kernel in
+  let chain, cksum_bytes =
+    match mode with
+    | Zero_copy ->
+      let _sum, computed = Cksum.Cache.agg_sum (Kernel.cksum_cache kernel) agg in
+      (Mbuf.of_agg_zero_copy agg, computed)
+    | Spliced ->
+      (* No copy, but no buffer-identity checksum cache either. *)
+      ignore (Cksum.of_agg agg);
+      (Mbuf.of_agg_zero_copy agg, len)
+    | Copied ->
+      (* Conventional: copy into mbuf clusters, checksum the whole copy. *)
+      let chain = Mbuf.of_agg_copied sys agg in
+      Iobuf.Agg.free agg;
+      (chain, len)
+  in
+  Counter.add counters "net.bytes_sent" len;
+  Counter.add counters "net.cksum_bytes" cksum_bytes;
+  (* Wired socket-buffer memory: a conventional connection's copied data
+     lives inside its Tss reservation (taken at accept); an IO-Lite
+     connection wires only mbuf headers for the duration of the drain. *)
+  let wired =
+    if c.reserved > 0 then 0
+    else min (Mbuf.wired_bytes chain) (c.ctss + (4 * Mbuf.mbuf_header_size))
+  in
+  if wired > 0 then Physmem.wire (Iosys.physmem sys) Physmem.Net_wired wired;
+  c.pending <- c.pending + 1;
+  Process.charge proc
+    (cost.Costmodel.syscall
+    +. Costmodel.cksum_time cost cksum_bytes
+    +. Costmodel.packet_time cost ~mtu len);
+  Iolite_sim.Engine.spawn (Kernel.engine kernel) (fun () ->
+      drain kernel c ~wired ~len ~chain)
+
+let send proc c ~zero_copy agg =
+  send_mode proc c (if zero_copy then Zero_copy else Copied) agg
+
+let sendfile proc c ~file ~header =
+  let kernel = Process.kernel proc in
+  let body = Fileio.kernel_view proc ~file in
+  let header_agg =
+    (* The response header is supplied by the caller and copied into
+       kernel space by the syscall. *)
+    Iolite_core.Iosys.with_fill_mode (Kernel.sys kernel) `As_copy (fun () ->
+        Iobuf.Agg.of_string (Kernel.page_pool kernel)
+          ~producer:(Iolite_core.Iosys.kernel (Kernel.sys kernel))
+          header)
+  in
+  let resp = Iobuf.Agg.concat header_agg body in
+  Iobuf.Agg.free header_agg;
+  Iobuf.Agg.free body;
+  let len = Iobuf.Agg.length resp in
+  send_mode proc c Spliced resp;
+  len

@@ -1,0 +1,99 @@
+type t = {
+  mutable clock : float;
+  mutable seq : int;
+  queue : (unit -> unit) Heap.t;
+}
+
+type _ Effect.t +=
+  | E_now : float Effect.t
+  | E_sleep : float -> unit Effect.t
+  | E_spawn : string option * (unit -> unit) -> unit Effect.t
+  | E_suspend : ((unit -> unit) -> unit) -> unit Effect.t
+  | E_engine : t Effect.t
+
+let create () = { clock = 0.0; seq = 0; queue = Heap.create () }
+
+let now t = t.clock
+
+let schedule t time thunk =
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  Heap.push t.queue ~time ~seq thunk
+
+let pending t = Heap.size t.queue
+
+(* Run a process body under the engine's deep effect handler. Every
+   continuation resumed later re-enters through the thunks we queue, which
+   were created inside this handler, so the handler stays installed for the
+   process's whole lifetime. *)
+let rec exec t (body : unit -> unit) : unit =
+  let open Effect.Deep in
+  match_with body ()
+    {
+      retc = (fun () -> ());
+      exnc = (fun exn -> raise exn);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | E_now ->
+            Some (fun (k : (a, unit) continuation) -> continue k t.clock)
+          | E_engine -> Some (fun (k : (a, unit) continuation) -> continue k t)
+          | E_sleep dt ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                if dt < 0.0 then
+                  discontinue k (Invalid_argument "Proc.sleep: negative delay")
+                else schedule t (t.clock +. dt) (fun () -> continue k ()))
+          | E_spawn (_name, f) ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                schedule t t.clock (fun () -> exec t f);
+                continue k ())
+          | E_suspend register ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                let resumed = ref false in
+                let resume () =
+                  if !resumed then
+                    invalid_arg "Engine: suspended process resumed twice";
+                  resumed := true;
+                  schedule t t.clock (fun () -> continue k ())
+                in
+                register resume)
+          | _ -> None);
+    }
+
+let spawn ?name:_ t f = schedule t t.clock (fun () -> exec t f)
+
+let spawn_at ?name:_ t time f = schedule t time (fun () -> exec t f)
+
+let run ?until t =
+  let stop = ref false in
+  while not !stop do
+    match Heap.peek_time t.queue with
+    | None -> stop := true
+    | Some time ->
+      let past_deadline =
+        match until with Some u -> time > u | None -> false
+      in
+      if past_deadline then stop := true
+      else begin
+        match Heap.pop t.queue with
+        | None -> stop := true
+        | Some (time, _seq, thunk) ->
+          t.clock <- Float.max t.clock time;
+          thunk ()
+      end
+  done;
+  match until with
+  | Some u when t.clock < u -> t.clock <- u
+  | Some _ | None -> ()
+
+module Proc = struct
+  let now () = Effect.perform E_now
+  let sleep dt = Effect.perform (E_sleep dt)
+  let yield () = Effect.perform (E_sleep 0.0)
+  let spawn ?name f = Effect.perform (E_spawn (name, f))
+  let suspend register = Effect.perform (E_suspend register)
+  let engine () = Effect.perform E_engine
+end

@@ -1,0 +1,58 @@
+(** Deterministic discrete-event simulation engine.
+
+    Simulated entities are lightweight cooperative processes implemented
+    with OCaml 5 effects. A process is an ordinary [unit -> unit] function
+    that calls the operations in {!module:Proc} (sleep, suspend, spawn…);
+    the engine schedules continuations on a virtual clock. Two runs with
+    the same seed and the same spawn order produce identical traces.
+
+    Time is in {b seconds} of simulated time throughout the code base. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time (for use from outside a process). *)
+
+val spawn : ?name:string -> t -> (unit -> unit) -> unit
+(** Register a process to start at the current virtual time. *)
+
+val spawn_at : ?name:string -> t -> float -> (unit -> unit) -> unit
+(** Register a process to start at an absolute virtual time. *)
+
+val run : ?until:float -> t -> unit
+(** Run events in time order until the queue is empty, or until the clock
+    would pass [until] (in which case the clock is set to [until] and
+    remaining events stay queued). Exceptions raised by processes
+    propagate out of [run]. *)
+
+val pending : t -> int
+(** Number of queued events (diagnostic). *)
+
+(** Operations available {e inside} a process body. Calling them outside
+    [run] raises [Stdlib.Effect.Unhandled]. *)
+module Proc : sig
+  val now : unit -> float
+  (** Current virtual time. *)
+
+  val sleep : float -> unit
+  (** Advance this process's local time by [dt >= 0] seconds. *)
+
+  val yield : unit -> unit
+  (** Reschedule at the same time, after already-queued same-time events. *)
+
+  val spawn : ?name:string -> (unit -> unit) -> unit
+  (** Start a sibling process in the same engine at the current time. *)
+
+  val suspend : ((unit -> unit) -> unit) -> unit
+  (** [suspend register] parks the calling process and hands [register] a
+      one-shot [resume] closure. Calling [resume] (from any other process,
+      at any later virtual time) reschedules the parked process at the
+      virtual time of the call. Calling it twice raises
+      [Invalid_argument]. This is the primitive from which semaphores,
+      condition variables and mailboxes are built (see {!Sync}). *)
+
+  val engine : unit -> t
+  (** The engine currently running this process. *)
+end

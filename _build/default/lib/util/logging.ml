@@ -1,0 +1,17 @@
+let registry : (string, Logs.src) Hashtbl.t = Hashtbl.create 16
+
+let src name =
+  let full = "iolite." ^ name in
+  match Hashtbl.find_opt registry full with
+  | Some s -> s
+  | None ->
+    let s = Logs.Src.create full ~doc:("IO-Lite subsystem: " ^ name) in
+    Hashtbl.replace registry full s;
+    s
+
+let setup ?(level = Logs.Info) () =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level ~all:false None;
+  Hashtbl.iter (fun _ s -> Logs.Src.set_level s (Some level)) registry;
+  (* Sources created after setup also get the level. *)
+  Logs.set_level ~all:true (Some level)

@@ -1,0 +1,14 @@
+(** Logging setup for the library (built on [Logs]).
+
+    Subsystems declare sources under the ["iolite."] namespace
+    ("iolite.kernel", "iolite.cache", "iolite.httpd", ...). Logging is
+    off by default — simulation hot paths pay only a no-op check — and
+    is enabled globally by {!setup}, e.g. from the CLI's [-v] flag. *)
+
+val src : string -> Logs.src
+(** [src "kernel"] declares (or returns) the source
+    ["iolite.kernel"]. *)
+
+val setup : ?level:Logs.level -> unit -> unit
+(** Install a stderr reporter and set the level for every iolite source
+    (default [Logs.Info]). *)

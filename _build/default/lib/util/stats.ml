@@ -1,0 +1,106 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let mean a =
+  let n = Array.length a in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 a /. float_of_int n
+
+let stddev a =
+  let n = Array.length a in
+  if n < 2 then 0.0
+  else begin
+    let m = mean a in
+    let acc = Array.fold_left (fun s x -> s +. ((x -. m) *. (x -. m))) 0.0 a in
+    sqrt (acc /. float_of_int (n - 1))
+  end
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if n = 1 then sorted.(0)
+  else begin
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = pos -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let summarize a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.summarize: empty array";
+  let sorted = Array.copy a in
+  Array.sort Float.compare sorted;
+  {
+    count = n;
+    mean = mean a;
+    stddev = stddev a;
+    min = sorted.(0);
+    max = sorted.(n - 1);
+    p50 = percentile sorted 0.5;
+    p90 = percentile sorted 0.9;
+    p99 = percentile sorted 0.99;
+  }
+
+module Online = struct
+  type t = {
+    mutable count : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () =
+    { count = 0; mean = 0.0; m2 = 0.0; min = Float.infinity; max = Float.neg_infinity }
+
+  let add t x =
+    t.count <- t.count + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.count
+  let mean t = t.mean
+
+  let variance t =
+    if t.count < 2 then 0.0 else t.m2 /. float_of_int (t.count - 1)
+
+  let stddev t = sqrt (variance t)
+  let min t = t.min
+  let max t = t.max
+end
+
+module Counter = struct
+  type t = (string, int ref) Hashtbl.t
+
+  let create () : t = Hashtbl.create 32
+
+  let cell t key =
+    match Hashtbl.find_opt t key with
+    | Some r -> r
+    | None ->
+      let r = ref 0 in
+      Hashtbl.add t key r;
+      r
+
+  let add t key n = cell t key := !(cell t key) + n
+  let incr t key = add t key 1
+  let get t key = match Hashtbl.find_opt t key with Some r -> !r | None -> 0
+
+  let to_list t =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let reset t = Hashtbl.reset t
+end

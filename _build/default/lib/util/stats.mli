@@ -1,0 +1,51 @@
+(** Small streaming- and batch-statistics helpers used by the harness. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val summarize : float array -> summary
+(** Batch summary; the input array is not modified. Raises
+    [Invalid_argument] on an empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile sorted q] with [q] in \[0,1\]; the array must be sorted
+    ascending. Linear interpolation between ranks. *)
+
+val mean : float array -> float
+val stddev : float array -> float
+
+(** Online mean/variance accumulator (Welford). *)
+module Online : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+end
+
+(** Counter map with pretty totals, used for operation accounting. *)
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : t -> string -> unit
+  val add : t -> string -> int -> unit
+  val get : t -> string -> int
+  val to_list : t -> (string * int) list
+  (** Sorted by key. *)
+
+  val reset : t -> unit
+end

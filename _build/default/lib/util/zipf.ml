@@ -1,0 +1,36 @@
+type t = { n : int; alpha : float; cdf : float array }
+
+let create ~n ~alpha =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if alpha < 0.0 then invalid_arg "Zipf.create: alpha must be nonnegative";
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int (i + 1)) alpha);
+    cdf.(i) <- !acc
+  done;
+  let total = !acc in
+  for i = 0 to n - 1 do
+    cdf.(i) <- cdf.(i) /. total
+  done;
+  { n; alpha; cdf }
+
+let n t = t.n
+let alpha t = t.alpha
+
+let sample t rng =
+  let u = Rng.float rng 1.0 in
+  (* Smallest index with cdf.(i) >= u. *)
+  let lo = ref 0 and hi = ref (t.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let cumulative t i =
+  if i < 0 then 0.0
+  else if i >= t.n then 1.0
+  else t.cdf.(i)
+
+let mass t i = cumulative t i -. cumulative t (i - 1)

@@ -1,0 +1,1 @@
+lib/workload/client.ml: Iolite_httpd Iolite_os Iolite_sim

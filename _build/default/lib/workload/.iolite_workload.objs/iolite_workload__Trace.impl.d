@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Array Hashtbl Iolite_os Iolite_util Printf Stdlib

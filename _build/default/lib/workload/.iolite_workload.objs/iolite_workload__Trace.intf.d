@@ -1,0 +1,1 @@
+lib/workload/trace.mli: Iolite_os Iolite_util

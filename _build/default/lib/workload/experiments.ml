@@ -1,0 +1,807 @@
+module Engine = Iolite_sim.Engine
+module Kernel = Iolite_os.Kernel
+module Process = Iolite_os.Process
+module Policy = Iolite_core.Policy
+module Flash = Iolite_httpd.Flash
+module Apache = Iolite_httpd.Apache
+module Table = Iolite_util.Table
+module Rng = Iolite_util.Rng
+
+type point = { x : float; mbps : float }
+type series = { label : string; points : point list }
+
+let paper_sizes =
+  [ 500; 1024; 2048; 3072; 5120; 7168; 10240; 15360; 20480; 51200; 102400; 153600; 204800 ]
+
+type server_kind = Flash_lite | Flash_conv | Apache_srv
+
+let kind_label = function
+  | Flash_lite -> "Flash-Lite"
+  | Flash_conv -> "Flash"
+  | Apache_srv -> "Apache"
+
+let make_kernel ?(cksum = true) ?(policy = `Gds) () =
+  let engine = Engine.create () in
+  let base = Kernel.default_config () in
+  let config =
+    {
+      base with
+      Kernel.cksum_cache_enabled = cksum;
+      Kernel.cache_policy =
+        (match policy with `Gds -> Policy.gds () | `Lru -> Policy.lru ());
+    }
+  in
+  let kernel = Kernel.create ~config engine in
+  (engine, kernel)
+
+let start_server ?cgi_doc_size ?(workers = 64) ?(policy = `Gds) kind kernel =
+  match kind with
+  | Flash_lite ->
+    let p = match policy with `Gds -> Policy.gds () | `Lru -> Policy.lru () in
+    Flash.listener
+      (Flash.start ~variant:Flash.Iolite ~policy:p ?cgi_doc_size kernel ~port:80)
+  | Flash_conv ->
+    Flash.listener
+      (Flash.start ~variant:Flash.Conventional ?cgi_doc_size kernel ~port:80)
+  | Apache_srv ->
+    Apache.listener (Apache.start ~workers ?cgi_doc_size kernel ~port:80)
+
+(* ------------------------------------------------------------------ *)
+(* Figs. 3-6: single-file and CGI bandwidth sweeps                     *)
+(* ------------------------------------------------------------------ *)
+
+let single_file_point ~kind ~size ~persistent ~scale =
+  let _engine, kernel = make_kernel () in
+  ignore (Kernel.add_file kernel ~name:"/doc" ~size);
+  let listener = start_server kind kernel in
+  let config =
+    {
+      Client.default with
+      Client.clients = 40;
+      persistent;
+      warmup = 1.0;
+      duration = Float.max 1.0 (8.0 *. scale);
+    }
+  in
+  let r = Client.run kernel listener config ~pick:(fun ~client:_ ~iter:_ -> "/doc") in
+  if Sys.getenv_opt "IOLITE_DEBUG" <> None then begin
+    let now = Engine.now _engine in
+    Printf.eprintf
+      "[%s %dB] reqs=%d mbps=%.1f cpu_busy=%.2f/%.2f link_busy=%.2f sw=%d\n%!"
+      (kind_label kind) size r.Client.requests r.Client.mbps
+      (Iolite_os.Cpu.busy_time (Kernel.cpu kernel))
+      now
+      (Iolite_net.Link.utilization (Kernel.link kernel) ~now *. now)
+      (Iolite_os.Cpu.switches (Kernel.cpu kernel));
+    if Sys.getenv_opt "IOLITE_DEBUG_COUNTERS" <> None then
+      List.iter
+        (fun (k, v) -> Printf.eprintf "      %-24s %d\n%!" k v)
+        (Iolite_util.Stats.Counter.to_list (Kernel.counters kernel)
+        @ Iolite_util.Stats.Counter.to_list
+            (Iolite_mem.Vm.counters (Iolite_core.Iosys.vm (Kernel.sys kernel))))
+  end;
+  r.Client.mbps
+
+let cgi_point ~kind ~size ~persistent ~scale =
+  let _engine, kernel = make_kernel () in
+  let listener = start_server ~cgi_doc_size:size kind kernel in
+  let config =
+    {
+      Client.default with
+      Client.clients = 40;
+      persistent;
+      warmup = 1.0;
+      duration = Float.max 1.0 (8.0 *. scale);
+    }
+  in
+  let r = Client.run kernel listener config ~pick:(fun ~client:_ ~iter:_ -> "/cgi") in
+  r.Client.mbps
+
+let sweep ~point ~persistent ~scale =
+  List.map
+    (fun kind ->
+      {
+        label = kind_label kind;
+        points =
+          List.map
+            (fun size ->
+              {
+                x = float_of_int size /. 1024.0;
+                mbps = point ~kind ~size ~persistent ~scale;
+              })
+            paper_sizes;
+      })
+    [ Flash_lite; Flash_conv; Apache_srv ]
+
+let fig3 ?(scale = 1.0) () = sweep ~point:single_file_point ~persistent:false ~scale
+let fig4 ?(scale = 1.0) () = sweep ~point:single_file_point ~persistent:true ~scale
+let fig5 ?(scale = 1.0) () = sweep ~point:cgi_point ~persistent:false ~scale
+let fig6 ?(scale = 1.0) () = sweep ~point:cgi_point ~persistent:true ~scale
+
+(* Extension: the sendfile ablation. *)
+let ablation_sendfile ?(scale = 1.0) () =
+  let point ~variant ~label:_ ~size =
+    let _engine, kernel = make_kernel () in
+    ignore (Kernel.add_file kernel ~name:"/doc" ~size);
+    let listener = Flash.listener (Flash.start ~variant kernel ~port:80) in
+    let config =
+      {
+        Client.default with
+        Client.clients = 40;
+        persistent = false;
+        warmup = 1.0;
+        duration = Float.max 1.0 (8.0 *. scale);
+      }
+    in
+    (Client.run kernel listener config ~pick:(fun ~client:_ ~iter:_ -> "/doc"))
+      .Client.mbps
+  in
+  List.map
+    (fun (label, variant) ->
+      {
+        label;
+        points =
+          List.map
+            (fun size ->
+              {
+                x = float_of_int size /. 1024.0;
+                mbps = point ~variant ~label ~size;
+              })
+            paper_sizes;
+      })
+    [
+      ("Flash-Lite", Flash.Iolite);
+      ("Flash+sendfile", Flash.Sendfile);
+      ("Flash", Flash.Conventional);
+    ]
+
+(* Extension: CGI 1.1 vs FastCGI. *)
+let ablation_cgi11 ?(scale = 1.0) () =
+  let point ~variant ~cgi_mode ~size =
+    let _engine, kernel = make_kernel () in
+    let listener =
+      Flash.listener
+        (Flash.start ~variant ~cgi_doc_size:size ~cgi_mode kernel ~port:80)
+    in
+    let config =
+      {
+        Client.default with
+        Client.clients = 40;
+        persistent = false;
+        warmup = 1.0;
+        duration = Float.max 1.0 (8.0 *. scale);
+      }
+    in
+    (Client.run kernel listener config ~pick:(fun ~client:_ ~iter:_ -> "/cgi"))
+      .Client.mbps
+  in
+  List.map
+    (fun (label, variant, cgi_mode) ->
+      {
+        label;
+        points =
+          List.map
+            (fun size ->
+              {
+                x = float_of_int size /. 1024.0;
+                mbps = point ~variant ~cgi_mode ~size;
+              })
+            paper_sizes;
+      })
+    [
+      ("Flash-Lite FastCGI", Flash.Iolite, Iolite_httpd.Cgi.Fastcgi);
+      ("Flash FastCGI", Flash.Conventional, Iolite_httpd.Cgi.Fastcgi);
+      ("Flash-Lite CGI1.1", Flash.Iolite, Iolite_httpd.Cgi.Cgi11);
+      ("Flash CGI1.1", Flash.Conventional, Iolite_httpd.Cgi.Cgi11);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Figs. 7 and 9: trace characteristics                                *)
+(* ------------------------------------------------------------------ *)
+
+let trace_table trace =
+  let spec = Trace.spec trace in
+  let n = Trace.file_count trace in
+  let rows = ref [] in
+  List.iter
+    (fun top ->
+      if top <= n then begin
+        let reqs, bytes = Trace.cdf_row trace ~top in
+        rows :=
+          [
+            string_of_int top;
+            Printf.sprintf "%.1f%%" (100.0 *. reqs);
+            Printf.sprintf "%.1f%%" (100.0 *. bytes);
+          ]
+          :: !rows
+      end)
+    [ 100; 1000; 5000; 10000; 20000; n ];
+  let totals =
+    [
+      Printf.sprintf "(totals: %d paper-requests)" spec.Trace.paper_requests;
+      Printf.sprintf "%d files" n;
+      Printf.sprintf "%s, mean transfer %s"
+        (Table.fmt_bytes (Trace.total_bytes trace))
+        (Table.fmt_bytes (int_of_float (Trace.mean_request_bytes trace)));
+    ]
+  in
+  List.rev (totals :: !rows)
+
+let fig7 () =
+  List.map
+    (fun spec ->
+      let trace = Trace.synthesize spec in
+      (spec.Trace.sname, trace_table trace))
+    [ Trace.ece; Trace.cs; Trace.merged ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 8: full trace replay                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Warm-start: the paper measures hour-long steady-state runs; fetching
+   ~110 MB through the simulated disk would consume the whole (much
+   shorter) measurement window. Pre-populate the file cache with the
+   most popular documents, without disk latency, up to the memory
+   budget; the run then starts from (approximately) steady state and
+   the policies evolve it from there. *)
+let preload_cache kernel ~conv ~trace ~prefix_ranks =
+  let module Filecache = Iolite_core.Filecache in
+  let module Iobuf = Iolite_core.Iobuf in
+  let module Iosys = Iolite_core.Iosys in
+  let sys = Kernel.sys kernel in
+  let cache =
+    if conv then Kernel.conv_cache kernel else Kernel.unified_cache kernel
+  in
+  let pool = if conv then Kernel.page_pool kernel else Kernel.file_pool kernel in
+  let store = Kernel.store kernel in
+  let budget =
+    Iolite_mem.Physmem.io_budget (Iosys.physmem sys) * 9 / 10
+  in
+  let kd = Iosys.kernel sys in
+  (* Ranks eligible for preloading, most popular first. *)
+  let ranks =
+    match prefix_ranks with
+    | Some set ->
+      let l = Hashtbl.fold (fun r () acc -> r :: acc) set [] in
+      List.sort compare l
+    | None -> List.init (Trace.file_count trace) Fun.id
+  in
+  let rec load = function
+    | [] -> ()
+    | rank :: rest ->
+      if Filecache.total_bytes cache < budget then begin
+        load_one rank;
+        load rest
+      end
+  and load_one rank =
+    let path = Trace.file_path ~rank in
+    (match Iolite_fs.Filestore.lookup store path with
+    | None -> ()
+    | Some file ->
+      let size = Iolite_fs.Filestore.size store file in
+      (* Match the kernel's cache admission limit. *)
+      if
+        size > 0
+        && size <= budget / 8
+        && not (Filecache.covered cache ~file ~off:0 ~len:size)
+      then begin
+        let rec build pos acc =
+          if pos >= size then List.rev acc
+          else begin
+            let n = min Iobuf.Pool.max_alloc (size - pos) in
+            let b = Iobuf.Pool.alloc ~paged:true pool ~producer:kd n in
+            Iosys.with_fill_mode sys `Dma (fun () ->
+                Iolite_fs.Filestore.fill_buffer store b ~file ~off:pos);
+            Iobuf.Buffer.seal b;
+            build (pos + n) (Iobuf.Agg.of_buffer_owned b :: acc)
+          end
+        in
+        let parts = build 0 [] in
+        let agg = Iobuf.Agg.concat_list parts in
+        List.iter Iobuf.Agg.free parts;
+        Filecache.insert cache ~file ~off:0 agg
+      end)
+  in
+  load ranks
+
+let replay_point ~kind ~trace ~log ~prefix ~scale ~sampling =
+  let _engine, kernel = make_kernel () in
+  Trace.register_files trace kernel ~prefix_ranks:None;
+  let clients = 64 in
+  let listener = start_server ~workers:clients kind kernel in
+  preload_cache kernel
+    ~conv:(match kind with Flash_lite -> false | Flash_conv | Apache_srv -> true)
+    ~trace ~prefix_ranks:None;
+  let cursor = ref 0 in
+  let rng = Rng.create 0xC11E47L in
+  let pick ~client:_ ~iter:_ =
+    let rank =
+      match sampling with
+      | `Shared_log ->
+        (* The paper's replay: clients share the log and issue the next
+           unsent request. *)
+        let i = !cursor in
+        cursor := (!cursor + 1) mod prefix;
+        log.(i)
+      | `Random ->
+        (* SpecWeb-style: random picks from the subtrace (Section 5.5). *)
+        log.(Rng.int rng prefix)
+    in
+    Trace.file_path ~rank
+  in
+  let config =
+    {
+      Client.default with
+      Client.clients;
+      persistent = false;
+      warmup = Float.max 2.0 (8.0 *. scale);
+      duration = Float.max 2.0 (20.0 *. scale);
+    }
+  in
+  let r = Client.run kernel listener config ~pick in
+  if Sys.getenv_opt "IOLITE_DEBUG" <> None then begin
+    let uc = Kernel.unified_cache kernel and cc = Kernel.conv_cache kernel in
+    let module F = Iolite_core.Filecache in
+    let pm = Iolite_core.Iosys.physmem (Kernel.sys kernel) in
+    Printf.eprintf
+      "[%s] reqs=%d uc: h=%d m=%d b=%dMB ev=%d | cc: h=%d m=%d b=%dMB ev=%d | disk busy=%.1fs reads=%d | cpu=%.1fs | io=%dMB wired=%dMB proc=%dMB free=%dMB over=%d\n%!"
+      (kind_label kind) r.Client.requests (F.hits uc) (F.misses uc)
+      (F.total_bytes uc / 1048576)
+      (F.evictions uc) (F.hits cc) (F.misses cc)
+      (F.total_bytes cc / 1048576)
+      (F.evictions cc)
+      (Iolite_fs.Disk.busy_time (Kernel.disk kernel))
+      (Iolite_fs.Disk.reads (Kernel.disk kernel))
+      (Iolite_os.Cpu.busy_time (Kernel.cpu kernel))
+      (Iolite_mem.Physmem.used pm Iolite_mem.Physmem.Io_data / 1048576)
+      (Iolite_mem.Physmem.used pm Iolite_mem.Physmem.Net_wired / 1048576)
+      (Iolite_mem.Physmem.used pm Iolite_mem.Physmem.Process / 1048576)
+      (Iolite_mem.Physmem.free_bytes pm / 1048576)
+      (Iolite_mem.Physmem.overcommit pm);
+    let module P = Iolite_core.Iobuf.Pool in
+    let pool_line label p =
+      Printf.eprintf "    pool %-10s chunks=%d free=%d resident=%dMB\n%!" label
+        (P.chunk_count p) (P.free_chunk_count p)
+        (P.resident_bytes p / 1048576)
+    in
+    pool_line "file" (Kernel.file_pool kernel);
+    pool_line "vm_pages" (Kernel.page_pool kernel);
+    let c = Kernel.counters kernel in
+    Printf.eprintf
+      "    fresh_chunks=%d recycled=%d refetch=%d acl_copy=%d uc_entries=%d cc_entries=%d\n%!"
+      (Iolite_util.Stats.Counter.get c "pool.fresh_chunk")
+      (Iolite_util.Stats.Counter.get c "pool.recycle_chunk")
+      (Iolite_util.Stats.Counter.get c "cache.refetch")
+      (Iolite_util.Stats.Counter.get c "cache.acl_copy")
+      (F.entry_count uc) (F.entry_count cc)
+  end;
+  r.Client.mbps
+
+let fig8 ?(scale = 1.0) () =
+  List.map
+    (fun spec ->
+      let trace = Trace.synthesize spec in
+      let log_len = 200_000 in
+      let log = Trace.request_log trace ~seed:0x10C5EEDL ~count:log_len in
+      ( spec.Trace.sname,
+        List.map
+          (fun kind ->
+            ( kind_label kind,
+              replay_point ~kind ~trace ~log ~prefix:log_len ~scale
+                ~sampling:`Shared_log ))
+          [ Flash_lite; Flash_conv; Apache_srv ] ))
+    [ Trace.ece; Trace.cs; Trace.merged ]
+
+(* ------------------------------------------------------------------ *)
+(* Figs. 9-11: the MERGED subtrace                                     *)
+(* ------------------------------------------------------------------ *)
+
+let subtrace_log_len = 400_000
+
+let merged_subtrace () =
+  let trace = Trace.synthesize Trace.merged in
+  let log = Trace.request_log trace ~seed:0x50B74ACEL ~count:subtrace_log_len in
+  (trace, log)
+
+let fig9 () =
+  let trace, log = merged_subtrace () in
+  let prefix = Trace.prefix_for_dataset trace ~log ~target_bytes:(150 * 1024 * 1024) in
+  let files, bytes = Trace.distinct_bytes trace ~log ~prefix in
+  [
+    [ "prefix requests"; string_of_int prefix ];
+    [ "distinct files"; string_of_int files ];
+    [ "data set size"; Table.fmt_bytes bytes ];
+    [ "paper"; "28403 requests, 5459 files, 150MB" ];
+  ]
+
+let dataset_sizes_mb = [ 15; 30; 60; 90; 120; 150 ]
+
+let subtrace_point ~kernel_of ~label ~trace ~log ~scale =
+  {
+    label;
+    points =
+      List.map
+        (fun mb ->
+          let target = mb * 1024 * 1024 in
+          let prefix = Trace.prefix_for_dataset trace ~log ~target_bytes:target in
+          let kind, kernel = kernel_of () in
+          Trace.register_files trace kernel ~prefix_ranks:None;
+          let clients = 64 in
+          let listener =
+            match kind with
+            | `Std k -> start_server ~workers:clients k kernel
+            | `Flash_lite_policy p -> start_server ~policy:p Flash_lite kernel
+          in
+          let in_prefix = Hashtbl.create 4096 in
+          for i = 0 to prefix - 1 do
+            Hashtbl.replace in_prefix log.(i) ()
+          done;
+          let conv =
+            match kind with
+            | `Std Flash_lite | `Flash_lite_policy _ -> false
+            | `Std (Flash_conv | Apache_srv) -> true
+          in
+          preload_cache kernel ~conv ~trace ~prefix_ranks:(Some in_prefix);
+          let cursor = ref 0 in
+          ignore cursor;
+          let rng = Rng.create 0x5BEC99L in
+          let pick ~client:_ ~iter:_ =
+            Trace.file_path ~rank:log.(Rng.int rng prefix)
+          in
+          let config =
+            {
+              Client.default with
+              Client.clients;
+              persistent = false;
+              warmup = Float.max 2.0 (8.0 *. scale);
+              duration = Float.max 2.0 (20.0 *. scale);
+            }
+          in
+          let r = Client.run kernel listener config ~pick in
+          { x = float_of_int mb; mbps = r.Client.mbps })
+        dataset_sizes_mb;
+  }
+
+let fig10 ?(scale = 1.0) () =
+  let trace, log = merged_subtrace () in
+  List.map
+    (fun kind ->
+      subtrace_point
+        ~kernel_of:(fun () ->
+          let _e, k = make_kernel () in
+          (`Std kind, k))
+        ~label:(kind_label kind) ~trace ~log ~scale)
+    [ Flash_lite; Flash_conv; Apache_srv ]
+
+let fig11 ?(scale = 1.0) () =
+  let trace, log = merged_subtrace () in
+  let variants =
+    [
+      ("Flash-Lite (GDS)", `Gds, true);
+      ("Flash-Lite LRU", `Lru, true);
+      ("Flash-Lite no-cksum", `Gds, false);
+      ("Flash-Lite LRU no-cksum", `Lru, false);
+    ]
+  in
+  let fl =
+    List.map
+      (fun (label, policy, cksum) ->
+        subtrace_point
+          ~kernel_of:(fun () ->
+            let _e, k = make_kernel ~cksum ~policy () in
+            (`Flash_lite_policy policy, k))
+          ~label ~trace ~log ~scale)
+      variants
+  in
+  let flash =
+    subtrace_point
+      ~kernel_of:(fun () ->
+        let _e, k = make_kernel () in
+        (`Std Flash_conv, k))
+      ~label:"Flash" ~trace ~log ~scale
+  in
+  fl @ [ flash ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 12: WAN delays                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fig12 ?(scale = 1.0) () =
+  let trace, log = merged_subtrace () in
+  let target = 120 * 1024 * 1024 in
+  let prefix = Trace.prefix_for_dataset trace ~log ~target_bytes:target in
+  let delays_ms = [ 0.0; 5.0; 50.0; 100.0; 150.0 ] in
+  let clients_for delay = 64 + int_of_float (delay /. 150.0 *. float_of_int (900 - 64)) in
+  List.map
+    (fun kind ->
+      {
+        label = kind_label kind;
+        points =
+          List.map
+            (fun delay_ms ->
+              let clients = clients_for delay_ms in
+              let _e, kernel = make_kernel () in
+              Trace.register_files trace kernel ~prefix_ranks:None;
+              let listener =
+                match kind with
+                | Apache_srv ->
+                  (* Apache 1.3's process pool; extra processes are the
+                     memory cost the paper highlights. *)
+                  start_server
+                    ~workers:(min clients 256)
+                    kind kernel
+                | Flash_lite | Flash_conv -> start_server kind kernel
+              in
+              let in_prefix = Hashtbl.create 4096 in
+              for i = 0 to prefix - 1 do
+                Hashtbl.replace in_prefix log.(i) ()
+              done;
+              preload_cache kernel
+                ~conv:
+                  (match kind with
+                  | Flash_lite -> false
+                  | Flash_conv | Apache_srv -> true)
+                ~trace ~prefix_ranks:(Some in_prefix);
+              let rng = Rng.create 0x44E11AL in
+              let pick ~client:_ ~iter:_ =
+                Trace.file_path ~rank:log.(Rng.int rng prefix)
+              in
+              let config =
+                {
+                  Client.clients;
+                  rtt = delay_ms /. 1000.0;
+                  persistent = false;
+                  warmup = Float.max 3.0 (10.0 *. scale);
+                  duration = Float.max 3.0 (20.0 *. scale);
+                }
+              in
+              let r = Client.run kernel listener config ~pick in
+              { x = delay_ms; mbps = r.Client.mbps })
+            delays_ms;
+      })
+    [ Flash_lite; Flash_conv; Apache_srv ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 13: converted applications                                     *)
+(* ------------------------------------------------------------------ *)
+
+type app_result = {
+  app : string;
+  posix_s : float;
+  iolite_s : float;
+  verified : bool;
+}
+
+module Apps = struct
+  module Wc = Iolite_apps.Wc
+  module Cat = Iolite_apps.Cat
+  module Grep = Iolite_apps.Grep
+  module Permute = Iolite_apps.Permute
+  module Gccpipe = Iolite_apps.Gccpipe
+  module Pipe = Iolite_ipc.Pipe
+  module Ivar = Iolite_sim.Sync.Ivar
+
+  let wc_file_size = 1792 * 1024 (* the paper's 1.75 MB file *)
+
+  (* Run [body] in a fresh kernel; returns (elapsed, value). *)
+  let timed ?(warm_file = None) body =
+    let engine, kernel = make_kernel () in
+    let file =
+      match warm_file with
+      | Some size -> Some (Kernel.add_file kernel ~name:"/data" ~size)
+      | None -> None
+    in
+    (* Warm the unified cache so the runs measure I/O structure, not the
+       initial disk fetch (the paper reads cached files). *)
+    (match file with
+    | Some f ->
+      let warmed = Ivar.create () in
+      ignore
+        (Process.spawn kernel ~name:"warm" (fun proc ->
+             Iolite_os.Fileio.fetch_unified proc ~file:f;
+             Ivar.fill warmed ()));
+      Engine.run engine
+    | None -> ());
+    let t0 = Engine.now engine in
+    let result = ref None in
+    Engine.spawn engine (fun () -> result := Some (body kernel file));
+    Engine.run engine;
+    (Engine.now engine -. t0, Option.get !result)
+
+  let wc ~iolite =
+    timed ~warm_file:(Some wc_file_size) (fun kernel file ->
+        let file = Option.get file in
+        let out = Ivar.create () in
+        ignore
+          (Process.spawn kernel ~name:"wc" (fun proc ->
+               Ivar.fill out
+                 (if iolite then Wc.run_iolite proc ~file
+                  else Wc.run_posix proc ~file)));
+        Ivar.read out)
+
+  let cat_grep ~iolite =
+    timed ~warm_file:(Some wc_file_size) (fun kernel file ->
+        let file = Option.get file in
+        let out = Ivar.create () in
+        ignore
+          (Process.spawn kernel ~name:"grep" (fun grep_proc ->
+               let pipe =
+                 Pipe.create (Kernel.sys kernel)
+                   ~mode:(if iolite then Pipe.Zero_copy else Pipe.Copying)
+                   ~reader:(Process.domain grep_proc)
+                   ~reader_pool:(Process.pool grep_proc) ()
+               in
+               ignore
+                 (Process.spawn kernel ~name:"cat" (fun cat_proc ->
+                      Cat.run cat_proc ~file ~out:pipe ~iolite));
+               Ivar.fill out (Grep.run_pipe grep_proc pipe ~pattern:"the" ~iolite)));
+        Ivar.read out)
+
+  let permute_wc ~iolite =
+    timed (fun kernel _ ->
+        let out = Ivar.create () in
+        let wc_proc = Process.make kernel ~name:"wc" in
+        let perm_proc = Process.make kernel ~name:"permute" in
+        (* The pipe's stream pool names both endpoints, so the producer
+           allocates buffers the consumer may map (Section 3.2). *)
+        let pipe =
+          Pipe.create (Kernel.sys kernel)
+            ~mode:(if iolite then Pipe.Zero_copy else Pipe.Copying)
+            ~writer:(Process.domain perm_proc)
+            ~reader:(Process.domain wc_proc)
+            ~reader_pool:(Process.pool wc_proc) ()
+        in
+        let engine = Kernel.engine kernel in
+        Engine.spawn engine (fun () ->
+            Permute.run perm_proc ~out:pipe ~words:Permute.default_words ~iolite;
+            Process.exit perm_proc);
+        Engine.spawn engine (fun () ->
+            Ivar.fill out (Wc.run_pipe wc_proc pipe);
+            Process.exit wc_proc);
+        Ivar.read out)
+
+  let gcc ~iolite =
+    let _engine, kernel = make_kernel () in
+    let elapsed = Gccpipe.run_blocking kernel Gccpipe.default_spec ~iolite in
+    (elapsed, ())
+end
+
+let fig13 ?(scale = 1.0) () =
+  ignore scale;
+  let wc_posix_t, wc_posix = Apps.wc ~iolite:false in
+  let wc_iolite_t, wc_iolite = Apps.wc ~iolite:true in
+  let grep_posix_t, grep_posix = Apps.cat_grep ~iolite:false in
+  let grep_iolite_t, grep_iolite = Apps.cat_grep ~iolite:true in
+  let perm_posix_t, perm_posix = Apps.permute_wc ~iolite:false in
+  let perm_iolite_t, perm_iolite = Apps.permute_wc ~iolite:true in
+  let gcc_posix_t, () = Apps.gcc ~iolite:false in
+  let gcc_iolite_t, () = Apps.gcc ~iolite:true in
+  [
+    {
+      app = "wc";
+      posix_s = wc_posix_t;
+      iolite_s = wc_iolite_t;
+      verified = wc_posix = wc_iolite;
+    };
+    {
+      app = "cat|grep";
+      posix_s = grep_posix_t;
+      iolite_s = grep_iolite_t;
+      verified = grep_posix = grep_iolite;
+    };
+    {
+      app = "permute|wc";
+      posix_s = perm_posix_t;
+      iolite_s = perm_iolite_t;
+      verified = perm_posix = perm_iolite;
+    };
+    {
+      app = "gcc";
+      posix_s = gcc_posix_t;
+      iolite_s = gcc_iolite_t;
+      verified = true;
+    };
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let print_series ~title ~x_label series_list =
+  Printf.printf "\n== %s ==\n" title;
+  let xs =
+    match series_list with
+    | [] -> []
+    | s :: _ -> List.map (fun p -> p.x) s.points
+  in
+  let header = "x" :: List.map (fun s -> s.label) series_list in
+  let rows =
+    List.mapi
+      (fun i x ->
+        Printf.sprintf "%.1f" x
+        :: List.map
+             (fun s -> Table.fmt_mbps (List.nth s.points i).mbps)
+             series_list)
+      xs
+  in
+  Table.print ~header ~rows;
+  let chart_series =
+    List.map
+      (fun s -> (s.label, List.map (fun p -> (p.x, p.mbps)) s.points))
+      series_list
+  in
+  print_string
+    (Table.chart ~x_label ~y_label:"Mb/s" ~series:chart_series ())
+
+let print_fig7 () =
+  List.iter
+    (fun (name, rows) ->
+      Printf.printf "\n== Fig 7: %s trace characteristics ==\n" name;
+      Table.print ~header:[ "top-N files"; "% of requests"; "% of bytes" ] ~rows)
+    (fig7 ())
+
+let print_fig8 ?scale () =
+  Printf.printf "\n== Fig 8: overall trace performance (Mb/s) ==\n";
+  List.iter
+    (fun (trace_name, bars) ->
+      Printf.printf "%s:\n%s" trace_name (Table.bar_chart bars))
+    (fig8 ?scale ())
+
+let print_fig9 () =
+  Printf.printf "\n== Fig 9: 150MB subtrace characteristics ==\n";
+  Table.print ~header:[ "metric"; "value" ] ~rows:(fig9 ())
+
+let print_fig13 ?scale () =
+  Printf.printf "\n== Fig 13: application runtimes ==\n";
+  let rows =
+    List.map
+      (fun r ->
+        [
+          r.app;
+          Table.fmt_time_s r.posix_s;
+          Table.fmt_time_s r.iolite_s;
+          Printf.sprintf "%.0f%%" (100.0 *. (1.0 -. (r.iolite_s /. r.posix_s)));
+          (if r.verified then "yes" else "NO");
+        ])
+      (fig13 ?scale ())
+  in
+  Table.print
+    ~header:[ "application"; "unmodified"; "IO-Lite"; "reduction"; "output verified" ]
+    ~rows
+
+let run_all ?(scale = 1.0) () =
+  (* Collect between phases: each experiment retires a whole simulated
+     machine. Flush stdout so progress is visible when redirected. *)
+  let phase f =
+    f ();
+    Stdlib.flush Stdlib.stdout;
+    Gc.full_major ()
+  in
+  phase (fun () ->
+      print_series ~title:"Fig 3: HTTP single-file, non-persistent"
+        ~x_label:"KB" (fig3 ~scale ()));
+  phase (fun () ->
+      print_series ~title:"Fig 4: HTTP single-file, persistent" ~x_label:"KB"
+        (fig4 ~scale ()));
+  phase (fun () -> print_series ~title:"Fig 5: FastCGI" ~x_label:"KB" (fig5 ~scale ()));
+  phase (fun () ->
+      print_series ~title:"Fig 6: FastCGI, persistent" ~x_label:"KB"
+        (fig6 ~scale ()));
+  phase (fun () -> print_fig7 ());
+  phase (fun () -> print_fig8 ~scale ());
+  phase (fun () -> print_fig9 ());
+  phase (fun () ->
+      print_series ~title:"Fig 10: MERGED subtrace sweep" ~x_label:"dataset MB"
+        (fig10 ~scale ()));
+  phase (fun () ->
+      print_series ~title:"Fig 11: optimization contributions"
+        ~x_label:"dataset MB" (fig11 ~scale ()));
+  phase (fun () ->
+      print_series ~title:"Fig 12: WAN delay" ~x_label:"RTT ms" (fig12 ~scale ()));
+  phase (fun () -> print_fig13 ~scale ());
+  phase (fun () ->
+      print_series ~title:"Extension: sendfile ablation" ~x_label:"KB"
+        (ablation_sendfile ~scale ()));
+  phase (fun () ->
+      print_series ~title:"Extension: CGI 1.1 vs FastCGI" ~x_label:"KB"
+        (ablation_cgi11 ~scale ()))

@@ -1,0 +1,95 @@
+(** Reproduction harness: one entry point per figure of the paper's
+    evaluation (Section 5). Each runner builds a fresh simulated testbed
+    (128 MB server, 360 Mb/s aggregate link, 1999 cost model), runs the
+    workload, and returns the figure's series; [print_*] renders the
+    table and an ASCII plot.
+
+    [scale] trades fidelity for wall-clock time: it scales measurement
+    windows and trace-replay lengths (1.0 = the defaults used for the
+    recorded results; smaller = quicker, noisier). *)
+
+type point = { x : float; mbps : float }
+type series = { label : string; points : point list }
+
+val paper_sizes : int list
+(** The file sizes of Figs. 3-6: 500 B ... 200 KB. *)
+
+(** {2 Single-file and CGI bandwidth sweeps (Figs. 3-6)} *)
+
+val fig3 : ?scale:float -> unit -> series list
+(** HTTP/1.0, single cached file, 40 clients: Flash-Lite / Flash /
+    Apache bandwidth vs. document size. *)
+
+val fig4 : ?scale:float -> unit -> series list
+(** Same with persistent (HTTP/1.1) connections. *)
+
+val fig5 : ?scale:float -> unit -> series list
+(** FastCGI dynamic documents over non-persistent connections. *)
+
+val fig6 : ?scale:float -> unit -> series list
+(** FastCGI over persistent connections. *)
+
+(** {2 Trace workloads (Figs. 7-11)} *)
+
+val fig7 : unit -> (string * string list list) list
+(** Trace characteristics tables (one per trace): header rows are
+    implicit; each row is [top-N files; %requests; %bytes] plus a
+    totals table row. *)
+
+val fig8 : ?scale:float -> unit -> (string * (string * float) list) list
+(** Overall trace performance: for each trace, (server, Mb/s) bars;
+    64 clients replaying the log. *)
+
+val fig9 : unit -> string list list
+(** 150 MB MERGED subtrace characteristics rows. *)
+
+val fig10 : ?scale:float -> unit -> series list
+(** MERGED subtrace: bandwidth vs. data-set size (15-150 MB),
+    SpecWeb-style random sampling, 64 clients. *)
+
+val fig11 : ?scale:float -> unit -> series list
+(** Optimization ablation on the same sweep: Flash-Lite with
+    {GDS,LRU} x {checksum cache on,off}, plus Flash. *)
+
+(** {2 WAN effects (Fig. 12)} *)
+
+val fig12 : ?scale:float -> unit -> series list
+(** Throughput vs. round-trip delay (LAN, 5..150 ms); clients scale
+    64 -> 900 with delay; 120 MB data set. *)
+
+(** {2 Converted applications (Fig. 13)} *)
+
+type app_result = {
+  app : string;
+  posix_s : float;  (** unmodified runtime, simulated seconds *)
+  iolite_s : float;
+  verified : bool;  (** both variants produced identical output/counts *)
+}
+
+val fig13 : ?scale:float -> unit -> app_result list
+
+(** {2 Extension: the sendfile ablation (Section 6.7)} *)
+
+val ablation_sendfile : ?scale:float -> unit -> series list
+(** The Fig. 3 sweep with a third server between Flash and Flash-Lite:
+    Flash using the monolithic [sendfile] syscall — copies eliminated,
+    checksums still recomputed per transmission. Separates the value of
+    copy avoidance from the value of IO-Lite's cross-subsystem checksum
+    cache. *)
+
+val ablation_cgi11 : ?scale:float -> unit -> series list
+(** CGI 1.1 (fork per request) vs FastCGI, each under IO-Lite and the
+    conventional system — quantifying the Section 5.3 remark that
+    FastCGI "amortizes the cost of forking" while IO-Lite removes the
+    remaining IPC overheads. *)
+
+(** {2 Rendering} *)
+
+val print_series : title:string -> x_label:string -> series list -> unit
+val print_fig7 : unit -> unit
+val print_fig8 : ?scale:float -> unit -> unit
+val print_fig9 : unit -> unit
+val print_fig13 : ?scale:float -> unit -> unit
+
+val run_all : ?scale:float -> unit -> unit
+(** Every figure, in order, printed to stdout. *)

@@ -1,0 +1,62 @@
+(** Synthetic Web-server access logs calibrated to the paper's traces.
+
+    The paper drives its trace experiments (Sections 5.4–5.7) with access
+    logs from Rice University servers — ECE, CS, and MERGED — published
+    only as aggregate statistics and CDFs (Figs. 7 and 9). This module
+    regenerates request streams matching those statistics: file count,
+    total data-set size, mean {e transfer} (request-weighted) size, and
+    Zipf-like popularity concentration. File sizes are lognormal;
+    popularity and size are anti-correlated to the degree needed to hit
+    the published mean transfer size (found by bisection), reproducing
+    the "hot documents are small" property the CDFs show. *)
+
+type spec = {
+  sname : string;
+  files : int;
+  total_bytes : int;
+  paper_requests : int;  (** request count in the original log *)
+  mean_request_bytes : int;  (** published mean transfer size *)
+  zipf_alpha : float;
+}
+
+val ece : spec
+val cs : spec
+val merged : spec
+
+type t
+
+val synthesize : ?seed:int64 -> spec -> t
+
+val spec : t -> spec
+val file_count : t -> int
+val file_size : t -> rank:int -> int
+(** Size of the file with popularity rank [rank] (0 = hottest). *)
+
+val file_path : rank:int -> string
+(** The URL path used for rank [rank] ("/doc/r<rank>"). *)
+
+val total_bytes : t -> int
+val mean_request_bytes : t -> float
+(** Achieved popularity-weighted mean transfer size. *)
+
+val sample : t -> Iolite_util.Rng.t -> int
+(** Draw a file rank from the popularity distribution. *)
+
+val request_log : t -> seed:int64 -> count:int -> int array
+(** A concrete request sequence (array of ranks). *)
+
+val prefix_for_dataset : t -> log:int array -> target_bytes:int -> int
+(** Length of the shortest log prefix whose distinct files total at
+    least [target_bytes] (the paper's subtrace construction, Fig. 9).
+    Returns the full length if the log never reaches the target. *)
+
+val distinct_bytes : t -> log:int array -> prefix:int -> int * int
+(** [(files, bytes)] of the distinct documents in the prefix. *)
+
+val cdf_row : t -> top:int -> float * float
+(** For the [top] most-requested files: (fraction of requests, fraction
+    of data-set bytes) — the two curves of Figs. 7 and 9. *)
+
+val register_files : t -> Iolite_os.Kernel.t -> prefix_ranks:int option -> unit
+(** Add the trace's files (optionally only ranks below a bound) to the
+    kernel's file store under {!file_path} names. *)

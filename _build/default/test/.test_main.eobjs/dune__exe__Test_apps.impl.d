@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Buffer Iolite_apps Iolite_core Iolite_fs Iolite_ipc Iolite_os Iolite_sim Option String

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Array Buffer Filecache Iobuf Iolite_core Iolite_mem Iosys List Option Policy Printf QCheck QCheck_alcotest String

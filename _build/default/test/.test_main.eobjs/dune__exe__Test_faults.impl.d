@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Iolite_core Iolite_fs Iolite_httpd Iolite_os Iolite_sim List

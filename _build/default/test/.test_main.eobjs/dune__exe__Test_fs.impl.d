@@ -1,0 +1,1 @@
+test/test_fs.ml: Alcotest Disk Filestore Iolite_core Iolite_fs Iolite_mem Iolite_sim List

@@ -1,0 +1,1 @@
+test/test_httpd.ml: Alcotest Iolite_httpd Iolite_net Iolite_os Iolite_sim Iolite_util List String

@@ -1,0 +1,1 @@
+test/test_iobuf.ml: Alcotest Buffer Char Gen Iobuf Iolite_core Iolite_mem Iolite_net Iolite_util Iosys List QCheck QCheck_alcotest String Transfer

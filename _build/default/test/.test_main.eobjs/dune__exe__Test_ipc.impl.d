@@ -1,0 +1,1 @@
+test/test_ipc.ml: Alcotest Buffer Gen Iolite_core Iolite_ipc Iolite_mem Iolite_sim Iolite_util List QCheck QCheck_alcotest String

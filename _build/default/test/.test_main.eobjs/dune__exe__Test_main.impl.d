@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_apps Test_cache Test_faults Test_fs Test_httpd Test_iobuf Test_ipc Test_mem Test_misc Test_mmapio Test_net Test_os Test_sim Test_stdiol Test_util Test_workload

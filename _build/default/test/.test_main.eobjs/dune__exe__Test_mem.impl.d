@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Iolite_mem Iolite_util Page Pageout Pdomain Physmem Vm

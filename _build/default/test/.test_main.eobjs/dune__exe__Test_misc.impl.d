@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Bytes Gen Iolite_core Iolite_ipc Iolite_mem Iolite_os Iolite_sim Iolite_util Iolite_workload List Option QCheck QCheck_alcotest String

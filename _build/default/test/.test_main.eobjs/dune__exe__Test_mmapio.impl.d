@@ -1,0 +1,1 @@
+test/test_mmapio.ml: Alcotest Buffer Iolite_core Iolite_fs Iolite_os Iolite_sim Iolite_util Option String

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Char Cksum Float Iolite_core Iolite_mem Iolite_net Iolite_sim Iolite_util Link List Mbuf Packetfilter QCheck QCheck_alcotest String

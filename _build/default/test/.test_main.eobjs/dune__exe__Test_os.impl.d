@@ -1,0 +1,1 @@
+test/test_os.ml: Alcotest Buffer Cpu Fileio Iolite_core Iolite_fs Iolite_mem Iolite_os Iolite_sim Iolite_util Kernel Option Process Sock String

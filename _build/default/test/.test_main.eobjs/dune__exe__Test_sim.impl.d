@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Buffer Engine Heap Iolite_sim Iolite_util List Printf Sync

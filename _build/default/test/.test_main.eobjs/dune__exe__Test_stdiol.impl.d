@@ -1,0 +1,1 @@
+test/test_stdiol.ml: Alcotest Iolite_core Iolite_fs Iolite_httpd Iolite_ipc Iolite_os Iolite_sim Iolite_util List Printf String

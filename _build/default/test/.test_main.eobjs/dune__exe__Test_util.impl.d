@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fun Iolite_util Rng Stats String Table Zipf

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Float Iolite_httpd Iolite_os Iolite_sim Iolite_util Iolite_workload List

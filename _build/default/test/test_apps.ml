@@ -1,0 +1,305 @@
+module Engine = Iolite_sim.Engine
+module Sync = Iolite_sim.Sync
+module Kernel = Iolite_os.Kernel
+module Process = Iolite_os.Process
+module Fileio = Iolite_os.Fileio
+module Pipe = Iolite_ipc.Pipe
+module Wc = Iolite_apps.Wc
+module Cat = Iolite_apps.Cat
+module Grep = Iolite_apps.Grep
+module Permute = Iolite_apps.Permute
+module Gccpipe = Iolite_apps.Gccpipe
+module Filestore = Iolite_fs.Filestore
+
+let mk () = Kernel.create (Engine.create ())
+
+let file_contents ~file ~size =
+  String.init size (fun off -> Filestore.content_byte ~file ~off)
+
+let run_wc kernel ~file ~iolite =
+  let out = ref None in
+  ignore
+    (Process.spawn kernel ~name:"wc" (fun proc ->
+         out :=
+           Some
+             (if iolite then Wc.run_iolite proc ~file else Wc.run_posix proc ~file)));
+  Engine.run (Kernel.engine kernel);
+  Option.get !out
+
+let test_wc_matches_reference () =
+  let kernel = mk () in
+  let size = 50_000 in
+  let file = Kernel.add_file kernel ~name:"/f" ~size in
+  let expect = Wc.count_string (file_contents ~file ~size) in
+  let posix = run_wc kernel ~file ~iolite:false in
+  let kernel2 = mk () in
+  let file2 = Kernel.add_file kernel2 ~name:"/f" ~size in
+  ignore file2;
+  let iolite = run_wc kernel2 ~file:file2 ~iolite:true in
+  Alcotest.(check int) "posix chars" expect.Wc.chars posix.Wc.chars;
+  Alcotest.(check int) "posix words" expect.Wc.words posix.Wc.words;
+  Alcotest.(check int) "posix lines" expect.Wc.lines posix.Wc.lines;
+  Alcotest.(check bool) "variants agree" true (posix = iolite)
+
+let test_wc_count_string_basics () =
+  let c = Wc.count_string "one two\nthree\n" in
+  Alcotest.(check int) "chars" 14 c.Wc.chars;
+  Alcotest.(check int) "words" 3 c.Wc.words;
+  Alcotest.(check int) "lines" 2 c.Wc.lines;
+  let empty = Wc.count_string "" in
+  Alcotest.(check int) "empty" 0 empty.Wc.words
+
+let test_wc_iolite_faster () =
+  let time ~iolite =
+    let kernel = mk () in
+    let file = Kernel.add_file kernel ~name:"/f" ~size:500_000 in
+    (* Warm the cache so both variants measure the I/O structure. *)
+    ignore
+      (Process.spawn kernel ~name:"warm" (fun proc ->
+           Fileio.fetch_unified proc ~file));
+    Engine.run (Kernel.engine kernel);
+    let t0 = Engine.now (Kernel.engine kernel) in
+    ignore (run_wc kernel ~file ~iolite);
+    Engine.now (Kernel.engine kernel) -. t0
+  in
+  let t_posix = time ~iolite:false in
+  let t_iolite = time ~iolite:true in
+  Alcotest.(check bool) "io-lite wc faster" true (t_iolite < t_posix);
+  (* Copy elimination should be worth a substantial fraction. *)
+  Alcotest.(check bool) "at least 20% faster" true
+    (t_iolite < 0.8 *. t_posix)
+
+let run_cat_grep kernel ~file ~pattern ~iolite =
+  let out = ref None in
+  let grep_proc = Process.make kernel ~name:"grep" in
+  let cat_proc = Process.make kernel ~name:"cat" in
+  let pipe =
+    Pipe.create (Kernel.sys kernel)
+      ~mode:(if iolite then Pipe.Zero_copy else Pipe.Copying)
+      ~writer:(Process.domain cat_proc)
+      ~reader:(Process.domain grep_proc)
+      ~reader_pool:(Process.pool grep_proc) ()
+  in
+  Engine.spawn (Kernel.engine kernel) (fun () ->
+      Cat.run cat_proc ~file ~out:pipe ~iolite;
+      Process.exit cat_proc);
+  Engine.spawn (Kernel.engine kernel) (fun () ->
+      out := Some (Grep.run_pipe grep_proc pipe ~pattern ~iolite);
+      Process.exit grep_proc);
+  Engine.run (Kernel.engine kernel);
+  Option.get !out
+
+let test_grep_matches_reference () =
+  let kernel = mk () in
+  let size = 100_000 in
+  let file = Kernel.add_file kernel ~name:"/f" ~size in
+  let pattern = "th" in
+  let expect = Grep.count_matches (file_contents ~file ~size) ~pattern in
+  let got_posix = run_cat_grep kernel ~file ~pattern ~iolite:false in
+  let kernel2 = mk () in
+  let file2 = Kernel.add_file kernel2 ~name:"/f" ~size in
+  let got_iolite = run_cat_grep kernel2 ~file:file2 ~pattern ~iolite:true in
+  Alcotest.(check int) "posix matches" expect got_posix;
+  Alcotest.(check int) "iolite matches" expect got_iolite;
+  Alcotest.(check bool) "some matches exist" true (expect > 0)
+
+let test_grep_count_matches_unit () =
+  Alcotest.(check int) "simple" 2
+    (Grep.count_matches "cat\ndog\ncatalog\n" ~pattern:"cat");
+  Alcotest.(check int) "no match" 0 (Grep.count_matches "aaa\n" ~pattern:"b");
+  Alcotest.(check int) "empty pattern" 0 (Grep.count_matches "x" ~pattern:"")
+
+let test_grep_straddling_lines () =
+  (* Force a line to straddle pipe messages: grep must reassemble it. *)
+  let kernel = mk () in
+  let grep_proc = Process.make kernel ~name:"grep" in
+  let feeder = Process.make kernel ~name:"feeder" in
+  let pipe =
+    Pipe.create (Kernel.sys kernel) ~mode:Pipe.Zero_copy
+      ~writer:(Process.domain feeder)
+      ~reader:(Process.domain grep_proc)
+      ~reader_pool:(Process.pool grep_proc) ()
+  in
+  let out = ref (-1) in
+  Engine.spawn (Kernel.engine kernel) (fun () ->
+      let spool = Pipe.stream_pool pipe in
+      let producer = Process.domain feeder in
+      (* "needle" split across two messages. *)
+      Pipe.write pipe (Iolite_core.Iobuf.Agg.of_string spool ~producer "xxnee");
+      Pipe.write pipe (Iolite_core.Iobuf.Agg.of_string spool ~producer "dlexx\nclean\n");
+      Pipe.close_write pipe;
+      Process.exit feeder);
+  Engine.spawn (Kernel.engine kernel) (fun () ->
+      out := Grep.run_pipe grep_proc pipe ~pattern:"needle" ~iolite:true;
+      Process.exit grep_proc);
+  Engine.run (Kernel.engine kernel);
+  Alcotest.(check int) "straddling line matched" 1 !out
+
+let run_permute_wc kernel ~words ~iolite =
+  let out = ref None in
+  let wc_proc = Process.make kernel ~name:"wc" in
+  let perm_proc = Process.make kernel ~name:"permute" in
+  let pipe =
+    Pipe.create (Kernel.sys kernel)
+      ~mode:(if iolite then Pipe.Zero_copy else Pipe.Copying)
+      ~writer:(Process.domain perm_proc)
+      ~reader:(Process.domain wc_proc)
+      ~reader_pool:(Process.pool wc_proc) ()
+  in
+  Engine.spawn (Kernel.engine kernel) (fun () ->
+      Permute.run perm_proc ~out:pipe ~words ~iolite;
+      Process.exit perm_proc);
+  Engine.spawn (Kernel.engine kernel) (fun () ->
+      out := Some (Wc.run_pipe wc_proc pipe);
+      Process.exit wc_proc);
+  Engine.run (Kernel.engine kernel);
+  Option.get !out
+
+let test_permute_output_volume () =
+  (* 5 words of 4 chars: 5! * 20 bytes. *)
+  let words = [| "abcd"; "efgh"; "ijkl"; "mnop"; "qrst" |] in
+  Alcotest.(check int) "predicted volume" (120 * 20)
+    (Permute.total_output_bytes ~words);
+  let kernel = mk () in
+  let counts = run_permute_wc kernel ~words ~iolite:true in
+  Alcotest.(check int) "all bytes arrive" (120 * 20) counts.Wc.chars;
+  let kernel2 = mk () in
+  let counts2 = run_permute_wc kernel2 ~words ~iolite:false in
+  Alcotest.(check bool) "modes agree" true (counts = counts2)
+
+let test_permute_words_validation () =
+  let kernel = mk () in
+  let wc_proc = Process.make kernel ~name:"wc" in
+  let pipe =
+    Pipe.create (Kernel.sys kernel) ~mode:Pipe.Copying
+      ~reader:(Process.domain wc_proc)
+      ~reader_pool:(Process.pool wc_proc) ()
+  in
+  let rejected = ref false in
+  Engine.spawn (Kernel.engine kernel) (fun () ->
+      let p = Process.make kernel ~name:"p" in
+      (try Permute.run p ~out:pipe ~words:[| "abcd"; "xy" |] ~iolite:false
+       with Invalid_argument _ -> rejected := true);
+      Process.exit p);
+  Engine.run (Kernel.engine kernel);
+  Alcotest.(check bool) "uneven words rejected" true !rejected
+
+let test_gcc_pipeline_runs_both_modes () =
+  let spec = { Gccpipe.default_spec with Gccpipe.files = 3; source_bytes = 30_000 } in
+  let kernel = mk () in
+  let t_posix = Gccpipe.run_blocking kernel spec ~iolite:false in
+  let kernel2 = mk () in
+  let t_iolite = Gccpipe.run_blocking kernel2 spec ~iolite:true in
+  Alcotest.(check bool) "both complete" true (t_posix > 0.0 && t_iolite > 0.0);
+  (* Compute dominates: the two runtimes are within a few percent. *)
+  Alcotest.(check bool) "iolite no slower" true (t_iolite <= t_posix);
+  Alcotest.(check bool) "difference small" true
+    (t_posix -. t_iolite < 0.05 *. t_posix)
+
+let test_cat_preserves_content () =
+  let kernel = mk () in
+  let size = 30_000 in
+  let file = Kernel.add_file kernel ~name:"/f" ~size in
+  let grep_proc = Process.make kernel ~name:"sink" in
+  let cat_proc = Process.make kernel ~name:"cat" in
+  let pipe =
+    Pipe.create (Kernel.sys kernel) ~mode:Pipe.Zero_copy
+      ~writer:(Process.domain cat_proc)
+      ~reader:(Process.domain grep_proc)
+      ~reader_pool:(Process.pool grep_proc) ()
+  in
+  let collected = Buffer.create size in
+  Engine.spawn (Kernel.engine kernel) (fun () ->
+      Cat.run cat_proc ~file ~out:pipe ~iolite:true;
+      Process.exit cat_proc);
+  Engine.spawn (Kernel.engine kernel) (fun () ->
+      let rec loop () =
+        match Pipe.read pipe with
+        | None -> ()
+        | Some agg ->
+          Iolite_core.Iobuf.Agg.iter_slices agg (fun sl ->
+              let data, off = Iolite_core.Iobuf.Slice.view sl in
+              Buffer.add_subbytes collected data off
+                (Iolite_core.Iobuf.Slice.len sl));
+          Iolite_core.Iobuf.Agg.free agg;
+          loop ()
+      in
+      loop ();
+      Process.exit grep_proc);
+  Engine.run (Kernel.engine kernel);
+  Alcotest.(check string) "content preserved" (file_contents ~file ~size)
+    (Buffer.contents collected)
+
+let run_matrix strategy ~rows ~cols ~updates_per_row =
+  let kernel = mk () in
+  let file = Kernel.add_file kernel ~name:"/matrix" ~size:(rows * cols) in
+  ignore
+    (Process.spawn kernel ~name:"warm" (fun proc -> Fileio.fetch_unified proc ~file));
+  Engine.run (Kernel.engine kernel);
+  let t0 = Engine.now (Kernel.engine kernel) in
+  let result = ref "" in
+  ignore
+    (Process.spawn kernel ~name:"matrix" (fun proc ->
+         result :=
+           Iolite_apps.Matrix.run proc ~file ~rows ~cols ~updates_per_row
+             strategy));
+  Engine.run (Kernel.engine kernel);
+  (Engine.now (Kernel.engine kernel) -. t0, !result)
+
+let test_matrix_strategies_agree () =
+  let _, via_agg =
+    run_matrix Iolite_apps.Matrix.Via_aggregates ~rows:32 ~cols:64
+      ~updates_per_row:4
+  in
+  let _, via_mmap =
+    run_matrix Iolite_apps.Matrix.Via_mmap ~rows:32 ~cols:64 ~updates_per_row:4
+  in
+  Alcotest.(check int) "size" (32 * 64) (String.length via_agg);
+  Alcotest.(check string) "identical matrices" via_agg via_mmap;
+  (* Updates actually landed. *)
+  let kernel = mk () in
+  let file = Kernel.add_file kernel ~name:"/matrix" ~size:(32 * 64) in
+  let original =
+    String.init (32 * 64) (fun off -> Filestore.content_byte ~file ~off)
+  in
+  Alcotest.(check bool) "matrix modified" false (String.equal original via_agg)
+
+let test_matrix_mmap_faster_when_scattered () =
+  let t_agg, _ =
+    run_matrix Iolite_apps.Matrix.Via_aggregates ~rows:128 ~cols:128
+      ~updates_per_row:5
+  in
+  let t_mmap, _ =
+    run_matrix Iolite_apps.Matrix.Via_mmap ~rows:128 ~cols:128 ~updates_per_row:5
+  in
+  Alcotest.(check bool) "mmap wins for scattered updates" true (t_mmap < t_agg)
+
+let suites =
+  [
+    ( "apps.matrix",
+      [
+        Alcotest.test_case "strategies agree" `Quick test_matrix_strategies_agree;
+        Alcotest.test_case "mmap faster" `Quick test_matrix_mmap_faster_when_scattered;
+      ] );
+    ( "apps.wc",
+      [
+        Alcotest.test_case "matches reference" `Quick test_wc_matches_reference;
+        Alcotest.test_case "count_string basics" `Quick test_wc_count_string_basics;
+        Alcotest.test_case "iolite faster" `Quick test_wc_iolite_faster;
+      ] );
+    ( "apps.grep",
+      [
+        Alcotest.test_case "matches reference" `Quick test_grep_matches_reference;
+        Alcotest.test_case "count_matches unit" `Quick test_grep_count_matches_unit;
+        Alcotest.test_case "straddling lines" `Quick test_grep_straddling_lines;
+      ] );
+    ( "apps.permute",
+      [
+        Alcotest.test_case "output volume" `Quick test_permute_output_volume;
+        Alcotest.test_case "validation" `Quick test_permute_words_validation;
+      ] );
+    ( "apps.cat",
+      [ Alcotest.test_case "preserves content" `Quick test_cat_preserves_content ] );
+    ( "apps.gcc",
+      [ Alcotest.test_case "pipeline both modes" `Quick test_gcc_pipeline_runs_both_modes ] );
+  ]

@@ -1,0 +1,346 @@
+open Iolite_core
+module Mem = Iolite_mem
+
+let mk ?policy ?(capacity = 32 * 1024 * 1024) () =
+  let sys = Iosys.create ~capacity () in
+  let app = Iosys.new_domain sys ~name:"app" in
+  let pool =
+    Iobuf.Pool.create sys ~name:"cachetest" ~acl:(Mem.Vm.Only (Mem.Pdomain.Set.singleton app))
+  in
+  let cache = Filecache.create ?policy ~register_with_pageout:false sys () in
+  (sys, app, pool, cache)
+
+let agg_str agg =
+  let buf = Buffer.create 16 in
+  Iobuf.Agg.iter_slices agg (fun sl ->
+      let data, off = Iobuf.Slice.view sl in
+      Buffer.add_subbytes buf data off (Iobuf.Slice.len sl));
+  Buffer.contents buf
+
+let put cache pool app ~file ~off s =
+  Filecache.insert cache ~file ~off (Iobuf.Agg.of_string pool ~producer:app s)
+
+let test_insert_lookup () =
+  let _, app, pool, cache = mk () in
+  put cache pool app ~file:1 ~off:0 "hello world";
+  (match Filecache.lookup cache ~file:1 ~off:0 ~len:11 with
+  | Some a ->
+    Alcotest.(check string) "full hit" "hello world" (agg_str a);
+    Iobuf.Agg.free a
+  | None -> Alcotest.fail "expected hit");
+  (match Filecache.lookup cache ~file:1 ~off:6 ~len:5 with
+  | Some a ->
+    Alcotest.(check string) "partial range hit" "world" (agg_str a);
+    Iobuf.Agg.free a
+  | None -> Alcotest.fail "expected partial hit");
+  Alcotest.(check int) "hits" 2 (Filecache.hits cache)
+
+let test_miss () =
+  let _, app, pool, cache = mk () in
+  put cache pool app ~file:1 ~off:0 "abc";
+  Alcotest.(check bool) "other file misses" true
+    (Filecache.lookup cache ~file:2 ~off:0 ~len:1 = None);
+  Alcotest.(check bool) "beyond extent misses" true
+    (Filecache.lookup cache ~file:1 ~off:2 ~len:5 = None);
+  Alcotest.(check int) "misses" 2 (Filecache.misses cache)
+
+let test_write_replaces () =
+  let _, app, pool, cache = mk () in
+  put cache pool app ~file:7 ~off:0 "aaaaaaaaaa";
+  put cache pool app ~file:7 ~off:3 "BBBB";
+  let check_range off len expect =
+    match Filecache.lookup cache ~file:7 ~off ~len with
+    | Some a ->
+      Alcotest.(check string) "range" expect (agg_str a);
+      Iobuf.Agg.free a
+    | None -> Alcotest.fail "expected hit"
+  in
+  check_range 0 3 "aaa";
+  check_range 3 4 "BBBB";
+  check_range 7 3 "aaa";
+  Alcotest.(check int) "three entries after carve" 3 (Filecache.entry_count cache);
+  Alcotest.(check int) "byte total" 10 (Filecache.total_bytes cache)
+
+let test_snapshot_semantics () =
+  (* Data returned by a read must be unaffected by a later write to the
+     same range (Section 3.5). *)
+  let _, app, pool, cache = mk () in
+  put cache pool app ~file:9 ~off:0 "original!!";
+  let snapshot =
+    match Filecache.lookup cache ~file:9 ~off:0 ~len:10 with
+    | Some a -> a
+    | None -> Alcotest.fail "hit expected"
+  in
+  put cache pool app ~file:9 ~off:0 "rewritten-";
+  Alcotest.(check string) "snapshot unchanged" "original!!" (agg_str snapshot);
+  (match Filecache.lookup cache ~file:9 ~off:0 ~len:10 with
+  | Some fresh ->
+    Alcotest.(check string) "new readers see the write" "rewritten-" (agg_str fresh);
+    Iobuf.Agg.free fresh
+  | None -> Alcotest.fail "hit expected");
+  Iobuf.Agg.free snapshot
+
+let test_invalidate_file () =
+  let _, app, pool, cache = mk () in
+  put cache pool app ~file:1 ~off:0 "abc";
+  put cache pool app ~file:2 ~off:0 "def";
+  Filecache.invalidate_file cache ~file:1;
+  Alcotest.(check bool) "file 1 gone" true
+    (Filecache.lookup cache ~file:1 ~off:0 ~len:3 = None);
+  Alcotest.(check bool) "file 2 intact" true
+    (Filecache.lookup cache ~file:2 ~off:0 ~len:3 <> None |> fun x ->
+     x);
+  Alcotest.(check int) "one entry left" 1 (Filecache.entry_count cache)
+
+let test_eviction_prefers_unreferenced () =
+  let _, app, pool, cache = mk () in
+  put cache pool app ~file:1 ~off:0 (String.make 100 'a');
+  put cache pool app ~file:2 ~off:0 (String.make 100 'b');
+  (* Hold a reference into file 1's buffers: it should survive. *)
+  let held =
+    match Filecache.lookup cache ~file:1 ~off:0 ~len:100 with
+    | Some a -> a
+    | None -> Alcotest.fail "hit"
+  in
+  (* file 2 was accessed more recently, but is unreferenced: with LRU
+     among unreferenced entries, file 2 is the victim. *)
+  let freed = Filecache.evict_one cache in
+  Alcotest.(check int) "evicted 100 bytes" 100 freed;
+  Alcotest.(check bool) "file1 still cached" true
+    (Filecache.covered cache ~file:1 ~off:0 ~len:100);
+  Alcotest.(check bool) "file2 evicted" false
+    (Filecache.covered cache ~file:2 ~off:0 ~len:100);
+  Iobuf.Agg.free held
+
+let test_eviction_falls_back_to_referenced () =
+  let _, app, pool, cache = mk () in
+  put cache pool app ~file:1 ~off:0 (String.make 50 'a');
+  let held =
+    match Filecache.lookup cache ~file:1 ~off:0 ~len:50 with
+    | Some a -> a
+    | None -> Alcotest.fail "hit"
+  in
+  let freed = Filecache.evict_one cache in
+  Alcotest.(check int) "referenced entry evicted as last resort" 50 freed;
+  (* The held aggregate's data must persist regardless. *)
+  Alcotest.(check string) "snapshot persists" (String.make 50 'a') (agg_str held);
+  Iobuf.Agg.free held
+
+let test_capacity_enforced () =
+  let _, app, pool, cache = mk () in
+  Filecache.set_capacity cache (Some (fun () -> 250));
+  put cache pool app ~file:1 ~off:0 (String.make 100 'a');
+  put cache pool app ~file:2 ~off:0 (String.make 100 'b');
+  put cache pool app ~file:3 ~off:0 (String.make 100 'c');
+  Alcotest.(check bool) "within capacity" true (Filecache.total_bytes cache <= 250);
+  Alcotest.(check bool) "lru victim was file 1" false
+    (Filecache.covered cache ~file:1 ~off:0 ~len:100);
+  Alcotest.(check bool) "file 3 present" true
+    (Filecache.covered cache ~file:3 ~off:0 ~len:100)
+
+let test_gds_prefers_small_victims () =
+  (* GDS(1): H = L + 1/size, so with equal recency large files have
+     smaller H and are evicted first. *)
+  let _, app, pool, cache = mk ~policy:(Policy.gds ()) () in
+  put cache pool app ~file:1 ~off:0 (String.make 1000 'L');
+  put cache pool app ~file:2 ~off:0 (String.make 10 's');
+  let freed = Filecache.evict_one cache in
+  Alcotest.(check int) "large file evicted first" 1000 freed;
+  Alcotest.(check bool) "small survives" true
+    (Filecache.covered cache ~file:2 ~off:0 ~len:10)
+
+let test_gds_inflation_protects_recent () =
+  let _, app, pool, cache = mk ~policy:(Policy.gds ()) () in
+  (* Insert a big file, evict it (L rises), then a big recent file should
+     outrank an old small one only via inflation. *)
+  put cache pool app ~file:1 ~off:0 (String.make 1000 'a');
+  ignore (Filecache.evict_one cache);
+  put cache pool app ~file:2 ~off:0 (String.make 10 'b');
+  put cache pool app ~file:3 ~off:0 (String.make 1000 'c');
+  (* H(file2) = L + 1/10 where L was 1/1000; H(file3) = L' + 1/1000 with
+     L' = L... file3 still smaller priority: evicted. *)
+  let freed = Filecache.evict_one cache in
+  Alcotest.(check int) "bigger H survives" 1000 freed;
+  Alcotest.(check bool) "small survives" true
+    (Filecache.covered cache ~file:2 ~off:0 ~len:10)
+
+let test_lru_policy_order () =
+  let p = Policy.lru () in
+  p.Policy.on_insert (1, 0) ~size:10;
+  p.Policy.on_insert (2, 0) ~size:10;
+  p.Policy.on_insert (3, 0) ~size:10;
+  p.Policy.on_access (1, 0) ~size:10;
+  Alcotest.(check (option (pair int int)))
+    "oldest untouched is victim" (Some (2, 0))
+    (p.Policy.choose ~eligible:(fun _ -> true));
+  p.Policy.on_remove (2, 0);
+  Alcotest.(check (option (pair int int)))
+    "next victim" (Some (3, 0))
+    (p.Policy.choose ~eligible:(fun _ -> true))
+
+let test_lru_eligibility_filter () =
+  let p = Policy.lru () in
+  p.Policy.on_insert (1, 0) ~size:10;
+  p.Policy.on_insert (2, 0) ~size:10;
+  Alcotest.(check (option (pair int int)))
+    "skips ineligible tail" (Some (2, 0))
+    (p.Policy.choose ~eligible:(fun k -> k <> (1, 0)));
+  Alcotest.(check (option (pair int int)))
+    "none eligible" None
+    (p.Policy.choose ~eligible:(fun _ -> false))
+
+let test_gds_policy_skip_reinserts () =
+  let p = Policy.gds () in
+  p.Policy.on_insert (1, 0) ~size:1000;
+  p.Policy.on_insert (2, 0) ~size:10;
+  (* Skip the natural victim once; it must still be chooseable later. *)
+  Alcotest.(check (option (pair int int)))
+    "skip big" (Some (2, 0))
+    (p.Policy.choose ~eligible:(fun k -> k = (2, 0)));
+  Alcotest.(check (option (pair int int)))
+    "big still tracked" (Some (1, 0))
+    (p.Policy.choose ~eligible:(fun k -> k = (1, 0)))
+
+let test_unified_trim_via_pageout () =
+  (* Unified regime: a small physical memory forces pool chunk allocation
+     to trigger pageout, which must evict cache entries (Section 3.7). *)
+  let sys = Iosys.create ~capacity:(512 * 1024) () in
+  let app = Iosys.new_domain sys ~name:"app" in
+  let pool =
+    Iobuf.Pool.create sys ~name:"p" ~acl:(Mem.Vm.Only (Mem.Pdomain.Set.singleton app))
+  in
+  let cache = Filecache.create ~register_with_pageout:true sys () in
+  (* Fill the cache well past physical memory. *)
+  for file = 1 to 24 do
+    Filecache.insert cache ~file ~off:0
+      (Iobuf.Agg.of_string pool ~producer:app (String.make 60_000 'x'))
+  done;
+  Alcotest.(check bool) "entries were evicted" true (Filecache.evictions cache > 0);
+  Alcotest.(check bool) "cache bounded by memory" true
+    (Filecache.total_bytes cache < 512 * 1024);
+  Alcotest.(check bool) "memory not overcommitted much" true
+    (Mem.Physmem.overcommit (Iosys.physmem sys) <= Mem.Page.chunk_size)
+
+let test_policy_swap_preserves_entries () =
+  let _, app, pool, cache = mk () in
+  put cache pool app ~file:1 ~off:0 "aaa";
+  put cache pool app ~file:2 ~off:0 "bbb";
+  Filecache.set_policy cache (Policy.gds ());
+  Alcotest.(check string) "policy swapped" "GDS" (Filecache.policy_name cache);
+  (* Both entries remain evictable under the new policy. *)
+  let freed = Filecache.evict_one cache + Filecache.evict_one cache in
+  Alcotest.(check int) "all entries reachable" 6 freed
+
+(* ------------------------------------------------------------------ *)
+(* Model-based property test: the cache against a byte-level oracle.   *)
+(* ------------------------------------------------------------------ *)
+
+type op =
+  | Op_insert of int * int * string (* file, off, data: replaces *)
+  | Op_backfill of int * int * string (* file, off, data: fills gaps *)
+  | Op_lookup of int * int * int (* file, off, len *)
+  | Op_invalidate of int
+
+let op_gen =
+  let open QCheck.Gen in
+  let file = 0 -- 3 in
+  let off = 0 -- 300 in
+  let data = string_size ~gen:(char_range 'a' 'z') (1 -- 120) in
+  frequency
+    [
+      (4, map3 (fun f o d -> Op_insert (f, o, d)) file off data);
+      (2, map3 (fun f o d -> Op_backfill (f, o, d)) file off data);
+      (5, map3 (fun f o l -> Op_lookup (f, o, l)) file off (1 -- 150));
+      (1, map (fun f -> Op_invalidate f) file);
+    ]
+
+let model_size = 600
+
+let prop_cache_matches_model =
+  QCheck.Test.make ~name:"filecache matches byte-level oracle" ~count:300
+    (QCheck.make
+       QCheck.Gen.(list_size (1 -- 40) op_gen)
+       ~print:(fun ops ->
+         String.concat ";"
+           (List.map
+              (function
+                | Op_insert (f, o, d) ->
+                  Printf.sprintf "ins(%d,%d,%d)" f o (String.length d)
+                | Op_backfill (f, o, d) ->
+                  Printf.sprintf "bf(%d,%d,%d)" f o (String.length d)
+                | Op_lookup (f, o, l) -> Printf.sprintf "look(%d,%d,%d)" f o l
+                | Op_invalidate f -> Printf.sprintf "inv(%d)" f)
+              ops)))
+    (fun ops ->
+      let _, app, pool, cache = mk () in
+      (* Oracle: per file, Some c where cached. *)
+      let model = Array.init 4 (fun _ -> Array.make model_size None) in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Op_insert (f, off, d) ->
+            Filecache.insert cache ~file:f ~off
+              (Iobuf.Agg.of_string pool ~producer:app d);
+            String.iteri (fun i c -> model.(f).(off + i) <- Some c) d
+          | Op_backfill (f, off, d) ->
+            Filecache.backfill cache ~file:f ~off
+              (Iobuf.Agg.of_string pool ~producer:app d);
+            String.iteri
+              (fun i c ->
+                if model.(f).(off + i) = None then
+                  model.(f).(off + i) <- Some c)
+              d
+          | Op_invalidate f ->
+            Filecache.invalidate_file cache ~file:f;
+            Array.fill model.(f) 0 model_size None
+          | Op_lookup (f, off, len) ->
+            let expect =
+              let rec gather i acc =
+                if i = len then Some (List.rev acc)
+                else begin
+                  match model.(f).(off + i) with
+                  | Some c -> gather (i + 1) (c :: acc)
+                  | None -> None
+                end
+              in
+              Option.map
+                (fun cs -> String.init len (List.nth cs))
+                (gather 0 [])
+            in
+            let got = Filecache.lookup cache ~file:f ~off ~len in
+            (match (expect, got) with
+            | None, None -> ()
+            | Some e, Some agg ->
+              if not (String.equal e (agg_str agg)) then ok := false;
+              Iobuf.Agg.free agg
+            | Some _, None | None, Some _ -> ok := false);
+            Option.iter (fun _ -> ()) expect)
+        ops;
+      !ok)
+
+let suites =
+  [
+    ( "core.filecache",
+      [
+        Alcotest.test_case "insert/lookup" `Quick test_insert_lookup;
+        Alcotest.test_case "miss" `Quick test_miss;
+        Alcotest.test_case "write replaces" `Quick test_write_replaces;
+        Alcotest.test_case "snapshot semantics" `Quick test_snapshot_semantics;
+        Alcotest.test_case "invalidate file" `Quick test_invalidate_file;
+        Alcotest.test_case "evict unreferenced first" `Quick test_eviction_prefers_unreferenced;
+        Alcotest.test_case "evict referenced fallback" `Quick test_eviction_falls_back_to_referenced;
+        Alcotest.test_case "capacity" `Quick test_capacity_enforced;
+        Alcotest.test_case "unified pageout trim" `Quick test_unified_trim_via_pageout;
+        Alcotest.test_case "policy swap" `Quick test_policy_swap_preserves_entries;
+      ] );
+    ("core.filecache.props", [ QCheck_alcotest.to_alcotest prop_cache_matches_model ]);
+    ( "core.policy",
+      [
+        Alcotest.test_case "lru order" `Quick test_lru_policy_order;
+        Alcotest.test_case "lru eligibility" `Quick test_lru_eligibility_filter;
+        Alcotest.test_case "gds size preference" `Quick test_gds_prefers_small_victims;
+        Alcotest.test_case "gds inflation" `Quick test_gds_inflation_protects_recent;
+        Alcotest.test_case "gds skip reinserts" `Quick test_gds_policy_skip_reinserts;
+      ] );
+  ]

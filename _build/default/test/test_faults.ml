@@ -1,0 +1,96 @@
+(* Failure injection: fault isolation between the server and third-party
+   CGI code (Sections 3.10, 5.3), and cache behavior under churn. *)
+
+module Engine = Iolite_sim.Engine
+module Kernel = Iolite_os.Kernel
+module Sock = Iolite_os.Sock
+module Flash = Iolite_httpd.Flash
+module Cgi = Iolite_httpd.Cgi
+module Http = Iolite_httpd.Http
+
+let mk () = Kernel.create (Engine.create ())
+
+let test_cgi_crash_then_502_and_static_survives () =
+  let kernel = mk () in
+  ignore (Kernel.add_file kernel ~name:"/static" ~size:4_000);
+  (* Drive the Cgi module directly so we can hold the handle. *)
+  let got = ref [] in
+  ignore
+    (Iolite_os.Process.spawn kernel ~name:"server" (fun server_proc ->
+         let cgi =
+           Cgi.start kernel ~server:server_proc ~zero_copy:true
+             ~doc_size:25_000
+         in
+         (* One healthy round trip. *)
+         (match Cgi.serve cgi server_proc with
+         | Some doc ->
+           got := `Doc (Iolite_core.Iobuf.Agg.length doc) :: !got;
+           Iolite_core.Iobuf.Agg.free doc
+         | None -> got := `Dead :: !got);
+         Alcotest.(check bool) "alive before crash" true (Cgi.alive cgi);
+         Cgi.crash cgi;
+         Alcotest.(check bool) "dead after crash" false (Cgi.alive cgi);
+         (* Requests after the crash report failure instead of hanging. *)
+         (match Cgi.serve cgi server_proc with
+         | Some _ -> got := `Doc (-1) :: !got
+         | None -> got := `Dead :: !got);
+         (* The server process itself is fine: it can still do file I/O. *)
+         let agg =
+           Iolite_os.Fileio.iol_read server_proc
+             ~file:
+               (match
+                  Iolite_fs.Filestore.lookup (Kernel.store kernel) "/static"
+                with
+               | Some f -> f
+               | None -> Alcotest.fail "static file missing")
+             ~off:0 ~len:4_000
+         in
+         got := `Doc (Iolite_core.Iobuf.Agg.length agg) :: !got;
+         Iolite_core.Iobuf.Agg.free agg));
+  Engine.run (Kernel.engine kernel);
+  Alcotest.(check bool) "sequence correct" true
+    (match List.rev !got with
+    | [ `Doc 25_000; `Dead; `Doc 4_000 ] -> true
+    | _ -> false)
+
+let test_cgi_crash_mid_request_via_server () =
+  (* End-to-end: crash the app, then an HTTP request to /cgi gets a 502
+     and static content keeps flowing. *)
+  let kernel = mk () in
+  ignore (Kernel.add_file kernel ~name:"/static" ~size:4_000);
+  let server =
+    Flash.start ~variant:Flash.Iolite ~cgi_doc_size:10_000 kernel ~port:80
+  in
+  let sizes = ref [] in
+  Engine.spawn (Kernel.engine kernel) (fun () ->
+      let conn = Sock.connect kernel (Flash.listener server) in
+      let ask path =
+        sizes :=
+          Sock.request conn (Http.request_string ~keep_alive:true path) :: !sizes
+      in
+      ask "/cgi";
+      (* Kill the application between requests. *)
+      (match Flash.cgi_handle server with
+      | Some cgi -> Cgi.crash cgi
+      | None -> Alcotest.fail "no cgi attached");
+      ask "/cgi";
+      ask "/static";
+      Sock.close conn);
+  Engine.run (Kernel.engine kernel);
+  match List.rev !sizes with
+  | [ healthy; after_crash; static ] ->
+    Alcotest.(check bool) "healthy response full" true (healthy > 10_000);
+    Alcotest.(check bool) "502 is small" true (after_crash < 400);
+    Alcotest.(check bool) "static unaffected" true (static > 4_000)
+  | _ -> Alcotest.fail "expected three responses"
+
+let suites =
+  [
+    ( "faults.cgi",
+      [
+        Alcotest.test_case "crash isolated (direct)" `Quick
+          test_cgi_crash_then_502_and_static_survives;
+        Alcotest.test_case "crash isolated (http)" `Quick
+          test_cgi_crash_mid_request_via_server;
+      ] );
+  ]

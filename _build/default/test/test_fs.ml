@@ -1,0 +1,145 @@
+open Iolite_fs
+module Engine = Iolite_sim.Engine
+module Proc = Engine.Proc
+
+let run_sim f =
+  let e = Engine.create () in
+  Engine.spawn e f;
+  Engine.run e;
+  Engine.now e
+
+let test_disk_latency_model () =
+  let d = Disk.create ~positioning_s:0.008 ~sequential_positioning_s:0.0005
+      ~bytes_per_sec:12e6 () in
+  let elapsed =
+    run_sim (fun () ->
+        Disk.read d ~file:1 ~off:0 ~bytes:120_000;
+        (* Sequential follow-up is cheap. *)
+        Disk.read d ~file:1 ~off:120_000 ~bytes:120_000;
+        (* Different file seeks again. *)
+        Disk.read d ~file:2 ~off:0 ~bytes:0)
+  in
+  let expect = 0.008 +. 0.01 +. 0.0005 +. 0.01 +. 0.008 in
+  Alcotest.(check (float 1e-6)) "latency" expect elapsed;
+  Alcotest.(check int) "reads counted" 3 (Disk.reads d);
+  Alcotest.(check int) "bytes counted" 240_000 (Disk.bytes_read d)
+
+let test_disk_fifo_queueing () =
+  let d = Disk.create ~positioning_s:0.01 ~bytes_per_sec:1e9 () in
+  let order = ref [] in
+  let e = Engine.create () in
+  for i = 1 to 3 do
+    Engine.spawn e (fun () ->
+        Disk.read d ~file:i ~off:0 ~bytes:1;
+        order := i :: !order)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo service" [ 1; 2; 3 ] (List.rev !order);
+  Alcotest.(check (float 1e-6)) "serialized" 0.03 (Engine.now e)
+
+let test_disk_write_accounting () =
+  let d = Disk.create () in
+  ignore
+    (run_sim (fun () -> Disk.write d ~file:1 ~off:0 ~bytes:5000));
+  Alcotest.(check int) "writes" 1 (Disk.writes d);
+  Alcotest.(check int) "bytes written" 5000 (Disk.bytes_written d);
+  Alcotest.(check bool) "busy time positive" true (Disk.busy_time d > 0.0)
+
+let test_filestore_registration () =
+  let fs = Filestore.create () in
+  let a = Filestore.add fs ~name:"/a" ~size:100 in
+  let b = Filestore.add fs ~name:"/b" ~size:2000 in
+  Alcotest.(check int) "count" 2 (Filestore.file_count fs);
+  Alcotest.(check int) "total" 2100 (Filestore.total_bytes fs);
+  Alcotest.(check (option int)) "lookup a" (Some a) (Filestore.lookup fs "/a");
+  Alcotest.(check (option int)) "lookup b" (Some b) (Filestore.lookup fs "/b");
+  Alcotest.(check (option int)) "lookup missing" None (Filestore.lookup fs "/c");
+  Alcotest.(check string) "name" "/b" (Filestore.name fs b);
+  Alcotest.(check int) "size" 2000 (Filestore.size fs b);
+  Alcotest.(check bool) "metadata grows" true (Filestore.metadata_bytes fs > 0)
+
+let test_filestore_duplicate_rejected () =
+  let fs = Filestore.create () in
+  ignore (Filestore.add fs ~name:"/a" ~size:1);
+  Alcotest.(check bool) "duplicate" true
+    (match Filestore.add fs ~name:"/a" ~size:2 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_filestore_unknown_id () =
+  let fs = Filestore.create () in
+  Alcotest.check_raises "unknown id" Not_found (fun () ->
+      ignore (Filestore.size fs 42))
+
+let test_content_deterministic () =
+  for file = 0 to 3 do
+    for off = 0 to 100 do
+      Alcotest.(check char) "stable content"
+        (Filestore.content_byte ~file ~off)
+        (Filestore.content_byte ~file ~off)
+    done
+  done;
+  (* Different files differ somewhere. *)
+  let differs = ref false in
+  for off = 0 to 63 do
+    if Filestore.content_byte ~file:1 ~off <> Filestore.content_byte ~file:2 ~off
+    then differs := true
+  done;
+  Alcotest.(check bool) "files differ" true !differs
+
+let test_content_has_newlines () =
+  let newlines = ref 0 in
+  for off = 0 to 9999 do
+    if Filestore.content_byte ~file:5 ~off = '\n' then incr newlines
+  done;
+  (* Roughly 1/96 of bytes. *)
+  Alcotest.(check bool) "newline density plausible" true
+    (!newlines > 40 && !newlines < 250)
+
+let test_fill_buffer_and_check () =
+  let sys = Iolite_core.Iosys.create () in
+  let d = Iolite_core.Iosys.new_domain sys ~name:"d" in
+  let pool =
+    Iolite_core.Iobuf.Pool.create sys ~name:"t"
+      ~acl:(Iolite_mem.Vm.Only (Iolite_mem.Pdomain.Set.singleton d))
+  in
+  let fs = Filestore.create () in
+  let file = Filestore.add fs ~name:"/x" ~size:10_000 in
+  let b = Iolite_core.Iobuf.Pool.alloc pool ~producer:d 512 in
+  Filestore.fill_buffer fs b ~file ~off:100;
+  Iolite_core.Iobuf.Buffer.seal b;
+  let agg = Iolite_core.Iobuf.Agg.of_buffer_owned b in
+  let s = Iolite_core.Iobuf.Agg.to_string sys agg in
+  Alcotest.(check bool) "contents match generator" true
+    (Filestore.check_string ~file ~off:100 s);
+  Alcotest.(check bool) "offset matters" false
+    (Filestore.check_string ~file ~off:0 s);
+  Iolite_core.Iobuf.Agg.free agg
+
+let test_iter () =
+  let fs = Filestore.create () in
+  ignore (Filestore.add fs ~name:"/a" ~size:10);
+  ignore (Filestore.add fs ~name:"/b" ~size:20);
+  let seen = ref [] in
+  Filestore.iter fs (fun id ~name ~size -> seen := (id, name, size) :: !seen);
+  Alcotest.(check int) "visited all" 2 (List.length !seen)
+
+let suites =
+  [
+    ( "fs.disk",
+      [
+        Alcotest.test_case "latency model" `Quick test_disk_latency_model;
+        Alcotest.test_case "fifo queueing" `Quick test_disk_fifo_queueing;
+        Alcotest.test_case "write accounting" `Quick test_disk_write_accounting;
+      ] );
+    ( "fs.filestore",
+      [
+        Alcotest.test_case "registration" `Quick test_filestore_registration;
+        Alcotest.test_case "duplicate rejected" `Quick test_filestore_duplicate_rejected;
+        Alcotest.test_case "unknown id" `Quick test_filestore_unknown_id;
+        Alcotest.test_case "deterministic content" `Quick test_content_deterministic;
+        Alcotest.test_case "newline density" `Quick test_content_has_newlines;
+        Alcotest.test_case "fill buffer" `Quick test_fill_buffer_and_check;
+        Alcotest.test_case "iter" `Quick test_iter;
+      ] );
+  ]

@@ -1,0 +1,246 @@
+module Engine = Iolite_sim.Engine
+module Pipe = Iolite_ipc.Pipe
+module Iobuf = Iolite_core.Iobuf
+module Iosys = Iolite_core.Iosys
+module Mem = Iolite_mem
+module Counter = Iolite_util.Stats.Counter
+
+let mk mode =
+  let sys = Iosys.create () in
+  let writer = Iosys.new_domain sys ~name:"writer" in
+  let reader = Iosys.new_domain sys ~name:"reader" in
+  let reader_pool =
+    Iobuf.Pool.create sys ~name:"reader-pool"
+      ~acl:(Mem.Vm.Only (Mem.Pdomain.Set.singleton reader))
+  in
+  let pipe = Pipe.create sys ~mode ~writer ~reader ~reader_pool () in
+  (sys, writer, reader, pipe)
+
+let agg_str agg =
+  let buf = Buffer.create 16 in
+  Iobuf.Agg.iter_slices agg (fun sl ->
+      let data, off = Iobuf.Slice.view sl in
+      Buffer.add_subbytes buf data off (Iobuf.Slice.len sl));
+  Buffer.contents buf
+
+let collect pipe =
+  let buf = Buffer.create 64 in
+  let rec loop () =
+    match Pipe.read pipe with
+    | None -> Buffer.contents buf
+    | Some agg ->
+      Buffer.add_string buf (agg_str agg);
+      Iobuf.Agg.free agg;
+      loop ()
+  in
+  loop ()
+
+let roundtrip mode payloads =
+  let sys, writer, _, pipe = mk mode in
+  let result = ref "" in
+  let e = Engine.create () in
+  Engine.spawn e (fun () ->
+      List.iter
+        (fun s ->
+          Pipe.write_string pipe ~producer:writer ~pool:(Pipe.stream_pool pipe) s)
+        payloads;
+      Pipe.close_write pipe);
+  Engine.spawn e (fun () -> result := collect pipe);
+  Engine.run e;
+  (sys, !result)
+
+let test_zero_copy_roundtrip () =
+  let _, got = roundtrip Pipe.Zero_copy [ "hello"; " "; "pipe" ] in
+  Alcotest.(check string) "contents" "hello pipe" got
+
+let test_copying_roundtrip () =
+  let _, got = roundtrip Pipe.Copying [ "hello"; " "; "pipe" ] in
+  Alcotest.(check string) "contents" "hello pipe" got
+
+let test_zero_copy_no_copies () =
+  let sys, got = roundtrip Pipe.Zero_copy [ String.make 10_000 'z' ] in
+  Alcotest.(check int) "length" 10_000 (String.length got);
+  Alcotest.(check int) "no copies charged" 0
+    (Counter.get (Iosys.counters sys) "bytes.copied")
+
+let test_copying_two_copies () =
+  let sys, got = roundtrip Pipe.Copying [ String.make 10_000 'c' ] in
+  Alcotest.(check int) "length" 10_000 (String.length got);
+  (* write: user->kernel copy; read: kernel->reader copy. *)
+  Alcotest.(check int) "exactly two copies" 20_000
+    (Counter.get (Iosys.counters sys) "bytes.copied")
+
+let test_posix_write_on_copying_pipe () =
+  let _, _, _, pipe = mk Pipe.Copying in
+  let sys = ref None in
+  ignore sys;
+  let result = ref "" in
+  let e = Engine.create () in
+  Engine.spawn e (fun () ->
+      Pipe.write_posix pipe "posix data";
+      Pipe.close_write pipe);
+  Engine.spawn e (fun () -> result := collect pipe);
+  Engine.run e;
+  Alcotest.(check string) "delivered" "posix data" !result
+
+let test_posix_write_on_zero_copy_pipe () =
+  let sys, _, _, pipe = mk Pipe.Zero_copy in
+  let result = ref "" in
+  let e = Engine.create () in
+  Engine.spawn e (fun () ->
+      Pipe.write_posix pipe (String.make 5000 'p');
+      Pipe.close_write pipe);
+  Engine.spawn e (fun () -> result := collect pipe);
+  Engine.run e;
+  Alcotest.(check int) "delivered" 5000 (String.length !result);
+  (* Backward-compat path: exactly one copy into IO-Lite buffers. *)
+  Alcotest.(check int) "one copy" 5000
+    (Counter.get (Iosys.counters sys) "bytes.copied")
+
+let test_backpressure () =
+  let _, writer, _, pipe = mk Pipe.Zero_copy in
+  ignore writer;
+  let e = Engine.create () in
+  let writer_done = ref (-1.0) in
+  Engine.spawn e (fun () ->
+      (* Two 40KB messages exceed the 64KB capacity: the second write
+         must block until the reader drains the first. *)
+      let spool = Pipe.stream_pool pipe in
+      let producer = Iosys.kernel (Iobuf.Pool.sys spool) in
+      Pipe.write pipe (Iobuf.Agg.of_string spool ~producer (String.make 40_000 'a'));
+      Pipe.write pipe (Iobuf.Agg.of_string spool ~producer (String.make 40_000 'b'));
+      writer_done := Engine.Proc.now ();
+      Pipe.close_write pipe);
+  Engine.spawn e (fun () ->
+      Engine.Proc.sleep 5.0;
+      ignore (collect pipe));
+  Engine.run e;
+  Alcotest.(check bool) "writer blocked until reader came" true
+    (!writer_done >= 5.0)
+
+let test_oversized_zero_copy_write_rejected () =
+  let _, writer, _, pipe = mk Pipe.Zero_copy in
+  ignore writer;
+  let e = Engine.create () in
+  let rejected = ref false in
+  Engine.spawn e (fun () ->
+      let spool = Pipe.stream_pool pipe in
+      let producer = Iosys.kernel (Iobuf.Pool.sys spool) in
+      let big1 = Iobuf.Agg.of_string spool ~producer (String.make 50_000 'x') in
+      let big2 = Iobuf.Agg.of_string spool ~producer (String.make 50_000 'y') in
+      let both = Iobuf.Agg.concat big1 big2 in
+      (try Pipe.write pipe both
+       with Invalid_argument _ ->
+         rejected := true;
+         Iobuf.Agg.free both);
+      Iobuf.Agg.free big1;
+      Iobuf.Agg.free big2);
+  Engine.run e;
+  Alcotest.(check bool) "oversized rejected" true !rejected
+
+let test_copying_streams_large_writes () =
+  (* Copying pipes accept writes beyond capacity and stream them through
+     in portions, like a real pipe. *)
+  let _, _writer, _, pipe = mk Pipe.Copying in
+  let result = ref "" in
+  let e = Engine.create () in
+  Engine.spawn e (fun () ->
+      Pipe.write_posix pipe (String.make 200_000 's');
+      Pipe.close_write pipe);
+  Engine.spawn e (fun () -> result := collect pipe);
+  Engine.run e;
+  Alcotest.(check int) "all delivered" 200_000 (String.length !result)
+
+let test_write_after_close_rejected () =
+  let _, _, _, pipe = mk Pipe.Copying in
+  let e = Engine.create () in
+  let rejected = ref false in
+  Engine.spawn e (fun () ->
+      Pipe.close_write pipe;
+      try Pipe.write_posix pipe "late" with Invalid_argument _ -> rejected := true);
+  Engine.run e;
+  Alcotest.(check bool) "write after close" true !rejected
+
+let test_eof_after_drain () =
+  let _, _, _, pipe = mk Pipe.Copying in
+  let e = Engine.create () in
+  let reads = ref [] in
+  Engine.spawn e (fun () ->
+      Pipe.write_posix pipe "x";
+      Pipe.close_write pipe);
+  Engine.spawn e (fun () ->
+      let rec loop () =
+        match Pipe.read pipe with
+        | Some agg ->
+          reads := agg_str agg :: !reads;
+          Iobuf.Agg.free agg;
+          loop ()
+        | None -> reads := "<eof>" :: !reads
+      in
+      loop ());
+  Engine.run e;
+  Alcotest.(check (list string)) "data then eof" [ "x"; "<eof>" ] (List.rev !reads)
+
+let test_transferred_accounting () =
+  let _, _, _, pipe = mk Pipe.Copying in
+  let e = Engine.create () in
+  Engine.spawn e (fun () ->
+      Pipe.write_posix pipe (String.make 1234 'q');
+      Pipe.close_write pipe);
+  Engine.spawn e (fun () -> ignore (collect pipe));
+  Engine.run e;
+  Alcotest.(check int) "transferred" 1234 (Pipe.bytes_transferred pipe);
+  Alcotest.(check int) "drained" 0 (Pipe.bytes_in_flight pipe)
+
+let test_zero_copy_warm_stream_no_vm_ops () =
+  let sys, writer, _, pipe = mk Pipe.Zero_copy in
+  ignore writer;
+  let e = Engine.create () in
+  let maps_mid = ref 0 in
+  Engine.spawn e (fun () ->
+      let spool = Pipe.stream_pool pipe in
+      let producer = Iosys.kernel sys in
+      (* The pool needs a couple of chunks to cover the pipe's in-flight
+         window; after that warm-up, recycled buffers transfer with no VM
+         operations at all. *)
+      for i = 1 to 60 do
+        if i = 40 then
+          maps_mid :=
+            Counter.get (Mem.Vm.counters (Iosys.vm sys)) "vm.map_read";
+        Pipe.write pipe
+          (Iobuf.Agg.of_string spool ~producer (String.make 4096 'w'))
+      done;
+      Pipe.close_write pipe);
+  Engine.spawn e (fun () -> ignore (collect pipe));
+  Engine.run e;
+  let maps_end = Counter.get (Mem.Vm.counters (Iosys.vm sys)) "vm.map_read" in
+  Alcotest.(check int) "no maps on warm stream" !maps_mid maps_end
+
+let prop_pipe_preserves_content =
+  QCheck.Test.make ~name:"pipe preserves content (both modes)" ~count:50
+    QCheck.(pair bool (list_of_size Gen.(1 -- 8) (string_of_size Gen.(0 -- 5000))))
+    (fun (zero_copy, payloads) ->
+      let mode = if zero_copy then Pipe.Zero_copy else Pipe.Copying in
+      let _, got = roundtrip mode payloads in
+      String.equal (String.concat "" payloads) got)
+
+let suites =
+  [
+    ( "ipc.pipe",
+      [
+        Alcotest.test_case "zero-copy roundtrip" `Quick test_zero_copy_roundtrip;
+        Alcotest.test_case "copying roundtrip" `Quick test_copying_roundtrip;
+        Alcotest.test_case "zero-copy: no copies" `Quick test_zero_copy_no_copies;
+        Alcotest.test_case "copying: two copies" `Quick test_copying_two_copies;
+        Alcotest.test_case "posix write (copying)" `Quick test_posix_write_on_copying_pipe;
+        Alcotest.test_case "posix write (zero-copy)" `Quick test_posix_write_on_zero_copy_pipe;
+        Alcotest.test_case "backpressure" `Quick test_backpressure;
+        Alcotest.test_case "oversized rejected" `Quick test_oversized_zero_copy_write_rejected;
+        Alcotest.test_case "streams large writes" `Quick test_copying_streams_large_writes;
+        Alcotest.test_case "write after close" `Quick test_write_after_close_rejected;
+        Alcotest.test_case "eof" `Quick test_eof_after_drain;
+        Alcotest.test_case "transfer accounting" `Quick test_transferred_accounting;
+        Alcotest.test_case "warm stream no vm ops" `Quick test_zero_copy_warm_stream_no_vm_ops;
+        QCheck_alcotest.to_alcotest prop_pipe_preserves_content;
+      ] );
+  ]

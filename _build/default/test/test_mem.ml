@@ -1,0 +1,248 @@
+open Iolite_mem
+
+let test_page_geometry () =
+  Alcotest.(check int) "page size" 4096 Page.page_size;
+  Alcotest.(check int) "chunk size" 65536 Page.chunk_size;
+  Alcotest.(check int) "pages per chunk" 16 Page.pages_per_chunk;
+  Alcotest.(check int) "pages of 0" 0 (Page.pages_of_bytes 0);
+  Alcotest.(check int) "pages of 1" 1 (Page.pages_of_bytes 1);
+  Alcotest.(check int) "pages of 4096" 1 (Page.pages_of_bytes 4096);
+  Alcotest.(check int) "pages of 4097" 2 (Page.pages_of_bytes 4097);
+  Alcotest.(check int) "round" 8192 (Page.round_to_pages 4097)
+
+let test_pdomain_identity () =
+  let a = Pdomain.make ~name:"a" () in
+  let b = Pdomain.make ~name:"a" () in
+  Alcotest.(check bool) "distinct ids" false (Pdomain.equal a b);
+  Alcotest.(check bool) "self equal" true (Pdomain.equal a a);
+  Alcotest.(check bool) "untrusted by default" false (Pdomain.trusted a);
+  let k = Pdomain.make ~trusted:true ~name:"kernel" () in
+  Alcotest.(check bool) "trusted" true (Pdomain.trusted k)
+
+let test_physmem_accounting () =
+  let pm = Physmem.create ~capacity:(1024 * 1024) in
+  Physmem.wire pm Physmem.Kernel 1000;
+  Physmem.wire pm Physmem.Net_wired 2000;
+  Physmem.alloc_pageable pm 3000;
+  Alcotest.(check int) "kernel" 1000 (Physmem.used pm Physmem.Kernel);
+  Alcotest.(check int) "net" 2000 (Physmem.used pm Physmem.Net_wired);
+  Alcotest.(check int) "io" 3000 (Physmem.used pm Physmem.Io_data);
+  Alcotest.(check int) "total" 6000 (Physmem.total_used pm);
+  Alcotest.(check int) "budget shrinks with wiring" (1024 * 1024 - 3000)
+    (Physmem.io_budget pm);
+  Physmem.unwire pm Physmem.Net_wired 2000;
+  Physmem.free_pageable pm 3000;
+  Alcotest.(check int) "back down" 1000 (Physmem.total_used pm)
+
+let test_physmem_hook_called () =
+  let pm = Physmem.create ~capacity:10_000 in
+  let asked = ref 0 in
+  let pool = ref 8_000 in
+  Physmem.set_low_memory_hook pm (fun ~needed ->
+      asked := !asked + needed;
+      let give = min needed !pool in
+      pool := !pool - give;
+      Physmem.free_pageable pm give;
+      give);
+  Physmem.alloc_pageable pm 8_000;
+  Alcotest.(check int) "no pressure below capacity" 0 !asked;
+  Physmem.alloc_pageable pm 4_000;
+  Alcotest.(check bool) "hook reclaimed" true (!asked >= 2_000);
+  Alcotest.(check int) "fits again" 0 (Physmem.overcommit pm)
+
+let test_physmem_overcommit_when_hook_fails () =
+  let pm = Physmem.create ~capacity:1_000 in
+  Physmem.alloc_pageable pm 1_500;
+  Alcotest.(check int) "overcommit recorded" 500 (Physmem.overcommit pm)
+
+let test_physmem_invalid () =
+  let pm = Physmem.create ~capacity:1_000 in
+  Alcotest.check_raises "wire io_data"
+    (Invalid_argument "Physmem.wire: Io_data is pageable, use alloc_pageable")
+    (fun () -> Physmem.wire pm Physmem.Io_data 10);
+  Alcotest.check_raises "unwire underflow"
+    (Invalid_argument "Physmem.unwire: underflow") (fun () ->
+      Physmem.unwire pm Physmem.Kernel 10)
+
+let mk_vm ?(capacity = 16 * 1024 * 1024) () =
+  let pm = Physmem.create ~capacity in
+  let vm = Vm.create ~physmem:pm () in
+  (pm, vm)
+
+let test_vm_chunk_alloc_accounts_memory () =
+  let pm, vm = mk_vm () in
+  let acl = Vm.Only Pdomain.Set.empty in
+  let c = Vm.alloc_chunk vm ~label:"t" ~acl in
+  Alcotest.(check int) "one chunk charged" Page.chunk_size
+    (Physmem.used pm Physmem.Io_data);
+  Vm.destroy_chunk vm c;
+  Alcotest.(check int) "freed" 0 (Physmem.used pm Physmem.Io_data)
+
+let test_vm_acl_enforced () =
+  let _, vm = mk_vm () in
+  let alice = Pdomain.make ~name:"alice" () in
+  let bob = Pdomain.make ~name:"bob" () in
+  let acl = Vm.Only (Pdomain.Set.singleton alice) in
+  let c = Vm.alloc_chunk vm ~label:"t" ~acl in
+  Vm.map_read vm alice c;
+  Alcotest.(check bool) "alice readable" true (Vm.readable vm alice c);
+  Alcotest.(check bool) "bob cannot" true
+    (match Vm.map_read vm bob c with
+    | () -> false
+    | exception Vm.Protection_fault _ -> true)
+
+let test_vm_trusted_bypasses_acl () =
+  let _, vm = mk_vm () in
+  let kernel = Pdomain.make ~trusted:true ~name:"kernel" () in
+  let c = Vm.alloc_chunk vm ~label:"t" ~acl:(Vm.Only Pdomain.Set.empty) in
+  Vm.map_read vm kernel c;
+  Alcotest.(check bool) "kernel reads anything" true (Vm.readable vm kernel c)
+
+let test_vm_map_cost_once () =
+  let _, vm = mk_vm () in
+  let d = Pdomain.make ~name:"d" () in
+  let c = Vm.alloc_chunk vm ~label:"t" ~acl:(Vm.Only (Pdomain.Set.singleton d)) in
+  let ops = ref 0 in
+  Vm.set_on_op vm (fun op ~pages:_ ->
+      match op with Vm.Map_read -> incr ops | _ -> ());
+  Vm.map_read vm d c;
+  Vm.map_read vm d c;
+  Vm.map_read vm d c;
+  Alcotest.(check int) "mapping persists: only first transfer pays" 1 !ops
+
+let test_vm_write_toggle_untrusted () =
+  let _, vm = mk_vm () in
+  let d = Pdomain.make ~name:"d" () in
+  let c = Vm.alloc_chunk vm ~label:"t" ~acl:(Vm.Only (Pdomain.Set.singleton d)) in
+  Vm.grant_write vm d c;
+  Alcotest.(check bool) "writable" true (Vm.writable vm d c);
+  Alcotest.(check bool) "also readable" true (Vm.readable vm d c);
+  Vm.revoke_write vm d c;
+  Alcotest.(check bool) "write dropped" false (Vm.writable vm d c);
+  Alcotest.(check bool) "read retained" true (Vm.readable vm d c);
+  Vm.grant_write vm d c;
+  Alcotest.(check bool) "re-grantable" true (Vm.writable vm d c)
+
+let test_vm_note_op_accounting () =
+  let _, vm = mk_vm () in
+  let toggled = ref 0 in
+  Vm.set_on_op vm (fun op ~pages ->
+      match op with
+      | Vm.Grant_write | Vm.Revoke_write -> toggled := !toggled + pages
+      | _ -> ());
+  Vm.note_op vm Vm.Grant_write ~pages:3;
+  Vm.note_op vm Vm.Revoke_write ~pages:3;
+  Alcotest.(check int) "pages observed" 6 !toggled;
+  Alcotest.(check int) "grant counter" 3
+    (Iolite_util.Stats.Counter.get (Vm.counters vm) "vm.grant_write");
+  Alcotest.(check int) "revoke counter" 3
+    (Iolite_util.Stats.Counter.get (Vm.counters vm) "vm.revoke_write")
+
+let test_vm_write_toggle_trusted_free () =
+  let _, vm = mk_vm () in
+  let k = Pdomain.make ~trusted:true ~name:"kernel" () in
+  let c = Vm.alloc_chunk vm ~label:"t" ~acl:(Vm.Only Pdomain.Set.empty) in
+  Vm.grant_write vm k c;
+  Vm.revoke_write vm k c;
+  Alcotest.(check bool) "permanently writable" true (Vm.writable vm k c)
+
+let test_vm_generation_bump () =
+  let _, vm = mk_vm () in
+  let c = Vm.alloc_chunk vm ~label:"t" ~acl:(Vm.Only Pdomain.Set.empty) in
+  Alcotest.(check int) "initial gen" 0 (Vm.chunk_generation c);
+  Vm.recycle_chunk vm c;
+  Vm.recycle_chunk vm c;
+  Alcotest.(check int) "gen bumps on recycle" 2 (Vm.chunk_generation c)
+
+let test_vm_release_and_fault () =
+  let pm, vm = mk_vm () in
+  let d = Pdomain.make ~name:"d" () in
+  let c = Vm.alloc_chunk vm ~label:"t" ~acl:(Vm.Only (Pdomain.Set.singleton d)) in
+  Vm.map_read vm d c;
+  let freed = Vm.release_chunk_memory vm c in
+  Alcotest.(check int) "released a chunk" Page.chunk_size freed;
+  Alcotest.(check bool) "not resident" false (Vm.chunk_resident c);
+  Alcotest.(check int) "memory returned" 0 (Physmem.used pm Physmem.Io_data);
+  let faults = ref 0 in
+  Vm.set_on_op vm (fun op ~pages:_ ->
+      match op with Vm.Page_fault -> incr faults | _ -> ());
+  Vm.check_readable vm d c;
+  Alcotest.(check int) "faulted back in" 1 !faults;
+  Alcotest.(check bool) "resident again" true (Vm.chunk_resident c);
+  Alcotest.(check int) "second release idempotent path" Page.chunk_size
+    (Vm.release_chunk_memory vm c);
+  Alcotest.(check int) "release again is free" 0 (Vm.release_chunk_memory vm c)
+
+let test_pageout_reclaims_segments () =
+  let pm = Physmem.create ~capacity:(64 * 1024) in
+  let po = Pageout.create ~physmem:pm ~seed:1L in
+  let seg = ref (32 * 1024) in
+  Pageout.register_segment po ~name:"seg" ~is_io_cache:false
+    ~resident:(fun () -> !seg)
+    ~reclaim:(fun n ->
+      let give = min n !seg in
+      seg := !seg - give;
+      give);
+  let freed = Pageout.run po ~needed:(8 * 1024) in
+  Alcotest.(check bool) "freed enough" true (freed >= 8 * 1024);
+  Alcotest.(check bool) "segment shrank" true (!seg <= 24 * 1024)
+
+let test_pageout_half_rule () =
+  (* A cache segment that can never reclaim pages directly: the entry
+     evictor must fire via the Section 3.7 majority rule. *)
+  let pm = Physmem.create ~capacity:(64 * 1024) in
+  let po = Pageout.create ~physmem:pm ~seed:2L in
+  let cache = ref (48 * 1024) in
+  Pageout.register_segment po ~name:"cache" ~is_io_cache:true
+    ~resident:(fun () -> !cache)
+    ~reclaim:(fun _ -> 0);
+  Pageout.set_entry_evictor po (fun () ->
+      let entry = min !cache (8 * 1024) in
+      cache := !cache - entry;
+      entry);
+  let freed = Pageout.run po ~needed:(16 * 1024) in
+  Alcotest.(check bool) "evictor freed the memory" true (freed >= 16 * 1024);
+  Alcotest.(check bool) "entries were evicted" true (Pageout.entries_evicted po >= 2);
+  Alcotest.(check bool) "io pages counted" true (Pageout.io_pages_selected po > 0)
+
+let test_pageout_stops_without_progress () =
+  let pm = Physmem.create ~capacity:(64 * 1024) in
+  let po = Pageout.create ~physmem:pm ~seed:3L in
+  Pageout.register_segment po ~name:"pinned" ~is_io_cache:false
+    ~resident:(fun () -> 16 * 1024)
+    ~reclaim:(fun _ -> 0);
+  let freed = Pageout.run po ~needed:(8 * 1024) in
+  Alcotest.(check int) "nothing freed" 0 freed
+
+let suites =
+  [
+    ( "mem.page",
+      [ Alcotest.test_case "geometry" `Quick test_page_geometry ] );
+    ( "mem.pdomain",
+      [ Alcotest.test_case "identity" `Quick test_pdomain_identity ] );
+    ( "mem.physmem",
+      [
+        Alcotest.test_case "accounting" `Quick test_physmem_accounting;
+        Alcotest.test_case "hook" `Quick test_physmem_hook_called;
+        Alcotest.test_case "overcommit" `Quick test_physmem_overcommit_when_hook_fails;
+        Alcotest.test_case "invalid" `Quick test_physmem_invalid;
+      ] );
+    ( "mem.vm",
+      [
+        Alcotest.test_case "chunk accounting" `Quick test_vm_chunk_alloc_accounts_memory;
+        Alcotest.test_case "acl enforced" `Quick test_vm_acl_enforced;
+        Alcotest.test_case "trusted bypass" `Quick test_vm_trusted_bypasses_acl;
+        Alcotest.test_case "map cost once" `Quick test_vm_map_cost_once;
+        Alcotest.test_case "write toggle untrusted" `Quick test_vm_write_toggle_untrusted;
+        Alcotest.test_case "write toggle trusted" `Quick test_vm_write_toggle_trusted_free;
+        Alcotest.test_case "note_op accounting" `Quick test_vm_note_op_accounting;
+        Alcotest.test_case "generation bump" `Quick test_vm_generation_bump;
+        Alcotest.test_case "release and fault" `Quick test_vm_release_and_fault;
+      ] );
+    ( "mem.pageout",
+      [
+        Alcotest.test_case "reclaims" `Quick test_pageout_reclaims_segments;
+        Alcotest.test_case "half rule" `Quick test_pageout_half_rule;
+        Alcotest.test_case "no progress" `Quick test_pageout_stops_without_progress;
+      ] );
+  ]

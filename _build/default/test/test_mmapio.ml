@@ -1,0 +1,133 @@
+module Engine = Iolite_sim.Engine
+module Kernel = Iolite_os.Kernel
+module Process = Iolite_os.Process
+module Fileio = Iolite_os.Fileio
+module Mmapio = Iolite_os.Mmapio
+module Iobuf = Iolite_core.Iobuf
+module Filestore = Iolite_fs.Filestore
+module Counter = Iolite_util.Stats.Counter
+
+let mk () = Kernel.create (Engine.create ())
+
+let in_proc kernel f =
+  let out = ref None in
+  ignore (Process.spawn kernel ~name:"app" (fun proc -> out := Some (f proc)));
+  Engine.run (Kernel.engine kernel);
+  Option.get !out
+
+let agg_str agg =
+  let buf = Buffer.create 16 in
+  Iobuf.Agg.iter_slices agg (fun sl ->
+      let data, off = Iobuf.Slice.view sl in
+      Buffer.add_subbytes buf data off (Iobuf.Slice.len sl));
+  Buffer.contents buf
+
+let test_read_matches_file () =
+  let kernel = mk () in
+  let file = Kernel.add_file kernel ~name:"/m" ~size:20_000 in
+  in_proc kernel (fun proc ->
+      let m = Mmapio.map proc ~file in
+      let s = Mmapio.read m ~off:5_000 ~len:3_000 in
+      Alcotest.(check bool) "mapped read correct" true
+        (Filestore.check_string ~file ~off:5_000 s);
+      Alcotest.(check int) "no alignment copies for page-aligned file data" 0
+        (Mmapio.alignment_copies m);
+      Mmapio.unmap proc m)
+
+let test_write_read_back () =
+  let kernel = mk () in
+  let file = Kernel.add_file kernel ~name:"/m" ~size:20_000 in
+  in_proc kernel (fun proc ->
+      let m = Mmapio.map proc ~file in
+      Mmapio.write m ~off:4_090 "HELLO ACROSS A PAGE BOUNDARY";
+      let s = Mmapio.read m ~off:4_090 ~len:28 in
+      Alcotest.(check string) "in-place store visible" "HELLO ACROSS A PAGE BOUNDARY" s;
+      (* Surrounding data intact. *)
+      let before = Mmapio.read m ~off:4_000 ~len:90 in
+      Alcotest.(check bool) "prefix intact" true
+        (Filestore.check_string ~file ~off:4_000 before);
+      Alcotest.(check int) "two pages privatized" 2 (Mmapio.private_pages m);
+      Mmapio.unmap proc m)
+
+let test_snapshot_copy_preserves_iol_read () =
+  (* Section 3.8's second case: a store to a page referenced by an
+     immutable buffer must not change what snapshot holders see. *)
+  let kernel = mk () in
+  let file = Kernel.add_file kernel ~name:"/m" ~size:8_192 in
+  in_proc kernel (fun proc ->
+      let snapshot = Fileio.iol_read proc ~file ~off:0 ~len:100 in
+      let before = agg_str snapshot in
+      let copies0 = Counter.get (Kernel.counters kernel) "bytes.copied" in
+      let m = Mmapio.map proc ~file in
+      Mmapio.write m ~off:0 "MUTATED";
+      let copies1 = Counter.get (Kernel.counters kernel) "bytes.copied" in
+      Alcotest.(check int) "one lazy page copy charged" 4096 (copies1 - copies0);
+      Alcotest.(check string) "snapshot untouched" before (agg_str snapshot);
+      Alcotest.(check string) "mapping sees the store" "MUTATED"
+        (Mmapio.read m ~off:0 ~len:7);
+      (* A second store to the same page is free. *)
+      Mmapio.write m ~off:100 "again";
+      let copies2 = Counter.get (Kernel.counters kernel) "bytes.copied" in
+      Alcotest.(check int) "no further copy" copies1 copies2;
+      Iobuf.Agg.free snapshot;
+      Mmapio.unmap proc m)
+
+let test_sync_publishes_to_cache () =
+  let kernel = mk () in
+  let file = Kernel.add_file kernel ~name:"/m" ~size:8_192 in
+  in_proc kernel (fun proc ->
+      let m = Mmapio.map proc ~file in
+      Mmapio.write m ~off:10 "PERSISTED";
+      Mmapio.sync m;
+      Mmapio.unmap proc m;
+      (* A fresh IOL_read must see the synced data. *)
+      let agg = Fileio.iol_read proc ~file ~off:10 ~len:9 in
+      Alcotest.(check string) "visible after msync" "PERSISTED" (agg_str agg);
+      Iobuf.Agg.free agg)
+
+let test_unshared_write_in_place_free () =
+  (* A file too large for cache admission is mapped privately: nothing
+     else references its pages, so stores are free (the paper's "can be
+     modified in place if not currently shared"). *)
+  let kernel = mk () in
+  let file = Kernel.add_file kernel ~name:"/big" ~size:(20 * 1024 * 1024) in
+  in_proc kernel (fun proc ->
+      let m = Mmapio.map proc ~file in
+      let copies0 = Counter.get (Kernel.counters kernel) "bytes.copied" in
+      Mmapio.write m ~off:0 (String.make 4096 'w');
+      let copies1 = Counter.get (Kernel.counters kernel) "bytes.copied" in
+      Alcotest.(check int) "no snapshot copy for unshared page" 0
+        (copies1 - copies0);
+      Mmapio.unmap proc m)
+
+let test_bounds () =
+  let kernel = mk () in
+  let file = Kernel.add_file kernel ~name:"/m" ~size:1_000 in
+  in_proc kernel (fun proc ->
+      let m = Mmapio.map proc ~file in
+      Alcotest.(check bool) "read out of range" true
+        (match Mmapio.read m ~off:900 ~len:200 with
+        | _ -> false
+        | exception Invalid_argument _ -> true);
+      Alcotest.(check bool) "write out of range" true
+        (match Mmapio.write m ~off:990 (String.make 20 'x') with
+        | _ -> false
+        | exception Invalid_argument _ -> true);
+      Mmapio.unmap proc m;
+      Alcotest.(check bool) "use after unmap" true
+        (match Mmapio.read m ~off:0 ~len:1 with
+        | _ -> false
+        | exception Invalid_argument _ -> true))
+
+let suites =
+  [
+    ( "os.mmapio",
+      [
+        Alcotest.test_case "read matches file" `Quick test_read_matches_file;
+        Alcotest.test_case "write + read back" `Quick test_write_read_back;
+        Alcotest.test_case "snapshot copy" `Quick test_snapshot_copy_preserves_iol_read;
+        Alcotest.test_case "sync publishes" `Quick test_sync_publishes_to_cache;
+        Alcotest.test_case "unshared write free" `Quick test_unshared_write_in_place_free;
+        Alcotest.test_case "bounds" `Quick test_bounds;
+      ] );
+  ]

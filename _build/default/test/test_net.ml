@@ -1,0 +1,238 @@
+open Iolite_net
+module Engine = Iolite_sim.Engine
+module Iobuf = Iolite_core.Iobuf
+module Iosys = Iolite_core.Iosys
+module Mem = Iolite_mem
+
+let mk () =
+  let sys = Iosys.create () in
+  let d = Iosys.new_domain sys ~name:"app" in
+  let pool =
+    Iobuf.Pool.create sys ~name:"net-test"
+      ~acl:(Mem.Vm.Only (Mem.Pdomain.Set.singleton d))
+  in
+  (sys, d, pool)
+
+(* Reference Internet checksum: straightforward RFC 1071 over a string. *)
+let reference_cksum s =
+  let acc = ref 0 in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i + 1 < n do
+    acc := !acc + (Char.code s.[!i] lsl 8) + Char.code s.[!i + 1];
+    i := !i + 2
+  done;
+  if !i < n then acc := !acc + (Char.code s.[!i] lsl 8);
+  while !acc > 0xFFFF do
+    acc := (!acc land 0xFFFF) + (!acc lsr 16)
+  done;
+  !acc
+
+let test_cksum_known_vector () =
+  (* RFC 1071 example: 00 01 f2 03 f4 f5 f6 f7 -> sum ddf2. *)
+  let s = "\x00\x01\xf2\x03\xf4\xf5\xf6\xf7" in
+  Alcotest.(check int) "rfc sum" 0xddf2 (Cksum.of_string s);
+  Alcotest.(check int) "wire checksum" (lnot 0xddf2 land 0xFFFF)
+    (Cksum.finish (Cksum.of_string s))
+
+let test_cksum_odd_length () =
+  Alcotest.(check int) "odd trailing byte" (reference_cksum "abc")
+    (Cksum.of_string "abc")
+
+let test_cksum_agg_matches_flat () =
+  let sys, d, pool = mk () in
+  ignore sys;
+  let a = Iobuf.Agg.of_string pool ~producer:d "hello " in
+  let b = Iobuf.Agg.of_string pool ~producer:d "world!" in
+  let ab = Iobuf.Agg.concat a b in
+  Alcotest.(check int) "agg equals flat" (Cksum.of_string "hello world!")
+    (Cksum.of_agg ab);
+  List.iter Iobuf.Agg.free [ a; b; ab ]
+
+let test_cksum_agg_odd_boundary () =
+  (* Odd-length first slice exercises the byte-swap folding rule. *)
+  let sys, d, pool = mk () in
+  ignore sys;
+  let a = Iobuf.Agg.of_string pool ~producer:d "abc" in
+  let b = Iobuf.Agg.of_string pool ~producer:d "defgh" in
+  let ab = Iobuf.Agg.concat a b in
+  Alcotest.(check int) "odd boundary" (Cksum.of_string "abcdefgh")
+    (Cksum.of_agg ab);
+  List.iter Iobuf.Agg.free [ a; b; ab ]
+
+let prop_cksum_split_invariant =
+  QCheck.Test.make ~name:"checksum invariant under slicing" ~count:200
+    QCheck.(pair (string_of_size QCheck.Gen.(2 -- 400)) small_nat)
+    (fun (s, k) ->
+      let _, d, pool = mk () in
+      let at = 1 + (k mod (String.length s - 1)) in
+      let whole = Iobuf.Agg.of_string pool ~producer:d s in
+      let l, r = Iobuf.Agg.split whole ~at in
+      let back = Iobuf.Agg.concat l r in
+      let ok = Cksum.of_agg back = Cksum.of_string s in
+      List.iter Iobuf.Agg.free [ whole; l; r; back ];
+      ok)
+
+let test_cksum_cache_hit () =
+  let sys, d, pool = mk () in
+  ignore sys;
+  let cache = Cksum.Cache.create () in
+  let a = Iobuf.Agg.of_string pool ~producer:d (String.make 5000 'q') in
+  let sum1, computed1 = Cksum.Cache.agg_sum cache a in
+  let sum2, computed2 = Cksum.Cache.agg_sum cache a in
+  Alcotest.(check int) "same sum" sum1 sum2;
+  Alcotest.(check int) "first pass computes" 5000 computed1;
+  Alcotest.(check int) "second pass free" 0 computed2;
+  Alcotest.(check bool) "hits recorded" true (Cksum.Cache.hits cache > 0);
+  Alcotest.(check int) "correct value" (Cksum.of_agg a) sum1;
+  Iobuf.Agg.free a
+
+let test_cksum_cache_generation_invalidation () =
+  let sys, d, pool = mk () in
+  ignore sys;
+  let cache = Cksum.Cache.create () in
+  let a = Iobuf.Agg.of_string pool ~producer:d (String.make 100 'x') in
+  let sum_x, _ = Cksum.Cache.agg_sum cache a in
+  Iobuf.Agg.free a;
+  (* Reuses the same chunk space under a new generation. *)
+  let b = Iobuf.Agg.of_string pool ~producer:d (String.make 100 'y') in
+  let sum_y, computed = Cksum.Cache.agg_sum cache b in
+  Alcotest.(check bool) "different data, different sum" true (sum_x <> sum_y);
+  Alcotest.(check int) "recomputed after generation bump" 100 computed;
+  Alcotest.(check int) "matches fresh computation" (Cksum.of_agg b) sum_y;
+  Iobuf.Agg.free b
+
+let test_cksum_cache_disabled () =
+  let sys, d, pool = mk () in
+  ignore sys;
+  let cache = Cksum.Cache.create ~enabled:false () in
+  let a = Iobuf.Agg.of_string pool ~producer:d (String.make 64 'z') in
+  let _, c1 = Cksum.Cache.agg_sum cache a in
+  let _, c2 = Cksum.Cache.agg_sum cache a in
+  Alcotest.(check int) "always computes" 64 c1;
+  Alcotest.(check int) "still computes" 64 c2;
+  Alcotest.(check int) "no hits" 0 (Cksum.Cache.hits cache);
+  Iobuf.Agg.free a
+
+let test_link_wire_time () =
+  let l = Link.create ~links:5 ~bits_per_sec:360e6 () in
+  (* One 1500-byte packet on a 72 Mb/s interface: (1500+58)*8/72e6. *)
+  Alcotest.(check (float 1e-9)) "one packet"
+    (float_of_int ((1500 + 58) * 8) /. 72e6)
+    (Link.wire_time l ~bytes:1500);
+  Alcotest.(check (float 1e-12)) "zero bytes" 0.0 (Link.wire_time l ~bytes:0)
+
+let test_link_parallelism () =
+  let l = Link.create ~links:2 ~bits_per_sec:2e6 () in
+  (* Each transmission of 125000 bytes at 1 Mb/s per link takes ~1s; two
+     run in parallel, the third queues. *)
+  let e = Engine.create () in
+  let done_at = ref [] in
+  for _ = 1 to 3 do
+    Engine.spawn e (fun () ->
+        Link.transmit l ~bytes:125_000 ;
+        done_at := Engine.Proc.now () :: !done_at)
+  done;
+  Engine.run e;
+  match List.rev !done_at with
+  | [ a; b; c ] ->
+    Alcotest.(check bool) "two in parallel" true (Float.abs (a -. b) < 1e-6);
+    Alcotest.(check bool) "third queued" true (c > a +. 0.5)
+  | _ -> Alcotest.fail "expected three completions"
+
+let test_link_stats () =
+  let l = Link.create ~bits_per_sec:360e6 () in
+  let e = Engine.create () in
+  Engine.spawn e (fun () -> Link.transmit l ~bytes:10_000);
+  Engine.run e;
+  Alcotest.(check int) "bytes recorded" 10_000 (Link.bytes_sent l);
+  Alcotest.(check bool) "utilization positive" true
+    (Link.utilization l ~now:(Engine.now e) > 0.0)
+
+let test_packetfilter () =
+  let _, d, pool = mk () in
+  ignore d;
+  let pf = Packetfilter.create () in
+  Packetfilter.bind pf ~port:80 pool;
+  (match Packetfilter.classify pf ~port:80 with
+  | Packetfilter.Demuxed p ->
+    Alcotest.(check string) "right pool" "net-test" (Iobuf.Pool.name p)
+  | Packetfilter.Unmatched -> Alcotest.fail "should demux");
+  (match Packetfilter.classify pf ~port:81 with
+  | Packetfilter.Unmatched -> ()
+  | Packetfilter.Demuxed _ -> Alcotest.fail "should not demux");
+  Alcotest.(check int) "lookups" 2 (Packetfilter.lookups pf);
+  Alcotest.(check int) "matched" 1 (Packetfilter.matched pf);
+  Packetfilter.unbind pf ~port:80;
+  Alcotest.(check int) "flows" 0 (Packetfilter.flow_count pf)
+
+let test_mbuf_zero_copy_wiring () =
+  let _, d, pool = mk () in
+  let a = Iobuf.Agg.of_string pool ~producer:d (String.make 10_000 'm') in
+  let chain = Mbuf.of_agg_zero_copy a in
+  Alcotest.(check int) "payload" 10_000 (Mbuf.length chain);
+  Alcotest.(check bool) "wired is only headers" true
+    (Mbuf.wired_bytes chain < 1024);
+  Mbuf.free chain
+
+let test_mbuf_copied_wiring () =
+  let sys, d, pool = mk () in
+  let a = Iobuf.Agg.of_string pool ~producer:d (String.make 10_000 'm') in
+  let before = Iolite_util.Stats.Counter.get (Iosys.counters sys) "bytes.copied" in
+  let chain = Mbuf.of_agg_copied sys a in
+  let after = Iolite_util.Stats.Counter.get (Iosys.counters sys) "bytes.copied" in
+  Alcotest.(check int) "copy charged" 10_000 (after - before);
+  Alcotest.(check bool) "wired includes payload" true
+    (Mbuf.wired_bytes chain > 10_000);
+  Alcotest.(check bool) "cluster chain" true (Mbuf.mbuf_count chain > 1);
+  Mbuf.free chain;
+  Iobuf.Agg.free a
+
+let test_mbuf_inline_small () =
+  let chain = Mbuf.of_string "tiny" in
+  Alcotest.(check int) "one mbuf" 1 (Mbuf.mbuf_count chain);
+  Alcotest.(check int) "payload" 4 (Mbuf.length chain);
+  Mbuf.free chain
+
+let test_mbuf_zero_copy_owns_agg () =
+  let _, d, pool = mk () in
+  let a = Iobuf.Agg.of_string pool ~producer:d "payload" in
+  let chain = Mbuf.of_agg_zero_copy a in
+  Mbuf.free chain;
+  (* The chain owned the aggregate: it must now be freed. *)
+  Alcotest.check_raises "agg freed with chain" Iobuf.Agg.Use_after_free
+    (fun () -> ignore (Iobuf.Agg.length a))
+
+let suites =
+  [
+    ( "net.cksum",
+      [
+        Alcotest.test_case "known vector" `Quick test_cksum_known_vector;
+        Alcotest.test_case "odd length" `Quick test_cksum_odd_length;
+        Alcotest.test_case "agg matches flat" `Quick test_cksum_agg_matches_flat;
+        Alcotest.test_case "odd slice boundary" `Quick test_cksum_agg_odd_boundary;
+        QCheck_alcotest.to_alcotest prop_cksum_split_invariant;
+      ] );
+    ( "net.cksum_cache",
+      [
+        Alcotest.test_case "hit" `Quick test_cksum_cache_hit;
+        Alcotest.test_case "generation invalidation" `Quick
+          test_cksum_cache_generation_invalidation;
+        Alcotest.test_case "disabled" `Quick test_cksum_cache_disabled;
+      ] );
+    ( "net.link",
+      [
+        Alcotest.test_case "wire time" `Quick test_link_wire_time;
+        Alcotest.test_case "parallel interfaces" `Quick test_link_parallelism;
+        Alcotest.test_case "stats" `Quick test_link_stats;
+      ] );
+    ( "net.packetfilter",
+      [ Alcotest.test_case "classify" `Quick test_packetfilter ] );
+    ( "net.mbuf",
+      [
+        Alcotest.test_case "zero-copy wiring" `Quick test_mbuf_zero_copy_wiring;
+        Alcotest.test_case "copied wiring" `Quick test_mbuf_copied_wiring;
+        Alcotest.test_case "inline small" `Quick test_mbuf_inline_small;
+        Alcotest.test_case "ownership" `Quick test_mbuf_zero_copy_owns_agg;
+      ] );
+  ]

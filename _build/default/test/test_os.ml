@@ -1,0 +1,371 @@
+open Iolite_os
+module Engine = Iolite_sim.Engine
+module Sync = Iolite_sim.Sync
+module Iobuf = Iolite_core.Iobuf
+module Iosys = Iolite_core.Iosys
+module Filecache = Iolite_core.Filecache
+module Counter = Iolite_util.Stats.Counter
+
+let mk () =
+  let engine = Engine.create () in
+  let kernel = Kernel.create engine in
+  (engine, kernel)
+
+let in_proc kernel f =
+  let out = ref None in
+  ignore
+    (Process.spawn kernel ~name:"test" (fun proc -> out := Some (f proc)));
+  Engine.run (Kernel.engine kernel);
+  Option.get !out
+
+let agg_str agg =
+  let buf = Buffer.create 16 in
+  Iobuf.Agg.iter_slices agg (fun sl ->
+      let data, off = Iobuf.Slice.view sl in
+      Buffer.add_subbytes buf data off (Iobuf.Slice.len sl));
+  Buffer.contents buf
+
+(* --------------------------- CPU --------------------------------- *)
+
+let test_cpu_serializes_and_switches () =
+  let cpu = Cpu.create ~context_switch:0.001 () in
+  let e = Engine.create () in
+  Engine.spawn e (fun () -> Cpu.charge cpu ~owner:1 0.01);
+  Engine.spawn e (fun () -> Cpu.charge cpu ~owner:2 0.01);
+  Engine.spawn e (fun () -> Cpu.charge cpu ~owner:1 0.01);
+  Engine.run e;
+  (* 3 bursts + 2 switches (1->2, 2->1). *)
+  Alcotest.(check (float 1e-9)) "elapsed" 0.032 (Engine.now e);
+  Alcotest.(check int) "switches" 2 (Cpu.switches cpu);
+  Alcotest.(check (float 1e-9)) "busy" 0.032 (Cpu.busy_time cpu)
+
+let test_cpu_same_owner_no_switch () =
+  let cpu = Cpu.create ~context_switch:0.001 () in
+  let e = Engine.create () in
+  Engine.spawn e (fun () ->
+      for _ = 1 to 5 do
+        Cpu.charge cpu ~owner:7 0.01
+      done);
+  Engine.run e;
+  Alcotest.(check int) "no switches" 0 (Cpu.switches cpu);
+  Alcotest.(check (float 1e-9)) "elapsed" 0.05 (Engine.now e)
+
+(* --------------------------- Kernel ------------------------------ *)
+
+let test_kernel_memory_layout () =
+  let _, kernel = mk () in
+  let pm = Iosys.physmem (Kernel.sys kernel) in
+  Alcotest.(check int) "capacity" (128 * 1024 * 1024)
+    (Iolite_mem.Physmem.capacity pm);
+  let kernel_wired = Iolite_mem.Physmem.used pm Iolite_mem.Physmem.Kernel in
+  Alcotest.(check bool) "kernel overhead wired" true
+    (kernel_wired >= 8 * 1024 * 1024);
+  ignore (Kernel.add_file kernel ~name:"/f" ~size:1000);
+  Alcotest.(check bool) "metadata wired" true
+    (Iolite_mem.Physmem.used pm Iolite_mem.Physmem.Kernel > kernel_wired)
+
+let test_process_memory_wired () =
+  let _, kernel = mk () in
+  let pm = Iosys.physmem (Kernel.sys kernel) in
+  let before = Iolite_mem.Physmem.used pm Iolite_mem.Physmem.Process in
+  let p = Process.make ~footprint:123_000 kernel ~name:"p" in
+  Alcotest.(check int) "footprint wired" (before + 123_000)
+    (Iolite_mem.Physmem.used pm Iolite_mem.Physmem.Process);
+  Process.exit p;
+  Alcotest.(check int) "released" before
+    (Iolite_mem.Physmem.used pm Iolite_mem.Physmem.Process)
+
+(* --------------------------- File I/O ----------------------------- *)
+
+let test_iol_read_correct_and_zero_copy () =
+  let _, kernel = mk () in
+  let file = Kernel.add_file kernel ~name:"/data" ~size:20_000 in
+  let s =
+    in_proc kernel (fun proc ->
+        let agg = Fileio.iol_read proc ~file ~off:500 ~len:1000 in
+        let s = agg_str agg in
+        Iobuf.Agg.free agg;
+        s)
+  in
+  Alcotest.(check int) "length" 1000 (String.length s);
+  Alcotest.(check bool) "contents" true
+    (Iolite_fs.Filestore.check_string ~file ~off:500 s);
+  Alcotest.(check int) "no copies on the IOL path" 0
+    (Counter.get (Kernel.counters kernel) "bytes.copied")
+
+let test_iol_read_short_at_eof () =
+  let _, kernel = mk () in
+  let file = Kernel.add_file kernel ~name:"/data" ~size:100 in
+  in_proc kernel (fun proc ->
+      let agg = Fileio.iol_read proc ~file ~off:80 ~len:1000 in
+      Alcotest.(check int) "short read" 20 (Iobuf.Agg.length agg);
+      Iobuf.Agg.free agg;
+      let empty = Fileio.iol_read proc ~file ~off:200 ~len:10 in
+      Alcotest.(check int) "past eof" 0 (Iobuf.Agg.length empty);
+      Iobuf.Agg.free empty)
+
+let test_read_string_charges_copy () =
+  let _, kernel = mk () in
+  let file = Kernel.add_file kernel ~name:"/data" ~size:10_000 in
+  in_proc kernel (fun proc ->
+      let s = Fileio.read_string proc ~file ~off:0 ~len:10_000 in
+      Alcotest.(check bool) "contents" true
+        (Iolite_fs.Filestore.check_string ~file ~off:0 s));
+  Alcotest.(check int) "posix read copies" 10_000
+    (Counter.get (Kernel.counters kernel) "bytes.copied")
+
+let test_iol_write_snapshot_semantics () =
+  let _, kernel = mk () in
+  let file = Kernel.add_file kernel ~name:"/data" ~size:10_000 in
+  in_proc kernel (fun proc ->
+      let before = Fileio.iol_read proc ~file ~off:0 ~len:26 in
+      let update =
+        Iobuf.Agg.of_string (Process.pool proc)
+          ~producer:(Process.domain proc) "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+      in
+      Fileio.iol_write proc ~file ~off:0 update;
+      (* The earlier read is an unchanged snapshot... *)
+      Alcotest.(check bool) "snapshot intact" true
+        (Iolite_fs.Filestore.check_string ~file ~off:0 (agg_str before));
+      (* ...while new readers see the write. *)
+      let after = Fileio.iol_read proc ~file ~off:0 ~len:26 in
+      Alcotest.(check string) "new data visible" "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+        (agg_str after);
+      Iobuf.Agg.free before;
+      Iobuf.Agg.free after)
+
+let test_write_string_roundtrip () =
+  let _, kernel = mk () in
+  let file = Kernel.add_file kernel ~name:"/data" ~size:1000 in
+  in_proc kernel (fun proc ->
+      Fileio.write_string proc ~file ~off:100 "patched!";
+      let s = Fileio.read_string proc ~file ~off:98 ~len:12 in
+      Alcotest.(check string) "write visible with surroundings"
+        (String.init 2 (fun i ->
+             Iolite_fs.Filestore.content_byte ~file ~off:(98 + i))
+        ^ "patched!"
+        ^ String.init 2 (fun i ->
+              Iolite_fs.Filestore.content_byte ~file ~off:(108 + i)))
+        s)
+
+let test_mmap_borrows_and_munmap () =
+  let _, kernel = mk () in
+  let file = Kernel.add_file kernel ~name:"/data" ~size:8192 in
+  in_proc kernel (fun proc ->
+      let m = Fileio.mmap proc ~file in
+      Alcotest.(check int) "mapping length" 8192 (Fileio.mapping_len m);
+      let s = agg_str (Fileio.mapping_agg m) in
+      Alcotest.(check bool) "mapped contents" true
+        (Iolite_fs.Filestore.check_string ~file ~off:0 s);
+      Fileio.munmap proc m;
+      Alcotest.(check bool) "unmapped view rejected" true
+        (match Fileio.mapping_agg m with
+        | _ -> false
+        | exception Invalid_argument _ -> true))
+
+let test_admission_limit () =
+  let _, kernel = mk () in
+  (* Budget ~ 110MB; admission limit ~ 14MB. A 20MB file must be served
+     without entering the cache. *)
+  let big = Kernel.add_file kernel ~name:"/big" ~size:(20 * 1024 * 1024) in
+  let small = Kernel.add_file kernel ~name:"/small" ~size:4096 in
+  in_proc kernel (fun proc ->
+      let a = Fileio.iol_read proc ~file:big ~off:0 ~len:1000 in
+      Iobuf.Agg.free a;
+      let b = Fileio.iol_read proc ~file:small ~off:0 ~len:1000 in
+      Iobuf.Agg.free b);
+  let cache = Kernel.unified_cache kernel in
+  Alcotest.(check int) "big file not cached" 0
+    (Filecache.file_bytes cache ~file:big);
+  Alcotest.(check int) "small file cached whole" 4096
+    (Filecache.file_bytes cache ~file:small)
+
+let test_stat_and_missing_file () =
+  let _, kernel = mk () in
+  let file = Kernel.add_file kernel ~name:"/data" ~size:777 in
+  in_proc kernel (fun proc ->
+      Alcotest.(check int) "stat size" 777 (Fileio.stat_size proc ~file);
+      Alcotest.(check bool) "missing file raises" true
+        (match Fileio.stat_size proc ~file:999 with
+        | _ -> false
+        | exception Fileio.No_such_file 999 -> true
+        | exception _ -> false))
+
+let test_disk_only_on_miss () =
+  let _, kernel = mk () in
+  let file = Kernel.add_file kernel ~name:"/data" ~size:50_000 in
+  in_proc kernel (fun proc ->
+      let a = Fileio.iol_read proc ~file ~off:0 ~len:50_000 in
+      Iobuf.Agg.free a;
+      let reads_after_first = Iolite_fs.Disk.reads (Kernel.disk kernel) in
+      let b = Fileio.iol_read proc ~file ~off:0 ~len:50_000 in
+      Iobuf.Agg.free b;
+      Alcotest.(check int) "second read hits cache" reads_after_first
+        (Iolite_fs.Disk.reads (Kernel.disk kernel));
+      Alcotest.(check int) "one disk read total" 1 reads_after_first)
+
+(* --------------------------- Sockets ------------------------------ *)
+
+let sock_roundtrip ~zero_copy ~rtt =
+  let _, kernel = mk () in
+  let listener = Sock.listen ~reserve_tss:(not zero_copy) kernel ~port:80 in
+  let got = ref "" in
+  let server_saw = ref "" in
+  ignore
+    (Process.spawn kernel ~name:"server" (fun proc ->
+         let conn = Sock.accept proc listener in
+         let rec loop () =
+           match Sock.recv proc conn ~zero_copy with
+           | None -> ()
+           | Some req ->
+             server_saw := req;
+             let resp =
+               Iobuf.Agg.of_string (Process.pool proc)
+                 ~producer:(Process.domain proc)
+                 (String.make 5000 'R')
+             in
+             Sock.send proc conn ~zero_copy resp;
+             loop ()
+         in
+         loop ()));
+  Engine.spawn (Kernel.engine kernel) (fun () ->
+      let conn = Sock.connect ~rtt kernel listener in
+      let n = Sock.request conn "GET /x" in
+      got := string_of_int n;
+      Sock.close conn);
+  Engine.run (Kernel.engine kernel);
+  (kernel, !server_saw, !got)
+
+let test_sock_roundtrip_zero_copy () =
+  let _, saw, got = sock_roundtrip ~zero_copy:true ~rtt:0.0 in
+  Alcotest.(check string) "request delivered" "GET /x" saw;
+  Alcotest.(check string) "response size" "5000" got
+
+let test_sock_roundtrip_copying () =
+  let kernel, saw, got = sock_roundtrip ~zero_copy:false ~rtt:0.0 in
+  Alcotest.(check string) "request delivered" "GET /x" saw;
+  Alcotest.(check string) "response size" "5000" got;
+  Alcotest.(check bool) "send copied payload" true
+    (Counter.get (Kernel.counters kernel) "bytes.copied" >= 5000)
+
+let test_sock_zero_copy_no_payload_copies () =
+  let kernel, _, _ = sock_roundtrip ~zero_copy:true ~rtt:0.0 in
+  Alcotest.(check int) "no copies" 0
+    (Counter.get (Kernel.counters kernel) "bytes.copied")
+
+let test_sock_rtt_delays_response () =
+  let t0 =
+    let _, kernel = mk () in
+    ignore kernel;
+    0.0
+  in
+  ignore t0;
+  let run rtt =
+    let _, kernel = mk () in
+    let listener = Sock.listen kernel ~port:80 in
+    ignore
+      (Process.spawn kernel ~name:"server" (fun proc ->
+           let conn = Sock.accept proc listener in
+           match Sock.recv proc conn ~zero_copy:true with
+           | Some _ ->
+             Sock.send proc conn ~zero_copy:true
+               (Iobuf.Agg.of_string (Process.pool proc)
+                  ~producer:(Process.domain proc) "ok")
+           | None -> ()));
+    let finished = ref 0.0 in
+    Engine.spawn (Kernel.engine kernel) (fun () ->
+        let conn = Sock.connect ~rtt kernel listener in
+        ignore (Sock.request conn "r");
+        finished := Engine.Proc.now ());
+    Engine.run (Kernel.engine kernel);
+    !finished
+  in
+  let lan = run 0.0 and wan = run 0.1 in
+  Alcotest.(check bool) "wan slower" true (wan > lan +. 0.2);
+  (* Handshake 1.5 RTT + request 0.5 RTT + drain >= 1 RTT. *)
+  Alcotest.(check bool) "delay about 3 rtt" true (wan -. lan < 0.45)
+
+let test_sock_tss_reservation_lifecycle () =
+  let _, kernel = mk () in
+  let pm = Iosys.physmem (Kernel.sys kernel) in
+  let listener = Sock.listen ~reserve_tss:true kernel ~port:80 in
+  let wired_during = ref 0 in
+  ignore
+    (Process.spawn kernel ~name:"server" (fun proc ->
+         let conn = Sock.accept proc listener in
+         wired_during := Iolite_mem.Physmem.used pm Iolite_mem.Physmem.Net_wired;
+         let rec drain () =
+           match Sock.recv proc conn ~zero_copy:false with
+           | Some _ -> drain ()
+           | None -> ()
+         in
+         drain ()));
+  Engine.spawn (Kernel.engine kernel) (fun () ->
+      let conn = Sock.connect kernel listener in
+      Sock.close conn);
+  Engine.run (Kernel.engine kernel);
+  Alcotest.(check int) "tss wired while open" 65536 !wired_during;
+  Alcotest.(check int) "released at teardown" 0
+    (Iolite_mem.Physmem.used pm Iolite_mem.Physmem.Net_wired)
+
+let test_sock_persistent_multiple_requests () =
+  let _, kernel = mk () in
+  let listener = Sock.listen kernel ~port:80 in
+  let served = ref 0 in
+  ignore
+    (Process.spawn kernel ~name:"server" (fun proc ->
+         let conn = Sock.accept proc listener in
+         let rec loop () =
+           match Sock.recv proc conn ~zero_copy:true with
+           | None -> ()
+           | Some _ ->
+             incr served;
+             Sock.send proc conn ~zero_copy:true
+               (Iobuf.Agg.of_string (Process.pool proc)
+                  ~producer:(Process.domain proc) "resp");
+             loop ()
+         in
+         loop ()));
+  Engine.spawn (Kernel.engine kernel) (fun () ->
+      let conn = Sock.connect kernel listener in
+      for _ = 1 to 10 do
+        ignore (Sock.request conn "again")
+      done;
+      Sock.close conn);
+  Engine.run (Kernel.engine kernel);
+  Alcotest.(check int) "all served on one connection" 10 !served
+
+let suites =
+  [
+    ( "os.cpu",
+      [
+        Alcotest.test_case "serializes + switches" `Quick test_cpu_serializes_and_switches;
+        Alcotest.test_case "same owner free" `Quick test_cpu_same_owner_no_switch;
+      ] );
+    ( "os.kernel",
+      [
+        Alcotest.test_case "memory layout" `Quick test_kernel_memory_layout;
+        Alcotest.test_case "process memory" `Quick test_process_memory_wired;
+      ] );
+    ( "os.fileio",
+      [
+        Alcotest.test_case "iol_read zero copy" `Quick test_iol_read_correct_and_zero_copy;
+        Alcotest.test_case "short read at eof" `Quick test_iol_read_short_at_eof;
+        Alcotest.test_case "posix read copies" `Quick test_read_string_charges_copy;
+        Alcotest.test_case "snapshot semantics" `Quick test_iol_write_snapshot_semantics;
+        Alcotest.test_case "write_string roundtrip" `Quick test_write_string_roundtrip;
+        Alcotest.test_case "mmap/munmap" `Quick test_mmap_borrows_and_munmap;
+        Alcotest.test_case "admission limit" `Quick test_admission_limit;
+        Alcotest.test_case "stat + missing" `Quick test_stat_and_missing_file;
+        Alcotest.test_case "disk only on miss" `Quick test_disk_only_on_miss;
+      ] );
+    ( "os.sock",
+      [
+        Alcotest.test_case "roundtrip zero copy" `Quick test_sock_roundtrip_zero_copy;
+        Alcotest.test_case "roundtrip copying" `Quick test_sock_roundtrip_copying;
+        Alcotest.test_case "zero copy no copies" `Quick test_sock_zero_copy_no_payload_copies;
+        Alcotest.test_case "rtt delays" `Quick test_sock_rtt_delays_response;
+        Alcotest.test_case "tss reservation" `Quick test_sock_tss_reservation_lifecycle;
+        Alcotest.test_case "persistent requests" `Quick test_sock_persistent_multiple_requests;
+      ] );
+  ]

@@ -1,0 +1,269 @@
+open Iolite_sim
+module Proc = Engine.Proc
+
+let test_heap_order () =
+  let h = Heap.create () in
+  let r = Iolite_util.Rng.create 3L in
+  for i = 0 to 999 do
+    Heap.push h ~time:(Iolite_util.Rng.float r 100.0) ~seq:i i
+  done;
+  let last = ref neg_infinity in
+  let n = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Heap.pop h with
+    | None -> continue := false
+    | Some (t, _, _) ->
+      Alcotest.(check bool) "nondecreasing" true (t >= !last);
+      last := t;
+      incr n
+  done;
+  Alcotest.(check int) "all popped" 1000 !n
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  for i = 0 to 9 do
+    Heap.push h ~time:1.0 ~seq:i i
+  done;
+  for i = 0 to 9 do
+    match Heap.pop h with
+    | Some (_, _, v) -> Alcotest.(check int) "fifo at equal time" i v
+    | None -> Alcotest.fail "heap empty early"
+  done
+
+let test_sleep_advances_clock () =
+  let e = Engine.create () in
+  let seen = ref [] in
+  Engine.spawn e (fun () ->
+      seen := (Proc.now (), "start") :: !seen;
+      Proc.sleep 1.5;
+      seen := (Proc.now (), "mid") :: !seen;
+      Proc.sleep 2.5;
+      seen := (Proc.now (), "end") :: !seen);
+  Engine.run e;
+  Alcotest.(check (list (pair (float 1e-9) string)))
+    "timeline"
+    [ (0.0, "start"); (1.5, "mid"); (4.0, "end") ]
+    (List.rev !seen);
+  Alcotest.(check (float 1e-9)) "final clock" 4.0 (Engine.now e)
+
+let test_two_processes_interleave () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let proc name delay count () =
+    for i = 1 to count do
+      Proc.sleep delay;
+      log := Printf.sprintf "%s%d@%.1f" name i (Proc.now ()) :: !log
+    done
+  in
+  Engine.spawn e (proc "a" 1.0 3);
+  Engine.spawn e (proc "b" 1.5 2);
+  Engine.run e;
+  Alcotest.(check (list string))
+    "interleaving"
+    (* At the 3.0 tie, b's wakeup was scheduled (at t=1.5) before a's (at
+       t=2.0), so FIFO tie-breaking runs b2 first. *)
+    [ "a1@1.0"; "b1@1.5"; "a2@2.0"; "b2@3.0"; "a3@3.0" ]
+    (List.rev !log)
+
+let test_run_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  Engine.spawn e (fun () ->
+      for _ = 1 to 100 do
+        Proc.sleep 1.0;
+        incr count
+      done);
+  Engine.run ~until:10.25 e;
+  Alcotest.(check int) "events before deadline" 10 !count;
+  Alcotest.(check (float 1e-9)) "clock at deadline" 10.25 (Engine.now e);
+  Engine.run e;
+  Alcotest.(check int) "rest of events run" 100 !count
+
+let test_spawn_within () =
+  let e = Engine.create () in
+  let result = ref 0.0 in
+  Engine.spawn e (fun () ->
+      Proc.sleep 2.0;
+      Proc.spawn (fun () ->
+          Proc.sleep 3.0;
+          result := Proc.now ()));
+  Engine.run e;
+  Alcotest.(check (float 1e-9)) "child inherits clock" 5.0 !result
+
+let test_negative_sleep_raises () =
+  let e = Engine.create () in
+  let raised = ref false in
+  Engine.spawn e (fun () ->
+      try Proc.sleep (-1.0) with Invalid_argument _ -> raised := true);
+  Engine.run e;
+  Alcotest.(check bool) "raised" true !raised
+
+let test_semaphore_mutual_exclusion () =
+  let e = Engine.create () in
+  let sem = Sync.Semaphore.create 1 in
+  let inside = ref 0 and max_inside = ref 0 in
+  let worker () =
+    Sync.Semaphore.with_acquired sem (fun () ->
+        incr inside;
+        max_inside := max !max_inside !inside;
+        Proc.sleep 1.0;
+        decr inside)
+  in
+  for _ = 1 to 5 do
+    Engine.spawn e worker
+  done;
+  Engine.run e;
+  Alcotest.(check int) "never two inside" 1 !max_inside;
+  Alcotest.(check (float 1e-9)) "serialized" 5.0 (Engine.now e)
+
+let test_semaphore_fifo () =
+  let e = Engine.create () in
+  let sem = Sync.Semaphore.create 0 in
+  let order = ref [] in
+  for i = 1 to 4 do
+    Engine.spawn e (fun () ->
+        Proc.sleep (float_of_int i *. 0.1);
+        Sync.Semaphore.acquire sem;
+        order := i :: !order)
+  done;
+  Engine.spawn e (fun () ->
+      Proc.sleep 1.0;
+      Sync.Semaphore.release ~n:4 sem);
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo wakeup" [ 1; 2; 3; 4 ] (List.rev !order)
+
+let test_semaphore_counted () =
+  let e = Engine.create () in
+  let sem = Sync.Semaphore.create 3 in
+  let t_done = ref 0.0 in
+  Engine.spawn e (fun () ->
+      Sync.Semaphore.acquire ~n:2 sem;
+      Proc.sleep 1.0;
+      Sync.Semaphore.release ~n:2 sem);
+  Engine.spawn e (fun () ->
+      Proc.sleep 0.1;
+      (* Needs 2 tokens but only 1 left; waits for the first release. *)
+      Sync.Semaphore.acquire ~n:2 sem;
+      t_done := Proc.now ());
+  Engine.run e;
+  Alcotest.(check (float 1e-9)) "waited for release" 1.0 !t_done
+
+let test_condvar_broadcast () =
+  let e = Engine.create () in
+  let cv = Sync.Condvar.create () in
+  let woke = ref 0 in
+  for _ = 1 to 3 do
+    Engine.spawn e (fun () ->
+        Sync.Condvar.wait cv;
+        incr woke)
+  done;
+  Engine.spawn e (fun () ->
+      Proc.sleep 1.0;
+      Sync.Condvar.broadcast cv);
+  Engine.run e;
+  Alcotest.(check int) "all woke" 3 !woke
+
+let test_condvar_signal_one () =
+  let e = Engine.create () in
+  let cv = Sync.Condvar.create () in
+  let woke = ref 0 in
+  for _ = 1 to 3 do
+    Engine.spawn e (fun () ->
+        Sync.Condvar.wait cv;
+        incr woke)
+  done;
+  Engine.spawn e (fun () ->
+      Proc.sleep 1.0;
+      Sync.Condvar.signal cv);
+  Engine.run e;
+  Alcotest.(check int) "one woke" 1 !woke;
+  Alcotest.(check int) "two still waiting" 2 (Sync.Condvar.waiters cv)
+
+let test_mailbox_roundtrip () =
+  let e = Engine.create () in
+  let mb = Sync.Mailbox.create () in
+  let sum = ref 0 in
+  Engine.spawn e (fun () ->
+      for _ = 1 to 5 do
+        sum := !sum + Sync.Mailbox.recv mb
+      done);
+  Engine.spawn e (fun () ->
+      for i = 1 to 5 do
+        Proc.sleep 0.5;
+        Sync.Mailbox.send mb i
+      done);
+  Engine.run e;
+  Alcotest.(check int) "received all" 15 !sum
+
+let test_mailbox_buffered () =
+  let e = Engine.create () in
+  let mb = Sync.Mailbox.create () in
+  let got = ref [] in
+  Engine.spawn e (fun () ->
+      Sync.Mailbox.send mb "x";
+      Sync.Mailbox.send mb "y";
+      Proc.sleep 1.0;
+      let first = Sync.Mailbox.recv mb in
+      let second = Sync.Mailbox.recv mb in
+      got := [ first; second ]);
+  Engine.run e;
+  Alcotest.(check (list string)) "order preserved" [ "x"; "y" ] !got
+
+let test_ivar () =
+  let e = Engine.create () in
+  let iv = Sync.Ivar.create () in
+  let seen = ref 0 in
+  for _ = 1 to 2 do
+    Engine.spawn e (fun () -> seen := !seen + Sync.Ivar.read iv)
+  done;
+  Engine.spawn e (fun () ->
+      Proc.sleep 2.0;
+      Sync.Ivar.fill iv 21);
+  Engine.run e;
+  Alcotest.(check int) "both readers" 42 !seen;
+  Alcotest.(check bool) "filled" true (Sync.Ivar.is_filled iv)
+
+let test_determinism () =
+  let run_once () =
+    let e = Engine.create () in
+    let log = Buffer.create 64 in
+    let r = Iolite_util.Rng.create 99L in
+    for i = 1 to 10 do
+      Engine.spawn e (fun () ->
+          Proc.sleep (Iolite_util.Rng.float r 10.0);
+          Buffer.add_string log (Printf.sprintf "%d@%.6f;" i (Proc.now ())))
+    done;
+    Engine.run e;
+    Buffer.contents log
+  in
+  Alcotest.(check string) "identical traces" (run_once ()) (run_once ())
+
+let suites =
+  [
+    ( "sim.heap",
+      [
+        Alcotest.test_case "order" `Quick test_heap_order;
+        Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+      ] );
+    ( "sim.engine",
+      [
+        Alcotest.test_case "sleep advances clock" `Quick test_sleep_advances_clock;
+        Alcotest.test_case "interleaving" `Quick test_two_processes_interleave;
+        Alcotest.test_case "run until" `Quick test_run_until;
+        Alcotest.test_case "spawn within" `Quick test_spawn_within;
+        Alcotest.test_case "negative sleep" `Quick test_negative_sleep_raises;
+        Alcotest.test_case "determinism" `Quick test_determinism;
+      ] );
+    ( "sim.sync",
+      [
+        Alcotest.test_case "semaphore mutex" `Quick test_semaphore_mutual_exclusion;
+        Alcotest.test_case "semaphore fifo" `Quick test_semaphore_fifo;
+        Alcotest.test_case "semaphore counted" `Quick test_semaphore_counted;
+        Alcotest.test_case "condvar broadcast" `Quick test_condvar_broadcast;
+        Alcotest.test_case "condvar signal" `Quick test_condvar_signal_one;
+        Alcotest.test_case "mailbox roundtrip" `Quick test_mailbox_roundtrip;
+        Alcotest.test_case "mailbox buffered" `Quick test_mailbox_buffered;
+        Alcotest.test_case "ivar" `Quick test_ivar;
+      ] );
+  ]

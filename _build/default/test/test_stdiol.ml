@@ -1,0 +1,217 @@
+module Engine = Iolite_sim.Engine
+module Kernel = Iolite_os.Kernel
+module Process = Iolite_os.Process
+module Stdiol = Iolite_os.Stdiol
+module Sock = Iolite_os.Sock
+module Pipe = Iolite_ipc.Pipe
+module Iobuf = Iolite_core.Iobuf
+module Filestore = Iolite_fs.Filestore
+module Counter = Iolite_util.Stats.Counter
+
+let mk () = Kernel.create (Engine.create ())
+
+let file_contents ~file ~size =
+  String.init size (fun off -> Filestore.content_byte ~file ~off)
+
+let test_input_lines_match_reference () =
+  let kernel = mk () in
+  let size = 100_000 in
+  let file = Kernel.add_file kernel ~name:"/f" ~size in
+  let expect =
+    (* The file does not end in a newline in general; stdio returns the
+       final unterminated line too. *)
+    let s = file_contents ~file ~size in
+    let lines = String.split_on_char '\n' s in
+    match List.rev lines with "" :: rest -> List.rev rest | _ -> lines
+  in
+  let got = ref [] in
+  ignore
+    (Process.spawn kernel ~name:"reader" (fun proc ->
+         let ic = Stdiol.open_file_in proc ~file in
+         ignore (Stdiol.input_all_lines ic ~f:(fun l -> got := l :: !got))));
+  Engine.run (Kernel.engine kernel);
+  Alcotest.(check int) "line count" (List.length expect) (List.length !got);
+  Alcotest.(check (list string)) "lines identical" expect (List.rev !got)
+
+let test_input_agg_zero_copy () =
+  let kernel = mk () in
+  let size = 150_000 in
+  let file = Kernel.add_file kernel ~name:"/f" ~size in
+  let total = ref 0 in
+  ignore
+    (Process.spawn kernel ~name:"reader" (fun proc ->
+         let ic = Stdiol.open_file_in proc ~file in
+         let rec loop () =
+           match Stdiol.input_agg ic 10_000 with
+           | None -> ()
+           | Some agg ->
+             total := !total + Iobuf.Agg.length agg;
+             Iobuf.Agg.free agg;
+             loop ()
+         in
+         loop ()));
+  Engine.run (Kernel.engine kernel);
+  Alcotest.(check int) "all bytes" size !total;
+  Alcotest.(check int) "no copies" 0
+    (Counter.get (Kernel.counters kernel) "bytes.copied")
+
+let test_input_line_charges_copy () =
+  let kernel = mk () in
+  let size = 10_000 in
+  let file = Kernel.add_file kernel ~name:"/f" ~size in
+  ignore
+    (Process.spawn kernel ~name:"reader" (fun proc ->
+         let ic = Stdiol.open_file_in proc ~file in
+         ignore (Stdiol.input_all_lines ic ~f:(fun _ -> ()))));
+  Engine.run (Kernel.engine kernel);
+  (* Every byte except newlines crosses into application memory. *)
+  Alcotest.(check bool) "app copy charged" true
+    (Counter.get (Kernel.counters kernel) "bytes.copied" > size * 9 / 10)
+
+let test_pipe_channels_roundtrip () =
+  let kernel = mk () in
+  let writer = Process.make kernel ~name:"w" in
+  let reader = Process.make kernel ~name:"r" in
+  let pipe =
+    Pipe.create (Kernel.sys kernel) ~mode:Pipe.Zero_copy
+      ~writer:(Process.domain writer)
+      ~reader:(Process.domain reader)
+      ~reader_pool:(Process.pool reader) ()
+  in
+  let lines = [ "alpha"; "beta"; "gamma delta"; "" ; "last" ] in
+  let got = ref [] in
+  Engine.spawn (Kernel.engine kernel) (fun () ->
+      let oc = Stdiol.open_pipe_out writer pipe in
+      List.iter (fun l -> Stdiol.output_string oc (l ^ "\n")) lines;
+      Stdiol.close_out oc;
+      Process.exit writer);
+  Engine.spawn (Kernel.engine kernel) (fun () ->
+      let ic = Stdiol.open_pipe_in reader pipe in
+      ignore (Stdiol.input_all_lines ic ~f:(fun l -> got := l :: !got));
+      Process.exit reader);
+  Engine.run (Kernel.engine kernel);
+  Alcotest.(check (list string)) "lines through pipe" lines (List.rev !got)
+
+let test_output_agg_zero_copy_through () =
+  let kernel = mk () in
+  let writer = Process.make kernel ~name:"w" in
+  let reader = Process.make kernel ~name:"r" in
+  let pipe =
+    Pipe.create (Kernel.sys kernel) ~mode:Pipe.Zero_copy
+      ~writer:(Process.domain writer)
+      ~reader:(Process.domain reader)
+      ~reader_pool:(Process.pool reader) ()
+  in
+  let payload = String.make 30_000 'Z' in
+  let total = ref 0 in
+  Engine.spawn (Kernel.engine kernel) (fun () ->
+      let oc = Stdiol.open_pipe_out writer pipe in
+      let agg =
+        Iolite_core.Iosys.with_fill_mode (Kernel.sys kernel) `Dma (fun () ->
+            Iobuf.Agg.of_string (Pipe.stream_pool pipe)
+              ~producer:(Process.domain writer) payload)
+      in
+      Stdiol.output_agg oc agg;
+      Stdiol.close_out oc;
+      Process.exit writer);
+  Engine.spawn (Kernel.engine kernel) (fun () ->
+      let ic = Stdiol.open_pipe_in reader pipe in
+      let rec loop () =
+        match Stdiol.input_agg ic 65536 with
+        | None -> ()
+        | Some agg ->
+          total := !total + Iobuf.Agg.length agg;
+          Iobuf.Agg.free agg;
+          loop ()
+      in
+      loop ();
+      Process.exit reader);
+  Engine.run (Kernel.engine kernel);
+  Alcotest.(check int) "all bytes" 30_000 !total;
+  Alcotest.(check int) "fully zero copy" 0
+    (Counter.get (Kernel.counters kernel) "bytes.copied")
+
+let test_file_out_roundtrip () =
+  let kernel = mk () in
+  let file = Kernel.add_file kernel ~name:"/out" ~size:200_000 in
+  let readback = ref "" in
+  ignore
+    (Process.spawn kernel ~name:"writer" (fun proc ->
+         let oc = Stdiol.open_file_out proc ~file in
+         for i = 0 to 99 do
+           Stdiol.output_string oc (Printf.sprintf "line %04d of output\n" i)
+         done;
+         Stdiol.close_out oc;
+         readback :=
+           Iolite_os.Fileio.read_string proc ~file ~off:0 ~len:(100 * 20)));
+  Engine.run (Kernel.engine kernel);
+  Alcotest.(check int) "bytes written back" 2000 (String.length !readback);
+  Alcotest.(check bool) "first line correct" true
+    (String.sub !readback 0 19 = "line 0000 of output")
+
+let test_sendfile_serves_correct_bytes () =
+  let kernel = mk () in
+  let size = 40_000 in
+  let file = Kernel.add_file kernel ~name:"/doc" ~size in
+  let listener = Sock.listen ~reserve_tss:true kernel ~port:80 in
+  let got = ref 0 in
+  ignore
+    (Process.spawn kernel ~name:"server" (fun proc ->
+         let conn = Sock.accept proc listener in
+         match Sock.recv proc conn ~zero_copy:false with
+         | Some _ ->
+           ignore (Sock.sendfile proc conn ~file ~header:"HTTP/1.0 200 OK\r\n\r\n")
+         | None -> ()));
+  Engine.spawn (Kernel.engine kernel) (fun () ->
+      let conn = Sock.connect kernel listener in
+      got := Sock.request conn "GET /doc";
+      Sock.close conn);
+  Engine.run (Kernel.engine kernel);
+  Alcotest.(check int) "header + body" (size + 19) !got;
+  (* sendfile splices: only the tiny header copy, not the payload. *)
+  Alcotest.(check bool) "no payload copy" true
+    (Counter.get (Kernel.counters kernel) "bytes.copied" < 100)
+
+let test_sendfile_variant_between_flash_and_lite () =
+  let bw variant =
+    let kernel = mk () in
+    ignore (Kernel.add_file kernel ~name:"/doc" ~size:30_000);
+    let server = Iolite_httpd.Flash.start ~variant kernel ~port:80 in
+    let t_done = ref 0.0 in
+    Engine.spawn (Kernel.engine kernel) (fun () ->
+        let conn = Sock.connect kernel (Iolite_httpd.Flash.listener server) in
+        for _ = 1 to 30 do
+          ignore
+            (Sock.request conn
+               (Iolite_httpd.Http.request_string ~keep_alive:true "/doc"))
+        done;
+        Sock.close conn;
+        t_done := Engine.Proc.now ());
+    Engine.run (Kernel.engine kernel);
+    !t_done
+  in
+  let t_lite = bw Iolite_httpd.Flash.Iolite in
+  let t_sendfile = bw Iolite_httpd.Flash.Sendfile in
+  let t_conv = bw Iolite_httpd.Flash.Conventional in
+  Alcotest.(check bool) "sendfile beats copying Flash" true (t_sendfile < t_conv);
+  Alcotest.(check bool) "Flash-Lite beats sendfile (checksum cache)" true
+    (t_lite < t_sendfile)
+
+let suites =
+  [
+    ( "os.stdiol",
+      [
+        Alcotest.test_case "lines match reference" `Quick test_input_lines_match_reference;
+        Alcotest.test_case "input_agg zero copy" `Quick test_input_agg_zero_copy;
+        Alcotest.test_case "input_line copies" `Quick test_input_line_charges_copy;
+        Alcotest.test_case "pipe channels" `Quick test_pipe_channels_roundtrip;
+        Alcotest.test_case "output_agg zero copy" `Quick test_output_agg_zero_copy_through;
+        Alcotest.test_case "file out roundtrip" `Quick test_file_out_roundtrip;
+      ] );
+    ( "os.sendfile",
+      [
+        Alcotest.test_case "correct bytes" `Quick test_sendfile_serves_correct_bytes;
+        Alcotest.test_case "between flash and lite" `Quick
+          test_sendfile_variant_between_flash_and_lite;
+      ] );
+  ]

@@ -1,0 +1,132 @@
+module Trace = Iolite_workload.Trace
+module Client = Iolite_workload.Client
+module Rng = Iolite_util.Rng
+module Engine = Iolite_sim.Engine
+module Kernel = Iolite_os.Kernel
+module Flash = Iolite_httpd.Flash
+
+let test_trace_totals_calibrated () =
+  List.iter
+    (fun spec ->
+      let t = Trace.synthesize spec in
+      Alcotest.(check int) "file count" spec.Trace.files (Trace.file_count t);
+      let total = Trace.total_bytes t in
+      let target = float_of_int spec.Trace.total_bytes in
+      Alcotest.(check bool)
+        (spec.Trace.sname ^ " total within 2%")
+        true
+        (Float.abs (float_of_int total -. target) /. target < 0.02);
+      let mean = Trace.mean_request_bytes t in
+      let mtarget = float_of_int spec.Trace.mean_request_bytes in
+      Alcotest.(check bool)
+        (spec.Trace.sname ^ " mean transfer within 15%")
+        true
+        (Float.abs (mean -. mtarget) /. mtarget < 0.15))
+    [ Trace.ece; Trace.cs; Trace.merged ]
+
+let test_trace_concentration () =
+  (* The published CDF shape: the hot head carries most requests but a
+     minority of bytes (e.g. ECE: top 5000 files = 95% of requests, 39%
+     of bytes). *)
+  let t = Trace.synthesize Trace.ece in
+  let reqs, bytes = Trace.cdf_row t ~top:5000 in
+  Alcotest.(check bool) "most requests in head" true (reqs > 0.85);
+  Alcotest.(check bool) "minority of bytes in head" true (bytes < 0.6)
+
+let test_trace_sampling_matches_masses () =
+  let t = Trace.synthesize Trace.ece in
+  let rng = Rng.create 42L in
+  let n = 50_000 in
+  let top_hits = ref 0 in
+  for _ = 1 to n do
+    if Trace.sample t rng < 100 then incr top_hits
+  done;
+  let reqs_frac, _ = Trace.cdf_row t ~top:100 in
+  let measured = float_of_int !top_hits /. float_of_int n in
+  Alcotest.(check bool) "sampling matches cdf" true
+    (Float.abs (measured -. reqs_frac) < 0.02)
+
+let test_trace_sizes_bounded () =
+  let t = Trace.synthesize Trace.merged in
+  for rank = 0 to Trace.file_count t - 1 do
+    let s = Trace.file_size t ~rank in
+    if s < 64 || s > 4 * 1024 * 1024 then
+      Alcotest.failf "size out of bounds at rank %d: %d" rank s
+  done
+
+let test_request_log_and_prefix () =
+  let t = Trace.synthesize Trace.merged in
+  let log = Trace.request_log t ~seed:7L ~count:100_000 in
+  let prefix =
+    Trace.prefix_for_dataset t ~log ~target_bytes:(50 * 1024 * 1024)
+  in
+  Alcotest.(check bool) "prefix nontrivial" true
+    (prefix > 0 && prefix <= 100_000);
+  let files, bytes = Trace.distinct_bytes t ~log ~prefix in
+  Alcotest.(check bool) "dataset close to target" true
+    (bytes >= 50 * 1024 * 1024 && bytes < 56 * 1024 * 1024);
+  Alcotest.(check bool) "many files" true (files > 100);
+  (* Monotone: longer prefix, no smaller dataset. *)
+  let _, bytes2 = Trace.distinct_bytes t ~log ~prefix:(prefix * 2) in
+  Alcotest.(check bool) "monotone" true (bytes2 >= bytes)
+
+let test_trace_deterministic () =
+  let a = Trace.synthesize ~seed:1L Trace.ece in
+  let b = Trace.synthesize ~seed:1L Trace.ece in
+  for rank = 0 to 200 do
+    Alcotest.(check int) "same sizes" (Trace.file_size a ~rank)
+      (Trace.file_size b ~rank)
+  done
+
+let test_client_driver_measures () =
+  let engine = Engine.create () in
+  let kernel = Kernel.create engine in
+  ignore (Kernel.add_file kernel ~name:"/doc" ~size:5_000);
+  let listener =
+    Flash.listener (Flash.start ~variant:Flash.Iolite kernel ~port:80)
+  in
+  let config =
+    { Client.clients = 8; rtt = 0.0; persistent = false; warmup = 0.5; duration = 2.0 }
+  in
+  let r =
+    Client.run kernel listener config ~pick:(fun ~client:_ ~iter:_ -> "/doc")
+  in
+  Alcotest.(check bool) "bandwidth measured" true (r.Client.mbps > 1.0);
+  Alcotest.(check bool) "requests completed" true (r.Client.requests > 100);
+  Alcotest.(check bool) "bytes consistent" true
+    (r.Client.bytes > r.Client.requests * 5_000)
+
+let test_client_persistent_faster_small_files () =
+  let run persistent =
+    let engine = Engine.create () in
+    let kernel = Kernel.create engine in
+    ignore (Kernel.add_file kernel ~name:"/doc" ~size:1_000);
+    let listener =
+      Flash.listener (Flash.start ~variant:Flash.Iolite kernel ~port:80)
+    in
+    let config =
+      { Client.clients = 8; rtt = 0.0; persistent; warmup = 0.5; duration = 2.0 }
+    in
+    (Client.run kernel listener config ~pick:(fun ~client:_ ~iter:_ -> "/doc"))
+      .Client.mbps
+  in
+  let np = run false and p = run true in
+  Alcotest.(check bool) "keep-alive helps small files" true (p > np *. 1.3)
+
+let suites =
+  [
+    ( "workload.trace",
+      [
+        Alcotest.test_case "totals calibrated" `Quick test_trace_totals_calibrated;
+        Alcotest.test_case "concentration" `Quick test_trace_concentration;
+        Alcotest.test_case "sampling" `Quick test_trace_sampling_matches_masses;
+        Alcotest.test_case "sizes bounded" `Quick test_trace_sizes_bounded;
+        Alcotest.test_case "log + prefix" `Quick test_request_log_and_prefix;
+        Alcotest.test_case "deterministic" `Quick test_trace_deterministic;
+      ] );
+    ( "workload.client",
+      [
+        Alcotest.test_case "driver measures" `Quick test_client_driver_measures;
+        Alcotest.test_case "persistent faster" `Quick test_client_persistent_faster_small_files;
+      ] );
+  ]
