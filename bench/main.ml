@@ -11,6 +11,13 @@
      dune exec bench/main.exe                 # micro + all figures (scale 0.5)
      dune exec bench/main.exe -- micro        # micro-benchmarks only
      dune exec bench/main.exe -- figures 1.0  # figures at a given scale
+     dune exec bench/main.exe -- agg [label] [out.json]
+         # deep-aggregate scaling section: repeated 1 KB appends up to ~MBs,
+         # splits at random offsets, byte gets at random indices. Prints a
+         # table and writes machine-readable JSON (default ./BENCH_agg.json).
+         # If the output file already holds a run history, the new run is
+         # appended to its "runs" array, so the checked-in BENCH_agg.json
+         # accumulates the perf trajectory across PRs.
 *)
 
 open Bechamel
@@ -157,6 +164,177 @@ let run_micro () =
     micro_tests
 
 (* ------------------------------------------------------------------ *)
+(* Deep-aggregate scaling                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Stresses the cost of aggregate recombination as aggregates get deep:
+   repeated append (the stdiol/pipe/mbuf/response-assembly pattern),
+   split at random offsets, and random byte indexing. These are the
+   operations whose asymptotics changed when Agg moved from a flat slice
+   list to a rope; the recorded numbers in BENCH_agg.json are the
+   regression baseline for later PRs. *)
+
+type agg_entry = {
+  ag_op : string;
+  ag_pieces : int;
+  ag_piece_size : int;
+  ag_iters : int;
+  ag_total_ns : float;
+}
+
+let ns_per_op e = e.ag_total_ns /. float_of_int e.ag_iters
+
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+let bench_append pool d ~pieces ~piece_size =
+  let piece =
+    Iobuf.Agg.of_string pool ~producer:d (String.make piece_size 'p')
+  in
+  let t0 = now_ns () in
+  let acc = ref (Iobuf.Agg.empty ()) in
+  for _ = 1 to pieces do
+    let next = Iobuf.Agg.concat !acc piece in
+    Iobuf.Agg.free !acc;
+    acc := next
+  done;
+  let dt = now_ns () -. t0 in
+  Iobuf.Agg.free piece;
+  ( !acc,
+    {
+      ag_op = "append";
+      ag_pieces = pieces;
+      ag_piece_size = piece_size;
+      ag_iters = pieces;
+      ag_total_ns = dt;
+    } )
+
+let bench_split agg ~iters rng =
+  let total = Iobuf.Agg.length agg in
+  let pieces = Iobuf.Agg.num_slices agg in
+  let t0 = now_ns () in
+  for _ = 1 to iters do
+    let at = Iolite_util.Rng.int rng (total + 1) in
+    let l, r = Iobuf.Agg.split agg ~at in
+    Iobuf.Agg.free l;
+    Iobuf.Agg.free r
+  done;
+  let dt = now_ns () -. t0 in
+  {
+    ag_op = "split";
+    ag_pieces = pieces;
+    ag_piece_size = total / max 1 pieces;
+    ag_iters = iters;
+    ag_total_ns = dt;
+  }
+
+let bench_get agg ~iters rng =
+  let total = Iobuf.Agg.length agg in
+  let pieces = Iobuf.Agg.num_slices agg in
+  let sink = ref 0 in
+  let t0 = now_ns () in
+  for _ = 1 to iters do
+    let i = Iolite_util.Rng.int rng total in
+    sink := !sink + Char.code (Iobuf.Agg.get agg i)
+  done;
+  let dt = now_ns () -. t0 in
+  ignore !sink;
+  {
+    ag_op = "get";
+    ag_pieces = pieces;
+    ag_piece_size = total / max 1 pieces;
+    ag_iters = iters;
+    ag_total_ns = dt;
+  }
+
+let agg_json_of_run ~label entries =
+  let b = Stdlib.Buffer.create 1024 in
+  Stdlib.Buffer.add_string b
+    (Printf.sprintf "    {\n      \"label\": %S,\n      \"entries\": [\n" label);
+  List.iteri
+    (fun i e ->
+      Stdlib.Buffer.add_string b
+        (Printf.sprintf
+           "        {\"op\": %S, \"pieces\": %d, \"piece_size\": %d, \
+            \"iters\": %d, \"total_ns\": %.0f, \"ns_per_op\": %.1f}%s\n"
+           e.ag_op e.ag_pieces e.ag_piece_size e.ag_iters e.ag_total_ns
+           (ns_per_op e)
+           (if i = List.length entries - 1 then "" else ",")))
+    entries;
+  Stdlib.Buffer.add_string b "      ]\n    }";
+  Stdlib.Buffer.contents b
+
+let run_agg ?(label = "current") ?(out = "BENCH_agg.json") () =
+  Printf.printf "\n== Deep-aggregate scaling (label: %s) ==\n" label;
+  let _, d, pool = fixture () in
+  let rng = Iolite_util.Rng.create 42L in
+  let entries = ref [] in
+  let record e = entries := e :: !entries in
+  Printf.printf "  %-8s %8s %12s %14s %12s\n" "op" "pieces" "iters"
+    "total (ms)" "ns/op";
+  let show e =
+    Printf.printf "  %-8s %8d %12d %14.2f %12.1f\n%!" e.ag_op e.ag_pieces
+      e.ag_iters (e.ag_total_ns /. 1e6) (ns_per_op e)
+  in
+  List.iter
+    (fun pieces ->
+      let agg, append = bench_append pool d ~pieces ~piece_size:1024 in
+      record append;
+      show append;
+      (* Split/get stress only the deepest aggregate. *)
+      if pieces = 1024 then begin
+        let split = bench_split agg ~iters:1000 rng in
+        record split;
+        show split;
+        let get = bench_get agg ~iters:10000 rng in
+        record get;
+        show get
+      end;
+      Iobuf.Agg.free agg)
+    [ 128; 256; 512; 1024; 2048 ];
+  let entries = List.rev !entries in
+  let run_json = agg_json_of_run ~label entries in
+  let fresh =
+    Printf.sprintf
+      "{\n  \"benchmark\": \"deep-agg\",\n  \"units\": \"nanoseconds \
+       (wall-clock)\",\n  \"runs\": [\n%s\n  ]\n}\n"
+      run_json
+  in
+  (* Keep the perf trajectory: append this run to an existing history
+     file rather than clobbering previously recorded runs. *)
+  let tail_marker = "\n  ]\n}\n" in
+  let existing =
+    match open_in out with
+    | exception Sys_error _ -> None
+    | ic ->
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Some s
+  in
+  let content, verb =
+    match existing with
+    | Some s
+      when String.length s > String.length tail_marker
+           && String.sub s
+                (String.length s - String.length tail_marker)
+                (String.length tail_marker)
+              = tail_marker ->
+      ( String.sub s 0 (String.length s - String.length tail_marker)
+        ^ ",\n" ^ run_json ^ tail_marker,
+        "appended run to" )
+    | Some _ ->
+      Printf.printf "  (existing %s not in the expected shape; rewriting)\n"
+        out;
+      (fresh, "wrote")
+    | None -> (fresh, "wrote")
+  in
+  try
+    let oc = open_out out in
+    output_string oc content;
+    close_out oc;
+    Printf.printf "  %s %s\n%!" verb out
+  with Sys_error e -> Printf.printf "  could not write %s: %s\n%!" out e
+
+(* ------------------------------------------------------------------ *)
 (* Paper figures                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -169,6 +347,10 @@ let run_figures scale =
 let () =
   match Array.to_list Sys.argv with
   | _ :: "micro" :: _ -> run_micro ()
+  | _ :: "agg" :: rest ->
+    let label = match rest with l :: _ -> l | [] -> "current" in
+    let out = match rest with _ :: o :: _ -> o | _ -> "BENCH_agg.json" in
+    run_agg ~label ~out ()
   | _ :: "figures" :: rest ->
     let scale = match rest with s :: _ -> float_of_string s | [] -> 0.5 in
     run_figures scale

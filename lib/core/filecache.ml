@@ -10,6 +10,7 @@ type t = {
   files : (int, entry list ref) Hashtbl.t; (* per-file, sorted by offset *)
   index : (Policy.key, entry) Hashtbl.t;
   mutable bytes : int;
+  mutable slices : int; (* total pinned slices, from cached Agg.num_slices *)
   mutable capacity : (unit -> int) option;
   mutable hits : int;
   mutable misses : int;
@@ -43,12 +44,19 @@ let file_entries t file =
     Hashtbl.replace t.files file r;
     r
 
+(* Insert into the offset-sorted per-file list in one pass. *)
+let rec insert_sorted e = function
+  | [] -> [ e ]
+  | x :: _ as l when e.eoff <= x.eoff -> e :: l
+  | x :: rest -> x :: insert_sorted e rest
+
 let add_entry t e =
   let r = file_entries t e.efile in
-  r := List.sort (fun a b -> compare a.eoff b.eoff) (e :: !r);
+  r := insert_sorted e !r;
   Hashtbl.replace t.index (key e) e;
   pin e.eagg;
   t.bytes <- t.bytes + e.elen;
+  t.slices <- t.slices + Iobuf.Agg.num_slices e.eagg;
   t.policy.Policy.on_insert (key e) ~size:e.elen
 
 let drop_entry t e =
@@ -58,6 +66,7 @@ let drop_entry t e =
   Hashtbl.remove t.index (key e);
   t.policy.Policy.on_remove (key e);
   unpin e.eagg;
+  t.slices <- t.slices - Iobuf.Agg.num_slices e.eagg;
   Iobuf.Agg.free e.eagg;
   t.bytes <- t.bytes - e.elen
 
@@ -98,6 +107,7 @@ let create ?(policy = Policy.lru ()) ?(register_with_pageout = true) sys () =
       files = Hashtbl.create 512;
       index = Hashtbl.create 512;
       bytes = 0;
+      slices = 0;
       capacity = None;
       hits = 0;
       misses = 0;
@@ -259,6 +269,7 @@ let file_bytes t ~file =
   | Some r -> List.fold_left (fun acc e -> acc + e.elen) 0 !r
 
 let total_bytes t = t.bytes
+let total_slices t = t.slices
 let entry_count t = Hashtbl.length t.index
 let hits t = t.hits
 let misses t = t.misses

@@ -75,6 +75,11 @@ val file_bytes : t -> file:int -> int
 (** {2 Introspection} *)
 
 val total_bytes : t -> int
+
+val total_slices : t -> int
+(** Pinned slices across all entries — a fragmentation signal. Kept
+    incrementally from the aggregates' O(1) [Agg.num_slices]. *)
+
 val entry_count : t -> int
 val hits : t -> int
 val misses : t -> int

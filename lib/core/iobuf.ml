@@ -361,192 +361,392 @@ module Pool = struct
 end
 
 module Agg = struct
-  type t = {
-    mutable slices : Slice.t list;
-    mutable total : int;
-    mutable freed : bool;
+  (* Aggregates are ropes (Boehm et al.): leaves are slices; internal
+     nodes cache the subtree's byte length, slice count, and height.
+     Nodes are immutable except for a per-node reference count, so whole
+     subtrees are shared structurally between aggregates: [concat] and
+     [dup] cost O(log n) / O(1) in refcount traffic instead of one
+     buffer-refcount operation per slice.
+
+     Ownership protocol: every node-producing function returns an owned
+     reference (already counted in [nrefs]); every node-consuming
+     combinator takes over the owned references passed to it. Borrowed
+     nodes (obtained by destructuring a parent) must be [keep]ed before
+     being handed to a consumer. A leaf holds exactly one reference on
+     its slice's buffer, released when the leaf's own refcount drains. *)
+  type node = {
+    mutable nrefs : int;
+    total : int;
+    nslices : int;
+    height : int;
+    kind : kind;
   }
+
+  and kind = Leaf of Slice.t | Cat of node * node
+
+  type t = { mutable root : node option; mutable freed : bool }
 
   exception Use_after_free
 
   let check t = if t.freed then raise Use_after_free
 
-  let empty () = { slices = []; total = 0; freed = false }
+  let keep n =
+    n.nrefs <- n.nrefs + 1;
+    n
+
+  let leaf s =
+    Buffer.incr_ref (Slice.buffer s);
+    { nrefs = 1; total = Slice.len s; nslices = 1; height = 1; kind = Leaf s }
+
+  (* Consumes the owned references to [l] and [r]. *)
+  let cat l r =
+    {
+      nrefs = 1;
+      total = l.total + r.total;
+      nslices = l.nslices + r.nslices;
+      height = 1 + (if l.height > r.height then l.height else r.height);
+      kind = Cat (l, r);
+    }
+
+  let release n =
+    let stack = ref [ n ] in
+    let continue = ref true in
+    while !continue do
+      match !stack with
+      | [] -> continue := false
+      | n :: rest ->
+        stack := rest;
+        if n.nrefs <= 0 then invalid_arg "Agg: node refcount underflow";
+        n.nrefs <- n.nrefs - 1;
+        if n.nrefs = 0 then begin
+          match n.kind with
+          | Leaf s -> Buffer.decr_ref (Slice.buffer s)
+          | Cat (l, r) -> stack := l :: r :: !stack
+        end
+    done
+
+  (* Height-balanced concatenation, stdlib-Map style: sibling heights
+     differ by at most 2, [bal] repairs the difference of 3 a single
+     [join] step can introduce. Rotations preserve the in-order leaf
+     sequence, hence the byte content. Both consume [l] and [r]. *)
+  let bal l r =
+    if l.height > r.height + 2 then begin
+      match l.kind with
+      | Cat (ll, lr) when lr.height <= ll.height ->
+        let res = cat (keep ll) (cat (keep lr) r) in
+        release l;
+        res
+      | Cat (ll, lr) -> (
+        match lr.kind with
+        | Cat (lrl, lrr) ->
+          let res = cat (cat (keep ll) (keep lrl)) (cat (keep lrr) r) in
+          release l;
+          res
+        | Leaf _ -> assert false)
+      | Leaf _ -> assert false
+    end
+    else if r.height > l.height + 2 then begin
+      match r.kind with
+      | Cat (rl, rr) when rl.height <= rr.height ->
+        let res = cat (cat l (keep rl)) (keep rr) in
+        release r;
+        res
+      | Cat (rl, rr) -> (
+        match rl.kind with
+        | Cat (rll, rlr) ->
+          let res = cat (cat l (keep rll)) (cat (keep rlr) (keep rr)) in
+          release r;
+          res
+        | Leaf _ -> assert false)
+      | Leaf _ -> assert false
+    end
+    else cat l r
+
+  let rec join l r =
+    if l.height > r.height + 2 then begin
+      match l.kind with
+      | Cat (ll, lr) ->
+        let right = join (keep lr) r in
+        let res = bal (keep ll) right in
+        release l;
+        res
+      | Leaf _ -> assert false
+    end
+    else if r.height > l.height + 2 then begin
+      match r.kind with
+      | Cat (rl, rr) ->
+        let left = join l (keep rl) in
+        let res = bal left (keep rr) in
+        release r;
+        res
+      | Leaf _ -> assert false
+    end
+    else cat l r
+
+  (* In-order traversal of the leaves, explicit stack (no list
+     materialization). *)
+  let iter_leaves root f =
+    match root with
+    | None -> ()
+    | Some n ->
+      let stack = ref [ n ] in
+      let continue = ref true in
+      while !continue do
+        match !stack with
+        | [] -> continue := false
+        | n :: rest -> (
+          stack := rest;
+          match n.kind with
+          | Leaf s -> f s
+          | Cat (l, r) -> stack := l :: r :: !stack)
+      done
+
+  let empty () = { root = None; freed = false }
+
+  let of_root root = { root; freed = false }
 
   let of_slices slices =
-    List.iter (fun s -> Buffer.incr_ref (Slice.buffer s)) slices;
-    {
-      slices;
-      total = List.fold_left (fun acc s -> acc + Slice.len s) 0 slices;
-      freed = false;
-    }
+    match slices with
+    | [] -> empty ()
+    | _ ->
+      (* Perfectly balanced build, O(n). *)
+      let arr = Array.of_list slices in
+      let rec build lo hi =
+        if hi - lo = 1 then leaf arr.(lo)
+        else
+          let mid = (lo + hi) / 2 in
+          cat (build lo mid) (build mid hi)
+      in
+      of_root (Some (build 0 (Array.length arr)))
 
   let of_buffer b = of_slices [ Slice.make b ~off:0 ~len:(Buffer.length b) ]
 
   let of_buffer_owned b =
     (* The caller's reference becomes the aggregate's. *)
-    {
-      slices = [ Slice.make b ~off:0 ~len:(Buffer.length b) ];
-      total = Buffer.length b;
-      freed = false;
-    }
+    let t = of_buffer b in
+    Buffer.decr_ref b;
+    t
 
   let dup t =
     check t;
-    of_slices t.slices
+    of_root (Option.map keep t.root)
 
   let free t =
     check t;
     t.freed <- true;
-    List.iter (fun s -> Buffer.decr_ref (Slice.buffer s)) t.slices;
-    t.slices <- []
+    (match t.root with None -> () | Some n -> release n);
+    t.root <- None
 
   let length t =
     check t;
-    t.total
+    match t.root with None -> 0 | Some n -> n.total
 
   let num_slices t =
     check t;
-    List.length t.slices
+    match t.root with None -> 0 | Some n -> n.nslices
 
   let slices t =
     check t;
-    t.slices
+    let acc = ref [] in
+    iter_leaves t.root (fun s -> acc := s :: !acc);
+    List.rev !acc
 
   let concat a b =
     check a;
     check b;
-    of_slices (a.slices @ b.slices)
+    match (a.root, b.root) with
+    | None, None -> empty ()
+    | Some n, None | None, Some n -> of_root (Some (keep n))
+    | Some x, Some y -> of_root (Some (join (keep x) (keep y)))
 
   let concat_list ts =
     List.iter check ts;
-    of_slices (List.concat_map (fun t -> t.slices) ts)
+    let root =
+      List.fold_left
+        (fun acc t ->
+          match (acc, t.root) with
+          | acc, None -> acc
+          | None, Some n -> Some (keep n)
+          | Some a, Some n -> Some (join a (keep n)))
+        None ts
+    in
+    of_root root
 
   let of_string pool ~producer s =
     let n = String.length s in
-    let rec build pos acc =
-      if pos >= n then List.rev acc
-      else begin
-        let size = min Pool.max_alloc (n - pos) in
-        let b = Pool.alloc pool ~producer size in
-        Buffer.blit_string b ~src:s ~src_off:pos ~dst_off:0 ~len:size;
-        Buffer.seal b;
-        build (pos + size) (Slice.make b ~off:0 ~len:size :: acc)
-      end
-    in
     if n = 0 then empty ()
     else begin
+      let rec build pos acc =
+        if pos >= n then List.rev acc
+        else begin
+          let size = min Pool.max_alloc (n - pos) in
+          let b = Pool.alloc pool ~producer size in
+          Buffer.blit_string b ~src:s ~src_off:pos ~dst_off:0 ~len:size;
+          Buffer.seal b;
+          build (pos + size) (Slice.make b ~off:0 ~len:size :: acc)
+        end
+      in
       let slices = build 0 [] in
-      (* Transfer the allocation references to the aggregate. *)
-      { slices; total = n; freed = false }
+      let t = of_slices slices in
+      (* [of_slices] took its own references; drop the allocation ones. *)
+      List.iter (fun s -> Buffer.decr_ref (Slice.buffer s)) slices;
+      t
     end
 
-  (* Slices of [t] overlapping [off, off+len), clipped. *)
-  let ranged t ~off ~len =
-    if off < 0 || len < 0 || off + len > t.total then
-      invalid_arg "Agg.sub: range";
-    let out = ref [] in
-    let pos = ref 0 in
-    List.iter
-      (fun s ->
-        let slen = Slice.len s in
-        let s_start = !pos and s_end = !pos + slen in
-        let lo = max s_start off and hi = min s_end (off + len) in
-        if lo < hi then begin
-          let rel = lo - s_start in
-          out :=
-            Slice.make (Slice.buffer s) ~off:(Slice.off s + rel) ~len:(hi - lo)
-            :: !out
-        end;
-        pos := s_end)
-      t.slices;
-    List.rev !out
+  (* Owned node holding bytes [off, off+len) of [n] ([n] borrowed,
+     len ≥ 1). Shares whole subtrees; O(log n) fresh nodes along the two
+     boundary paths. *)
+  let rec sub_node n ~off ~len =
+    if off = 0 && len = n.total then keep n
+    else
+      match n.kind with
+      | Leaf s -> leaf (Slice.make (Slice.buffer s) ~off:(Slice.off s + off) ~len)
+      | Cat (l, r) ->
+        if off + len <= l.total then sub_node l ~off ~len
+        else if off >= l.total then sub_node r ~off:(off - l.total) ~len
+        else
+          join
+            (sub_node l ~off ~len:(l.total - off))
+            (sub_node r ~off:0 ~len:(off + len - l.total))
 
   let sub t ~off ~len =
     check t;
-    of_slices (ranged t ~off ~len)
+    if off < 0 || len < 0 || off + len > length t then
+      invalid_arg "Agg.sub: range";
+    if len = 0 then empty ()
+    else of_root (Some (sub_node (Option.get t.root) ~off ~len))
 
   let split t ~at =
     check t;
-    if at < 0 || at > t.total then invalid_arg "Agg.split: position";
-    (of_slices (ranged t ~off:0 ~len:at), of_slices (ranged t ~off:at ~len:(t.total - at)))
+    let total = length t in
+    if at < 0 || at > total then invalid_arg "Agg.split: position";
+    let part ~off ~len =
+      if len = 0 then empty ()
+      else of_root (Some (sub_node (Option.get t.root) ~off ~len))
+    in
+    (part ~off:0 ~len:at, part ~off:at ~len:(total - at))
 
   let iter_slices t f =
     check t;
-    List.iter f t.slices
+    iter_leaves t.root f
 
   let fold_bytes t ~init ~f =
     check t;
-    List.fold_left
-      (fun acc s ->
+    let acc = ref init in
+    iter_leaves t.root (fun s ->
         let data, off = Slice.view s in
-        f acc data off (Slice.len s))
-      init t.slices
+        acc := f !acc data off (Slice.len s));
+    !acc
 
   let get t i =
     check t;
-    if i < 0 || i >= t.total then invalid_arg "Agg.get: index";
-    let rec walk i = function
-      | [] -> assert false
-      | s :: rest ->
-        if i < Slice.len s then Buffer.get (Slice.buffer s) (Slice.off s + i)
-        else walk (i - Slice.len s) rest
+    if i < 0 || i >= length t then invalid_arg "Agg.get: index";
+    let rec walk n i =
+      match n.kind with
+      | Leaf s -> Buffer.get (Slice.buffer s) (Slice.off s + i)
+      | Cat (l, r) -> if i < l.total then walk l i else walk r (i - l.total)
     in
-    walk i t.slices
+    walk (Option.get t.root) i
 
   let raw_string t =
-    let buf = Stdlib.Buffer.create t.total in
-    List.iter
-      (fun s ->
+    let buf = Stdlib.Buffer.create (length t) in
+    iter_leaves t.root (fun s ->
         let data, off = Slice.view s in
-        Stdlib.Buffer.add_subbytes buf data off (Slice.len s))
-      t.slices;
+        Stdlib.Buffer.add_subbytes buf data off (Slice.len s));
     Stdlib.Buffer.contents buf
 
   let to_string sys t =
     check t;
-    Iosys.touch sys Iosys.Copy t.total;
+    Iosys.touch sys Iosys.Copy (length t);
     raw_string t
 
   let blit_to_bytes sys t dst ~pos =
     check t;
-    if pos < 0 || pos + t.total > Bytes.length dst then
+    let total = length t in
+    if pos < 0 || pos + total > Bytes.length dst then
       invalid_arg "Agg.blit_to_bytes: range";
-    Iosys.touch sys Iosys.Copy t.total;
+    Iosys.touch sys Iosys.Copy total;
     if Iosys.touch_data sys then begin
       let cursor = ref pos in
-      List.iter
-        (fun s ->
+      iter_leaves t.root (fun s ->
           let data, off = Slice.view s in
           Bytes.blit data off dst !cursor (Slice.len s);
           cursor := !cursor + Slice.len s)
-        t.slices
     end
 
-  (* How many slices of [t] reference buffer [b]. *)
-  let references_within t b =
-    List.fold_left
-      (fun acc s -> if Slice.buffer s == b then acc + 1 else acc)
-      0 t.slices
+  (* Clipped slices of [t] overlapping [off, off+len), in order. *)
+  let ranged t ~off ~len =
+    let out = ref [] in
+    let rec walk n ~off ~len =
+      match n.kind with
+      | Leaf s ->
+        out := Slice.make (Slice.buffer s) ~off:(Slice.off s + off) ~len :: !out
+      | Cat (l, r) ->
+        if off < l.total then
+          walk l ~off ~len:(min len (l.total - off));
+        let roff = if off > l.total then off - l.total else 0 in
+        let rlen = off + len - l.total - roff in
+        if rlen > 0 then walk r ~off:roff ~len:rlen
+    in
+    (match t.root with
+    | None -> ()
+    | Some n -> if len > 0 then walk n ~off ~len);
+    List.rev !out
+
+  (* Leaf traversal that also reports whether any node on the leaf's
+     path — the leaf included — is structurally shared (nrefs > 1), i.e.
+     reachable from some other aggregate or subtree. *)
+  let iter_leaves_shared root f =
+    match root with
+    | None -> ()
+    | Some n ->
+      let stack = ref [ (n, false) ] in
+      let continue = ref true in
+      while !continue do
+        match !stack with
+        | [] -> continue := false
+        | (n, sh) :: rest -> (
+          stack := rest;
+          let sh = sh || n.nrefs > 1 in
+          match n.kind with
+          | Leaf s -> f s sh
+          | Cat (l, r) -> stack := (l, sh) :: (r, sh) :: !stack)
+      done
 
   let try_overwrite sys t ~off data =
     check t;
     let len = String.length data in
-    if off < 0 || off + len > t.total then invalid_arg "Agg.try_overwrite: range";
+    if off < 0 || off + len > length t then
+      invalid_arg "Agg.try_overwrite: range";
     if len = 0 then true
     else begin
       (* Footnote 2 of Section 3.1: data may be modified in place only if
          it is not currently shared — every affected buffer must be held
-         exclusively by this aggregate. *)
+         exclusively by this aggregate. Under structural sharing that
+         means: every leaf anywhere in this rope that references an
+         affected buffer must be reachable only through unshared nodes
+         (otherwise another aggregate can see the bytes through a shared
+         subtree), and the buffer's refcount must be fully accounted for
+         by those leaves. *)
       let affected = ranged t ~off ~len in
-      let exclusive =
-        List.for_all
-          (fun s ->
+      let affected_buffers =
+        List.fold_left
+          (fun acc s ->
             let b = Slice.buffer s in
-            b.cache_refs = 0 && b.refs = references_within t b)
-          affected
+            if List.memq b acc then acc else b :: acc)
+          [] affected
       in
-      if not exclusive then false
+      let exclusive b =
+        let count = ref 0 in
+        let shared = ref false in
+        iter_leaves_shared t.root (fun s sh ->
+            if Slice.buffer s == b then begin
+              incr count;
+              if sh then shared := true
+            end);
+        b.cache_refs = 0 && (not !shared) && b.refs = !count
+      in
+      if not (List.for_all exclusive affected_buffers) then false
       else begin
         Iosys.touch sys Iosys.Fill len;
         let cursor = ref 0 in
@@ -571,18 +771,16 @@ module Agg = struct
   let content_equal a b =
     check a;
     check b;
-    a.total = b.total && String.equal (raw_string a) (raw_string b)
+    length a = length b && String.equal (raw_string a) (raw_string b)
 
   let pp_shape fmt t =
     if t.freed then Format.fprintf fmt "<freed>"
     else begin
-      Format.fprintf fmt "agg[%d:" t.total;
-      List.iter
-        (fun s ->
+      Format.fprintf fmt "agg[%d:" (length t);
+      iter_leaves t.root (fun s ->
           let u, len = Slice.uid s in
           Format.fprintf fmt " c%d.g%d@%d+%d" u.Buffer.chunk u.Buffer.generation
-            u.Buffer.offset len)
-        t.slices;
+            u.Buffer.offset len);
       Format.fprintf fmt "]"
     end
 end

@@ -9,9 +9,12 @@
       (Section 3.9).
     - A {!Slice.t} is a ⟨pointer, length⟩ reference to a subrange of one
       buffer.
-    - An {!Agg.t} (buffer aggregate, [IOL_Agg]) is an ordered list of
-      slices. Aggregates are passed by value; the underlying buffers are
-      shared by reference and reclaimed by reference counting.
+    - An {!Agg.t} (buffer aggregate, [IOL_Agg]) is an ordered sequence
+      of slices, represented as a height-balanced rope whose subtrees
+      are shared structurally between aggregates: [concat]/[dup] cost
+      O(log n)/O(1), [sub]/[split]/[get] O(log n), traversal O(n). The
+      underlying buffers are shared by reference and reclaimed by
+      reference counting when the last rope node naming them drains.
     - A {!Pool.t} allocates buffers into chunks that all carry the pool's
       ACL. Freed chunks are recycled on the same pool with their VM
       mappings intact, so steady-state allocation costs no VM

@@ -57,10 +57,18 @@ module Cache = struct
     table : (key, int) Hashtbl.t;
     mutable hits : int;
     mutable misses : int;
+    mutable agg_slices : int; (* slices folded via agg_sum, O(1) per agg *)
   }
 
   let create ?(enabled = true) ?(max_entries = 65536) () =
-    { enabled; max_entries; table = Hashtbl.create 1024; hits = 0; misses = 0 }
+    {
+      enabled;
+      max_entries;
+      table = Hashtbl.create 1024;
+      hits = 0;
+      misses = 0;
+      agg_slices = 0;
+    }
 
   let enabled t = t.enabled
   let set_enabled t v = t.enabled <- v
@@ -91,6 +99,7 @@ module Cache = struct
     end
 
   let agg_sum t agg =
+    t.agg_slices <- t.agg_slices + Iobuf.Agg.num_slices agg;
     let computed = ref 0 in
     let sum =
       fold_slices
@@ -104,9 +113,11 @@ module Cache = struct
 
   let hits t = t.hits
   let misses t = t.misses
+  let slices_summed t = t.agg_slices
   let entry_count t = Hashtbl.length t.table
 
   let reset_stats t =
     t.hits <- 0;
-    t.misses <- 0
+    t.misses <- 0;
+    t.agg_slices <- 0
 end

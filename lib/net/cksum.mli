@@ -47,6 +47,11 @@ module Cache : sig
 
   val hits : t -> int
   val misses : t -> int
+
+  val slices_summed : t -> int
+  (** Total slices folded through {!agg_sum}, accumulated from the
+      aggregates' O(1) [Agg.num_slices] (not by re-counting). *)
+
   val entry_count : t -> int
   val reset_stats : t -> unit
 end

@@ -26,15 +26,14 @@ let page_of off = off / Page.page_size
    lazy alignment copy of Section 3.8. *)
 let is_aligned agg =
   let ok = ref true in
-  let slices = Iobuf.Agg.slices agg in
-  let n = List.length slices in
-  List.iteri
-    (fun i s ->
+  let n = Iobuf.Agg.num_slices agg in
+  let i = ref 0 in
+  Iobuf.Agg.iter_slices agg (fun s ->
       let uid, len = Iobuf.Slice.uid s in
       if uid.Iobuf.Buffer.offset mod Page.page_size <> 0 then ok := false;
       (* Every slice but the last must cover whole pages. *)
-      if i < n - 1 && len mod Page.page_size <> 0 then ok := false)
-    slices;
+      if !i < n - 1 && len mod Page.page_size <> 0 then ok := false;
+      incr i);
   !ok
 
 let map proc ~file =

@@ -319,11 +319,34 @@ let prop_cache_matches_model =
         ops;
       !ok)
 
+let test_slice_stats () =
+  let sys, app, pool, cache = mk () in
+  Alcotest.(check int) "empty" 0 (Filecache.total_slices cache);
+  (* Two single-buffer entries plus one spanning two chunks. *)
+  put cache pool app ~file:1 ~off:0 "hello";
+  put cache pool app ~file:2 ~off:0 "world";
+  put cache pool app ~file:3 ~off:0 (String.make (Iobuf.Pool.max_alloc + 10) 'x');
+  Alcotest.(check int) "pinned slices" 4 (Filecache.total_slices cache);
+  Filecache.invalidate_file cache ~file:3;
+  Alcotest.(check int) "after invalidate" 2 (Filecache.total_slices cache);
+  (* Checksum-cache side of the same O(1) counter. *)
+  let ck = Iolite_net.Cksum.Cache.create () in
+  (match Filecache.lookup cache ~file:1 ~off:0 ~len:5 with
+  | Some a ->
+    ignore (Iolite_net.Cksum.Cache.agg_sum ck a);
+    ignore (Iolite_net.Cksum.Cache.agg_sum ck a);
+    Alcotest.(check int) "cksum slices summed" 2
+      (Iolite_net.Cksum.Cache.slices_summed ck);
+    Iobuf.Agg.free a
+  | None -> Alcotest.fail "expected hit");
+  ignore sys
+
 let suites =
   [
     ( "core.filecache",
       [
         Alcotest.test_case "insert/lookup" `Quick test_insert_lookup;
+        Alcotest.test_case "slice stats" `Quick test_slice_stats;
         Alcotest.test_case "miss" `Quick test_miss;
         Alcotest.test_case "write replaces" `Quick test_write_replaces;
         Alcotest.test_case "snapshot semantics" `Quick test_snapshot_semantics;

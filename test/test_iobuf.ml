@@ -292,6 +292,165 @@ let test_try_overwrite_partial_sharing () =
   Iobuf.Agg.free shared;
   Iobuf.Agg.free both
 
+let test_overwrite_structural_sharing () =
+  (* Rope subtrees are shared structurally by concat/sub (not only by
+     dup): a buffer reachable from a shared subtree is not exclusively
+     held, so try_overwrite must refuse until the sharer is freed. *)
+  let sys, app, pool = mk () in
+  let a = alloc_str pool app "aaaaaaaa" in
+  let b = alloc_str pool app "bbbbbbbb" in
+  let c = Iobuf.Agg.concat a b in
+  (* c shares a's and b's rope nodes. *)
+  Alcotest.(check bool) "left half shared via a" false
+    (Iobuf.Agg.try_overwrite sys c ~off:0 "XXXX");
+  Alcotest.(check bool) "right half shared via b" false
+    (Iobuf.Agg.try_overwrite sys c ~off:8 "YYYY");
+  Alcotest.(check bool) "a's leaf shared via c" false
+    (Iobuf.Agg.try_overwrite sys a ~off:0 "XXXX");
+  Iobuf.Agg.free a;
+  Alcotest.(check bool) "left half exclusive after a freed" true
+    (Iobuf.Agg.try_overwrite sys c ~off:0 "XXXX");
+  Alcotest.(check bool) "right half still shared" false
+    (Iobuf.Agg.try_overwrite sys c ~off:8 "YYYY");
+  Iobuf.Agg.free b;
+  Alcotest.(check bool) "right half exclusive after b freed" true
+    (Iobuf.Agg.try_overwrite sys c ~off:8 "YYYY");
+  Alcotest.(check string) "contents" "XXXXaaaaYYYYbbbb" (agg_str c);
+  (* A full-prefix sub shares the left subtree itself. *)
+  let pre = Iobuf.Agg.sub c ~off:0 ~len:8 in
+  Alcotest.(check bool) "prefix sub shares subtree" false
+    (Iobuf.Agg.try_overwrite sys c ~off:0 "ZZZZ");
+  (* A mid-range sub builds fresh leaves over the same buffers; the
+     buffer refcounts still reveal the sharing. *)
+  let mid = Iobuf.Agg.sub c ~off:4 ~len:8 in
+  Alcotest.(check bool) "mid sub blocks via buffer refs" false
+    (Iobuf.Agg.try_overwrite sys c ~off:10 "Q");
+  Iobuf.Agg.free pre;
+  Iobuf.Agg.free mid;
+  Alcotest.(check bool) "exclusive again" true
+    (Iobuf.Agg.try_overwrite sys c ~off:0 "ZZZZ");
+  Iobuf.Agg.free c
+
+let test_deep_append () =
+  (* The stdiol/pipe/Flash pattern: many small appends. The rope must
+     keep content identical to a string model and report num_slices in
+     O(1). *)
+  let _, app, pool = mk () in
+  let model = Buffer.create 65536 in
+  let piece_of i = String.make 32 (Char.chr (97 + (i mod 26))) in
+  let acc = ref (Iobuf.Agg.empty ()) in
+  for i = 1 to 1024 do
+    let p = alloc_str pool app (piece_of i) in
+    let next = Iobuf.Agg.concat !acc p in
+    Iobuf.Agg.free !acc;
+    Iobuf.Agg.free p;
+    acc := next;
+    Buffer.add_string model (piece_of i)
+  done;
+  Alcotest.(check int) "1024 slices" 1024 (Iobuf.Agg.num_slices !acc);
+  Alcotest.(check int) "length" (1024 * 32) (Iobuf.Agg.length !acc);
+  Alcotest.(check string) "content matches model" (Buffer.contents model)
+    (agg_str !acc);
+  (* O(log n) indexing agrees with the model at random spots. *)
+  let rng = Iolite_util.Rng.create 7L in
+  for _ = 1 to 200 do
+    let i = Iolite_util.Rng.int rng (1024 * 32) in
+    Alcotest.(check char) "get" (Buffer.nth model i) (Iobuf.Agg.get !acc i)
+  done;
+  let l, r = Iobuf.Agg.split !acc ~at:10000 in
+  Alcotest.(check string) "split left"
+    (String.sub (Buffer.contents model) 0 10000)
+    (agg_str l);
+  Alcotest.(check string) "split right"
+    (String.sub (Buffer.contents model) 10000 ((1024 * 32) - 10000))
+    (agg_str r);
+  List.iter Iobuf.Agg.free [ !acc; l; r ]
+
+(* Model-based randomized sequences: every live aggregate is paired with
+   a plain-string model; random concat/sub/split/dup/free/overwrite
+   plumbing must keep aggregate contents equal to the model, and freeing
+   everything must return all chunks to the pool. Deterministically
+   seeded via Iolite_util.Rng (SplitMix64). *)
+let model_sequence ~seed ~steps () =
+  let sys, app, pool = mk () in
+  let rng = Iolite_util.Rng.create seed in
+  let rand_string n =
+    String.init n (fun _ -> Char.chr (97 + Iolite_util.Rng.int rng 26))
+  in
+  let live = ref [] in
+  let add agg model = live := (agg, model) :: !live in
+  let pick () = List.nth !live (Iolite_util.Rng.int rng (List.length !live)) in
+  for _ = 1 to 4 do
+    let s = rand_string (1 + Iolite_util.Rng.int rng 200) in
+    add (alloc_str pool app s) s
+  done;
+  for _step = 1 to steps do
+    match Iolite_util.Rng.int rng 7 with
+    | 0 ->
+      let a, sa = pick () and b, sb = pick () in
+      if String.length sa + String.length sb <= 65536 then
+        add (Iobuf.Agg.concat a b) (sa ^ sb)
+    | 1 ->
+      let a, sa = pick () in
+      let n = String.length sa in
+      let off = Iolite_util.Rng.int rng (n + 1) in
+      let len = Iolite_util.Rng.int rng (n - off + 1) in
+      add (Iobuf.Agg.sub a ~off ~len) (String.sub sa off len)
+    | 2 ->
+      let a, sa = pick () in
+      let n = String.length sa in
+      let at = Iolite_util.Rng.int rng (n + 1) in
+      let l, r = Iobuf.Agg.split a ~at in
+      add l (String.sub sa 0 at);
+      add r (String.sub sa at (n - at))
+    | 3 ->
+      let a, sa = pick () in
+      add (Iobuf.Agg.dup a) sa
+    | 4 ->
+      if List.length !live > 2 then begin
+        let victim, _ = pick () in
+        live := List.filter (fun (a, _) -> not (a == victim)) !live;
+        Iobuf.Agg.free victim
+      end
+    | 5 ->
+      let a, sa = pick () in
+      let n = String.length sa in
+      if n > 0 then begin
+        let off = Iolite_util.Rng.int rng n in
+        let len = 1 + Iolite_util.Rng.int rng (n - off) in
+        let data = rand_string len in
+        if Iobuf.Agg.try_overwrite sys a ~off data then begin
+          (* Success promises exclusivity: only this aggregate's model
+             may change. *)
+          let nm = Bytes.of_string sa in
+          Bytes.blit_string data 0 nm off len;
+          let nm = Bytes.to_string nm in
+          live :=
+            List.map (fun (x, sx) -> if x == a then (x, nm) else (x, sx)) !live
+        end
+      end
+    | _ ->
+      let a, sa = pick () in
+      Alcotest.(check int) "length matches model" (String.length sa)
+        (Iobuf.Agg.length a);
+      Alcotest.(check string) "content matches model" sa (agg_str a);
+      if String.length sa > 0 then begin
+        let i = Iolite_util.Rng.int rng (String.length sa) in
+        Alcotest.(check char) "get matches model" sa.[i] (Iobuf.Agg.get a i)
+      end
+  done;
+  List.iter
+    (fun (a, sa) -> Alcotest.(check string) "final content" sa (agg_str a))
+    !live;
+  List.iter (fun (a, _) -> Iobuf.Agg.free a) !live;
+  (* Everything freed: all node/buffer refcounts must have drained, so a
+     fresh allocation reuses the existing chunks. *)
+  let chunks = Iobuf.Pool.chunk_count pool in
+  let probe = Iobuf.Pool.alloc pool ~producer:app 16 in
+  Iobuf.Buffer.seal probe;
+  Iobuf.Buffer.decr_ref probe;
+  Alcotest.(check int) "no leaked chunks" chunks (Iobuf.Pool.chunk_count pool)
+
 (* ------------------------------------------------------------------ *)
 (* Property tests                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -404,6 +563,11 @@ let suites =
         Alcotest.test_case "overwrite shared refused" `Quick test_try_overwrite_shared_refused;
         Alcotest.test_case "overwrite bumps generation" `Quick test_try_overwrite_bumps_generation;
         Alcotest.test_case "overwrite partial sharing" `Quick test_try_overwrite_partial_sharing;
+        Alcotest.test_case "overwrite structural sharing" `Quick test_overwrite_structural_sharing;
+        Alcotest.test_case "deep append" `Quick test_deep_append;
+        Alcotest.test_case "model sequence (seed 1)" `Quick (model_sequence ~seed:1L ~steps:400);
+        Alcotest.test_case "model sequence (seed 2)" `Quick (model_sequence ~seed:2L ~steps:400);
+        Alcotest.test_case "model sequence (seed 3)" `Quick (model_sequence ~seed:3L ~steps:400);
       ] );
     ( "core.transfer",
       [
