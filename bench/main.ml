@@ -263,44 +263,17 @@ let agg_json_of_run ~label entries =
   Stdlib.Buffer.add_string b "      ]\n    }";
   Stdlib.Buffer.contents b
 
-let run_agg ?(label = "current") ?(out = "BENCH_agg.json") () =
-  Printf.printf "\n== Deep-aggregate scaling (label: %s) ==\n" label;
-  let _, d, pool = fixture () in
-  let rng = Iolite_util.Rng.create 42L in
-  let entries = ref [] in
-  let record e = entries := e :: !entries in
-  Printf.printf "  %-8s %8s %12s %14s %12s\n" "op" "pieces" "iters"
-    "total (ms)" "ns/op";
-  let show e =
-    Printf.printf "  %-8s %8d %12d %14.2f %12.1f\n%!" e.ag_op e.ag_pieces
-      e.ag_iters (e.ag_total_ns /. 1e6) (ns_per_op e)
-  in
-  List.iter
-    (fun pieces ->
-      let agg, append = bench_append pool d ~pieces ~piece_size:1024 in
-      record append;
-      show append;
-      (* Split/get stress only the deepest aggregate. *)
-      if pieces = 1024 then begin
-        let split = bench_split agg ~iters:1000 rng in
-        record split;
-        show split;
-        let get = bench_get agg ~iters:10000 rng in
-        record get;
-        show get
-      end;
-      Iobuf.Agg.free agg)
-    [ 128; 256; 512; 1024; 2048 ];
-  let entries = List.rev !entries in
+(* Append one labeled run to a JSON history file (shared by the agg and
+   cksum sections): the checked-in BENCH_*.json files accumulate the perf
+   trajectory across PRs instead of being clobbered per run. *)
+let append_json_run ~benchmark ~out ~label entries =
   let run_json = agg_json_of_run ~label entries in
   let fresh =
     Printf.sprintf
-      "{\n  \"benchmark\": \"deep-agg\",\n  \"units\": \"nanoseconds \
+      "{\n  \"benchmark\": %S,\n  \"units\": \"nanoseconds \
        (wall-clock)\",\n  \"runs\": [\n%s\n  ]\n}\n"
-      run_json
+      benchmark run_json
   in
-  (* Keep the perf trajectory: append this run to an existing history
-     file rather than clobbering previously recorded runs. *)
   let tail_marker = "\n  ]\n}\n" in
   let existing =
     match open_in out with
@@ -334,6 +307,145 @@ let run_agg ?(label = "current") ?(out = "BENCH_agg.json") () =
     Printf.printf "  %s %s\n%!" verb out
   with Sys_error e -> Printf.printf "  could not write %s: %s\n%!" out e
 
+let run_agg ?(label = "current") ?(out = "BENCH_agg.json") () =
+  Printf.printf "\n== Deep-aggregate scaling (label: %s) ==\n" label;
+  let _, d, pool = fixture () in
+  let rng = Iolite_util.Rng.create 42L in
+  let entries = ref [] in
+  let record e = entries := e :: !entries in
+  Printf.printf "  %-8s %8s %12s %14s %12s\n" "op" "pieces" "iters"
+    "total (ms)" "ns/op";
+  let show e =
+    Printf.printf "  %-8s %8d %12d %14.2f %12.1f\n%!" e.ag_op e.ag_pieces
+      e.ag_iters (e.ag_total_ns /. 1e6) (ns_per_op e)
+  in
+  List.iter
+    (fun pieces ->
+      let agg, append = bench_append pool d ~pieces ~piece_size:1024 in
+      record append;
+      show append;
+      (* Split/get stress only the deepest aggregate. *)
+      if pieces = 1024 then begin
+        let split = bench_split agg ~iters:1000 rng in
+        record split;
+        show split;
+        let get = bench_get agg ~iters:10000 rng in
+        record get;
+        show get
+      end;
+      Iobuf.Agg.free agg)
+    [ 128; 256; 512; 1024; 2048 ];
+  let entries = List.rev !entries in
+  append_json_run ~benchmark:"deep-agg" ~out ~label entries
+
+(* ------------------------------------------------------------------ *)
+(* Checksum scaling                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Measures the cost of re-checksumming a shared deep aggregate — the
+   per-send operation of the network path — plus deriving per-MTU-packet
+   checksums during segmentation. The recorded runs in BENCH_cksum.json
+   are labeled: the pre-memo per-slice-cache numbers ("slice-cache
+   baseline") are the regression baseline that the rope-memo runs are
+   compared against. *)
+
+let cksum_show e =
+  Printf.printf "  %-18s %8d %10d %14.2f %12.1f\n%!" e.ag_op e.ag_pieces
+    e.ag_iters (e.ag_total_ns /. 1e6) (ns_per_op e)
+
+let time_op ~op ~pieces ~piece_size ~iters f =
+  let t0 = now_ns () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  let dt = now_ns () -. t0 in
+  {
+    ag_op = op;
+    ag_pieces = pieces;
+    ag_piece_size = piece_size;
+    ag_iters = iters;
+    ag_total_ns = dt;
+  }
+
+let run_cksum ?(label = "current") ?(out = "BENCH_cksum.json") ?(pieces = 1024)
+    () =
+  Printf.printf "\n== Checksum scaling (label: %s, %d slices) ==\n" label
+    pieces;
+  let _, d, pool = fixture () in
+  let piece_size = 1024 in
+  let mtu = 1460 in
+  (* A [pieces]-slice aggregate built like a cached response body: many
+     1 KB buffers concatenated, the whole rope shared across "sends". *)
+  let agg =
+    let acc = ref (Iobuf.Agg.empty ()) in
+    for i = 1 to pieces do
+      let piece =
+        Iobuf.Agg.of_string pool ~producer:d
+          (String.make piece_size (Char.chr (Char.code 'a' + (i mod 26))))
+      in
+      let next = Iobuf.Agg.concat !acc piece in
+      Iobuf.Agg.free !acc;
+      Iobuf.Agg.free piece;
+      acc := next
+    done;
+    !acc
+  in
+  let total = Iobuf.Agg.length agg in
+  let entries = ref [] in
+  let record e =
+    entries := e :: !entries;
+    cksum_show e
+  in
+  Printf.printf "  %-18s %8s %10s %14s %12s\n" "op" "slices" "iters"
+    "total (ms)" "ns/op";
+  (* Uncached full scan: the per-send cost a system with no checksum
+     reuse pays (and the Spliced/sendfile path before this PR). *)
+  record
+    (time_op ~op:"of_agg_cold" ~pieces ~piece_size ~iters:200 (fun () ->
+         ignore (Cksum.of_agg agg)));
+  (* Cold through the cache: scan + insert for every slice. *)
+  record
+    (time_op ~op:"agg_sum_cold" ~pieces ~piece_size ~iters:50 (fun () ->
+         let cache = Cksum.Cache.create () in
+         ignore (Cksum.Cache.agg_sum cache agg)));
+  (* Warm re-checksum of the shared aggregate: the per-send cost of
+     transmitting an already-summed response body. *)
+  let cache = Cksum.Cache.create () in
+  ignore (Cksum.Cache.agg_sum cache agg);
+  record
+    (time_op ~op:"agg_sum_warm" ~pieces ~piece_size ~iters:2000 (fun () ->
+         ignore (Cksum.Cache.agg_sum cache agg)));
+  (* Per-packet derivation, naive: one Agg.sub + cache fold per MTU
+     packet per send (what segmentation costs without range algebra). *)
+  let pkt_cache = Cksum.Cache.create () in
+  let naive_packets () =
+    let off = ref 0 in
+    while !off < total do
+      let len = min mtu (total - !off) in
+      let p = Iobuf.Agg.sub agg ~off:!off ~len in
+      ignore (Cksum.Cache.agg_sum pkt_cache p);
+      Iobuf.Agg.free p;
+      off := !off + len
+    done
+  in
+  naive_packets ();
+  record
+    (time_op ~op:"pkt_naive_warm" ~pieces ~piece_size ~iters:100 naive_packets);
+  (* Per-packet derivation during segmentation: one identity-keyed walk
+     per send, no per-packet sub-aggregates. *)
+  let seg_cache = Cksum.Cache.create () in
+  ignore (Cksum.Cache.packet_sums seg_cache agg ~mtu);
+  record
+    (time_op ~op:"pkt_derived_warm" ~pieces ~piece_size ~iters:500 (fun () ->
+         ignore (Cksum.Cache.packet_sums seg_cache agg ~mtu)));
+  (* Identity-less structural variant (the sendfile path). *)
+  ignore (Cksum.packet_sums_memo agg ~mtu);
+  record
+    (time_op ~op:"pkt_memo_warm" ~pieces ~piece_size ~iters:200 (fun () ->
+         ignore (Cksum.packet_sums_memo agg ~mtu)));
+  Iobuf.Agg.free agg;
+  append_json_run ~benchmark:"cksum" ~out ~label (List.rev !entries)
+
 (* ------------------------------------------------------------------ *)
 (* Paper figures                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -351,6 +463,13 @@ let () =
     let label = match rest with l :: _ -> l | [] -> "current" in
     let out = match rest with _ :: o :: _ -> o | _ -> "BENCH_agg.json" in
     run_agg ~label ~out ()
+  | _ :: "cksum" :: rest ->
+    let label = match rest with l :: _ -> l | [] -> "current" in
+    let out = match rest with _ :: o :: _ -> o | _ -> "BENCH_cksum.json" in
+    let pieces =
+      match rest with _ :: _ :: p :: _ -> int_of_string p | _ -> 1024
+    in
+    run_cksum ~label ~out ~pieces ()
   | _ :: "figures" :: rest ->
     let scale = match rest with s :: _ -> float_of_string s | [] -> 0.5 in
     run_figures scale

@@ -44,11 +44,16 @@ let file_entries t file =
     Hashtbl.replace t.files file r;
     r
 
-(* Insert into the offset-sorted per-file list in one pass. *)
-let rec insert_sorted e = function
-  | [] -> [ e ]
-  | x :: _ as l when e.eoff <= x.eoff -> e :: l
-  | x :: rest -> x :: insert_sorted e rest
+(* Insert into the offset-sorted per-file list in one pass.
+   Tail-recursive: per-file lists can reach many thousands of entries
+   during trace replays. *)
+let insert_sorted e l =
+  let rec go acc = function
+    | [] -> List.rev_append acc [ e ]
+    | x :: _ as l when e.eoff <= x.eoff -> List.rev_append acc (e :: l)
+    | x :: rest -> go (x :: acc) rest
+  in
+  go [] l
 
 let add_entry t e =
   let r = file_entries t e.efile in

@@ -283,3 +283,9 @@ let requests t = t.requests
 let response_bytes t = t.response_bytes
 
 let cgi_handle t = t.cgi
+
+let cksum_stats t =
+  let c = Kernel.counters t.kernel in
+  let total = Iolite_util.Stats.Counter.get c "net.cksum_bytes_total" in
+  let scanned = Iolite_util.Stats.Counter.get c "net.cksum_bytes" in
+  (total, scanned, total - scanned)

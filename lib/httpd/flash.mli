@@ -48,6 +48,12 @@ val cgi_handle : t -> Cgi.t option
 (** The attached FastCGI application, if any (for tests and fault
     injection). *)
 
+val cksum_stats : t -> int * int * int
+(** [(total, scanned, saved)] checksum bytes on this server's kernel:
+    payload bytes that would be summed without any cache, bytes actually
+    scanned, and the difference — the checksum-cache contribution to the
+    Fig. 11 ablation, re-derivable from counters. *)
+
 val request_overhead : float
 (** Per-request event-machinery CPU of the Flash design (both
     variants). *)

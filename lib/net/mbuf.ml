@@ -7,6 +7,7 @@ type chain = {
   mbufs : t list;
   payload : int;
   units : int; (* mbuf structures in the chain *)
+  pkt_cksums : int array option;
   mutable freed : bool;
 }
 
@@ -14,16 +15,16 @@ let mbuf_header_size = 128
 let inline_limit = 108 (* BSD MLEN payload area *)
 let cluster_size = 2048 (* BSD MCLBYTES *)
 
-let of_agg_zero_copy agg =
+let of_agg_zero_copy ?pkt_cksums agg =
   let payload = Iobuf.Agg.length agg in
   (* One mbuf per slice: each out-of-line pointer needs its own header. *)
   let units = max 1 (Iobuf.Agg.num_slices agg) in
-  { mbufs = [ External agg ]; payload; units; freed = false }
+  { mbufs = [ External agg ]; payload; units; pkt_cksums; freed = false }
 
 let of_string s =
   let n = String.length s in
   if n <= inline_limit then
-    { mbufs = [ Inline s ]; payload = n; units = 1; freed = false }
+    { mbufs = [ Inline s ]; payload = n; units = 1; pkt_cksums = None; freed = false }
   else begin
     (* Split across clusters. *)
     let rec split pos acc =
@@ -34,7 +35,7 @@ let of_string s =
       end
     in
     let mbufs = split 0 [] in
-    { mbufs; payload = n; units = List.length mbufs; freed = false }
+    { mbufs; payload = n; units = List.length mbufs; pkt_cksums = None; freed = false }
   end
 
 let of_agg_copied sys agg =
@@ -52,6 +53,7 @@ let wired_bytes c =
   (c.units * mbuf_header_size) + inline_payload
 
 let mbuf_count c = c.units
+let packet_cksums c = c.pkt_cksums
 
 let iter c f = List.iter f c.mbufs
 

@@ -25,9 +25,11 @@ val mbuf_header_size : int
 val inline_limit : int
 (** Largest payload stored inline (the BSD [MLEN] payload area). *)
 
-val of_agg_zero_copy : Iolite_core.Iobuf.Agg.t -> chain
+val of_agg_zero_copy : ?pkt_cksums:int array -> Iolite_core.Iobuf.Agg.t -> chain
 (** Encapsulate without copying: one [External] mbuf per slice; takes
-    ownership of the aggregate. *)
+    ownership of the aggregate. [pkt_cksums], when supplied, carries the
+    per-MTU-packet wire checksums derived during segmentation so the
+    driver never re-walks the payload. *)
 
 val of_agg_copied : Iolite_core.Iosys.t -> Iolite_core.Iobuf.Agg.t -> chain
 (** Conventional path: copies the payload into mbuf clusters (charges a
@@ -43,6 +45,9 @@ val wired_bytes : chain -> int
 (** Wired kernel memory pinned by the chain. *)
 
 val mbuf_count : chain -> int
+
+val packet_cksums : chain -> int array option
+(** Per-packet wire checksums attached at encapsulation time, if any. *)
 
 val iter : chain -> (t -> unit) -> unit
 

@@ -2,6 +2,7 @@ type t = {
   copy_rate : float;
   fill_rate : float;
   cksum_rate : float;
+  cksum_fold : float;
   compute_rate : float;
   syscall : float;
   per_packet : float;
@@ -20,6 +21,7 @@ let default =
     copy_rate = 100e6;
     fill_rate = 100e6;
     cksum_rate = 160e6;
+    cksum_fold = 50e-9;
     compute_rate = 80e6;
     syscall = 5e-6;
     per_packet = 20e-6;
@@ -36,6 +38,7 @@ let default =
 let copy_time t n = float_of_int n /. t.copy_rate
 let fill_time t n = float_of_int n /. t.fill_rate
 let cksum_time t n = float_of_int n /. t.cksum_rate
+let cksum_fold_time t n = float_of_int n *. t.cksum_fold
 
 let packets ~mtu n = if n <= 0 then 0 else ((n - 1) / mtu) + 1
 

@@ -12,6 +12,7 @@ type t = {
   copy_rate : float;  (** memcpy throughput (~60 MB/s on the PII) *)
   fill_rate : float;  (** producing fresh data into a buffer *)
   cksum_rate : float;  (** Internet checksum throughput (~120 MB/s) *)
+  cksum_fold : float;  (** folding two cached partial sums (a few cycles) *)
   compute_rate : float;  (** generic per-byte application work (wc etc.) *)
   syscall : float;  (** user/kernel crossing (~5 us) *)
   per_packet : float;  (** protocol + driver work per MTU packet (~8 us) *)
@@ -31,6 +32,11 @@ val default : t
 val copy_time : t -> int -> float
 val fill_time : t -> int -> float
 val cksum_time : t -> int -> float
+
+val cksum_fold_time : t -> int -> float
+(** CPU time for [n] partial-sum combine steps (the cost of checksum
+    algebra over memoized sums — per fold, not per byte). *)
+
 val packets : mtu:int -> int -> int
 (** Number of MTU packets needed for a payload. *)
 

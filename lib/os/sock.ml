@@ -151,23 +151,35 @@ let send_mode proc c mode agg =
   let len = Iobuf.Agg.length agg in
   let mtu = Iolite_net.Link.mtu (Kernel.link kernel) in
   let counters = Kernel.counters kernel in
-  let chain, cksum_bytes =
+  let chain, cksum_bytes, cksum_folds =
     match mode with
     | Zero_copy ->
-      let _sum, computed = Cksum.Cache.agg_sum (Kernel.cksum_cache kernel) agg in
-      (Mbuf.of_agg_zero_copy agg, computed)
+      (* Per-packet checksums derived during segmentation from cached
+         fragment sums: a warm resend touches no payload bytes. *)
+      let d = Cksum.Cache.packet_sums (Kernel.cksum_cache kernel) agg ~mtu in
+      (Mbuf.of_agg_zero_copy ~pkt_cksums:d.Cksum.dsums agg, d.Cksum.dscanned, d.Cksum.dfolds)
     | Spliced ->
-      (* No copy, but no buffer-identity checksum cache either. *)
-      ignore (Cksum.of_agg agg);
-      (Mbuf.of_agg_zero_copy agg, len)
+      (* No copy and no buffer-identity cache, but the rope memo still
+         lets whole-leaf sums be reused structurally: warm sendfile
+         re-scans only the fragments that straddle packet boundaries. *)
+      if Cksum.Cache.enabled (Kernel.cksum_cache kernel) then begin
+        let d = Cksum.packet_sums_memo agg ~mtu in
+        (Mbuf.of_agg_zero_copy ~pkt_cksums:d.Cksum.dsums agg, d.Cksum.dscanned, d.Cksum.dfolds)
+      end
+      else begin
+        ignore (Cksum.of_agg agg);
+        (Mbuf.of_agg_zero_copy agg, len, 0)
+      end
     | Copied ->
       (* Conventional: copy into mbuf clusters, checksum the whole copy. *)
       let chain = Mbuf.of_agg_copied sys agg in
       Iobuf.Agg.free agg;
-      (chain, len)
+      (chain, len, 0)
   in
   Counter.add counters "net.bytes_sent" len;
   Counter.add counters "net.cksum_bytes" cksum_bytes;
+  Counter.add counters "net.cksum_bytes_total" len;
+  Counter.add counters "net.cksum_folds" cksum_folds;
   (* Wired socket-buffer memory: a conventional connection's copied data
      lives inside its Tss reservation (taken at accept); an IO-Lite
      connection wires only mbuf headers for the duration of the drain. *)
@@ -180,6 +192,7 @@ let send_mode proc c mode agg =
   Process.charge proc
     (cost.Costmodel.syscall
     +. Costmodel.cksum_time cost cksum_bytes
+    +. Costmodel.cksum_fold_time cost cksum_folds
     +. Costmodel.packet_time cost ~mtu len);
   Iolite_sim.Engine.spawn (Kernel.engine kernel) (fun () ->
       drain kernel c ~wired ~len ~chain)

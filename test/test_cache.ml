@@ -319,6 +319,28 @@ let prop_cache_matches_model =
         ops;
       !ok)
 
+let test_deep_per_file_list () =
+  (* Thousands of entries on one file, inserted in descending offset
+     order so every insertion traverses the whole sorted list — a stack
+     overflow with a non-tail-recursive insert. *)
+  let _, app, pool, cache = mk () in
+  let n = 5000 in
+  for i = n - 1 downto 0 do
+    put cache pool app ~file:7 ~off:(i * 2) "ab"
+  done;
+  Alcotest.(check int) "all entries present" n (Filecache.entry_count cache);
+  (match Filecache.lookup cache ~file:7 ~off:(2 * (n - 1)) ~len:2 with
+  | Some a ->
+    Alcotest.(check string) "last entry readable" "ab" (agg_str a);
+    Iobuf.Agg.free a
+  | None -> Alcotest.fail "expected hit");
+  (* Spanning lookup walks the sorted list across many entries. *)
+  match Filecache.lookup cache ~file:7 ~off:0 ~len:(2 * n) with
+  | Some a ->
+    Alcotest.(check int) "spanning range" (2 * n) (Iobuf.Agg.length a);
+    Iobuf.Agg.free a
+  | None -> Alcotest.fail "expected spanning hit"
+
 let test_slice_stats () =
   let sys, app, pool, cache = mk () in
   Alcotest.(check int) "empty" 0 (Filecache.total_slices cache);
@@ -356,6 +378,7 @@ let suites =
         Alcotest.test_case "capacity" `Quick test_capacity_enforced;
         Alcotest.test_case "unified pageout trim" `Quick test_unified_trim_via_pageout;
         Alcotest.test_case "policy swap" `Quick test_policy_swap_preserves_entries;
+        Alcotest.test_case "deep per-file list" `Quick test_deep_per_file_list;
       ] );
     ("core.filecache.props", [ QCheck_alcotest.to_alcotest prop_cache_matches_model ]);
     ( "core.policy",

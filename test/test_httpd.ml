@@ -116,7 +116,19 @@ let test_flash_lite_checksum_cache_effect () =
   Alcotest.(check bool) "checksum cache effective" true
     (computed < 53_000 && sent > 245_000);
   Alcotest.(check bool) "cache recorded hits" true
-    (Cksum.Cache.hits (Kernel.cksum_cache kernel) > 0)
+    (Cksum.Cache.hits (Kernel.cksum_cache kernel) > 0);
+  (* Exactly: the body is scanned once (first transmission) and each
+     subsequent warm request touches only its fresh header bytes. *)
+  let h =
+    String.length (Http.response_header ~keep_alive:true ~content_length:50_000 ())
+  in
+  Alcotest.(check int) "warm requests scan header bytes only"
+    (50_000 + (5 * h)) computed;
+  let total, scanned, saved = Flash.cksum_stats server in
+  Alcotest.(check int) "total covers every payload byte" sent total;
+  Alcotest.(check int) "scanned matches the counter" computed scanned;
+  Alcotest.(check int) "fig11 cache contribution re-derivable"
+    (total - scanned) saved
 
 let test_flash_conv_checksums_everything () =
   let _, kernel = mk () in

@@ -114,6 +114,202 @@ let test_cksum_cache_disabled () =
   Alcotest.(check int) "no hits" 0 (Cksum.Cache.hits cache);
   Iobuf.Agg.free a
 
+(* Subtraction-derived sums may land on the 0xFFFF representative of the
+   zero class where a direct scan yields 0x0000 (RFC 1624): compare the
+   residue modulo 0xFFFF. *)
+let norm_sum s = s mod 0xFFFF
+let norm_cksum c = (lnot c land 0xFFFF) mod 0xFFFF
+
+let letters n seed =
+  String.init n (fun i -> Char.chr (Char.code 'a' + ((seed + (i * 7)) mod 26)))
+
+let prop_cksum_compositional =
+  QCheck.Test.make ~name:"compositional memo sum equals flat checksum"
+    ~count:150
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 8) (string_of_size Gen.(1 -- 64)))
+        (pair small_nat small_nat))
+    (fun (parts, (k1, k2)) ->
+      let parts = if parts = [] then [ "x" ] else parts in
+      let _, d, pool = mk () in
+      let aggs = List.map (Iobuf.Agg.of_string pool ~producer:d) parts in
+      let whole = Iobuf.Agg.concat_list aggs in
+      let flat = String.concat "" parts in
+      let n = String.length flat in
+      (* Arbitrary (often odd) sub-range exercises the parity-swap rule. *)
+      let off = k1 mod n in
+      let len = 1 + (k2 mod (n - off)) in
+      let view = Iobuf.Agg.sub whole ~off ~len in
+      let dup = Iobuf.Agg.dup view in
+      let expect = Cksum.of_string (String.sub flat off len) in
+      let s1 = (Cksum.of_agg_memo view).Cksum.sum in
+      (* Warm re-fold over shared structure must agree and touch no data. *)
+      let warm = Cksum.of_agg_memo dup in
+      let cache = Cksum.Cache.create () in
+      let s3, _ = Cksum.Cache.agg_sum cache view in
+      let s4, c4 = Cksum.Cache.agg_sum cache view in
+      let ok =
+        s1 = expect && warm.Cksum.sum = expect && warm.Cksum.scanned = 0
+        && s3 = expect && s4 = expect && c4 = 0
+      in
+      List.iter Iobuf.Agg.free (view :: dup :: whole :: aggs);
+      ok)
+
+let test_memo_overwrite_invalidation () =
+  let sys, d, pool = mk () in
+  let a = Iobuf.Agg.of_string pool ~producer:d (String.make 2000 'a') in
+  Alcotest.(check int) "initial sum"
+    (Cksum.of_string (String.make 2000 'a'))
+    (Cksum.of_agg_memo a).Cksum.sum;
+  Alcotest.(check int) "warm re-sum is scan-free" 0
+    (Cksum.of_agg_memo a).Cksum.scanned;
+  Alcotest.(check bool) "exclusive overwrite succeeds" true
+    (Iobuf.Agg.try_overwrite sys a ~off:101 (String.make 50 'b'));
+  let fresh = Cksum.of_agg a in
+  let after = Cksum.of_agg_memo a in
+  Alcotest.(check int) "memo invalidated: recomputed sum" fresh after.Cksum.sum;
+  Alcotest.(check bool) "bytes rescanned after overwrite" true
+    (after.Cksum.scanned > 0);
+  Iobuf.Agg.free a
+
+let test_of_agg_memo_shared_body () =
+  let _, d, pool = mk () in
+  let parts = List.init 8 (fun i -> letters 1250 i) in
+  let chunks = List.map (Iobuf.Agg.of_string pool ~producer:d) parts in
+  let body = Iobuf.Agg.concat_list chunks in
+  (* Odd-length first header exercises the parity swap at the join. *)
+  let h1 = Iobuf.Agg.of_string pool ~producer:d "HTTP/1.1 200 OK\r\n\r" in
+  let r1 = Iobuf.Agg.concat h1 body in
+  let cold = Cksum.of_agg_memo r1 in
+  Alcotest.(check int) "cold scans everything" (Iobuf.Agg.length r1)
+    cold.Cksum.scanned;
+  Alcotest.(check int) "cold sum correct" (Cksum.of_agg r1) cold.Cksum.sum;
+  (* Second response sharing the body: only the fresh header is data. *)
+  let h2 = Iobuf.Agg.of_string pool ~producer:d "HTTP/1.1 200 OK!\r\n\r\n" in
+  let r2 = Iobuf.Agg.concat h2 body in
+  let warm = Cksum.of_agg_memo r2 in
+  Alcotest.(check int) "warm scans header bytes only"
+    (Iobuf.Agg.length h2) warm.Cksum.scanned;
+  Alcotest.(check int) "warm sum correct" (Cksum.of_agg r2) warm.Cksum.sum;
+  Alcotest.(check bool) "combines through memoized subtrees" true
+    (warm.Cksum.folds > 0);
+  List.iter Iobuf.Agg.free (r1 :: r2 :: h1 :: h2 :: body :: chunks)
+
+let test_second_chance_eviction () =
+  let _, d, pool = mk () in
+  let cache = Cksum.Cache.create ~max_entries:4 () in
+  let keep = ref [] in
+  let mk_slice s =
+    let a = Iobuf.Agg.of_string pool ~producer:d s in
+    keep := a :: !keep;
+    List.hd (Iobuf.Agg.slices a)
+  in
+  let hot = mk_slice "hot-entry" in
+  ignore (Cksum.Cache.slice_sum cache hot);
+  for i = 1 to 3 do
+    ignore (Cksum.Cache.slice_sum cache (mk_slice (Printf.sprintf "cold-%d" i)))
+  done;
+  (* Touch the hot entry: its reference bit earns it a second chance. *)
+  let _, hit = Cksum.Cache.slice_sum cache hot in
+  Alcotest.(check bool) "hot entry cached" true hit;
+  for i = 1 to 2 do
+    ignore (Cksum.Cache.slice_sum cache (mk_slice (Printf.sprintf "new-%d" i)))
+  done;
+  let _, hot_hit = Cksum.Cache.slice_sum cache hot in
+  Alcotest.(check bool) "hot entry survived overflow" true hot_hit;
+  Alcotest.(check bool) "cold entries evicted one by one" true
+    (Cksum.Cache.evictions cache >= 2);
+  Alcotest.(check int) "no full-table resets" 0 (Cksum.Cache.resets cache);
+  Alcotest.(check bool) "table stayed bounded" true
+    (Cksum.Cache.entry_count cache <= 4);
+  List.iter Iobuf.Agg.free !keep
+
+let test_packet_sums_reference () =
+  let _, d, pool = mk () in
+  let cache = Cksum.Cache.create () in
+  let parts = [ "abcde"; String.make 700 'x'; "12"; letters 900 3 ] in
+  let flat = String.concat "" parts in
+  let n = String.length flat in
+  let aggs = List.map (Iobuf.Agg.of_string pool ~producer:d) parts in
+  let a = Iobuf.Agg.concat_list aggs in
+  let mtu = 512 in
+  let dv = Cksum.Cache.packet_sums cache a ~mtu in
+  Alcotest.(check int) "packet count" (((n - 1) / mtu) + 1)
+    (Array.length dv.Cksum.dsums);
+  Array.iteri
+    (fun i c ->
+      let off = i * mtu in
+      let len = min mtu (n - off) in
+      let expect = Cksum.finish (Cksum.of_string (String.sub flat off len)) in
+      Alcotest.(check int) (Printf.sprintf "packet %d checksum" i) expect c)
+    dv.Cksum.dsums;
+  Alcotest.(check int) "cold scans every byte" n dv.Cksum.dscanned;
+  (* Warm resend with the same segmentation: zero data touched. *)
+  let dv2 = Cksum.Cache.packet_sums cache a ~mtu in
+  Alcotest.(check int) "warm scans nothing" 0 dv2.Cksum.dscanned;
+  Alcotest.(check bool) "same wire checksums" true
+    (dv.Cksum.dsums = dv2.Cksum.dsums);
+  List.iter Iobuf.Agg.free (a :: aggs)
+
+let test_packet_sums_memo_partial_scan () =
+  let _, d, pool = mk () in
+  (* 999-byte leaves against a 700-byte MTU: leaves straddle packets at
+     odd offsets, exercising subtraction-derived fragments with parity
+     swaps. *)
+  let parts = List.init 4 (fun i -> letters 999 (i * 11)) in
+  let flat = String.concat "" parts in
+  let n = String.length flat in
+  let aggs = List.map (Iobuf.Agg.of_string pool ~producer:d) parts in
+  let a = Iobuf.Agg.concat_list aggs in
+  let mtu = 700 in
+  let dv = Cksum.packet_sums_memo a ~mtu in
+  Array.iteri
+    (fun i c ->
+      let off = i * mtu in
+      let len = min mtu (n - off) in
+      let expect = Cksum.finish (Cksum.of_string (String.sub flat off len)) in
+      Alcotest.(check int) (Printf.sprintf "packet %d class" i)
+        (norm_cksum expect) (norm_cksum c))
+    dv.Cksum.dsums;
+  Alcotest.(check int) "cold scans every byte once" n dv.Cksum.dscanned;
+  (* Warm: whole-leaf memos cover single-packet leaves; straddling leaves
+     re-scan all fragments but the one derived by subtraction. *)
+  let dv2 = Cksum.packet_sums_memo a ~mtu in
+  Alcotest.(check bool) "warm scans strictly less" true
+    (dv2.Cksum.dscanned > 0 && dv2.Cksum.dscanned < n);
+  Alcotest.(check bool) "same packet classes" true
+    (Array.for_all2
+       (fun x y -> norm_cksum x = norm_cksum y)
+       dv.Cksum.dsums dv2.Cksum.dsums);
+  List.iter Iobuf.Agg.free (a :: aggs)
+
+let test_range_sum_algebra () =
+  let _, d, pool = mk () in
+  let cache = Cksum.Cache.create () in
+  let s = letters 4096 5 in
+  let a = Iobuf.Agg.of_string pool ~producer:d s in
+  ignore (Cksum.Cache.agg_sum cache a);
+  (* Large odd-offset fragment: the complements (3 + 93 bytes) are
+     scanned and the fragment derived from the whole-leaf memo. *)
+  let r = Cksum.Cache.range_sum cache a ~off:3 ~len:4000 in
+  Alcotest.(check int) "derived range sum class"
+    (norm_sum (Cksum.of_string (String.sub s 3 4000)))
+    (norm_sum r.Cksum.sum);
+  Alcotest.(check int) "scanned only the complements" 96 r.Cksum.scanned;
+  (* The derived fragment gained buffer identity: warm repeat is free. *)
+  let r2 = Cksum.Cache.range_sum cache a ~off:3 ~len:4000 in
+  Alcotest.(check int) "warm repeat scan-free" 0 r2.Cksum.scanned;
+  Alcotest.(check int) "stable value" (norm_sum r.Cksum.sum)
+    (norm_sum r2.Cksum.sum);
+  (* Small fragment: direct scan is cheaper than the complements. *)
+  let r3 = Cksum.Cache.range_sum cache a ~off:10 ~len:100 in
+  Alcotest.(check int) "small range scans itself" 100 r3.Cksum.scanned;
+  Alcotest.(check int) "small range sum"
+    (norm_sum (Cksum.of_string (String.sub s 10 100)))
+    (norm_sum r3.Cksum.sum);
+  Iobuf.Agg.free a
+
 let test_link_wire_time () =
   let l = Link.create ~links:5 ~bits_per_sec:360e6 () in
   (* One 1500-byte packet on a 72 Mb/s interface: (1500+58)*8/72e6. *)
@@ -188,6 +384,21 @@ let test_mbuf_copied_wiring () =
   Mbuf.free chain;
   Iobuf.Agg.free a
 
+let test_mbuf_carries_packet_cksums () =
+  let _, d, pool = mk () in
+  let a = Iobuf.Agg.of_string pool ~producer:d (String.make 4000 'p') in
+  let sums = [| 0x1234; 0x5678; 0x9abc |] in
+  let chain = Mbuf.of_agg_zero_copy ~pkt_cksums:sums a in
+  (match Mbuf.packet_cksums chain with
+  | Some got -> Alcotest.(check bool) "sums attached" true (got == sums)
+  | None -> Alcotest.fail "expected packet checksums");
+  let b = Iobuf.Agg.of_string pool ~producer:d "plain" in
+  let plain = Mbuf.of_agg_zero_copy b in
+  Alcotest.(check bool) "absent by default" true
+    (Mbuf.packet_cksums plain = None);
+  Mbuf.free chain;
+  Mbuf.free plain
+
 let test_mbuf_inline_small () =
   let chain = Mbuf.of_string "tiny" in
   Alcotest.(check int) "one mbuf" 1 (Mbuf.mbuf_count chain);
@@ -219,6 +430,22 @@ let suites =
         Alcotest.test_case "generation invalidation" `Quick
           test_cksum_cache_generation_invalidation;
         Alcotest.test_case "disabled" `Quick test_cksum_cache_disabled;
+        Alcotest.test_case "second-chance eviction" `Quick
+          test_second_chance_eviction;
+      ] );
+    ( "net.cksum_memo",
+      [
+        QCheck_alcotest.to_alcotest prop_cksum_compositional;
+        Alcotest.test_case "overwrite invalidation" `Quick
+          test_memo_overwrite_invalidation;
+        Alcotest.test_case "shared body warm fold" `Quick
+          test_of_agg_memo_shared_body;
+        Alcotest.test_case "packet sums match reference" `Quick
+          test_packet_sums_reference;
+        Alcotest.test_case "identity-less packet sums" `Quick
+          test_packet_sums_memo_partial_scan;
+        Alcotest.test_case "range sum by subtraction" `Quick
+          test_range_sum_algebra;
       ] );
     ( "net.link",
       [
@@ -233,6 +460,8 @@ let suites =
         Alcotest.test_case "zero-copy wiring" `Quick test_mbuf_zero_copy_wiring;
         Alcotest.test_case "copied wiring" `Quick test_mbuf_copied_wiring;
         Alcotest.test_case "inline small" `Quick test_mbuf_inline_small;
+        Alcotest.test_case "carries packet checksums" `Quick
+          test_mbuf_carries_packet_cksums;
         Alcotest.test_case "ownership" `Quick test_mbuf_zero_copy_owns_agg;
       ] );
   ]
