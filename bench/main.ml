@@ -11,6 +11,12 @@
      dune exec bench/main.exe                 # micro + all figures (scale 0.5)
      dune exec bench/main.exe -- micro        # micro-benchmarks only
      dune exec bench/main.exe -- figures 1.0  # figures at a given scale
+     dune exec bench/main.exe -- figures 0.5 --metrics --trace out.json
+         # figures with per-point metric registries printed and every
+         # kernel's trace collected into one Chrome trace-event file
+     dune exec bench/main.exe -- obs [label] [out.json]
+         # observability overhead: asserts the disabled-tracer guard adds
+         # no measurable per-event cost (history in ./BENCH_obs.json)
      dune exec bench/main.exe -- agg [label] [out.json]
          # deep-aggregate scaling section: repeated 1 KB appends up to ~MBs,
          # splits at random offsets, byte gets at random indices. Prints a
@@ -447,14 +453,119 @@ let run_cksum ?(label = "current") ?(out = "BENCH_cksum.json") ?(pieces = 1024)
   append_json_run ~benchmark:"cksum" ~out ~label (List.rev !entries)
 
 (* ------------------------------------------------------------------ *)
+(* Observability overhead                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The tracer's contract is that a disabled tracer costs one mutable
+   bool load and branch per potential event — nothing measurable on hot
+   paths. This section measures it: a bare counting loop, the same loop
+   with the [if Trace.enabled t then emit] guard the call sites use,
+   and (for context) the loop with the tracer armed and emitting. The
+   recorded runs in BENCH_obs.json track that the disabled-path delta
+   stays in the noise across PRs. *)
+
+module Trace = Iolite_obs.Trace
+
+let obs_show e =
+  Printf.printf "  %-18s %10d %14.2f %12.2f\n%!" e.ag_op e.ag_iters
+    (e.ag_total_ns /. 1e6) (ns_per_op e)
+
+let run_obs ?(label = "current") ?(out = "BENCH_obs.json") () =
+  Printf.printf "\n== Observability overhead (label: %s) ==\n" label;
+  let iters = 5_000_000 in
+  let sink = ref 0 in
+  (* Best-of-three per variant: the quantity of interest is a
+     per-iteration delta of a few tenths of a ns, easily swamped by a
+     scheduling blip in a single run. *)
+  let best op f =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let e = time_op ~op ~pieces:0 ~piece_size:0 ~iters f in
+      if e.ag_total_ns < !best then best := e.ag_total_ns
+    done;
+    { ag_op = op; ag_pieces = 0; ag_piece_size = 0; ag_iters = iters;
+      ag_total_ns = !best }
+  in
+  let entries = ref [] in
+  let record e =
+    entries := e :: !entries;
+    obs_show e
+  in
+  Printf.printf "  %-18s %10s %14s %12s\n" "variant" "iters" "total (ms)"
+    "ns/op";
+  let bare =
+    best "bare_loop" (fun () -> sink := !sink + 1)
+  in
+  record bare;
+  let tr = Trace.create () in
+  let disabled =
+    best "disabled_guard" (fun () ->
+        sink := !sink + 1;
+        if Trace.enabled tr then
+          Trace.instant tr ~cat:"bench" ~name:"ev" ())
+  in
+  record disabled;
+  (* Context: cost with the tracer armed (buffering an instant event).
+     Cleared each batch so the buffer does not grow without bound. *)
+  let vnow = ref 0.0 in
+  Trace.enable tr
+    ~clock:(fun () -> vnow := !vnow +. 1e-9; !vnow)
+    ~scope:(fun () -> None);
+  let enabled_iters = 200_000 in
+  let enabled =
+    let e =
+      time_op ~op:"enabled_instant" ~pieces:0 ~piece_size:0
+        ~iters:enabled_iters (fun () ->
+          sink := !sink + 1;
+          if Trace.enabled tr then
+            Trace.instant tr ~cat:"bench" ~name:"ev" ())
+    in
+    Trace.clear tr;
+    e
+  in
+  record enabled;
+  ignore !sink;
+  let delta = ns_per_op disabled -. ns_per_op bare in
+  (* "No measurable cost": within 2 ns/event of the bare loop — the
+     guard is one field load and a branch (~0.4 ns in release builds;
+     dev builds pay an un-inlined call, ~1.5 ns). Compare 100+ ns for
+     an enabled emission and tens of microseconds for the simulated
+     operations the guards sit on. *)
+  if delta <= 2.0 then
+    Printf.printf
+      "  PASS: disabled tracer adds %.2f ns/event over the bare loop\n" delta
+  else
+    Printf.printf
+      "  WARN: disabled tracer adds %.2f ns/event over the bare loop \
+       (> 2.0 ns budget)\n"
+      delta;
+  append_json_run ~benchmark:"obs" ~out ~label (List.rev !entries)
+
+(* ------------------------------------------------------------------ *)
 (* Paper figures                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let run_figures scale =
+let run_figures ?(metrics = false) ?trace_out scale =
   Printf.printf
     "\n== Paper reproduction: Figs. 3-13 (simulated 1999 testbed; scale %.2f) ==\n"
     scale;
-  Iolite_workload.Experiments.run_all ~scale ()
+  let module E = Iolite_workload.Experiments in
+  let sink =
+    match trace_out with
+    | None -> None
+    | Some _ -> Some (Trace.Sink.create ())
+  in
+  E.set_observability ~metrics ?sink ();
+  Fun.protect
+    ~finally:(fun () ->
+      (match (sink, trace_out) with
+      | Some s, Some path ->
+        Trace.Sink.write s path;
+        Printf.printf "  wrote %d trace events to %s\n%!"
+          (Trace.Sink.count s) path
+      | _ -> ());
+      E.set_observability ())
+    (fun () -> E.run_all ~scale ())
 
 let () =
   match Array.to_list Sys.argv with
@@ -470,9 +581,29 @@ let () =
       match rest with _ :: _ :: p :: _ -> int_of_string p | _ -> 1024
     in
     run_cksum ~label ~out ~pieces ()
+  | _ :: "obs" :: rest ->
+    let label = match rest with l :: _ -> l | [] -> "current" in
+    let out = match rest with _ :: o :: _ -> o | _ -> "BENCH_obs.json" in
+    run_obs ~label ~out ()
   | _ :: "figures" :: rest ->
-    let scale = match rest with s :: _ -> float_of_string s | [] -> 0.5 in
-    run_figures scale
+    (* figures [SCALE] [--metrics] [--trace FILE] *)
+    let scale = ref 0.5 in
+    let metrics = ref false in
+    let trace_out = ref None in
+    let rec parse = function
+      | [] -> ()
+      | "--metrics" :: tl ->
+        metrics := true;
+        parse tl
+      | "--trace" :: file :: tl ->
+        trace_out := Some file;
+        parse tl
+      | s :: tl ->
+        scale := float_of_string s;
+        parse tl
+    in
+    parse rest;
+    run_figures ~metrics:!metrics ?trace_out:!trace_out !scale
   | _ ->
     run_micro ();
     run_figures 0.5

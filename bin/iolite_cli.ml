@@ -13,28 +13,81 @@ let verbose_arg =
   let doc = "Enable subsystem logging to stderr (repeat for debug)." in
   Cmdliner.Arg.(value & flag_all & info [ "v"; "verbose" ] ~doc)
 
-let with_logging verbose =
-  match verbose with
-  | [] -> ()
+let log_arg =
+  let doc =
+    "Per-source log level override, e.g. $(b,iolite.cache=debug) or \
+     $(b,httpd=off). Repeatable; implies logging setup."
+  in
+  Cmdliner.Arg.(
+    value & opt_all string [] & info [ "log" ] ~docv:"SOURCE=LEVEL" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Print each experiment point's metrics-registry snapshot and request \
+     latency percentiles after measuring."
+  in
+  Cmdliner.Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let trace_arg =
+  let doc =
+    "Arm the virtual-clock tracer on every simulated kernel and write the \
+     combined Chrome trace-event JSON (Perfetto-loadable) to $(docv) at \
+     exit."
+  in
+  Cmdliner.Arg.(
+    value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let with_logging verbose directives =
+  (match verbose with
+  | [] -> if directives <> [] then Iolite_util.Logging.setup ~level:Logs.Warning ()
   | [ _ ] -> Iolite_util.Logging.setup ~level:Logs.Info ()
-  | _ -> Iolite_util.Logging.setup ~level:Logs.Debug ()
+  | _ -> Iolite_util.Logging.setup ~level:Logs.Debug ());
+  List.iter
+    (fun d ->
+      match Iolite_util.Logging.apply_directive d with
+      | Ok () -> ()
+      | Error msg -> Printf.eprintf "--log %s: %s\n%!" d msg)
+    directives
+
+(* Install observability per the flags, run the thunk, then flush the
+   trace sink to disk. *)
+let with_observability ~metrics ~trace_out f =
+  let sink =
+    match trace_out with
+    | None -> None
+    | Some _ -> Some (Iolite_obs.Trace.Sink.create ())
+  in
+  E.set_observability ~metrics ?sink ();
+  Fun.protect
+    ~finally:(fun () ->
+      (match (sink, trace_out) with
+      | Some sink, Some path ->
+        Iolite_obs.Trace.Sink.write sink path;
+        Printf.eprintf "trace written to %s (%d kernels)\n%!" path
+          (Iolite_obs.Trace.Sink.count sink)
+      | _ -> ());
+      E.set_observability ())
+    f
 
 let series_cmd name title x_label runner =
-  let run verbose scale =
-    with_logging verbose;
-    E.print_series ~title ~x_label (runner ~scale ())
+  let run verbose directives metrics trace_out scale =
+    with_logging verbose directives;
+    with_observability ~metrics ~trace_out (fun () ->
+        E.print_series ~title ~x_label (runner ~scale ()))
   in
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info name ~doc:title)
-    Cmdliner.Term.(const run $ verbose_arg $ scale_arg)
+    Cmdliner.Term.(
+      const run $ verbose_arg $ log_arg $ metrics_arg $ trace_arg $ scale_arg)
 
 let unit_cmd name doc run =
-  let run verbose scale =
-    with_logging verbose;
-    run scale
+  let run verbose directives metrics trace_out scale =
+    with_logging verbose directives;
+    with_observability ~metrics ~trace_out (fun () -> run scale)
   in
   Cmdliner.Cmd.v (Cmdliner.Cmd.info name ~doc)
-    Cmdliner.Term.(const run $ verbose_arg $ scale_arg)
+    Cmdliner.Term.(
+      const run $ verbose_arg $ log_arg $ metrics_arg $ trace_arg $ scale_arg)
 
 let cmds =
   [
@@ -73,7 +126,7 @@ let cmds =
          & info [] ~docv:"TRACE" ~doc:"Trace to inspect: ece, cs or merged.")
      in
      let run verbose which =
-       with_logging verbose;
+       with_logging verbose [];
        let module Trace = Iolite_workload.Trace in
        let spec =
          match which with
@@ -105,6 +158,42 @@ let cmds =
      Cmdliner.Cmd.v
        (Cmdliner.Cmd.info "trace" ~doc:"Inspect a synthesized trace")
        Cmdliner.Term.(const run $ verbose_arg $ trace_name));
+    (let run verbose directives metrics trace_out =
+       with_logging verbose directives;
+       let r = E.smoke () in
+       (match trace_out with
+       | Some path ->
+         let oc = open_out path in
+         output_string oc r.E.sm_trace_json;
+         close_out oc;
+         Printf.eprintf "trace written to %s\n%!" path
+       | None -> ());
+       Printf.printf "smoke: %d requests" r.E.sm_requests;
+       (match r.E.sm_latency with
+       | Some s ->
+         Printf.printf ", latency p50=%.4fs p90=%.4fs p99=%.4fs"
+           s.Iolite_util.Stats.p50 s.Iolite_util.Stats.p90
+           s.Iolite_util.Stats.p99
+       | None -> ());
+       let total, scanned, saved = r.E.sm_cksum in
+       Printf.printf ", cksum total=%d scanned=%d saved=%d\n" total scanned
+         saved;
+       if metrics then begin
+         let dump title l =
+           Printf.printf "-- %s --\n" title;
+           List.iter (fun (k, v) -> Printf.printf "  %-28s %d\n" k v) l
+         in
+         dump "cold-phase diff" r.E.sm_cold;
+         dump "warm-phase diff" r.E.sm_warm
+       end
+     in
+     Cmdliner.Cmd.v
+       (Cmdliner.Cmd.info "smoke"
+          ~doc:
+            "Small deterministic Flash-Lite run exercising the telemetry \
+             stack (static + CGI, tracing armed)")
+       Cmdliner.Term.(
+         const run $ verbose_arg $ log_arg $ metrics_arg $ trace_arg));
   ]
 
 let () =

@@ -13,7 +13,7 @@ module Kernel = Iolite_os.Kernel
 module Sock = Iolite_os.Sock
 module Flash = Iolite_httpd.Flash
 module Http = Iolite_httpd.Http
-module Counter = Iolite_util.Stats.Counter
+module Counter = Iolite_obs.Metrics
 module Table = Iolite_util.Table
 
 let doc_size = 48_000
@@ -43,7 +43,7 @@ let () =
   let k_lite, t_lite = drive Flash.Iolite in
   let k_conv, t_conv = drive Flash.Conventional in
   let row name k t =
-    let c = Kernel.counters k in
+    let c = Kernel.metrics k in
     [
       name;
       Table.fmt_time_s t;

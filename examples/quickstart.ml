@@ -14,7 +14,7 @@ module Filecache = Iolite_core.Filecache
 module Cksum = Iolite_net.Cksum
 module Vm = Iolite_mem.Vm
 module Pdomain = Iolite_mem.Pdomain
-module Counter = Iolite_util.Stats.Counter
+module Counter = Iolite_obs.Metrics
 
 let step fmt = Printf.printf ("\n== " ^^ fmt ^^ " ==\n")
 
@@ -59,7 +59,7 @@ let () =
   Iobuf.Buffer.decr_ref b;
 
   step "4. Copy-free transfer across protection domains";
-  let maps () = Counter.get (Vm.counters (Iosys.vm sys)) "vm.map_read" in
+  let maps () = Counter.get (Vm.metrics (Iosys.vm sys)) "vm.map_read" in
   let m0 = maps () in
   let bobs_view = Transfer.send sys message ~to_:bob in
   Printf.printf "transfer to bob mapped %d pages (cold)\n" (maps () - m0);

@@ -10,7 +10,7 @@ module Engine = Iolite_sim.Engine
 module Kernel = Iolite_os.Kernel
 module Flash = Iolite_httpd.Flash
 module Client = Iolite_workload.Client
-module Counter = Iolite_util.Stats.Counter
+module Counter = Iolite_obs.Metrics
 module Table = Iolite_util.Table
 
 let site kernel =
@@ -52,7 +52,7 @@ let () =
   let k_lite, r_lite = drive Flash.Iolite in
   let k_conv, r_conv = drive Flash.Conventional in
   let row name (k, r) =
-    let c = Kernel.counters k in
+    let c = Kernel.metrics k in
     [
       name;
       Printf.sprintf "%.1f Mb/s" r.Client.mbps;
@@ -71,7 +71,7 @@ let () =
      only %s\n(headers, plus each document once — the checksum cache covers \
      retransmissions).\nFlash copied and checksummed every byte it sent: \
      that CPU time is the\nbandwidth difference of %.0f%%.\n"
-    (Table.fmt_bytes (Counter.get (Kernel.counters k_lite) "net.bytes_sent"))
-    (Table.fmt_bytes (Counter.get (Kernel.counters k_lite) "bytes.copied"))
-    (Table.fmt_bytes (Counter.get (Kernel.counters k_lite) "net.cksum_bytes"))
+    (Table.fmt_bytes (Counter.get (Kernel.metrics k_lite) "net.bytes_sent"))
+    (Table.fmt_bytes (Counter.get (Kernel.metrics k_lite) "bytes.copied"))
+    (Table.fmt_bytes (Counter.get (Kernel.metrics k_lite) "net.cksum_bytes"))
     (100.0 *. (r_lite.Client.mbps -. r_conv.Client.mbps) /. r_conv.Client.mbps)

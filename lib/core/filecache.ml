@@ -1,4 +1,5 @@
-module Counter = Iolite_util.Stats.Counter
+module Metrics = Iolite_obs.Metrics
+module Trace = Iolite_obs.Trace
 
 let log = Iolite_util.Logging.src "cache"
 
@@ -97,7 +98,12 @@ let evict_one t =
     | Some e ->
       drop_entry t e;
       t.evictions <- t.evictions + 1;
-      Counter.incr (Iosys.counters t.sys) "cache.eviction";
+      Metrics.incr (Iosys.metrics t.sys) "cache.eviction";
+      (let tr = Iosys.trace t.sys in
+       if Trace.enabled tr then
+         Trace.instant tr ~cat:"cache" ~name:"evict"
+           ~args:[ ("file", Int e.efile); ("bytes", Int e.elen) ]
+           ());
       Logs.debug ~src:log (fun m ->
           m "evicted file %d [%d,+%d) under %s; %d entries / %d bytes remain"
             e.efile e.eoff e.elen t.policy.Policy.name
@@ -171,10 +177,19 @@ let find_covering t ~file ~off ~len =
 let covered t ~file ~off ~len =
   len = 0 || Option.is_some (find_covering t ~file ~off ~len)
 
+let note t event ~file ~bytes =
+  Metrics.incr (Iosys.metrics t.sys) ("cache." ^ event);
+  let tr = Iosys.trace t.sys in
+  if Trace.enabled tr then
+    Trace.instant tr ~cat:"cache" ~name:event
+      ~args:[ ("file", Int file); ("bytes", Int bytes) ]
+      ()
+
 let lookup t ~file ~off ~len =
   match find_covering t ~file ~off ~len with
   | Some entries ->
     t.hits <- t.hits + 1;
+    note t "hit" ~file ~bytes:len;
     let parts =
       List.map
         (fun e ->
@@ -188,6 +203,7 @@ let lookup t ~file ~off ~len =
     Some agg
   | None ->
     t.misses <- t.misses + 1;
+    note t "miss" ~file ~bytes:len;
     None
 
 (* Remove the parts of existing entries overlapping [off, off+len),
@@ -232,6 +248,7 @@ let insert t ~file ~off agg =
   else begin
     carve t ~file ~off ~len;
     add_entry t { efile = file; eoff = off; elen = len; eagg = agg };
+    note t "insert" ~file ~bytes:len;
     enforce_capacity t
   end
 

@@ -1,5 +1,5 @@
 open Iolite_mem
-module Counter = Iolite_util.Stats.Counter
+module Metrics = Iolite_obs.Metrics
 
 (* A chunkstore is the storage side of a VM chunk: 64 KB of backing bytes
    plus a bump allocator and liveness counters. *)
@@ -192,7 +192,7 @@ module Pool = struct
 
   let fresh_chunk p =
     let vc = Vm.alloc_chunk (Iosys.vm p.sys) ~label:p.pname ~acl:p.pacl in
-    Counter.incr (Iosys.counters p.sys) "pool.fresh_chunk";
+    Metrics.incr (Iosys.metrics p.sys) "pool.fresh_chunk";
     let c =
       {
         vc;
@@ -213,7 +213,7 @@ module Pool = struct
       (* Recycling keeps VM mappings: warm allocation costs no map ops
          (only any released pages are charged back). *)
       Vm.recycle_chunk (Iosys.vm p.sys) c.vc;
-      Counter.incr (Iosys.counters p.sys) "pool.recycle_chunk";
+      Metrics.incr (Iosys.metrics p.sys) "pool.recycle_chunk";
       (* Untrusted producers pay the write-permission toggle once per
          chunk reuse (Section 3.2); stale grants from the previous fill
          cycle are revoked here so the next fill re-grants. *)
@@ -308,7 +308,7 @@ module Pool = struct
     in
     store.bump <- boff + (if owns_pages > 0 then owns_pages * Page.page_size else size);
     store.live <- store.live + 1;
-    Counter.incr (Iosys.counters p.sys) "pool.alloc";
+    Metrics.incr (Iosys.metrics p.sys) "pool.alloc";
     b
 
   let retire_buffer (b : Buffer.t) =

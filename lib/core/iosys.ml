@@ -1,5 +1,6 @@
 open Iolite_mem
-module Counter = Iolite_util.Stats.Counter
+module Metrics = Iolite_obs.Metrics
+module Trace = Iolite_obs.Trace
 
 type touch = Copy | Fill | Dma
 
@@ -15,7 +16,8 @@ type t = {
   vm : Vm.t;
   pageout : Pageout.t;
   kernel : Pdomain.t;
-  counters : Counter.t;
+  metrics : Metrics.t;
+  trace : Trace.t;
   mutable on_touch : touch -> int -> unit;
   mutable touch_data : bool;
   mutable fill_mode : fill_mode;
@@ -23,15 +25,18 @@ type t = {
 
 let create ?(capacity = 128 * 1024 * 1024) ?(seed = 0x10117EL) () =
   let physmem = Physmem.create ~capacity in
-  let vm = Vm.create ~physmem () in
-  let pageout = Pageout.create ~physmem ~seed in
+  let metrics = Metrics.create () in
+  let trace = Trace.create () in
+  let vm = Vm.create ~metrics ~trace ~physmem () in
+  let pageout = Pageout.create ~trace ~physmem ~seed () in
   Pageout.install pageout;
   {
     physmem;
     vm;
     pageout;
     kernel = Pdomain.make ~trusted:true ~name:"kernel" ();
-    counters = Counter.create ();
+    metrics;
+    trace;
     on_touch = (fun _ _ -> ());
     touch_data = true;
     fill_mode = `Fill;
@@ -54,7 +59,7 @@ let touch t kind n =
         match t.fill_mode with `Fill -> Fill | `As_copy -> Copy | `Dma -> Dma)
       | Copy | Dma -> kind
     in
-    Counter.add t.counters (touch_name kind) n;
+    Metrics.add t.metrics (touch_name kind) n;
     t.on_touch kind n
   end
 
@@ -71,4 +76,5 @@ let with_fill_mode t mode f =
 
 let touch_data t = t.touch_data
 let set_touch_data t v = t.touch_data <- v
-let counters t = t.counters
+let metrics t = t.metrics
+let trace t = t.trace

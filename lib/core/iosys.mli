@@ -49,5 +49,10 @@ val set_touch_data : t -> bool -> unit
     used only by large benchmark sweeps where contents are never read
     back. Defaults to true. *)
 
-val counters : t -> Iolite_util.Stats.Counter.t
-(** Byte counts per touch kind plus assorted core events. *)
+val metrics : t -> Iolite_obs.Metrics.t
+(** The kernel-wide metrics registry: byte counts per touch kind, VM op
+    counts, and every subsystem's counters under a dotted namespace. *)
+
+val trace : t -> Iolite_obs.Trace.t
+(** The kernel-wide tracer (created disabled; armed by the OS layer,
+    which owns the virtual clock). *)

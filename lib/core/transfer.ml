@@ -1,4 +1,4 @@
-module Counter = Iolite_util.Stats.Counter
+module Metrics = Iolite_obs.Metrics
 open Iolite_mem
 
 let iter_chunks agg f =
@@ -13,8 +13,8 @@ let iter_chunks agg f =
       end)
 
 let grant sys agg ~to_ =
-  Counter.incr (Iosys.counters sys) "transfer.send";
-  Counter.add (Iosys.counters sys) "transfer.bytes" (Iobuf.Agg.length agg);
+  Metrics.incr (Iosys.metrics sys) "transfer.send";
+  Metrics.add (Iosys.metrics sys) "transfer.bytes" (Iobuf.Agg.length agg);
   iter_chunks agg (fun c -> Vm.map_read (Iosys.vm sys) to_ c)
 
 let send sys agg ~to_ =

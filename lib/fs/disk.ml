@@ -1,5 +1,6 @@
 module Sync = Iolite_sim.Sync
 module Proc = Iolite_sim.Engine.Proc
+module Trace = Iolite_obs.Trace
 
 type t = {
   positioning_s : float;
@@ -13,10 +14,11 @@ type t = {
   mutable bytes_read : int;
   mutable bytes_written : int;
   mutable busy : float;
+  trace : Trace.t;
 }
 
 let create ?(positioning_s = 0.008) ?(sequential_positioning_s = 0.0005)
-    ?(bytes_per_sec = 12e6) () =
+    ?(bytes_per_sec = 12e6) ?trace () =
   {
     positioning_s;
     sequential_positioning_s;
@@ -29,6 +31,7 @@ let create ?(positioning_s = 0.008) ?(sequential_positioning_s = 0.0005)
     bytes_read = 0;
     bytes_written = 0;
     busy = 0.0;
+    trace = (match trace with Some tr -> tr | None -> Trace.create ());
   }
 
 let service t ~file ~off ~bytes =
@@ -43,13 +46,22 @@ let service t ~file ~off ~bytes =
       t.last_file <- file;
       t.last_end <- off + bytes)
 
+(* Spans cover queueing (semaphore wait) plus positioning and
+   transfer, so a congested disk shows as long [disk] spans. *)
+let traced t name ~file ~bytes f =
+  if Trace.enabled t.trace then
+    Trace.span t.trace ~cat:"disk" ~name
+      ~args:[ ("file", Trace.Int file); ("bytes", Trace.Int bytes) ]
+      f
+  else f ()
+
 let read t ~file ~off ~bytes =
-  service t ~file ~off ~bytes;
+  traced t "read" ~file ~bytes (fun () -> service t ~file ~off ~bytes);
   t.reads <- t.reads + 1;
   t.bytes_read <- t.bytes_read + bytes
 
 let write t ~file ~off ~bytes =
-  service t ~file ~off ~bytes;
+  traced t "write" ~file ~bytes (fun () -> service t ~file ~off ~bytes);
   t.writes <- t.writes + 1;
   t.bytes_written <- t.bytes_written + bytes
 

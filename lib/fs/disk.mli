@@ -11,10 +11,13 @@ val create :
   ?positioning_s:float ->
   ?sequential_positioning_s:float ->
   ?bytes_per_sec:float ->
+  ?trace:Iolite_obs.Trace.t ->
   unit ->
   t
 (** Defaults: 8 ms average positioning, 0.5 ms when sequential with the
-    previous request, 12 MB/s media transfer. *)
+    previous request, 12 MB/s media transfer. [trace] receives a
+    [disk]/[read|write] span per request (covering queueing +
+    positioning + transfer) when tracing is enabled. *)
 
 val read : t -> file:int -> off:int -> bytes:int -> unit
 (** Must run inside a simulation process; sleeps for queueing +

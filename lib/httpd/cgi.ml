@@ -159,6 +159,11 @@ let serve_cgi11 t server_proc =
   end
 
 let serve t server_proc =
+  (let tr = Kernel.trace t.kernel in
+   if Iolite_obs.Trace.enabled tr then
+     Iolite_obs.Trace.instant tr ~cat:"httpd" ~name:"cgi"
+       ~args:[ ("bytes", Iolite_obs.Trace.Int t.dsize) ]
+       ());
   if t.cmode = Cgi11 then
     Sync.Semaphore.with_acquired t.lock (fun () ->
         if t.dead then None else serve_cgi11 t server_proc)

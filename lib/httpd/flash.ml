@@ -7,6 +7,9 @@ module Policy = Iolite_core.Policy
 module Physmem = Iolite_mem.Physmem
 module Iosys = Iolite_core.Iosys
 module Filestore = Iolite_fs.Filestore
+module Metrics = Iolite_obs.Metrics
+module Trace = Iolite_obs.Trace
+module Hist = Iolite_util.Stats.Hist
 
 type variant = Conventional | Iolite | Sendfile
 
@@ -97,13 +100,14 @@ type t = {
   mutable response_bytes : int;
   mutable cgi : Cgi.t option;
   flight : Singleflight.t;
+  latencies : Hist.t;
 }
 
 let header_agg proc ~keep_alive ~len =
   let header = Http.response_header ~keep_alive ~content_length:len () in
   Iobuf.Agg.of_string (Process.pool proc) ~producer:(Process.domain proc) header
 
-let send_static_conv t proc conn mapcache ~keep_alive ~file =
+let send_static_conv t proc conn mapcache ~on_complete ~keep_alive ~file =
   Singleflight.run t.flight ~file (fun () ->
       if not (Fileio.cached_conv proc ~file) then Fileio.fetch_conv proc ~file);
   let m = Mapcache.get mapcache proc ~file in
@@ -113,10 +117,10 @@ let send_static_conv t proc conn mapcache ~keep_alive ~file =
   Iobuf.Agg.free header;
   Iobuf.Agg.free body;
   let len = Iobuf.Agg.length resp in
-  Sock.send proc conn ~zero_copy:false resp;
+  Sock.send ~on_complete proc conn ~zero_copy:false resp;
   len
 
-let send_static_iolite t proc conn ~keep_alive ~file =
+let send_static_iolite t proc conn ~on_complete ~keep_alive ~file =
   Singleflight.run t.flight ~file (fun () ->
       if not (Fileio.cached_unified proc ~file) then
         Fileio.fetch_unified proc ~file);
@@ -127,17 +131,17 @@ let send_static_iolite t proc conn ~keep_alive ~file =
   Iobuf.Agg.free header;
   Iobuf.Agg.free body;
   let len = Iobuf.Agg.length resp in
-  Sock.send proc conn ~zero_copy:true resp;
+  Sock.send ~on_complete proc conn ~zero_copy:true resp;
   len
 
-let send_static_sendfile t proc conn ~keep_alive ~file =
+let send_static_sendfile t proc conn ~on_complete ~keep_alive ~file =
   Singleflight.run t.flight ~file (fun () ->
       if not (Fileio.cached_conv proc ~file) then Fileio.fetch_conv proc ~file);
   let size = Fileio.stat_size proc ~file in
   let header = Http.response_header ~keep_alive ~content_length:size () in
-  Sock.sendfile proc conn ~file ~header
+  Sock.sendfile ~on_complete proc conn ~file ~header
 
-let send_not_found proc conn ~keep_alive ~zero_copy =
+let send_not_found proc conn ~on_complete ~keep_alive ~zero_copy =
   let body = Http.not_found_body in
   let header =
     Http.response_header ~status:404 ~keep_alive
@@ -148,10 +152,10 @@ let send_not_found proc conn ~keep_alive ~zero_copy =
       (header ^ body)
   in
   let len = Iobuf.Agg.length resp in
-  Sock.send proc conn ~zero_copy resp;
+  Sock.send ~on_complete proc conn ~zero_copy resp;
   len
 
-let send_bad_gateway proc conn ~zero_copy =
+let send_bad_gateway proc conn ~on_complete ~zero_copy =
   (* The CGI process died: the server answers 502 and keeps running —
      fault isolation between server and third-party code. *)
   let body = "<html><body><h1>502 Bad Gateway</h1></body></html>" in
@@ -164,22 +168,22 @@ let send_bad_gateway proc conn ~zero_copy =
       (header ^ body)
   in
   let len = Iobuf.Agg.length resp in
-  Sock.send proc conn ~zero_copy resp;
+  Sock.send ~on_complete proc conn ~zero_copy resp;
   len
 
-let send_cgi t proc conn ~keep_alive cgi =
+let send_cgi t proc conn ~on_complete ~keep_alive cgi =
   let zero_copy =
     match t.variant with Iolite -> true | Conventional | Sendfile -> false
   in
   match Cgi.serve cgi proc with
-  | None -> send_bad_gateway proc conn ~zero_copy
+  | None -> send_bad_gateway proc conn ~on_complete ~zero_copy
   | Some body ->
     let header = header_agg proc ~keep_alive ~len:(Iobuf.Agg.length body) in
     let resp = Iobuf.Agg.concat header body in
     Iobuf.Agg.free header;
     Iobuf.Agg.free body;
     let len = Iobuf.Agg.length resp in
-    Sock.send proc conn ~zero_copy resp;
+    Sock.send ~on_complete proc conn ~zero_copy resp;
     len
 
 let handle t proc mapcache conn =
@@ -191,23 +195,50 @@ let handle t proc mapcache conn =
     | None -> ()
     | Some raw ->
       Process.charge proc request_overhead;
+      let parsed = Http.parse_request raw in
+      let rpath =
+        match parsed with
+        | Some { Http.path; _ } -> path
+        | None -> "<malformed>"
+      in
+      (* Latency is measured request-arrival to last-byte-drained: the
+         completion hook fires from the asynchronous TCP drain, so the
+         response bytes are captured through a cell it closes over. *)
+      let t0 = Proc.now () in
+      let sent_cell = ref 0 in
+      let on_complete t_end =
+        let dt = t_end -. t0 in
+        Hist.add t.latencies dt;
+        Metrics.observe (Kernel.metrics t.kernel) "httpd.request_latency_s" dt;
+        let tr = Kernel.trace t.kernel in
+        if Trace.enabled tr then
+          Trace.complete tr ~cat:"httpd" ~name:"request" ~ts:t0 ~dur:dt
+            ~args:
+              [ ("path", Trace.Str rpath); ("bytes", Trace.Int !sent_cell) ]
+            ()
+      in
       let sent =
-        match Http.parse_request raw with
-        | None -> send_not_found proc conn ~keep_alive:false ~zero_copy
+        match parsed with
+        | None ->
+          send_not_found proc conn ~on_complete ~keep_alive:false ~zero_copy
         | Some { Http.path; keep_alive } -> (
           match (t.cgi, path) with
-          | Some cgi, "/cgi" -> send_cgi t proc conn ~keep_alive cgi
+          | Some cgi, "/cgi" -> send_cgi t proc conn ~on_complete ~keep_alive cgi
           | _, _ -> (
             let store = Kernel.store t.kernel in
             match Filestore.lookup store path with
-            | None -> send_not_found proc conn ~keep_alive ~zero_copy
+            | None -> send_not_found proc conn ~on_complete ~keep_alive ~zero_copy
             | Some file -> (
               match t.variant with
               | Conventional ->
-                send_static_conv t proc conn mapcache ~keep_alive ~file
-              | Sendfile -> send_static_sendfile t proc conn ~keep_alive ~file
-              | Iolite -> send_static_iolite t proc conn ~keep_alive ~file)))
+                send_static_conv t proc conn mapcache ~on_complete ~keep_alive
+                  ~file
+              | Sendfile ->
+                send_static_sendfile t proc conn ~on_complete ~keep_alive ~file
+              | Iolite ->
+                send_static_iolite t proc conn ~on_complete ~keep_alive ~file)))
       in
+      sent_cell := sent;
       t.requests <- t.requests + 1;
       t.response_bytes <- t.response_bytes + sent;
       loop ()
@@ -228,6 +259,7 @@ let start ?(variant = Iolite) ?cgi_doc_size ?cgi_mode ?policy kernel ~port =
       response_bytes = 0;
       cgi = None;
       flight = Singleflight.create ();
+      latencies = Hist.create ();
     }
   in
   Logs.info ~src:log (fun m ->
@@ -269,8 +301,9 @@ let start ?(variant = Iolite) ?cgi_doc_size ?cgi_mode ?policy kernel ~port =
         let rec accept_loop () =
           let conn = Sock.accept proc listener in
           (* Event-driven: handlers are coroutines of the single server
-             process; all CPU is charged to one pid. *)
-          Proc.spawn (fun () -> handle t proc mapcache conn);
+             process; all CPU is charged to one pid (and all trace
+             events to one simulated thread). *)
+          Proc.spawn ~name:"flash" (fun () -> handle t proc mapcache conn);
           accept_loop ()
         in
         accept_loop ())
@@ -285,7 +318,13 @@ let response_bytes t = t.response_bytes
 let cgi_handle t = t.cgi
 
 let cksum_stats t =
-  let c = Kernel.counters t.kernel in
-  let total = Iolite_util.Stats.Counter.get c "net.cksum_bytes_total" in
-  let scanned = Iolite_util.Stats.Counter.get c "net.cksum_bytes" in
+  let m = Kernel.metrics t.kernel in
+  let total = Metrics.get m "net.cksum_bytes_total" in
+  let scanned = Metrics.get m "net.cksum_bytes" in
   (total, scanned, total - scanned)
+
+let latency_hist t = t.latencies
+
+let latency_stats t =
+  if Hist.count t.latencies = 0 then None
+  else Some (Hist.summary t.latencies)

@@ -54,6 +54,15 @@ val cksum_stats : t -> int * int * int
     scanned, and the difference — the checksum-cache contribution to the
     Fig. 11 ablation, re-derivable from counters. *)
 
+val latency_hist : t -> Iolite_util.Stats.Hist.t
+(** The live request-latency histogram (seconds, request arrival to
+    last byte drained). Also mirrored into the kernel registry under
+    [httpd.request_latency_s]. *)
+
+val latency_stats : t -> Iolite_util.Stats.summary option
+(** p50/p90/p99 (and mean/min/max) of request latency; [None] before
+    the first completed request. *)
+
 val request_overhead : float
 (** Per-request event-machinery CPU of the Flash design (both
     variants). *)

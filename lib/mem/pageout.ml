@@ -1,4 +1,5 @@
 module Rng = Iolite_util.Rng
+module Trace = Iolite_obs.Trace
 
 let log = Iolite_util.Logging.src "pageout"
 
@@ -12,6 +13,7 @@ type segment = {
 type t = {
   physmem : Physmem.t;
   rng : Rng.t;
+  trace : Trace.t;
   mutable segments : segment list;
   mutable evictor : unit -> int;
   (* Counters for the Section 3.7 rule, reset at each entry eviction. *)
@@ -23,10 +25,11 @@ type t = {
   mutable total_evicted : int;
 }
 
-let create ~physmem ~seed =
+let create ?trace ~physmem ~seed () =
   {
     physmem;
     rng = Rng.create seed;
+    trace = (match trace with Some tr -> tr | None -> Trace.create ());
     segments = [];
     evictor = (fun () -> 0);
     selected_since_evict = 0;
@@ -94,6 +97,10 @@ let run t ~needed =
       if got = 0 && unpinned = 0 then incr stall else stall := 0
   done;
   ignore t.physmem;
+  if Trace.enabled t.trace then
+    Trace.instant t.trace ~cat:"vm" ~name:"pageout"
+      ~args:[ ("needed", Int needed); ("freed", Int !freed) ]
+      ();
   Logs.debug ~src:log (fun m ->
       m "pageout: needed %d, freed %d (lifetime: %d pages selected, %d io, %d entry evictions)"
         needed !freed t.total_selected t.total_io_selected t.total_evicted);

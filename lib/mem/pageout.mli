@@ -15,7 +15,10 @@
 
 type t
 
-val create : physmem:Physmem.t -> seed:int64 -> t
+val create :
+  ?trace:Iolite_obs.Trace.t -> physmem:Physmem.t -> seed:int64 -> unit -> t
+(** [trace] receives a [vm]/[pageout] instant (args [needed], [freed])
+    at the end of every daemon run when tracing is enabled. *)
 
 val register_segment :
   t ->

@@ -1,4 +1,5 @@
-module Counter = Iolite_util.Stats.Counter
+module Metrics = Iolite_obs.Metrics
+module Trace = Iolite_obs.Trace
 
 type prot = No_access | Read_only | Read_write
 
@@ -18,6 +19,14 @@ let op_name = function
   | Page_alloc -> "vm.page_alloc"
   | Page_fault -> "vm.page_fault"
 
+let op_short = function
+  | Map_read -> "map_read"
+  | Grant_write -> "grant_write"
+  | Revoke_write -> "revoke_write"
+  | Unmap -> "unmap"
+  | Page_alloc -> "page_alloc"
+  | Page_fault -> "page_fault"
+
 type acl = Public | Only of Pdomain.Set.t
 
 type chunk = {
@@ -35,25 +44,31 @@ type chunk = {
 type t = {
   physmem : Physmem.t;
   mutable on_op : op -> pages:int -> unit;
-  counters : Counter.t;
+  metrics : Metrics.t;
+  trace : Trace.t;
   mutable next_chunk : int;
 }
 
 exception Protection_fault of string
 
-let create ~physmem () =
+let create ?metrics ?trace ~physmem () =
   {
     physmem;
     on_op = (fun _ ~pages:_ -> ());
-    counters = Counter.create ();
+    metrics = (match metrics with Some m -> m | None -> Metrics.create ());
+    trace = (match trace with Some tr -> tr | None -> Trace.create ());
     next_chunk = 0;
   }
 
 let set_on_op t f = t.on_op <- f
-let counters t = t.counters
+let metrics t = t.metrics
 
 let record t op pages =
-  Counter.add t.counters (op_name op) pages;
+  Metrics.add t.metrics (op_name op) pages;
+  if Trace.enabled t.trace then
+    Trace.instant t.trace ~cat:"vm" ~name:(op_short op)
+      ~args:[ ("pages", Int pages) ]
+      ();
   t.on_op op ~pages
 
 let note_op t op ~pages = record t op pages

@@ -31,7 +31,15 @@ type chunk
     paths); IO-Lite pools always use [Only]. *)
 type acl = Public | Only of Pdomain.Set.t
 
-val create : physmem:Physmem.t -> unit -> t
+val create :
+  ?metrics:Iolite_obs.Metrics.t ->
+  ?trace:Iolite_obs.Trace.t ->
+  physmem:Physmem.t ->
+  unit ->
+  t
+(** [metrics] is the registry VM op counts accumulate into (a private
+    one is created when omitted); [trace] receives a [vm]-category
+    instant per operation when tracing is enabled. *)
 
 val set_on_op : t -> (op -> pages:int -> unit) -> unit
 (** Observer for cost accounting; defaults to a no-op. *)
@@ -43,8 +51,8 @@ val note_op : t -> op -> pages:int -> unit
     state transitions whose protection-change cost depends on how many
     pages the producer actually fills, which only the allocator knows. *)
 
-val counters : t -> Iolite_util.Stats.Counter.t
-(** Cumulative op counts (keyed by {!op_name}). *)
+val metrics : t -> Iolite_obs.Metrics.t
+(** Registry holding cumulative op counts (keyed by {!op_name}). *)
 
 (** {2 Chunks} *)
 

@@ -1,4 +1,5 @@
 module Sync = Iolite_sim.Sync
+module Trace = Iolite_obs.Trace
 
 type t = {
   mtu : int;
@@ -7,11 +8,12 @@ type t = {
   lock : Sync.Semaphore.t;
   mutable bytes_sent : int;
   mutable busy_time : float;
+  trace : Trace.t;
 }
 
 let frame_overhead = 58 (* Ethernet 14 + IP 20 + TCP 20 + FCS 4 *)
 
-let create ?(mtu = 1500) ?(links = 5) ~bits_per_sec () =
+let create ?(mtu = 1500) ?(links = 5) ?trace ~bits_per_sec () =
   if bits_per_sec <= 0.0 then invalid_arg "Link.create: bandwidth";
   if links <= 0 then invalid_arg "Link.create: links";
   {
@@ -21,6 +23,7 @@ let create ?(mtu = 1500) ?(links = 5) ~bits_per_sec () =
     lock = Sync.Semaphore.create links;
     bytes_sent = 0;
     busy_time = 0.0;
+    trace = (match trace with Some tr -> tr | None -> Trace.create ());
   }
 
 let mtu t = t.mtu
@@ -38,8 +41,16 @@ let wire_time t ~bytes =
 let transmit t ~bytes =
   if bytes > 0 then begin
     let dt = wire_time t ~bytes in
-    Sync.Semaphore.with_acquired t.lock (fun () ->
-        Iolite_sim.Engine.Proc.sleep dt);
+    let occupy () =
+      Sync.Semaphore.with_acquired t.lock (fun () ->
+          Iolite_sim.Engine.Proc.sleep dt)
+    in
+    (* The span covers interface queueing plus wire time. *)
+    if Trace.enabled t.trace then
+      Trace.span t.trace ~cat:"net" ~name:"tx"
+        ~args:[ ("bytes", Trace.Int bytes) ]
+        occupy
+    else occupy ();
     t.bytes_sent <- t.bytes_sent + bytes;
     t.busy_time <- t.busy_time +. dt
   end

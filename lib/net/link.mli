@@ -8,11 +8,18 @@
 
 type t
 
-val create : ?mtu:int -> ?links:int -> bits_per_sec:float -> unit -> t
+val create :
+  ?mtu:int ->
+  ?links:int ->
+  ?trace:Iolite_obs.Trace.t ->
+  bits_per_sec:float ->
+  unit ->
+  t
 (** [bits_per_sec] is the {e aggregate} capacity shared by [links]
     parallel interfaces (default 5, like the testbed); each transmission
     occupies one interface at [bits_per_sec / links]. [mtu] defaults to
-    1500 bytes. *)
+    1500 bytes. [trace] receives a [net]/[tx] span per transmission
+    (queueing + wire time) when tracing is enabled. *)
 
 val mtu : t -> int
 val bits_per_sec : t -> float

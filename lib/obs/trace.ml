@@ -1,0 +1,222 @@
+type arg = Int of int | Str of string | Float of float
+
+type phase = Instant | Complete of float (* duration, seconds *)
+
+type event = {
+  eph : phase;
+  ecat : string;
+  ename : string;
+  ets : float; (* virtual seconds *)
+  etid : string; (* simulated process name *)
+  eargs : (string * arg) list;
+}
+
+type t = {
+  mutable enabled : bool;
+  mutable clock : unit -> float;
+  mutable scope : unit -> string option;
+  (* Reversed event list: push is O(1) and allocation-free beyond the
+     event itself; emission reverses once. *)
+  mutable events : event list;
+  mutable count : int;
+}
+
+let create () =
+  {
+    enabled = false;
+    clock = (fun () -> 0.0);
+    scope = (fun () -> None);
+    events = [];
+    count = 0;
+  }
+
+let[@inline] enabled t = t.enabled
+
+let enable t ~clock ~scope =
+  t.clock <- clock;
+  t.scope <- scope;
+  t.enabled <- true
+
+let disable t = t.enabled <- false
+let now t = t.clock ()
+let event_count t = t.count
+
+let clear t =
+  t.events <- [];
+  t.count <- 0
+
+let tid t = match t.scope () with Some name -> name | None -> "kernel"
+
+let push t e =
+  t.events <- e :: t.events;
+  t.count <- t.count + 1
+
+(* Callers guard with [if Trace.enabled t then ...]; these re-check so an
+   unguarded call is still correct, just marginally slower. *)
+let instant t ~cat ~name ?(args = []) () =
+  if t.enabled then
+    push t
+      {
+        eph = Instant;
+        ecat = cat;
+        ename = name;
+        ets = t.clock ();
+        etid = tid t;
+        eargs = args;
+      }
+
+let complete t ~cat ~name ~ts ~dur ?(args = []) () =
+  if t.enabled then
+    push t
+      {
+        eph = Complete dur;
+        ecat = cat;
+        ename = name;
+        ets = ts;
+        etid = tid t;
+        eargs = args;
+      }
+
+let span t ~cat ~name ?args f =
+  if not t.enabled then f ()
+  else begin
+    let ts = t.clock () in
+    let finish () = complete t ~cat ~name ~ts ~dur:(t.clock () -. ts) ?args () in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+let events t = List.rev t.events
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event JSON (loadable in Perfetto / chrome://tracing)   *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let arg_json = function
+  | Int i -> string_of_int i
+  | Str s -> Printf.sprintf "\"%s\"" (json_escape s)
+  | Float f -> Printf.sprintf "%.6g" f
+
+let args_json args =
+  String.concat ","
+    (List.map
+       (fun (k, v) -> Printf.sprintf "\"%s\":%s" (json_escape k) (arg_json v))
+       args)
+
+(* Virtual seconds -> trace microseconds, fixed precision so equal
+   virtual times always print identically. *)
+let ts_json s = Printf.sprintf "%.3f" (s *. 1e6)
+
+let buffer_add_events buf ~pid ~label evs =
+  let tids = Hashtbl.create 8 in
+  let tid_order = ref [] in
+  let tid_of name =
+    match Hashtbl.find_opt tids name with
+    | Some i -> i
+    | None ->
+      let i = Hashtbl.length tids + 1 in
+      Hashtbl.add tids name i;
+      tid_order := (name, i) :: !tid_order;
+      i
+  in
+  let emit_sep = ref false in
+  let emit s =
+    if !emit_sep then Buffer.add_string buf ",\n";
+    emit_sep := true;
+    Buffer.add_string buf s
+  in
+  emit
+    (Printf.sprintf
+       "{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_name\",\"args\":{\"name\":\"%s\"}}"
+       pid (json_escape label));
+  (* Reserve tids in first-seen order before emitting events, so thread
+     metadata precedes use. *)
+  List.iter (fun e -> ignore (tid_of e.etid)) evs;
+  List.iter
+    (fun (name, i) ->
+      emit
+        (Printf.sprintf
+           "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}"
+           pid i (json_escape name)))
+    (List.rev !tid_order);
+  List.iter
+    (fun e ->
+      let common =
+        Printf.sprintf
+          "\"pid\":%d,\"tid\":%d,\"cat\":\"%s\",\"name\":\"%s\",\"ts\":%s"
+          pid (tid_of e.etid) (json_escape e.ecat) (json_escape e.ename)
+          (ts_json e.ets)
+      in
+      let shape =
+        match e.eph with
+        | Instant -> "\"ph\":\"i\",\"s\":\"t\""
+        | Complete dur -> Printf.sprintf "\"ph\":\"X\",\"dur\":%s" (ts_json dur)
+      in
+      let args =
+        match e.eargs with
+        | [] -> ""
+        | args -> Printf.sprintf ",\"args\":{%s}" (args_json args)
+      in
+      emit (Printf.sprintf "{%s,%s%s}" common shape args))
+    evs
+
+let to_json ?(pid = 1) ?(label = "iolite") t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  buffer_add_events buf ~pid ~label (events t);
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let write ?pid ?label t path =
+  let oc = open_out path in
+  output_string oc (to_json ?pid ?label t);
+  close_out oc
+
+module Sink = struct
+  type trace = t
+
+  type t = { mutable traces : (string * trace) list (* reversed *) }
+
+  let create () = { traces = [] }
+  let absorb t ~label trace = t.traces <- (label, trace) :: t.traces
+  let count t = List.length t.traces
+
+  let to_json t =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    let first = ref true in
+    List.iteri
+      (fun i (label, trace) ->
+        if not !first then Buffer.add_string buf ",\n";
+        first := false;
+        buffer_add_events buf ~pid:(i + 1) ~label (events trace))
+      (List.rev t.traces);
+    Buffer.add_string buf "\n]}\n";
+    Buffer.contents buf
+
+  let write t path =
+    let oc = open_out path in
+    output_string oc (to_json t);
+    close_out oc
+end

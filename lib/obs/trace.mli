@@ -1,0 +1,98 @@
+(** Virtual-clock structured tracer.
+
+    Subsystems emit {e instants} (cache eviction, page fault, packet
+    demux) and {e spans} (syscall enter/exit, disk service, link
+    transmit, HTTP request lifetime) stamped with the simulation
+    engine's virtual clock and the simulated process name. Events
+    buffer in-simulation and serialize as Chrome trace-event JSON,
+    loadable in Perfetto or [chrome://tracing].
+
+    {b Overhead contract}: a tracer starts disabled and every emission
+    site guards with [if Trace.enabled t then ...] — a single mutable
+    bool load and branch — so hot paths pay nothing measurable when
+    tracing is off ([bench/main.exe obs] asserts this). Emitters
+    re-check internally, so unguarded calls are correct, merely
+    slower.
+
+    Event taxonomy ([cat]/[name]): [os]/[IOL_read|IOL_write|...]
+    syscall spans; [cache]/[hit|miss|insert|evict]; [net]/[send|recv|
+    drain|tx]; [vm]/[map_read|page_alloc|page_fault|pageout];
+    [disk]/[read|write]; [httpd]/[request|cgi].
+
+    Determinism: with a deterministic engine, two same-seed runs emit
+    byte-identical JSON. *)
+
+type t
+
+type arg = Int of int | Str of string | Float of float
+
+val create : unit -> t
+(** A disabled tracer; every emission is a no-op until {!enable}. *)
+
+val enable :
+  t -> clock:(unit -> float) -> scope:(unit -> string option) -> unit
+(** Arm the tracer. [clock] supplies virtual time (seconds); [scope]
+    the current simulated process name ([None] renders as
+    ["kernel"]). *)
+
+val disable : t -> unit
+
+val enabled : t -> bool
+(** The single-branch guard call sites use. *)
+
+val now : t -> float
+(** The tracer's current clock reading (0.0 before [enable]). *)
+
+(** {2 Emission} *)
+
+val instant :
+  t -> cat:string -> name:string -> ?args:(string * arg) list -> unit -> unit
+
+val complete :
+  t ->
+  cat:string ->
+  name:string ->
+  ts:float ->
+  dur:float ->
+  ?args:(string * arg) list ->
+  unit ->
+  unit
+(** A span recorded after the fact: started at virtual [ts], lasted
+    [dur] seconds. *)
+
+val span :
+  t -> cat:string -> name:string -> ?args:(string * arg) list ->
+  (unit -> 'a) -> 'a
+(** Run the thunk inside a span (recorded even if it raises). When the
+    tracer is disabled this is exactly one branch plus the call. *)
+
+(** {2 Inspection and serialization} *)
+
+val event_count : t -> int
+val clear : t -> unit
+
+val to_json : ?pid:int -> ?label:string -> t -> string
+(** Chrome trace-event JSON ([{"traceEvents": [...]}]), timestamps in
+    microseconds of virtual time, one trace "process" labelled
+    [label]. *)
+
+val write : ?pid:int -> ?label:string -> t -> string -> unit
+(** [write t path] writes {!to_json} to [path]. *)
+
+(** Combines the traces of several kernels (one simulated machine per
+    experiment point) into a single JSON file, each kernel as its own
+    trace process. *)
+module Sink : sig
+  type trace := t
+  type t
+
+  val create : unit -> t
+
+  val absorb : t -> label:string -> trace -> unit
+  (** Register a kernel's tracer; events are read out at {!write}
+      time. Labels appear as Perfetto process names. *)
+
+  val count : t -> int
+  val to_json : t -> string
+  val write : t -> string -> unit
+end

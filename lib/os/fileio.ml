@@ -3,7 +3,8 @@ module Iobuf = Iolite_core.Iobuf
 module Filecache = Iolite_core.Filecache
 module Transfer = Iolite_core.Transfer
 module Filestore = Iolite_fs.Filestore
-module Counter = Iolite_util.Stats.Counter
+module Metrics = Iolite_obs.Metrics
+module Trace = Iolite_obs.Trace
 
 exception No_such_file of int
 
@@ -119,12 +120,12 @@ let deliver proc agg =
   match Transfer.grant sys agg ~to_:(Process.domain proc) with
   | () -> agg
   | exception Iolite_mem.Vm.Protection_fault _ ->
-    Counter.incr (Kernel.counters kernel) "cache.acl_copy";
+    Metrics.incr (Kernel.metrics kernel) "cache.acl_copy";
     let data = Iobuf.Agg.to_string sys agg in
     Iobuf.Agg.free agg;
     Iobuf.Agg.of_string (Process.pool proc) ~producer:(Process.domain proc) data
 
-let iol_read ?pool proc ~file ~off ~len =
+let iol_read_body ?pool proc ~file ~off ~len =
   let kernel = Process.kernel proc in
   let cache = Kernel.unified_cache kernel in
   let size =
@@ -141,7 +142,7 @@ let iol_read ?pool proc ~file ~off ~len =
       | None ->
         (* The covering entry raced away (evicted between insert and
            lookup under extreme pressure): fetch privately. *)
-        Counter.incr (Kernel.counters kernel) "cache.refetch";
+        Metrics.incr (Kernel.metrics kernel) "cache.refetch";
         let agg = disk_fetch proc ~pool:(Process.pool proc) ~file ~size in
         let sub = Iobuf.Agg.sub agg ~off ~len in
         Iobuf.Agg.free agg;
@@ -151,19 +152,38 @@ let iol_read ?pool proc ~file ~off ~len =
   Process.charge proc (Kernel.cost kernel).Costmodel.syscall;
   result
 
+let iol_read ?pool proc ~file ~off ~len =
+  let tr = Kernel.trace (Process.kernel proc) in
+  if Trace.enabled tr then
+    Trace.span tr ~cat:"os" ~name:"IOL_read"
+      ~args:[ ("file", Trace.Int file); ("len", Trace.Int len) ]
+      (fun () -> iol_read_body ?pool proc ~file ~off ~len)
+  else iol_read_body ?pool proc ~file ~off ~len
+
 let write_back kernel ~file ~off ~len =
   (* Asynchronous write-back: the disk work happens off the caller's
      critical path, as with any write-behind buffer cache. *)
-  Iolite_sim.Engine.spawn (Kernel.engine kernel) (fun () ->
+  Iolite_sim.Engine.spawn ~name:"disk-writeback" (Kernel.engine kernel)
+    (fun () ->
       Iolite_fs.Disk.write (Kernel.disk kernel) ~file ~off ~bytes:len)
 
-let iol_write proc ~file ~off agg =
+let iol_write_body proc ~file ~off agg =
   let kernel = Process.kernel proc in
   let _size = file_size proc ~file in
   let len = Iobuf.Agg.length agg in
   Filecache.insert (Kernel.unified_cache kernel) ~file ~off agg;
   if len > 0 then write_back kernel ~file ~off ~len;
   Process.charge proc (Kernel.cost kernel).Costmodel.syscall
+
+let iol_write proc ~file ~off agg =
+  let kernel = Process.kernel proc in
+  let tr = Kernel.trace kernel in
+  if Trace.enabled tr then
+    Trace.span tr ~cat:"os" ~name:"IOL_write"
+      ~args:
+        [ ("file", Trace.Int file); ("len", Trace.Int (Iolite_core.Iobuf.Agg.length agg)) ]
+      (fun () -> iol_write_body proc ~file ~off agg)
+  else iol_write_body proc ~file ~off agg
 
 let read_string proc ~file ~off ~len =
   let kernel = Process.kernel proc in

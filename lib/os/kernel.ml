@@ -86,8 +86,10 @@ let create ?config engine =
       sys;
       config;
       cpu = Cpu.create ~context_switch:config.cost.Costmodel.context_switch ();
-      disk = Iolite_fs.Disk.create ();
-      link = Iolite_net.Link.create ~bits_per_sec:config.link_bits_per_sec ();
+      disk = Iolite_fs.Disk.create ~trace:(Iosys.trace sys) ();
+      link =
+        Iolite_net.Link.create ~trace:(Iosys.trace sys)
+          ~bits_per_sec:config.link_bits_per_sec ();
       store = Iolite_fs.Filestore.create ();
       unified_cache;
       conv_cache;
@@ -115,6 +117,21 @@ let create ?config engine =
         | Vm.Page_fault -> float_of_int pages *. c.Costmodel.page_fault
       in
       t.pending <- t.pending +. dt);
+  (* Size gauges: sampled at snapshot time, so Metrics.diff attributes
+     cache growth/shrinkage alongside the event counters. *)
+  let m = Iosys.metrics sys in
+  Iolite_obs.Metrics.set_gauge m "cache.unified_bytes" (fun () ->
+      Filecache.total_bytes unified_cache);
+  Iolite_obs.Metrics.set_gauge m "cache.unified_entries" (fun () ->
+      Filecache.entry_count unified_cache);
+  Iolite_obs.Metrics.set_gauge m "cache.conv_bytes" (fun () ->
+      Filecache.total_bytes conv_cache);
+  Iolite_obs.Metrics.set_gauge m "mem.free_bytes" (fun () ->
+      Physmem.free_bytes (Iosys.physmem sys));
+  Iolite_obs.Metrics.set_gauge m "vm.pageout_pages" (fun () ->
+      Iolite_mem.Pageout.pages_selected (Iosys.pageout sys));
+  Iolite_obs.Metrics.set_gauge m "vm.pageout_entry_evictions" (fun () ->
+      Iolite_mem.Pageout.entries_evicted (Iosys.pageout sys));
   Iosys.set_on_touch sys (fun kind n ->
       let c = config.cost in
       let dt =
@@ -168,4 +185,10 @@ let add_file t ~name ~size =
   end;
   id
 
-let counters t = Iosys.counters t.sys
+let metrics t = Iosys.metrics t.sys
+let trace t = Iosys.trace t.sys
+
+let enable_tracing t =
+  Iolite_obs.Trace.enable (Iosys.trace t.sys)
+    ~clock:(fun () -> Iolite_sim.Engine.now t.engine)
+    ~scope:(fun () -> Iolite_sim.Engine.current_name t.engine)

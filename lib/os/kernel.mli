@@ -79,5 +79,17 @@ val fresh_pid : t -> int
 val add_file : t -> name:string -> size:int -> int
 (** Register a file and account its metadata in wired kernel memory. *)
 
-val counters : t -> Iolite_util.Stats.Counter.t
-(** The shared Iosys counter set. *)
+(** {2 Observability} *)
+
+val metrics : t -> Iolite_obs.Metrics.t
+(** The kernel-wide metrics registry (shared with {!Iolite_core.Iosys}):
+    every subsystem's counters under a dotted namespace, plus size
+    gauges ([cache.unified_bytes], [mem.free_bytes], ...). *)
+
+val trace : t -> Iolite_obs.Trace.t
+(** The kernel-wide tracer. Created disabled; see {!enable_tracing}. *)
+
+val enable_tracing : t -> unit
+(** Arm the tracer against this kernel's engine: events are stamped
+    with virtual time and the simulated process name
+    ({!Iolite_sim.Engine.current_name}). *)

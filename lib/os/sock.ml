@@ -5,7 +5,8 @@ module Iosys = Iolite_core.Iosys
 module Physmem = Iolite_mem.Physmem
 module Mbuf = Iolite_net.Mbuf
 module Cksum = Iolite_net.Cksum
-module Counter = Iolite_util.Stats.Counter
+module Metrics = Iolite_obs.Metrics
+module Trace = Iolite_obs.Trace
 
 type msg = Req of string | Fin
 
@@ -99,6 +100,11 @@ let recv proc c ~zero_copy =
     let len = String.length s in
     let mtu = Iolite_net.Link.mtu (Kernel.link kernel) in
     let pkts = Costmodel.packets ~mtu len in
+    (let tr = Kernel.trace kernel in
+     if Trace.enabled tr then
+       Trace.instant tr ~cat:"net" ~name:"recv"
+         ~args:[ ("bytes", Trace.Int len) ]
+         ());
     let path_cost =
       if zero_copy then begin
         (* Early demultiplexing: the packet filter classifies each packet
@@ -122,8 +128,10 @@ let recv proc c ~zero_copy =
 
 (* Asynchronous drain of a queued response: windows of at most Tss
    occupy the shared link and wait a round trip for acknowledgment. *)
-let drain kernel c ~wired ~len ~chain =
+let drain kernel c ~wired ~len ~chain ~on_complete =
   let link = Kernel.link kernel in
+  let tr = Kernel.trace kernel in
+  let t0 = if Trace.enabled tr then Proc.now () else 0.0 in
   let rec loop remaining =
     if remaining > 0 then begin
       let window = min c.ctss remaining in
@@ -137,6 +145,12 @@ let drain kernel c ~wired ~len ~chain =
     Physmem.unwire (Iosys.physmem (Kernel.sys kernel)) Physmem.Net_wired wired;
   Mbuf.free chain;
   c.pending <- c.pending - 1;
+  if Trace.enabled tr then
+    Trace.complete tr ~cat:"net" ~name:"drain" ~ts:t0
+      ~dur:(Proc.now () -. t0)
+      ~args:[ ("bytes", Trace.Int len) ]
+      ();
+  (match on_complete with Some f -> f (Proc.now ()) | None -> ());
   Sync.Mailbox.send c.to_client len
 
 type send_mode =
@@ -144,13 +158,13 @@ type send_mode =
   | Zero_copy  (** IO-Lite: by reference, checksum cache *)
   | Spliced  (** sendfile(2): by reference, but full checksum *)
 
-let send_mode proc c mode agg =
+let send_mode ?on_complete proc c mode agg =
   let kernel = Process.kernel proc in
   let sys = Kernel.sys kernel in
   let cost = Kernel.cost kernel in
   let len = Iobuf.Agg.length agg in
   let mtu = Iolite_net.Link.mtu (Kernel.link kernel) in
-  let counters = Kernel.counters kernel in
+  let metrics = Kernel.metrics kernel in
   let chain, cksum_bytes, cksum_folds =
     match mode with
     | Zero_copy ->
@@ -176,10 +190,21 @@ let send_mode proc c mode agg =
       Iobuf.Agg.free agg;
       (chain, len, 0)
   in
-  Counter.add counters "net.bytes_sent" len;
-  Counter.add counters "net.cksum_bytes" cksum_bytes;
-  Counter.add counters "net.cksum_bytes_total" len;
-  Counter.add counters "net.cksum_folds" cksum_folds;
+  Metrics.add metrics "net.bytes_sent" len;
+  Metrics.add metrics "net.cksum_bytes" cksum_bytes;
+  Metrics.add metrics "net.cksum_bytes_total" len;
+  Metrics.add metrics "net.cksum_folds" cksum_folds;
+  (let tr = Kernel.trace kernel in
+   if Trace.enabled tr then
+     let mode_name =
+       match mode with
+       | Copied -> "copied"
+       | Zero_copy -> "zero_copy"
+       | Spliced -> "spliced"
+     in
+     Trace.instant tr ~cat:"net" ~name:"send"
+       ~args:[ ("bytes", Trace.Int len); ("mode", Trace.Str mode_name) ]
+       ());
   (* Wired socket-buffer memory: a conventional connection's copied data
      lives inside its Tss reservation (taken at accept); an IO-Lite
      connection wires only mbuf headers for the duration of the drain. *)
@@ -194,13 +219,13 @@ let send_mode proc c mode agg =
     +. Costmodel.cksum_time cost cksum_bytes
     +. Costmodel.cksum_fold_time cost cksum_folds
     +. Costmodel.packet_time cost ~mtu len);
-  Iolite_sim.Engine.spawn (Kernel.engine kernel) (fun () ->
-      drain kernel c ~wired ~len ~chain)
+  Iolite_sim.Engine.spawn ~name:"tcp" (Kernel.engine kernel) (fun () ->
+      drain kernel c ~wired ~len ~chain ~on_complete)
 
-let send proc c ~zero_copy agg =
-  send_mode proc c (if zero_copy then Zero_copy else Copied) agg
+let send ?on_complete proc c ~zero_copy agg =
+  send_mode ?on_complete proc c (if zero_copy then Zero_copy else Copied) agg
 
-let sendfile proc c ~file ~header =
+let sendfile ?on_complete proc c ~file ~header =
   let kernel = Process.kernel proc in
   let body = Fileio.kernel_view proc ~file in
   let header_agg =
@@ -215,5 +240,5 @@ let sendfile proc c ~file ~header =
   Iobuf.Agg.free header_agg;
   Iobuf.Agg.free body;
   let len = Iobuf.Agg.length resp in
-  send_mode proc c Spliced resp;
+  send_mode ?on_complete proc c Spliced resp;
   len

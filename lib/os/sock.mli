@@ -56,13 +56,26 @@ val recv : Process.t -> conn -> zero_copy:bool -> string option
     demux (IO-Lite, early demultiplexing) or a delivery copy
     (conventional). *)
 
-val send : Process.t -> conn -> zero_copy:bool -> Iolite_core.Iobuf.Agg.t -> unit
+val send :
+  ?on_complete:(float -> unit) ->
+  Process.t ->
+  conn ->
+  zero_copy:bool ->
+  Iolite_core.Iobuf.Agg.t ->
+  unit
 (** Queue the response (takes ownership of the aggregate). Charges send
     CPU per the discipline; the drain to the client proceeds
-    asynchronously. *)
+    asynchronously. [on_complete] fires with the virtual time at which
+    the response has fully drained to the client — the hook request
+    latency histograms hang off. *)
 
 val sendfile :
-  Process.t -> conn -> file:int -> header:string -> int
+  ?on_complete:(float -> unit) ->
+  Process.t ->
+  conn ->
+  file:int ->
+  header:string ->
+  int
 (** The monolithic [sendfile]/[transmitfile] system call the paper
     discusses as related work (Section 6.7): the kernel splices the
     conventional file cache straight into TCP. No copies and no

@@ -1,6 +1,7 @@
 type t = {
   mutable clock : float;
   mutable seq : int;
+  mutable current : string option; (* name of the running process *)
   queue : (unit -> unit) Heap.t;
 }
 
@@ -10,10 +11,12 @@ type _ Effect.t +=
   | E_spawn : string option * (unit -> unit) -> unit Effect.t
   | E_suspend : ((unit -> unit) -> unit) -> unit Effect.t
   | E_engine : t Effect.t
+  | E_self : string option Effect.t
 
-let create () = { clock = 0.0; seq = 0; queue = Heap.create () }
+let create () = { clock = 0.0; seq = 0; current = None; queue = Heap.create () }
 
 let now t = t.clock
+let current_name t = t.current
 
 let schedule t time thunk =
   let seq = t.seq in
@@ -25,9 +28,11 @@ let pending t = Heap.size t.queue
 (* Run a process body under the engine's deep effect handler. Every
    continuation resumed later re-enters through the thunks we queue, which
    were created inside this handler, so the handler stays installed for the
-   process's whole lifetime. *)
-let rec exec t (body : unit -> unit) : unit =
+   process's whole lifetime. Each queued thunk restores the process's name
+   before resuming, so [current_name] is accurate across interleavings. *)
+let rec exec t name (body : unit -> unit) : unit =
   let open Effect.Deep in
+  t.current <- name;
   match_with body ()
     {
       retc = (fun () -> ());
@@ -38,16 +43,22 @@ let rec exec t (body : unit -> unit) : unit =
           | E_now ->
             Some (fun (k : (a, unit) continuation) -> continue k t.clock)
           | E_engine -> Some (fun (k : (a, unit) continuation) -> continue k t)
+          | E_self ->
+            Some (fun (k : (a, unit) continuation) -> continue k name)
           | E_sleep dt ->
             Some
               (fun (k : (a, unit) continuation) ->
                 if dt < 0.0 then
                   discontinue k (Invalid_argument "Proc.sleep: negative delay")
-                else schedule t (t.clock +. dt) (fun () -> continue k ()))
-          | E_spawn (_name, f) ->
+                else
+                  schedule t (t.clock +. dt) (fun () ->
+                      t.current <- name;
+                      continue k ()))
+          | E_spawn (child_name, f) ->
             Some
               (fun (k : (a, unit) continuation) ->
-                schedule t t.clock (fun () -> exec t f);
+                schedule t t.clock (fun () -> exec t child_name f);
+                t.current <- name;
                 continue k ())
           | E_suspend register ->
             Some
@@ -57,15 +68,17 @@ let rec exec t (body : unit -> unit) : unit =
                   if !resumed then
                     invalid_arg "Engine: suspended process resumed twice";
                   resumed := true;
-                  schedule t t.clock (fun () -> continue k ())
+                  schedule t t.clock (fun () ->
+                      t.current <- name;
+                      continue k ())
                 in
                 register resume)
           | _ -> None);
     }
 
-let spawn ?name:_ t f = schedule t t.clock (fun () -> exec t f)
+let spawn ?name t f = schedule t t.clock (fun () -> exec t name f)
 
-let spawn_at ?name:_ t time f = schedule t time (fun () -> exec t f)
+let spawn_at ?name t time f = schedule t time (fun () -> exec t name f)
 
 let run ?until t =
   let stop = ref false in
@@ -85,6 +98,7 @@ let run ?until t =
           thunk ()
       end
   done;
+  t.current <- None;
   match until with
   | Some u when t.clock < u -> t.clock <- u
   | Some _ | None -> ()
@@ -96,4 +110,5 @@ module Proc = struct
   let spawn ?name f = Effect.perform (E_spawn (name, f))
   let suspend register = Effect.perform (E_suspend register)
   let engine () = Effect.perform E_engine
+  let self () = Effect.perform E_self
 end

@@ -30,6 +30,13 @@ val run : ?until:float -> t -> unit
 val pending : t -> int
 (** Number of queued events (diagnostic). *)
 
+val current_name : t -> string option
+(** Name of the process currently executing inside [run], as given to
+    [spawn]/[Proc.spawn]; [None] between events, after [run] returns,
+    or for anonymous processes. Observability consumers (the tracer's
+    scope function) use this to stamp events with the simulated
+    process. *)
+
 (** Operations available {e inside} a process body. Calling them outside
     [run] raises [Stdlib.Effect.Unhandled]. *)
 module Proc : sig
@@ -55,4 +62,7 @@ module Proc : sig
 
   val engine : unit -> t
   (** The engine currently running this process. *)
+
+  val self : unit -> string option
+  (** This process's spawn name. *)
 end

@@ -36,6 +36,39 @@ module Online : sig
   val max : t -> float
 end
 
+(** Log-bucketed histogram: constant-size summary of a value stream
+    (request latencies, span durations) with quantile estimates.
+    Bucket [i] covers a fixed ratio [10^(1/buckets_per_decade)] of
+    range, so relative quantization error is bounded regardless of the
+    value magnitude. Exact count/sum/min/max ride alongside, making
+    [mean], [q=0] and [q=1] exact. *)
+module Hist : sig
+  type t
+
+  val create : ?min_value:float -> ?buckets_per_decade:int -> unit -> t
+  (** [min_value] (default 1e-9) is the top of the underflow bucket;
+      [buckets_per_decade] (default 20, ~12% resolution) sets bucket
+      width. Raises [Invalid_argument] on non-positive parameters. *)
+
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val stddev : t -> float
+
+  val merge : t -> t -> t
+  (** Fresh histogram holding both streams. Raises [Invalid_argument]
+      if the two histograms were created with different bucketing. *)
+
+  val percentile : t -> float -> float
+  (** [percentile t q] with [q] in \[0,1\]. [q=0]/[q=1] return the exact
+      observed min/max; interior ranks return the geometric midpoint of
+      the rank's bucket, clamped to the observed range. Raises
+      [Invalid_argument] on an empty histogram or out-of-range [q]. *)
+
+  val summary : t -> summary
+  (** Raises [Invalid_argument] on an empty histogram. *)
+end
+
 (** Counter map with pretty totals, used for operation accounting. *)
 module Counter : sig
   type t

@@ -32,7 +32,9 @@ let run kernel listener config ~pick =
     end
   in
   for client = 0 to config.clients - 1 do
-    Engine.spawn engine (fun () ->
+    Engine.spawn engine
+      ~name:(Printf.sprintf "client-%d" client)
+      (fun () ->
         if config.persistent then begin
           let conn = Sock.connect ~rtt:config.rtt kernel listener in
           let iter = ref 0 in

@@ -20,7 +20,22 @@ let kind_label = function
   | Flash_conv -> "Flash"
   | Apache_srv -> "Apache"
 
-let make_kernel ?(cksum = true) ?(policy = `Gds) () =
+(* ------------------------------------------------------------------ *)
+(* Observability wiring: when a trace sink is installed every kernel    *)
+(* the harness builds is armed and registered; when metrics reporting   *)
+(* is on, each experiment point dumps its registry and latency summary. *)
+(* ------------------------------------------------------------------ *)
+
+let obs_metrics = ref false
+let obs_sink : Iolite_obs.Trace.Sink.t option ref = ref None
+let kernel_seq = ref 0
+
+let set_observability ?(metrics = false) ?sink () =
+  obs_metrics := metrics;
+  obs_sink := sink;
+  kernel_seq := 0
+
+let make_kernel ?(cksum = true) ?(policy = `Gds) ?label () =
   let engine = Engine.create () in
   let base = Kernel.default_config () in
   let config =
@@ -32,28 +47,73 @@ let make_kernel ?(cksum = true) ?(policy = `Gds) () =
     }
   in
   let kernel = Kernel.create ~config engine in
+  (match !obs_sink with
+  | Some sink ->
+    Kernel.enable_tracing kernel;
+    incr kernel_seq;
+    let label =
+      match label with
+      | Some l -> l
+      | None -> Printf.sprintf "kernel-%d" !kernel_seq
+    in
+    Iolite_obs.Trace.Sink.absorb sink ~label (Kernel.trace kernel)
+  | None -> ());
   (engine, kernel)
+
+type server = {
+  srv_listener : Iolite_os.Sock.listener;
+  srv_latency : unit -> Iolite_util.Stats.summary option;
+}
 
 let start_server ?cgi_doc_size ?(workers = 64) ?(policy = `Gds) kind kernel =
   match kind with
   | Flash_lite ->
     let p = match policy with `Gds -> Policy.gds () | `Lru -> Policy.lru () in
-    Flash.listener
-      (Flash.start ~variant:Flash.Iolite ~policy:p ?cgi_doc_size kernel ~port:80)
+    let f =
+      Flash.start ~variant:Flash.Iolite ~policy:p ?cgi_doc_size kernel ~port:80
+    in
+    {
+      srv_listener = Flash.listener f;
+      srv_latency = (fun () -> Flash.latency_stats f);
+    }
   | Flash_conv ->
-    Flash.listener
-      (Flash.start ~variant:Flash.Conventional ?cgi_doc_size kernel ~port:80)
+    let f =
+      Flash.start ~variant:Flash.Conventional ?cgi_doc_size kernel ~port:80
+    in
+    {
+      srv_listener = Flash.listener f;
+      srv_latency = (fun () -> Flash.latency_stats f);
+    }
   | Apache_srv ->
-    Apache.listener (Apache.start ~workers ?cgi_doc_size kernel ~port:80)
+    let a = Apache.start ~workers ?cgi_doc_size kernel ~port:80 in
+    { srv_listener = Apache.listener a; srv_latency = (fun () -> None) }
+
+let report_point ~label kernel server =
+  if !obs_metrics then begin
+    Printf.printf "\n-- metrics: %s --\n%s"
+      label
+      (Iolite_obs.Metrics.render (Kernel.metrics kernel));
+    (match server.srv_latency () with
+    | Some s ->
+      Printf.printf
+        "   request latency: p50=%.4fs p90=%.4fs p99=%.4fs mean=%.4fs (n=%d)\n"
+        s.Iolite_util.Stats.p50 s.Iolite_util.Stats.p90 s.Iolite_util.Stats.p99
+        s.Iolite_util.Stats.mean s.Iolite_util.Stats.count
+    | None -> ());
+    Stdlib.flush Stdlib.stdout
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Figs. 3-6: single-file and CGI bandwidth sweeps                     *)
 (* ------------------------------------------------------------------ *)
 
 let single_file_point ~kind ~size ~persistent ~scale =
-  let _engine, kernel = make_kernel () in
+  let _engine, kernel =
+    make_kernel ~label:(Printf.sprintf "%s %dB" (kind_label kind) size) ()
+  in
   ignore (Kernel.add_file kernel ~name:"/doc" ~size);
-  let listener = start_server kind kernel in
+  let server = start_server kind kernel in
+  let listener = server.srv_listener in
   let config =
     {
       Client.default with
@@ -76,15 +136,18 @@ let single_file_point ~kind ~size ~persistent ~scale =
     if Sys.getenv_opt "IOLITE_DEBUG_COUNTERS" <> None then
       List.iter
         (fun (k, v) -> Printf.eprintf "      %-24s %d\n%!" k v)
-        (Iolite_util.Stats.Counter.to_list (Kernel.counters kernel)
-        @ Iolite_util.Stats.Counter.to_list
-            (Iolite_mem.Vm.counters (Iolite_core.Iosys.vm (Kernel.sys kernel))))
+        (Iolite_obs.Metrics.to_list (Kernel.metrics kernel))
   end;
+  report_point ~label:(Printf.sprintf "%s %dB" (kind_label kind) size) kernel
+    server;
   r.Client.mbps
 
 let cgi_point ~kind ~size ~persistent ~scale =
-  let _engine, kernel = make_kernel () in
-  let listener = start_server ~cgi_doc_size:size kind kernel in
+  let _engine, kernel =
+    make_kernel ~label:(Printf.sprintf "%s cgi %dB" (kind_label kind) size) ()
+  in
+  let server = start_server ~cgi_doc_size:size kind kernel in
+  let listener = server.srv_listener in
   let config =
     {
       Client.default with
@@ -95,6 +158,9 @@ let cgi_point ~kind ~size ~persistent ~scale =
     }
   in
   let r = Client.run kernel listener config ~pick:(fun ~client:_ ~iter:_ -> "/cgi") in
+  report_point
+    ~label:(Printf.sprintf "%s cgi %dB" (kind_label kind) size)
+    kernel server;
   r.Client.mbps
 
 let sweep ~point ~persistent ~scale =
@@ -308,7 +374,8 @@ let replay_point ~kind ~trace ~log ~prefix ~scale ~sampling =
   let _engine, kernel = make_kernel () in
   Trace.register_files trace kernel ~prefix_ranks:None;
   let clients = 64 in
-  let listener = start_server ~workers:clients kind kernel in
+  let server = start_server ~workers:clients kind kernel in
+  let listener = server.srv_listener in
   preload_cache kernel
     ~conv:(match kind with Flash_lite -> false | Flash_conv | Apache_srv -> true)
     ~trace ~prefix_ranks:None;
@@ -366,15 +433,16 @@ let replay_point ~kind ~trace ~log ~prefix ~scale ~sampling =
     in
     pool_line "file" (Kernel.file_pool kernel);
     pool_line "vm_pages" (Kernel.page_pool kernel);
-    let c = Kernel.counters kernel in
+    let c = Kernel.metrics kernel in
     Printf.eprintf
       "    fresh_chunks=%d recycled=%d refetch=%d acl_copy=%d uc_entries=%d cc_entries=%d\n%!"
-      (Iolite_util.Stats.Counter.get c "pool.fresh_chunk")
-      (Iolite_util.Stats.Counter.get c "pool.recycle_chunk")
-      (Iolite_util.Stats.Counter.get c "cache.refetch")
-      (Iolite_util.Stats.Counter.get c "cache.acl_copy")
+      (Iolite_obs.Metrics.get c "pool.fresh_chunk")
+      (Iolite_obs.Metrics.get c "pool.recycle_chunk")
+      (Iolite_obs.Metrics.get c "cache.refetch")
+      (Iolite_obs.Metrics.get c "cache.acl_copy")
       (F.entry_count uc) (F.entry_count cc)
   end;
+  report_point ~label:(kind_label kind) kernel server;
   r.Client.mbps
 
 let fig8 ?(scale = 1.0) () =
@@ -427,11 +495,12 @@ let subtrace_point ~kernel_of ~label ~trace ~log ~scale =
           let kind, kernel = kernel_of () in
           Trace.register_files trace kernel ~prefix_ranks:None;
           let clients = 64 in
-          let listener =
+          let server =
             match kind with
             | `Std k -> start_server ~workers:clients k kernel
             | `Flash_lite_policy p -> start_server ~policy:p Flash_lite kernel
           in
+          let listener = server.srv_listener in
           let in_prefix = Hashtbl.create 4096 in
           for i = 0 to prefix - 1 do
             Hashtbl.replace in_prefix log.(i) ()
@@ -458,6 +527,9 @@ let subtrace_point ~kernel_of ~label ~trace ~log ~scale =
             }
           in
           let r = Client.run kernel listener config ~pick in
+          report_point
+            ~label:(Printf.sprintf "%s %dMB" label mb)
+            kernel server;
           { x = float_of_int mb; mbps = r.Client.mbps })
         dataset_sizes_mb;
   }
@@ -522,7 +594,7 @@ let fig12 ?(scale = 1.0) () =
               let clients = clients_for delay_ms in
               let _e, kernel = make_kernel () in
               Trace.register_files trace kernel ~prefix_ranks:None;
-              let listener =
+              let server =
                 match kind with
                 | Apache_srv ->
                   (* Apache 1.3's process pool; extra processes are the
@@ -532,6 +604,7 @@ let fig12 ?(scale = 1.0) () =
                     kind kernel
                 | Flash_lite | Flash_conv -> start_server kind kernel
               in
+              let listener = server.srv_listener in
               let in_prefix = Hashtbl.create 4096 in
               for i = 0 to prefix - 1 do
                 Hashtbl.replace in_prefix log.(i) ()
@@ -556,6 +629,9 @@ let fig12 ?(scale = 1.0) () =
                 }
               in
               let r = Client.run kernel listener config ~pick in
+              report_point
+                ~label:(Printf.sprintf "%s rtt=%.0fms" (kind_label kind) delay_ms)
+                kernel server;
               { x = delay_ms; mbps = r.Client.mbps })
             delays_ms;
       })
@@ -805,3 +881,63 @@ let run_all ?(scale = 1.0) () =
   phase (fun () ->
       print_series ~title:"Extension: CGI 1.1 vs FastCGI" ~x_label:"KB"
         (ablation_cgi11 ~scale ()))
+
+(* ------------------------------------------------------------------ *)
+(* Smoke: a small deterministic Flash-Lite run with tracing armed      *)
+(* ------------------------------------------------------------------ *)
+
+type smoke_result = {
+  sm_trace_json : string;
+  sm_metrics : (string * int) list;
+  sm_cold : (string * int) list;
+  sm_warm : (string * int) list;
+  sm_latency : Iolite_util.Stats.summary option;
+  sm_cksum : int * int * int;
+  sm_requests : int;
+}
+
+let smoke ?(tracing = true) () =
+  let saved_metrics = !obs_metrics and saved_sink = !obs_sink in
+  set_observability ();
+  let _engine, kernel = make_kernel () in
+  obs_metrics := saved_metrics;
+  obs_sink := saved_sink;
+  if tracing then Kernel.enable_tracing kernel;
+  List.iteri
+    (fun i size ->
+      ignore (Kernel.add_file kernel ~name:(Printf.sprintf "/doc%d" i) ~size))
+    [ 4096; 16384; 65536 ];
+  let flash =
+    Flash.start ~variant:Flash.Iolite ~cgi_doc_size:2048 kernel ~port:80
+  in
+  let listener = Flash.listener flash in
+  let paths = [| "/doc0"; "/doc1"; "/doc2"; "/cgi" |] in
+  let pick ~client ~iter = paths.((client + iter) mod Array.length paths) in
+  let m = Kernel.metrics kernel in
+  let run_phase () =
+    let config =
+      {
+        Client.default with
+        Client.clients = 4;
+        persistent = true;
+        warmup = 0.2;
+        duration = 1.0;
+      }
+    in
+    ignore (Client.run kernel listener config ~pick)
+  in
+  let s0 = Iolite_obs.Metrics.snapshot m in
+  run_phase ();
+  let s1 = Iolite_obs.Metrics.snapshot m in
+  run_phase ();
+  let s2 = Iolite_obs.Metrics.snapshot m in
+  {
+    sm_trace_json =
+      Iolite_obs.Trace.to_json ~label:"smoke" (Kernel.trace kernel);
+    sm_metrics = s2;
+    sm_cold = Iolite_obs.Metrics.diff ~before:s0 ~after:s1;
+    sm_warm = Iolite_obs.Metrics.diff ~before:s1 ~after:s2;
+    sm_latency = Flash.latency_stats flash;
+    sm_cksum = Flash.cksum_stats flash;
+    sm_requests = Flash.requests flash;
+  }

@@ -93,3 +93,29 @@ val print_fig13 : ?scale:float -> unit -> unit
 
 val run_all : ?scale:float -> unit -> unit
 (** Every figure, in order, printed to stdout. *)
+
+(** {2 Observability} *)
+
+val set_observability :
+  ?metrics:bool -> ?sink:Iolite_obs.Trace.Sink.t -> unit -> unit
+(** Configure the harness for subsequent runs: with [metrics] every
+    experiment point prints its kernel's registry and request-latency
+    summary after measuring; with [sink] every kernel is created with
+    tracing armed and registered in the sink (write it out after the
+    runs). Defaults reset both. *)
+
+type smoke_result = {
+  sm_trace_json : string;  (** Chrome trace-event JSON of the run *)
+  sm_metrics : (string * int) list;  (** final registry snapshot *)
+  sm_cold : (string * int) list;  (** Metrics.diff over the cold phase *)
+  sm_warm : (string * int) list;  (** Metrics.diff over the warm phase *)
+  sm_latency : Iolite_util.Stats.summary option;
+  sm_cksum : int * int * int;  (** Flash.cksum_stats at the end *)
+  sm_requests : int;
+}
+
+val smoke : ?tracing:bool -> unit -> smoke_result
+(** A small, fully deterministic Flash-Lite run (static files + FastCGI,
+    persistent connections, two measurement phases) with tracing armed:
+    the CI smoke test, the trace-determinism test, and [iolite smoke]
+    all run this. Two calls produce byte-identical [sm_trace_json]. *)

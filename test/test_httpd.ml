@@ -4,7 +4,7 @@ module Sock = Iolite_os.Sock
 module Flash = Iolite_httpd.Flash
 module Apache = Iolite_httpd.Apache
 module Http = Iolite_httpd.Http
-module Counter = Iolite_util.Stats.Counter
+module Counter = Iolite_obs.Metrics
 module Cksum = Iolite_net.Cksum
 module Cgi = Iolite_httpd.Cgi
 
@@ -57,7 +57,7 @@ let test_flash_lite_serves_file () =
     (n > 12_345 && n < 12_345 + 400);
   Alcotest.(check int) "server counted request" 1 (Flash.requests server);
   Alcotest.(check int) "zero payload copies" 0
-    (Counter.get (Kernel.counters kernel) "bytes.copied")
+    (Counter.get (Kernel.metrics kernel) "bytes.copied")
 
 let test_flash_conv_serves_file () =
   let _, kernel = mk () in
@@ -67,7 +67,7 @@ let test_flash_conv_serves_file () =
   Alcotest.(check bool) "served" true (n > 12_345);
   (* Conventional send copies the response payload into mbufs. *)
   Alcotest.(check bool) "payload copied" true
-    (Counter.get (Kernel.counters kernel) "bytes.copied" >= 12_345)
+    (Counter.get (Kernel.metrics kernel) "bytes.copied" >= 12_345)
 
 let test_apache_serves_file () =
   let _, kernel = mk () in
@@ -109,8 +109,8 @@ let test_flash_lite_checksum_cache_effect () =
       done;
       Sock.close conn);
   Engine.run (Kernel.engine kernel);
-  let computed = Counter.get (Kernel.counters kernel) "net.cksum_bytes" in
-  let sent = Counter.get (Kernel.counters kernel) "net.bytes_sent" in
+  let computed = Counter.get (Kernel.metrics kernel) "net.cksum_bytes" in
+  let sent = Counter.get (Kernel.metrics kernel) "net.bytes_sent" in
   (* File checksummed once (~50KB) + one ~200B header per response; far
      less than the ~250KB transmitted. *)
   Alcotest.(check bool) "checksum cache effective" true
@@ -141,7 +141,7 @@ let test_flash_conv_checksums_everything () =
       done;
       Sock.close conn);
   Engine.run (Kernel.engine kernel);
-  let computed = Counter.get (Kernel.counters kernel) "net.cksum_bytes" in
+  let computed = Counter.get (Kernel.metrics kernel) "net.cksum_bytes" in
   Alcotest.(check bool) "checksummed every transmission" true
     (computed > 245_000)
 
@@ -153,7 +153,7 @@ let test_cgi_roundtrip_zero_copy () =
   let n1 = one_request kernel (Flash.listener server) ~path:"/cgi" in
   Alcotest.(check bool) "dynamic doc served" true (n1 > 30_000);
   Alcotest.(check int) "no copies through pipe or socket" 0
-    (Counter.get (Kernel.counters kernel) "bytes.copied")
+    (Counter.get (Kernel.metrics kernel) "bytes.copied")
 
 let test_cgi_roundtrip_copying () =
   let _, kernel = mk () in
@@ -164,7 +164,7 @@ let test_cgi_roundtrip_copying () =
   Alcotest.(check bool) "dynamic doc served" true (n1 > 30_000);
   (* Pipe (2 copies) + socket send (1 copy) at minimum. *)
   Alcotest.(check bool) "copies through pipe and socket" true
-    (Counter.get (Kernel.counters kernel) "bytes.copied" >= 90_000)
+    (Counter.get (Kernel.metrics kernel) "bytes.copied" >= 90_000)
 
 let test_cgi_repeated_requests_reuse_buffers () =
   let _, kernel = mk () in
@@ -180,7 +180,7 @@ let test_cgi_repeated_requests_reuse_buffers () =
   Engine.run (Kernel.engine kernel);
   (* The caching CGI sends the same immutable buffers every time: the
      checksum cache keeps hitting on dynamic content too. *)
-  let computed = Counter.get (Kernel.counters kernel) "net.cksum_bytes" in
+  let computed = Counter.get (Kernel.metrics kernel) "net.cksum_bytes" in
   Alcotest.(check bool) "dynamic content checksummed once" true
     (computed < 22_000)
 
@@ -210,7 +210,7 @@ let test_cgi11_fork_per_request () =
   | None -> Alcotest.fail "no cgi");
   (* No caching across processes: every byte was regenerated, and the
      checksum cache could not help across requests. *)
-  let computed = Counter.get (Kernel.counters kernel) "net.cksum_bytes" in
+  let computed = Counter.get (Kernel.metrics kernel) "net.cksum_bytes" in
   Alcotest.(check bool) "checksummed every response" true (computed > 45_000)
 
 let test_cgi11_slower_than_fastcgi () =

@@ -161,18 +161,18 @@ let test_acl_rejected_producer () =
 let test_copy_accounting () =
   let sys, app, pool = mk () in
   let a = alloc_str pool app (String.make 500 'x') in
-  let before = Iolite_util.Stats.Counter.get (Iosys.counters sys) "bytes.copied" in
+  let before = Iolite_obs.Metrics.get (Iosys.metrics sys) "bytes.copied" in
   let s = Iobuf.Agg.to_string sys a in
-  let after = Iolite_util.Stats.Counter.get (Iosys.counters sys) "bytes.copied" in
+  let after = Iolite_obs.Metrics.get (Iosys.metrics sys) "bytes.copied" in
   Alcotest.(check int) "copy charged" 500 (after - before);
   Alcotest.(check int) "correct data" 500 (String.length s);
   Iobuf.Agg.free a
 
 let test_fill_accounting () =
   let sys, app, pool = mk () in
-  let before = Iolite_util.Stats.Counter.get (Iosys.counters sys) "bytes.filled" in
+  let before = Iolite_obs.Metrics.get (Iosys.metrics sys) "bytes.filled" in
   let a = alloc_str pool app (String.make 300 'x') in
-  let after = Iolite_util.Stats.Counter.get (Iosys.counters sys) "bytes.filled" in
+  let after = Iolite_obs.Metrics.get (Iosys.metrics sys) "bytes.filled" in
   Alcotest.(check int) "fill charged once" 300 (after - before);
   Iobuf.Agg.free a
 
@@ -186,7 +186,7 @@ let test_transfer_maps_once () =
   ignore pool;
   let a = Iobuf.Agg.of_string pool2 ~producer:app "payload" in
   let maps () =
-    Iolite_util.Stats.Counter.get (Mem.Vm.counters (Iosys.vm sys)) "vm.map_read"
+    Iolite_obs.Metrics.get (Mem.Vm.metrics (Iosys.vm sys)) "vm.map_read"
   in
   let m0 = maps () in
   let recv = Transfer.send sys a ~to_:reader in
@@ -221,7 +221,7 @@ let test_warm_recycling_no_vm_ops () =
     Iobuf.Pool.create sys ~name:"stream"
       ~acl:(Mem.Vm.Only (Mem.Pdomain.Set.of_list [ app; reader ]))
   in
-  let counters = Mem.Vm.counters (Iosys.vm sys) in
+  let counters = Mem.Vm.metrics (Iosys.vm sys) in
   let round () =
     let a = Iobuf.Agg.of_string pool ~producer:app (String.make 4096 'd') in
     let r = Transfer.send sys a ~to_:reader in
@@ -230,11 +230,11 @@ let test_warm_recycling_no_vm_ops () =
   in
   round ();
   round ();
-  let maps_before = Iolite_util.Stats.Counter.get counters "vm.map_read" in
+  let maps_before = Iolite_obs.Metrics.get counters "vm.map_read" in
   for _ = 1 to 50 do
     round ()
   done;
-  let maps_after = Iolite_util.Stats.Counter.get counters "vm.map_read" in
+  let maps_after = Iolite_obs.Metrics.get counters "vm.map_read" in
   Alcotest.(check int) "zero maps in steady state" maps_before maps_after
 
 let test_try_overwrite_unshared () =

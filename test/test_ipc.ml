@@ -3,7 +3,7 @@ module Pipe = Iolite_ipc.Pipe
 module Iobuf = Iolite_core.Iobuf
 module Iosys = Iolite_core.Iosys
 module Mem = Iolite_mem
-module Counter = Iolite_util.Stats.Counter
+module Counter = Iolite_obs.Metrics
 
 let mk mode =
   let sys = Iosys.create () in
@@ -61,14 +61,14 @@ let test_zero_copy_no_copies () =
   let sys, got = roundtrip Pipe.Zero_copy [ String.make 10_000 'z' ] in
   Alcotest.(check int) "length" 10_000 (String.length got);
   Alcotest.(check int) "no copies charged" 0
-    (Counter.get (Iosys.counters sys) "bytes.copied")
+    (Counter.get (Iosys.metrics sys) "bytes.copied")
 
 let test_copying_two_copies () =
   let sys, got = roundtrip Pipe.Copying [ String.make 10_000 'c' ] in
   Alcotest.(check int) "length" 10_000 (String.length got);
   (* write: user->kernel copy; read: kernel->reader copy. *)
   Alcotest.(check int) "exactly two copies" 20_000
-    (Counter.get (Iosys.counters sys) "bytes.copied")
+    (Counter.get (Iosys.metrics sys) "bytes.copied")
 
 let test_posix_write_on_copying_pipe () =
   let _, _, _, pipe = mk Pipe.Copying in
@@ -95,7 +95,7 @@ let test_posix_write_on_zero_copy_pipe () =
   Alcotest.(check int) "delivered" 5000 (String.length !result);
   (* Backward-compat path: exactly one copy into IO-Lite buffers. *)
   Alcotest.(check int) "one copy" 5000
-    (Counter.get (Iosys.counters sys) "bytes.copied")
+    (Counter.get (Iosys.metrics sys) "bytes.copied")
 
 let test_backpressure () =
   let _, writer, _, pipe = mk Pipe.Zero_copy in
@@ -206,14 +206,14 @@ let test_zero_copy_warm_stream_no_vm_ops () =
       for i = 1 to 60 do
         if i = 40 then
           maps_mid :=
-            Counter.get (Mem.Vm.counters (Iosys.vm sys)) "vm.map_read";
+            Counter.get (Mem.Vm.metrics (Iosys.vm sys)) "vm.map_read";
         Pipe.write pipe
           (Iobuf.Agg.of_string spool ~producer (String.make 4096 'w'))
       done;
       Pipe.close_write pipe);
   Engine.spawn e (fun () -> ignore (collect pipe));
   Engine.run e;
-  let maps_end = Counter.get (Mem.Vm.counters (Iosys.vm sys)) "vm.map_read" in
+  let maps_end = Counter.get (Mem.Vm.metrics (Iosys.vm sys)) "vm.map_read" in
   Alcotest.(check int) "no maps on warm stream" !maps_mid maps_end
 
 let prop_pipe_preserves_content =

@@ -134,9 +134,9 @@ let test_vm_note_op_accounting () =
   Vm.note_op vm Vm.Revoke_write ~pages:3;
   Alcotest.(check int) "pages observed" 6 !toggled;
   Alcotest.(check int) "grant counter" 3
-    (Iolite_util.Stats.Counter.get (Vm.counters vm) "vm.grant_write");
+    (Iolite_obs.Metrics.get (Vm.metrics vm) "vm.grant_write");
   Alcotest.(check int) "revoke counter" 3
-    (Iolite_util.Stats.Counter.get (Vm.counters vm) "vm.revoke_write")
+    (Iolite_obs.Metrics.get (Vm.metrics vm) "vm.revoke_write")
 
 let test_vm_write_toggle_trusted_free () =
   let _, vm = mk_vm () in
@@ -175,7 +175,7 @@ let test_vm_release_and_fault () =
 
 let test_pageout_reclaims_segments () =
   let pm = Physmem.create ~capacity:(64 * 1024) in
-  let po = Pageout.create ~physmem:pm ~seed:1L in
+  let po = Pageout.create ~physmem:pm ~seed:1L () in
   let seg = ref (32 * 1024) in
   Pageout.register_segment po ~name:"seg" ~is_io_cache:false
     ~resident:(fun () -> !seg)
@@ -191,7 +191,7 @@ let test_pageout_half_rule () =
   (* A cache segment that can never reclaim pages directly: the entry
      evictor must fire via the Section 3.7 majority rule. *)
   let pm = Physmem.create ~capacity:(64 * 1024) in
-  let po = Pageout.create ~physmem:pm ~seed:2L in
+  let po = Pageout.create ~physmem:pm ~seed:2L () in
   let cache = ref (48 * 1024) in
   Pageout.register_segment po ~name:"cache" ~is_io_cache:true
     ~resident:(fun () -> !cache)
@@ -207,7 +207,7 @@ let test_pageout_half_rule () =
 
 let test_pageout_stops_without_progress () =
   let pm = Physmem.create ~capacity:(64 * 1024) in
-  let po = Pageout.create ~physmem:pm ~seed:3L in
+  let po = Pageout.create ~physmem:pm ~seed:3L () in
   Pageout.register_segment po ~name:"pinned" ~is_io_cache:false
     ~resident:(fun () -> 16 * 1024)
     ~reclaim:(fun _ -> 0);

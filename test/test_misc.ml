@@ -65,8 +65,8 @@ let test_fill_modes () =
     Iolite_core.Iobuf.Pool.create sys ~name:"p"
       ~acl:(Iolite_mem.Vm.Only (Iolite_mem.Pdomain.Set.singleton d))
   in
-  let counters = Iolite_core.Iosys.counters sys in
-  let get k = Iolite_util.Stats.Counter.get counters k in
+  let counters = Iolite_core.Iosys.metrics sys in
+  let get k = Iolite_obs.Metrics.get counters k in
   let mk mode =
     Iolite_core.Iosys.with_fill_mode sys mode (fun () ->
         Iolite_core.Iobuf.Agg.free
@@ -93,7 +93,7 @@ let test_fill_mode_restored_on_exception () =
   Iolite_core.Iobuf.Agg.free
     (Iolite_core.Iobuf.Agg.of_string pool ~producer:d "abc");
   Alcotest.(check int) "mode restored to Fill" 3
-    (Iolite_util.Stats.Counter.get (Iolite_core.Iosys.counters sys) "bytes.filled")
+    (Iolite_obs.Metrics.get (Iolite_core.Iosys.metrics sys) "bytes.filled")
 
 let test_costmodel_helpers () =
   let c = Iolite_os.Costmodel.default in
@@ -213,14 +213,14 @@ let test_acl_copy_fallback () =
          ignore
            (Process.spawn kernel ~name:"bob" (fun bob ->
                 let before =
-                  Iolite_util.Stats.Counter.get (Kernel.counters kernel)
+                  Iolite_obs.Metrics.get (Kernel.metrics kernel)
                     "cache.acl_copy"
                 in
                 let b = Fileio.iol_read bob ~file ~off:0 ~len:5_000 in
                 Alcotest.(check int) "bytes correct" 5_000
                   (Iolite_core.Iobuf.Agg.length b);
                 let after =
-                  Iolite_util.Stats.Counter.get (Kernel.counters kernel)
+                  Iolite_obs.Metrics.get (Kernel.metrics kernel)
                     "cache.acl_copy"
                 in
                 Alcotest.(check int) "fallback copy counted" (before + 1) after;

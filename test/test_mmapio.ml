@@ -5,7 +5,7 @@ module Fileio = Iolite_os.Fileio
 module Mmapio = Iolite_os.Mmapio
 module Iobuf = Iolite_core.Iobuf
 module Filestore = Iolite_fs.Filestore
-module Counter = Iolite_util.Stats.Counter
+module Counter = Iolite_obs.Metrics
 
 let mk () = Kernel.create (Engine.create ())
 
@@ -57,17 +57,17 @@ let test_snapshot_copy_preserves_iol_read () =
   in_proc kernel (fun proc ->
       let snapshot = Fileio.iol_read proc ~file ~off:0 ~len:100 in
       let before = agg_str snapshot in
-      let copies0 = Counter.get (Kernel.counters kernel) "bytes.copied" in
+      let copies0 = Counter.get (Kernel.metrics kernel) "bytes.copied" in
       let m = Mmapio.map proc ~file in
       Mmapio.write m ~off:0 "MUTATED";
-      let copies1 = Counter.get (Kernel.counters kernel) "bytes.copied" in
+      let copies1 = Counter.get (Kernel.metrics kernel) "bytes.copied" in
       Alcotest.(check int) "one lazy page copy charged" 4096 (copies1 - copies0);
       Alcotest.(check string) "snapshot untouched" before (agg_str snapshot);
       Alcotest.(check string) "mapping sees the store" "MUTATED"
         (Mmapio.read m ~off:0 ~len:7);
       (* A second store to the same page is free. *)
       Mmapio.write m ~off:100 "again";
-      let copies2 = Counter.get (Kernel.counters kernel) "bytes.copied" in
+      let copies2 = Counter.get (Kernel.metrics kernel) "bytes.copied" in
       Alcotest.(check int) "no further copy" copies1 copies2;
       Iobuf.Agg.free snapshot;
       Mmapio.unmap proc m)
@@ -93,9 +93,9 @@ let test_unshared_write_in_place_free () =
   let file = Kernel.add_file kernel ~name:"/big" ~size:(20 * 1024 * 1024) in
   in_proc kernel (fun proc ->
       let m = Mmapio.map proc ~file in
-      let copies0 = Counter.get (Kernel.counters kernel) "bytes.copied" in
+      let copies0 = Counter.get (Kernel.metrics kernel) "bytes.copied" in
       Mmapio.write m ~off:0 (String.make 4096 'w');
-      let copies1 = Counter.get (Kernel.counters kernel) "bytes.copied" in
+      let copies1 = Counter.get (Kernel.metrics kernel) "bytes.copied" in
       Alcotest.(check int) "no snapshot copy for unshared page" 0
         (copies1 - copies0);
       Mmapio.unmap proc m)

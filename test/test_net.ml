@@ -374,9 +374,9 @@ let test_mbuf_zero_copy_wiring () =
 let test_mbuf_copied_wiring () =
   let sys, d, pool = mk () in
   let a = Iobuf.Agg.of_string pool ~producer:d (String.make 10_000 'm') in
-  let before = Iolite_util.Stats.Counter.get (Iosys.counters sys) "bytes.copied" in
+  let before = Iolite_obs.Metrics.get (Iosys.metrics sys) "bytes.copied" in
   let chain = Mbuf.of_agg_copied sys a in
-  let after = Iolite_util.Stats.Counter.get (Iosys.counters sys) "bytes.copied" in
+  let after = Iolite_obs.Metrics.get (Iosys.metrics sys) "bytes.copied" in
   Alcotest.(check int) "copy charged" 10_000 (after - before);
   Alcotest.(check bool) "wired includes payload" true
     (Mbuf.wired_bytes chain > 10_000);

@@ -1,0 +1,258 @@
+(* Observability layer: metrics registry, virtual-clock tracer, and the
+   end-to-end telemetry acceptance checks (trace determinism; registry
+   diffs reproducing the checksum-cache contribution). *)
+
+module Metrics = Iolite_obs.Metrics
+module Trace = Iolite_obs.Trace
+module E = Iolite_workload.Experiments
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_counters () =
+  let m = Metrics.create () in
+  Alcotest.(check int) "missing key reads 0" 0 (Metrics.get m "net.bytes");
+  Metrics.incr m "net.bytes";
+  Metrics.add m "net.bytes" 41;
+  Alcotest.(check int) "incr + add accumulate" 42 (Metrics.get m "net.bytes");
+  Metrics.incr m "cache.hit";
+  Alcotest.(check (list (pair string int)))
+    "to_list sorted by key"
+    [ ("cache.hit", 1); ("net.bytes", 42) ]
+    (Metrics.to_list m);
+  Metrics.reset m;
+  Alcotest.(check int) "reset clears" 0 (Metrics.get m "net.bytes")
+
+let test_metrics_gauges () =
+  let m = Metrics.create () in
+  let v = ref 7 in
+  Metrics.set_gauge m "mem.free" (fun () -> !v);
+  Alcotest.(check int) "gauge samples closure" 7 (Metrics.gauge m "mem.free");
+  v := 9;
+  Alcotest.(check int) "gauge resamples" 9 (Metrics.gauge m "mem.free");
+  Alcotest.(check int) "unknown gauge reads 0" 0 (Metrics.gauge m "nope");
+  Alcotest.(check (list (pair string int)))
+    "gauges appear in to_list"
+    [ ("mem.free", 9) ]
+    (Metrics.to_list m)
+
+let test_metrics_hist () =
+  let m = Metrics.create () in
+  Alcotest.(check bool)
+    "no hist before observe" true
+    (Metrics.find_hist m "lat" = None);
+  Metrics.observe m "lat" 0.5;
+  Metrics.observe m "lat" 1.5;
+  let h = Metrics.hist m "lat" in
+  Alcotest.(check int) "observations counted" 2
+    (Iolite_util.Stats.Hist.count h);
+  Alcotest.(check int) "hist_list has it" 1 (List.length (Metrics.hist_list m))
+
+let test_metrics_snapshot_diff () =
+  let m = Metrics.create () in
+  Metrics.add m "a" 10;
+  Metrics.add m "b" 5;
+  let g = ref 100 in
+  Metrics.set_gauge m "g" (fun () -> !g);
+  let s0 = Metrics.snapshot m in
+  Metrics.add m "a" 3;
+  Metrics.add m "c" 1;
+  g := 90;
+  let s1 = Metrics.snapshot m in
+  let d = Metrics.diff ~before:s0 ~after:s1 in
+  Alcotest.(check (list (pair string int)))
+    "diff has deltas only, zero-delta keys dropped"
+    [ ("a", 3); ("c", 1); ("g", -10) ]
+    d;
+  Alcotest.(check int) "snapshot_get of absent key" 0
+    (Metrics.snapshot_get s0 "c")
+
+let test_metrics_render () =
+  let m = Metrics.create () in
+  Metrics.add m "cache.eviction" 2;
+  Metrics.observe m "lat" 0.25;
+  let r = Metrics.render ~prefix:"  " m in
+  Alcotest.(check bool) "counter rendered" true
+    (contains ~sub:"cache.eviction" r);
+  Alcotest.(check bool) "hist rendered" true (contains ~sub:"n=1" r)
+
+(* ------------------------------------------------------------------ *)
+(* Tracer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_disabled_noop () =
+  let tr = Trace.create () in
+  Alcotest.(check bool) "starts disabled" false (Trace.enabled tr);
+  Trace.instant tr ~cat:"cache" ~name:"evict" ();
+  let v = Trace.span tr ~cat:"os" ~name:"IOL_read" (fun () -> 17) in
+  Alcotest.(check int) "span passes value through" 17 v;
+  Trace.complete tr ~cat:"httpd" ~name:"request" ~ts:0.0 ~dur:1.0 ();
+  Alcotest.(check int) "disabled tracer buffers nothing" 0
+    (Trace.event_count tr)
+
+let test_trace_events_and_json () =
+  let tr = Trace.create () in
+  let t = ref 0.0 in
+  let scope = ref (Some "flash") in
+  Trace.enable tr
+    ~clock:(fun () ->
+      t := !t +. 0.001;
+      !t)
+    ~scope:(fun () -> !scope);
+  Trace.instant tr ~cat:"cache" ~name:"hit"
+    ~args:[ ("file", Trace.Int 3); ("path", Trace.Str "/a\"b") ]
+    ();
+  let v = Trace.span tr ~cat:"os" ~name:"IOL_read" (fun () -> 5) in
+  Alcotest.(check int) "span result" 5 v;
+  scope := None;
+  Trace.instant tr ~cat:"vm" ~name:"page_fault" ();
+  Alcotest.(check int) "three events" 3 (Trace.event_count tr);
+  let json = Trace.to_json ~label:"test" tr in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) (Printf.sprintf "json has %s" sub) true
+        (contains ~sub json))
+    [
+      "\"traceEvents\"";
+      "\"ph\":\"i\"";          (* instant *)
+      "\"ph\":\"X\"";          (* complete span *)
+      "\"ph\":\"M\"";          (* process/thread metadata *)
+      "\"cat\":\"cache\"";
+      "\"name\":\"IOL_read\"";
+      "\"dur\":";
+      "\\\"b";                 (* the quote in the path got escaped *)
+      "\"name\":\"flash\"";    (* thread_name metadata from scope *)
+      "\"name\":\"kernel\"";   (* None scope renders as kernel *)
+      "\"ts\":1000.000";       (* 0.001 s -> 1000 us, fixed precision *)
+    ];
+  (* Span on a raising thunk still records the event. *)
+  (try
+     Trace.span tr ~cat:"os" ~name:"boom" (fun () -> failwith "x")
+   with Failure _ -> ());
+  Alcotest.(check int) "raising span recorded" 4 (Trace.event_count tr);
+  Trace.clear tr;
+  Alcotest.(check int) "clear empties buffer" 0 (Trace.event_count tr)
+
+let test_trace_sink () =
+  let mk label =
+    let tr = Trace.create () in
+    Trace.enable tr ~clock:(fun () -> 0.5) ~scope:(fun () -> None);
+    Trace.instant tr ~cat:"net" ~name:label ();
+    tr
+  in
+  let sink = Trace.Sink.create () in
+  Trace.Sink.absorb sink ~label:"kernel-1" (mk "tx1");
+  Trace.Sink.absorb sink ~label:"kernel-2" (mk "tx2");
+  Alcotest.(check int) "two traces absorbed" 2 (Trace.Sink.count sink);
+  let json = Trace.Sink.to_json sink in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) (Printf.sprintf "sink json has %s" sub) true
+        (contains ~sub json))
+    [ "\"kernel-1\""; "\"kernel-2\""; "\"pid\":1"; "\"pid\":2"; "tx1"; "tx2" ]
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end acceptance: the deterministic smoke run                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Two full simulated runs are not free (~2.4 virtual seconds each), so
+   run smoke twice once and share the results across checks. *)
+let smoke_pair =
+  lazy
+    (let a = E.smoke () in
+     let b = E.smoke () in
+     (a, b))
+
+let test_smoke_trace_determinism () =
+  let a, b = Lazy.force smoke_pair in
+  Alcotest.(check bool) "traces non-trivial" true
+    (String.length a.E.sm_trace_json > 10_000);
+  Alcotest.(check bool)
+    "two same-seed runs emit byte-identical trace JSON" true
+    (String.equal a.E.sm_trace_json b.E.sm_trace_json)
+
+let test_smoke_trace_subsystems () =
+  let a, _ = Lazy.force smoke_pair in
+  List.iter
+    (fun cat ->
+      Alcotest.(check bool)
+        (Printf.sprintf "trace has %s events" cat)
+        true
+        (contains ~sub:(Printf.sprintf "\"cat\":\"%s\"" cat) a.E.sm_trace_json))
+    [ "cache"; "net"; "vm"; "disk"; "httpd"; "os" ]
+
+let dget l k = match List.assoc_opt k l with Some v -> v | None -> 0
+
+let test_smoke_diff_reproduces_cksum () =
+  let a, _ = Lazy.force smoke_pair in
+  let total, scanned, saved = a.E.sm_cksum in
+  (* The first snapshot is taken before the engine ever runs, so the
+     cold + warm phase deltas must account for the entire counter
+     values — and their difference is exactly the checksum-cache
+     contribution that Fig. 11 plots via [Flash.cksum_stats]. *)
+  let phase_total = dget a.E.sm_cold "net.cksum_bytes_total"
+                    + dget a.E.sm_warm "net.cksum_bytes_total" in
+  let phase_scanned =
+    dget a.E.sm_cold "net.cksum_bytes" + dget a.E.sm_warm "net.cksum_bytes"
+  in
+  Alcotest.(check int) "phase deltas cover total" total phase_total;
+  Alcotest.(check int) "phase deltas cover scanned" scanned phase_scanned;
+  Alcotest.(check int) "diffs reproduce the cache's saving" saved
+    (phase_total - phase_scanned);
+  Alcotest.(check bool) "the cache actually saved work" true (saved > 0);
+  (* The warm phase should scan relatively less than the cold phase:
+     by then every document's checksum is cached. *)
+  let ratio c =
+    float_of_int (dget c "net.cksum_bytes")
+    /. float_of_int (max 1 (dget c "net.cksum_bytes_total"))
+  in
+  Alcotest.(check bool) "warm phase scans a smaller fraction" true
+    (ratio a.E.sm_warm <= ratio a.E.sm_cold)
+
+let test_smoke_latency_and_requests () =
+  let a, _ = Lazy.force smoke_pair in
+  Alcotest.(check bool) "served requests" true (a.E.sm_requests > 100);
+  match a.E.sm_latency with
+  | None -> Alcotest.fail "no latency summary"
+  | Some s ->
+    let open Iolite_util.Stats in
+    Alcotest.(check bool) "latency count matches volume" true (s.count > 100);
+    Alcotest.(check bool) "percentiles ordered" true
+      (s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
+    Alcotest.(check bool) "latencies positive and sub-second" true
+      (s.min > 0.0 && s.max < 1.0)
+
+let suites =
+  [
+    ( "obs.metrics",
+      [
+        Alcotest.test_case "counters" `Quick test_metrics_counters;
+        Alcotest.test_case "gauges" `Quick test_metrics_gauges;
+        Alcotest.test_case "histograms" `Quick test_metrics_hist;
+        Alcotest.test_case "snapshot diff" `Quick test_metrics_snapshot_diff;
+        Alcotest.test_case "render" `Quick test_metrics_render;
+      ] );
+    ( "obs.trace",
+      [
+        Alcotest.test_case "disabled is a no-op" `Quick test_trace_disabled_noop;
+        Alcotest.test_case "events and json" `Quick test_trace_events_and_json;
+        Alcotest.test_case "sink" `Quick test_trace_sink;
+      ] );
+    ( "obs.smoke",
+      [
+        Alcotest.test_case "trace determinism" `Slow
+          test_smoke_trace_determinism;
+        Alcotest.test_case "subsystem coverage" `Slow
+          test_smoke_trace_subsystems;
+        Alcotest.test_case "metric diffs reproduce cksum stats" `Slow
+          test_smoke_diff_reproduces_cksum;
+        Alcotest.test_case "latency histogram" `Slow
+          test_smoke_latency_and_requests;
+      ] );
+  ]

@@ -4,7 +4,7 @@ module Sync = Iolite_sim.Sync
 module Iobuf = Iolite_core.Iobuf
 module Iosys = Iolite_core.Iosys
 module Filecache = Iolite_core.Filecache
-module Counter = Iolite_util.Stats.Counter
+module Counter = Iolite_obs.Metrics
 
 let mk () =
   let engine = Engine.create () in
@@ -91,7 +91,7 @@ let test_iol_read_correct_and_zero_copy () =
   Alcotest.(check bool) "contents" true
     (Iolite_fs.Filestore.check_string ~file ~off:500 s);
   Alcotest.(check int) "no copies on the IOL path" 0
-    (Counter.get (Kernel.counters kernel) "bytes.copied")
+    (Counter.get (Kernel.metrics kernel) "bytes.copied")
 
 let test_iol_read_short_at_eof () =
   let _, kernel = mk () in
@@ -112,7 +112,7 @@ let test_read_string_charges_copy () =
       Alcotest.(check bool) "contents" true
         (Iolite_fs.Filestore.check_string ~file ~off:0 s));
   Alcotest.(check int) "posix read copies" 10_000
-    (Counter.get (Kernel.counters kernel) "bytes.copied")
+    (Counter.get (Kernel.metrics kernel) "bytes.copied")
 
 let test_iol_write_snapshot_semantics () =
   let _, kernel = mk () in
@@ -246,12 +246,12 @@ let test_sock_roundtrip_copying () =
   Alcotest.(check string) "request delivered" "GET /x" saw;
   Alcotest.(check string) "response size" "5000" got;
   Alcotest.(check bool) "send copied payload" true
-    (Counter.get (Kernel.counters kernel) "bytes.copied" >= 5000)
+    (Counter.get (Kernel.metrics kernel) "bytes.copied" >= 5000)
 
 let test_sock_zero_copy_no_payload_copies () =
   let kernel, _, _ = sock_roundtrip ~zero_copy:true ~rtt:0.0 in
   Alcotest.(check int) "no copies" 0
-    (Counter.get (Kernel.counters kernel) "bytes.copied")
+    (Counter.get (Kernel.metrics kernel) "bytes.copied")
 
 let test_sock_rtt_delays_response () =
   let t0 =

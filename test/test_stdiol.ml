@@ -6,7 +6,7 @@ module Sock = Iolite_os.Sock
 module Pipe = Iolite_ipc.Pipe
 module Iobuf = Iolite_core.Iobuf
 module Filestore = Iolite_fs.Filestore
-module Counter = Iolite_util.Stats.Counter
+module Counter = Iolite_obs.Metrics
 
 let mk () = Kernel.create (Engine.create ())
 
@@ -53,7 +53,7 @@ let test_input_agg_zero_copy () =
   Engine.run (Kernel.engine kernel);
   Alcotest.(check int) "all bytes" size !total;
   Alcotest.(check int) "no copies" 0
-    (Counter.get (Kernel.counters kernel) "bytes.copied")
+    (Counter.get (Kernel.metrics kernel) "bytes.copied")
 
 let test_input_line_charges_copy () =
   let kernel = mk () in
@@ -66,7 +66,7 @@ let test_input_line_charges_copy () =
   Engine.run (Kernel.engine kernel);
   (* Every byte except newlines crosses into application memory. *)
   Alcotest.(check bool) "app copy charged" true
-    (Counter.get (Kernel.counters kernel) "bytes.copied" > size * 9 / 10)
+    (Counter.get (Kernel.metrics kernel) "bytes.copied" > size * 9 / 10)
 
 let test_pipe_channels_roundtrip () =
   let kernel = mk () in
@@ -129,7 +129,7 @@ let test_output_agg_zero_copy_through () =
   Engine.run (Kernel.engine kernel);
   Alcotest.(check int) "all bytes" 30_000 !total;
   Alcotest.(check int) "fully zero copy" 0
-    (Counter.get (Kernel.counters kernel) "bytes.copied")
+    (Counter.get (Kernel.metrics kernel) "bytes.copied")
 
 let test_file_out_roundtrip () =
   let kernel = mk () in
@@ -170,7 +170,7 @@ let test_sendfile_serves_correct_bytes () =
   Alcotest.(check int) "header + body" (size + 19) !got;
   (* sendfile splices: only the tiny header copy, not the payload. *)
   Alcotest.(check bool) "no payload copy" true
-    (Counter.get (Kernel.counters kernel) "bytes.copied" < 100)
+    (Counter.get (Kernel.metrics kernel) "bytes.copied" < 100)
 
 let test_sendfile_variant_between_flash_and_lite () =
   let bw variant =

@@ -159,6 +159,84 @@ let test_fmt_time () =
   Alcotest.(check string) "ms" "23.7ms" (Table.fmt_time_s 0.0237);
   Alcotest.(check string) "s" "4.22s" (Table.fmt_time_s 4.22)
 
+module Hist = Iolite_util.Stats.Hist
+
+let raises_invalid f =
+  match f () with
+  | _ -> false
+  | exception Invalid_argument _ -> true
+
+let test_hist_edge_ranks () =
+  let h = Hist.create () in
+  List.iter (Hist.add h) [ 0.003; 0.04; 0.5; 6.0; 70.0 ];
+  (* q=0 and q=1 are exact (min/max ride alongside the buckets). *)
+  Alcotest.(check (float 0.0)) "q=0 is exact min" 0.003 (Hist.percentile h 0.0);
+  Alcotest.(check (float 0.0)) "q=1 is exact max" 70.0 (Hist.percentile h 1.0);
+  (* Interior ranks are quantized but must stay inside the observed
+     range and be monotone in q. *)
+  let p50 = Hist.percentile h 0.5 and p90 = Hist.percentile h 0.9 in
+  Alcotest.(check bool) "interior in range" true
+    (p50 >= 0.003 && p50 <= 70.0 && p90 >= 0.003 && p90 <= 70.0);
+  Alcotest.(check bool) "monotone in q" true (p50 <= p90)
+
+let test_hist_single_element () =
+  let h = Hist.create () in
+  Hist.add h 0.125;
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "q=%g collapses to the element" q)
+        0.125 (Hist.percentile h q))
+    [ 0.0; 0.5; 0.9; 0.99; 1.0 ];
+  let s = Hist.summary h in
+  Alcotest.(check int) "count" 1 s.Iolite_util.Stats.count;
+  Alcotest.(check (float 0.0)) "mean exact" 0.125 s.Iolite_util.Stats.mean;
+  Alcotest.(check (float 0.0)) "stddev zero" 0.0 s.Iolite_util.Stats.stddev
+
+let test_hist_invalid () =
+  let h = Hist.create () in
+  Alcotest.(check bool) "empty percentile raises" true
+    (raises_invalid (fun () -> Hist.percentile h 0.5));
+  Alcotest.(check bool) "empty summary raises" true
+    (raises_invalid (fun () -> Hist.summary h));
+  Hist.add h 1.0;
+  Alcotest.(check bool) "q < 0 raises" true
+    (raises_invalid (fun () -> Hist.percentile h (-0.1)));
+  Alcotest.(check bool) "q > 1 raises" true
+    (raises_invalid (fun () -> Hist.percentile h 1.1));
+  Alcotest.(check bool) "bad bucketing raises" true
+    (raises_invalid (fun () -> Hist.create ~buckets_per_decade:0 ()))
+
+let test_hist_resolution () =
+  (* Relative quantization error is bounded by the bucket ratio
+     (default 20 buckets/decade ~ 12%), independent of magnitude. *)
+  let h = Hist.create () in
+  for i = 1 to 10_000 do
+    Hist.add h (float_of_int i /. 1000.0)
+  done;
+  List.iter
+    (fun (q, exact) ->
+      let est = Hist.percentile h q in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%g within bucket resolution" (q *. 100.))
+        true
+        (Float.abs (est -. exact) /. exact < 0.13))
+    [ (0.5, 5.0); (0.9, 9.0); (0.99, 9.9) ]
+
+let test_hist_merge () =
+  let a = Hist.create () and b = Hist.create () in
+  List.iter (Hist.add a) [ 0.01; 0.02 ];
+  List.iter (Hist.add b) [ 10.0; 20.0 ];
+  let m = Hist.merge a b in
+  Alcotest.(check int) "merged count" 4 (Hist.count m);
+  Alcotest.(check (float 0.0)) "merged min" 0.01 (Hist.percentile m 0.0);
+  Alcotest.(check (float 0.0)) "merged max" 20.0 (Hist.percentile m 1.0);
+  Alcotest.(check int) "inputs untouched" 2 (Hist.count a);
+  let odd = Hist.create ~buckets_per_decade:5 () in
+  Hist.add odd 1.0;
+  Alcotest.(check bool) "bucketing mismatch raises" true
+    (raises_invalid (fun () -> Hist.merge a odd))
+
 let suites =
   [
     ( "util.rng",
@@ -185,6 +263,14 @@ let suites =
         Alcotest.test_case "summary" `Quick test_stats_summary;
         Alcotest.test_case "online matches batch" `Quick test_stats_online_matches_batch;
         Alcotest.test_case "counter" `Quick test_counter;
+      ] );
+    ( "util.hist",
+      [
+        Alcotest.test_case "percentile edge ranks" `Quick test_hist_edge_ranks;
+        Alcotest.test_case "single element" `Quick test_hist_single_element;
+        Alcotest.test_case "invalid inputs" `Quick test_hist_invalid;
+        Alcotest.test_case "bounded resolution" `Quick test_hist_resolution;
+        Alcotest.test_case "merge" `Quick test_hist_merge;
       ] );
     ( "util.table",
       [
