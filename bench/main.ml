@@ -453,6 +453,72 @@ let run_cksum ?(label = "current") ?(out = "BENCH_cksum.json") ?(pieces = 1024)
   append_json_run ~benchmark:"cksum" ~out ~label (List.rev !entries)
 
 (* ------------------------------------------------------------------ *)
+(* Cross-domain transfer scaling                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Measures the per-send cost of cross-domain transfer as aggregates get
+   deep — the operation under every pipe write, socket send, and cache
+   delivery. Cold = first-ever transfer to a fresh domain (per-chunk map
+   operations are unavoidable); warm = repeated transfer on the same
+   stream, which the paper says must cost no VM work and which should
+   therefore be independent of the slice count. The recorded runs in
+   BENCH_transfer.json are labeled: the pre-optimisation numbers
+   ("slice-walk baseline") walked every slice per send and are the
+   regression baseline the memoized chunk-set/grant-epoch runs are
+   compared against. *)
+
+let run_transfer ?(label = "current") ?(out = "BENCH_transfer.json")
+    ?(pieces = 1024) () =
+  Printf.printf "\n== Cross-domain transfer (label: %s, %d slices) ==\n" label
+    pieces;
+  let sys = Iosys.create ~capacity:(256 * 1024 * 1024) () in
+  let d = Iosys.new_domain sys ~name:"producer" in
+  (* Public ACL so freshly minted consumer domains can map (the cold
+     case); IO-Lite's file pool has the same shape. *)
+  let pool = Iobuf.Pool.create sys ~name:"xfer" ~acl:Vm.Public in
+  let piece_size = 1024 in
+  let agg =
+    let acc = ref (Iobuf.Agg.empty ()) in
+    for i = 1 to pieces do
+      let piece =
+        Iobuf.Agg.of_string pool ~producer:d
+          (String.make piece_size (Char.chr (Char.code 'a' + (i mod 26))))
+      in
+      let next = Iobuf.Agg.concat !acc piece in
+      Iobuf.Agg.free !acc;
+      Iobuf.Agg.free piece;
+      acc := next
+    done;
+    !acc
+  in
+  let entries = ref [] in
+  let record e =
+    entries := e :: !entries;
+    cksum_show e
+  in
+  Printf.printf "  %-18s %8s %10s %14s %12s\n" "op" "slices" "iters"
+    "total (ms)" "ns/op";
+  (* Cold send: the consumer has never seen the stream's chunks, so every
+     one of them must be mapped. *)
+  record
+    (time_op ~op:"send_cold" ~pieces ~piece_size ~iters:200 (fun () ->
+         let r = Iosys.new_domain sys ~name:"cold" in
+         Iobuf.Agg.free (Transfer.send sys agg ~to_:r)));
+  (* Warm send: same aggregate, same consumer — the steady state of a
+     persistent connection serving cached data. *)
+  let reader = Iosys.new_domain sys ~name:"reader" in
+  Iobuf.Agg.free (Transfer.send sys agg ~to_:reader);
+  record
+    (time_op ~op:"send_warm" ~pieces ~piece_size ~iters:2000 (fun () ->
+         Iobuf.Agg.free (Transfer.send sys agg ~to_:reader)));
+  (* Consumer-side enforcement on the warm stream. *)
+  record
+    (time_op ~op:"check_warm" ~pieces ~piece_size ~iters:2000 (fun () ->
+         Transfer.check_readable sys reader agg));
+  Iobuf.Agg.free agg;
+  append_json_run ~benchmark:"transfer" ~out ~label (List.rev !entries)
+
+(* ------------------------------------------------------------------ *)
 (* Observability overhead                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -581,6 +647,13 @@ let () =
       match rest with _ :: _ :: p :: _ -> int_of_string p | _ -> 1024
     in
     run_cksum ~label ~out ~pieces ()
+  | _ :: "transfer" :: rest ->
+    let label = match rest with l :: _ -> l | [] -> "current" in
+    let out = match rest with _ :: o :: _ -> o | _ -> "BENCH_transfer.json" in
+    let pieces =
+      match rest with _ :: _ :: p :: _ -> int_of_string p | _ -> 1024
+    in
+    run_transfer ~label ~out ~pieces ()
   | _ :: "obs" :: rest ->
     let label = match rest with l :: _ -> l | [] -> "current" in
     let out = match rest with _ :: o :: _ -> o | _ -> "BENCH_obs.json" in

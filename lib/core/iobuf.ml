@@ -15,10 +15,21 @@ type chunkstore = {
 type pool_t = {
   sys : Iosys.t;
   pname : string;
-  pacl : Vm.acl;
+  mutable pacl : Vm.acl;
   mutable current : chunkstore option;
   mutable empty_chunks : chunkstore list;
   mutable all_chunks : chunkstore list;
+  (* Grant epochs (the warm-transfer fast path, Section 3.4): [epoch]
+     advances whenever the set of chunks a consumer might have to map
+     can grow or access can shrink — fresh-chunk allocation, ACL
+     narrowing, chunk destruction, pageout reclaim. [grant_epochs.(d)]
+     records the epoch at which domain [d] was last verified to hold a
+     read mapping on every chunk this pool has ever minted; while the
+     pool's epoch still equals that record, any aggregate drawn from the
+     pool is transferable to [d] with a single integer comparison. 0
+     means "never covered" (epochs start at 1). *)
+  mutable epoch : int;
+  mutable grant_epochs : int array;
 }
 
 type buffer_t = {
@@ -33,6 +44,13 @@ type buffer_t = {
   mutable refs : int;
   mutable cache_refs : int;
 }
+
+(* Chunk-set summary of a rope subtree: the distinct VM chunks under its
+   leaves (sorted by chunk id) and the distinct pools they came from.
+   Unlike checksum memos this needs no invalidation — a node's leaves are
+   fixed at construction and each leaf pins its buffer, hence its chunk
+   and pool, for the node's whole lifetime. *)
+type chunkset = { cs_chunks : Vm.chunk array; cs_pools : pool_t list }
 
 module Buffer = struct
   type t = buffer_t
@@ -162,6 +180,29 @@ module Pool = struct
   let resident_empty_bytes p =
     List.fold_left (fun acc c -> acc + Vm.resident_bytes c.vc) 0 p.empty_chunks
 
+  (* Release resident empty chunks until [n] bytes are freed, stopping at
+     the first chunk that satisfies the request instead of scanning the
+     whole free list. *)
+  let release_until p n =
+    let vm = Iosys.vm p.sys in
+    let rec go freed = function
+      | [] -> freed
+      | _ when freed >= n -> freed
+      | c :: rest ->
+        let freed =
+          if Vm.chunk_resident c.vc then
+            freed + Vm.release_chunk_memory vm c.vc
+          else freed
+        in
+        go freed rest
+    in
+    let freed = go 0 p.empty_chunks in
+    (* Conservative: paged-out chunks make the warm-transfer shortcut's
+       "no page-fault simulation" assumption worth re-checking, so force
+       the next transfer per domain back through the cold walk. *)
+    if freed > 0 then p.epoch <- p.epoch + 1;
+    freed
+
   let create sys ~name ~acl =
     let p =
       {
@@ -171,19 +212,14 @@ module Pool = struct
         current = None;
         empty_chunks = [];
         all_chunks = [];
+        epoch = 1;
+        grant_epochs = [||];
       }
     in
     Pageout.register_segment (Iosys.pageout sys) ~name:("pool:" ^ name)
       ~is_io_cache:false
       ~resident:(fun () -> resident_empty_bytes p)
-      ~reclaim:(fun n ->
-        let freed = ref 0 in
-        List.iter
-          (fun c ->
-            if !freed < n && Vm.chunk_resident c.vc then
-              freed := !freed + Vm.release_chunk_memory (Iosys.vm sys) c.vc)
-          p.empty_chunks;
-        !freed);
+      ~reclaim:(fun n -> release_until p n);
     p
 
   let name p = p.pname
@@ -193,6 +229,9 @@ module Pool = struct
   let fresh_chunk p =
     let vc = Vm.alloc_chunk (Iosys.vm p.sys) ~label:p.pname ~acl:p.pacl in
     Metrics.incr (Iosys.metrics p.sys) "pool.fresh_chunk";
+    (* A chunk no consumer has ever mapped: every recorded coverage is
+       stale until the next cold walk re-verifies it. *)
+    p.epoch <- p.epoch + 1;
     let c =
       {
         vc;
@@ -337,14 +376,7 @@ module Pool = struct
   let chunk_count p = List.length p.all_chunks
   let free_chunk_count p = List.length p.empty_chunks
 
-  let reclaim p n =
-    let freed = ref 0 in
-    List.iter
-      (fun c ->
-        if !freed < n && Vm.chunk_resident c.vc then
-          freed := !freed + Vm.release_chunk_memory (Iosys.vm p.sys) c.vc)
-      p.empty_chunks;
-    !freed
+  let reclaim p n = release_until p n
 
   let destroy p =
     let live =
@@ -357,7 +389,39 @@ module Pool = struct
     List.iter (fun c -> Vm.destroy_chunk (Iosys.vm p.sys) c.vc) p.all_chunks;
     p.all_chunks <- [];
     p.empty_chunks <- [];
-    p.current <- None
+    p.current <- None;
+    p.epoch <- p.epoch + 1
+
+  (* --- Grant epochs (warm-transfer fast path) ---------------------- *)
+
+  let epoch p = p.epoch
+
+  let epoch_covers p domain =
+    let did = Pdomain.id domain in
+    did < Array.length p.grant_epochs && p.grant_epochs.(did) = p.epoch
+
+  let record_epoch p domain =
+    let did = Pdomain.id domain in
+    let len = Array.length p.grant_epochs in
+    if did >= len then begin
+      let a = Array.make (max (did + 1) (max 8 (2 * len))) 0 in
+      Array.blit p.grant_epochs 0 a 0 len;
+      p.grant_epochs <- a
+    end;
+    p.grant_epochs.(did) <- p.epoch
+
+  let note_domain_coverage p domain =
+    if not (epoch_covers p domain) then begin
+      let vm = Iosys.vm p.sys in
+      if List.for_all (fun c -> Vm.readable vm domain c.vc) p.all_chunks then
+        record_epoch p domain
+    end
+
+  let restrict_acl p acl =
+    p.pacl <- acl;
+    let vm = Iosys.vm p.sys in
+    List.iter (fun c -> Vm.restrict_chunk_acl vm c.vc acl) p.all_chunks;
+    p.epoch <- p.epoch + 1
 end
 
 module Agg = struct
@@ -381,6 +445,9 @@ module Agg = struct
     height : int;
     kind : kind;
     mutable memo : memo;
+    (* Lazily-filled chunk-set summary (see {!chunkset}); permanently
+       valid once filled. *)
+    mutable cset : chunkset option;
   }
 
   and kind = Leaf of Slice.t | Cat of node * node
@@ -425,6 +492,7 @@ module Agg = struct
       height = 1;
       kind = Leaf s;
       memo = No_memo;
+      cset = None;
     }
 
   (* Consumes the owned references to [l] and [r]. *)
@@ -436,6 +504,7 @@ module Agg = struct
       height = 1 + (if l.height > r.height then l.height else r.height);
       kind = Cat (l, r);
       memo = No_memo;
+      cset = None;
     }
 
   let release n =
@@ -722,6 +791,82 @@ module Agg = struct
     | None -> ()
     | Some n -> if len > 0 then walk n ~off ~len);
     List.rev !out
+
+  (* --- Chunk-set summaries (warm-transfer support) ----------------- *)
+
+  (* Merge two sorted-by-chunk-id arrays, dropping duplicates; union the
+     pool lists by physical identity (aggregates rarely span more than a
+     couple of pools). *)
+  let merge_csets a b =
+    let la = Array.length a.cs_chunks and lb = Array.length b.cs_chunks in
+    let tmp = Array.make (la + lb) a.cs_chunks.(0) in
+    let i = ref 0 and j = ref 0 and k = ref 0 in
+    while !i < la && !j < lb do
+      let ca = a.cs_chunks.(!i) and cb = b.cs_chunks.(!j) in
+      let ia = Vm.chunk_id ca and ib = Vm.chunk_id cb in
+      if ia < ib then begin
+        tmp.(!k) <- ca;
+        incr i
+      end
+      else if ib < ia then begin
+        tmp.(!k) <- cb;
+        incr j
+      end
+      else begin
+        tmp.(!k) <- ca;
+        incr i;
+        incr j
+      end;
+      incr k
+    done;
+    while !i < la do
+      tmp.(!k) <- a.cs_chunks.(!i);
+      incr i;
+      incr k
+    done;
+    while !j < lb do
+      tmp.(!k) <- b.cs_chunks.(!j);
+      incr j;
+      incr k
+    done;
+    let pools =
+      List.fold_left
+        (fun acc p -> if List.memq p acc then acc else p :: acc)
+        b.cs_pools a.cs_pools
+    in
+    { cs_chunks = Array.sub tmp 0 !k; cs_pools = pools }
+
+  (* The subtree's chunk set, filled bottom-up on first demand and shared
+     by every aggregate that shares the subtree. Needs no invalidation
+     (see {!chunkset}), so repeated transfers of a stable rope reuse the
+     root summary outright. *)
+  let rec cset_of n =
+    match n.cset with
+    | Some cs -> cs
+    | None ->
+      let cs =
+        match n.kind with
+        | Leaf s ->
+          let b = Slice.buffer s in
+          { cs_chunks = [| b.store.vc |]; cs_pools = [ b.bpool ] }
+        | Cat (l, r) -> merge_csets (cset_of l) (cset_of r)
+      in
+      n.cset <- Some cs;
+      cs
+
+  let iter_distinct_chunks t f =
+    check t;
+    match t.root with
+    | None -> ()
+    | Some n -> Array.iter f (cset_of n).cs_chunks
+
+  let distinct_chunk_count t =
+    check t;
+    match t.root with None -> 0 | Some n -> Array.length (cset_of n).cs_chunks
+
+  let pools t =
+    check t;
+    match t.root with None -> [] | Some n -> (cset_of n).cs_pools
 
   (* --- Compositional summaries (checksum memoization) ------------- *)
 

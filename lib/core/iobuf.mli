@@ -141,6 +141,34 @@ module Pool : sig
   val destroy : t -> unit
   (** Destroys all chunks. Raises [Invalid_argument] if live buffers
       remain. *)
+
+  (** {2 Grant epochs (warm-transfer fast path, Section 3.4)}
+
+      A pool tracks, per consumer domain, whether the domain is known to
+      hold a read mapping on {e every} chunk the pool has ever minted.
+      While that record is current, transferring any aggregate drawn from
+      the pool to that domain is a single integer comparison — no chunk
+      walk, no VM calls. The record is invalidated (by advancing the
+      pool's epoch) whenever it could go stale: fresh-chunk allocation,
+      ACL narrowing ({!restrict_acl}), {!destroy}, and pageout reclaim. *)
+
+  val epoch : t -> int
+  (** Current epoch; starts at 1 and only advances. *)
+
+  val epoch_covers : t -> Pdomain.t -> bool
+  (** Whether the domain's coverage record is current — i.e. every chunk
+      of the pool was verified readable by the domain and nothing has
+      invalidated that verification since. *)
+
+  val note_domain_coverage : t -> Pdomain.t -> unit
+  (** Called after a cold transfer walk: if the domain can now read every
+      chunk of the pool, record coverage at the current epoch (otherwise
+      do nothing — later cold walks will retry). *)
+
+  val restrict_acl : t -> Vm.acl -> unit
+  (** Narrow the pool's ACL: applies to all existing chunks (tearing down
+      mappings of untrusted domains the new ACL excludes) and to future
+      chunks, and invalidates all coverage records. *)
 end
 
 module Agg : sig
@@ -271,6 +299,27 @@ module Agg : sig
   val memo_stats : t -> int * int
   (** [(memoized_nodes, total_nodes)] — observability for tests and
       benchmarks. *)
+
+  (** {2 Chunk-set summaries (warm cross-domain transfer, Section 3.4)}
+
+      Every rope node can also cache the set of distinct VM chunks under
+      its leaves and the pools they came from. Unlike checksum memos
+      this summary needs {e no} invalidation: a node's leaf sequence is
+      fixed at construction, and each leaf pins its buffer — hence its
+      chunk and pool — for the node's lifetime. Summaries are filled
+      bottom-up on first demand and shared structurally, so a repeated
+      transfer of a stable rope reads one root field. *)
+
+  val iter_distinct_chunks : t -> (Vm.chunk -> unit) -> unit
+  (** Visit each distinct chunk under the aggregate exactly once, in
+      chunk-id order — O(distinct chunks) on a summarized rope,
+      independent of the slice count. *)
+
+  val distinct_chunk_count : t -> int
+
+  val pools : t -> Pool.t list
+  (** The distinct pools the aggregate's buffers were allocated from
+      (unordered, physical identity). *)
 
   val pp_shape : Format.formatter -> t -> unit
 end

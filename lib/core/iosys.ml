@@ -11,6 +11,16 @@ let touch_name = function
 
 type fill_mode = [ `Fill | `As_copy | `Dma ]
 
+(* Counter cells for the cross-domain-transfer hot path, resolved once at
+   system creation: the warm-transfer promise is "no Hashtbl probes",
+   which has to include the metrics bookkeeping. *)
+type xfer_cells = {
+  xc_sends : int ref;
+  xc_bytes : int ref;
+  xc_warm_hits : int ref;
+  xc_cold_walks : int ref;
+}
+
 type t = {
   physmem : Physmem.t;
   vm : Vm.t;
@@ -18,6 +28,7 @@ type t = {
   kernel : Pdomain.t;
   metrics : Metrics.t;
   trace : Trace.t;
+  xfer : xfer_cells;
   mutable on_touch : touch -> int -> unit;
   mutable touch_data : bool;
   mutable fill_mode : fill_mode;
@@ -37,6 +48,13 @@ let create ?(capacity = 128 * 1024 * 1024) ?(seed = 0x10117EL) () =
     kernel = Pdomain.make ~trusted:true ~name:"kernel" ();
     metrics;
     trace;
+    xfer =
+      {
+        xc_sends = Metrics.counter metrics "transfer.send";
+        xc_bytes = Metrics.counter metrics "transfer.bytes";
+        xc_warm_hits = Metrics.counter metrics "transfer.warm_hits";
+        xc_cold_walks = Metrics.counter metrics "transfer.cold_walks";
+      };
     on_touch = (fun _ _ -> ());
     touch_data = true;
     fill_mode = `Fill;
@@ -44,6 +62,7 @@ let create ?(capacity = 128 * 1024 * 1024) ?(seed = 0x10117EL) () =
 
 let physmem t = t.physmem
 let vm t = t.vm
+let transfer_cells t = t.xfer
 let pageout t = t.pageout
 let kernel t = t.kernel
 

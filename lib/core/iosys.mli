@@ -53,6 +53,19 @@ val metrics : t -> Iolite_obs.Metrics.t
 (** The kernel-wide metrics registry: byte counts per touch kind, VM op
     counts, and every subsystem's counters under a dotted namespace. *)
 
+(** Live cells of the [transfer.*] counters, resolved once at system
+    creation so the warm-transfer fast path pays plain [int ref] bumps
+    instead of per-call registry probes. They feed {!metrics} like any
+    other counter. *)
+type xfer_cells = {
+  xc_sends : int ref;  (** [transfer.send] *)
+  xc_bytes : int ref;  (** [transfer.bytes] *)
+  xc_warm_hits : int ref;  (** [transfer.warm_hits] *)
+  xc_cold_walks : int ref;  (** [transfer.cold_walks] *)
+}
+
+val transfer_cells : t -> xfer_cells
+
 val trace : t -> Iolite_obs.Trace.t
 (** The kernel-wide tracer (created disabled; armed by the OS layer,
     which owns the virtual clock). *)

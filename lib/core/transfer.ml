@@ -1,25 +1,71 @@
-module Metrics = Iolite_obs.Metrics
 open Iolite_mem
 
+(* Slice-walking oracle: visit each distinct chunk once by scanning every
+   slice, deduplicating through an int-keyed table. This is the semantic
+   reference the epoch fast path is tested against, and the fallback shape
+   for aggregates we cannot reason about wholesale. The memoized
+   [Agg.iter_distinct_chunks] below replaces it on the hot paths. *)
 let iter_chunks agg f =
-  (* Visit each distinct chunk once (aggregates are short lists). *)
-  let seen = ref [] in
+  let seen = Hashtbl.create 16 in
   Iobuf.Agg.iter_slices agg (fun s ->
       let c = Iobuf.Buffer.chunk (Iobuf.Slice.buffer s) in
       let id = Vm.chunk_id c in
-      if not (List.mem id !seen) then begin
-        seen := id :: !seen;
+      if not (Hashtbl.mem seen id) then begin
+        Hashtbl.add seen id ();
         f c
       end)
 
+(* The aggregate is transferable to [domain] by epoch alone when every
+   pool it draws from has current coverage for the domain: the domain was
+   verified to hold read mappings on every chunk those pools ever minted,
+   and nothing has invalidated that since (fresh chunk, ACL narrowing,
+   destroy, reclaim all advance the pool epoch). Aggregate chunks are a
+   subset of their pools' chunk sets — leaves pin buffers, so a chunk
+   with live buffers cannot have been destroyed — hence pool coverage
+   implies aggregate coverage. The check is one array load and integer
+   compare per pool (aggregates rarely span more than one). *)
+let rec epochs_cover pools domain =
+  match pools with
+  | [] -> true
+  | p :: rest -> Iobuf.Pool.epoch_covers p domain && epochs_cover rest domain
+
+let warm sys agg ~domain =
+  let covered = epochs_cover (Iobuf.Agg.pools agg) domain in
+  let cells = Iosys.transfer_cells sys in
+  if covered then incr cells.Iosys.xc_warm_hits
+  else incr cells.Iosys.xc_cold_walks;
+  covered
+
+(* After a cold walk succeeded, give each pool the chance to promote the
+   domain to epoch coverage (it re-verifies against the pool's full chunk
+   set, so partial transfers simply stay cold). *)
+let note_coverage agg domain =
+  List.iter
+    (fun p -> Iobuf.Pool.note_domain_coverage p domain)
+    (Iobuf.Agg.pools agg)
+
 let grant sys agg ~to_ =
-  Metrics.incr (Iosys.metrics sys) "transfer.send";
-  Metrics.add (Iosys.metrics sys) "transfer.bytes" (Iobuf.Agg.length agg);
-  iter_chunks agg (fun c -> Vm.map_read (Iosys.vm sys) to_ c)
+  let cells = Iosys.transfer_cells sys in
+  incr cells.Iosys.xc_sends;
+  cells.Iosys.xc_bytes :=
+    !(cells.Iosys.xc_bytes) + Iobuf.Agg.length agg;
+  if not (warm sys agg ~domain:to_) then begin
+    let vm = Iosys.vm sys in
+    Iobuf.Agg.iter_distinct_chunks agg (fun c -> Vm.map_read vm to_ c);
+    note_coverage agg to_
+  end
 
 let send sys agg ~to_ =
   grant sys agg ~to_;
   Iobuf.Agg.dup agg
 
 let check_readable sys domain agg =
-  iter_chunks agg (fun c -> Vm.check_readable (Iosys.vm sys) domain c)
+  (* Epoch coverage implies read mappings on every chunk (mappings only
+     disappear through the invalidating events), and a chunk with live
+     buffers keeps the pages under them resident, so the warm path can
+     also skip the page-fault simulation of [Vm.check_readable]. *)
+  if not (warm sys agg ~domain) then begin
+    let vm = Iosys.vm sys in
+    Iobuf.Agg.iter_distinct_chunks agg (fun c -> Vm.check_readable vm domain c);
+    note_coverage agg domain
+  end

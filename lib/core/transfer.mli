@@ -5,7 +5,15 @@
     of its slices readable there. The mappings persist after the buffers
     are deallocated, so a warm I/O stream (buffers recycled from the same
     pool) transfers with {e no} VM operations — the fbufs property that
-    makes repeated serving of cached data cheap. *)
+    makes repeated serving of cached data cheap.
+
+    Warm transfers are O(1) in the number of slices: when every pool the
+    aggregate draws from has current grant-epoch coverage for the
+    receiving domain ({!Iobuf.Pool.epoch_covers}), the transfer is a
+    single integer comparison per pool. Otherwise the cold path walks the
+    aggregate's memoized distinct-chunk set — O(chunks), not O(slices²) —
+    and records pool coverage for next time. The split is visible in the
+    metrics registry as [transfer.warm_hits] / [transfer.cold_walks]. *)
 
 open Iolite_mem
 
@@ -23,4 +31,11 @@ val grant : Iosys.t -> Iobuf.Agg.t -> to_:Pdomain.t -> unit
 val check_readable : Iosys.t -> Pdomain.t -> Iobuf.Agg.t -> unit
 (** Access-control enforcement on the consumer side: raises
     [Vm.Protection_fault] if the domain cannot read every slice; faults
-    in any paged-out chunk. *)
+    in any paged-out chunk (warm streams skip the fault simulation —
+    chunks with live buffers are resident by construction). *)
+
+val iter_chunks : Iobuf.Agg.t -> (Vm.chunk -> unit) -> unit
+(** Slice-walking oracle: visits each distinct chunk once by scanning
+    every slice with an int-keyed dedup table. Semantically equivalent to
+    {!Iobuf.Agg.iter_distinct_chunks} (modulo visit order); kept as the
+    reference the epoch fast path is property-tested against. *)

@@ -143,7 +143,11 @@ let rec read t =
     Sync.Condvar.broadcast t.writable;
     let agg =
       match item with
-      | Direct agg -> agg
+      | Direct agg ->
+        (* Consumer-side enforcement before the reader touches the bytes;
+           on a warm stream this is the epoch comparison, not a walk. *)
+        Iolite_core.Transfer.check_readable t.sys t.reader agg;
+        agg
       | Staged data ->
         (* Second copy: kernel pipe buffer -> the reader's pool. *)
         Iosys.with_fill_mode t.sys `As_copy (fun () ->

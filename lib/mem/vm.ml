@@ -32,7 +32,7 @@ type acl = Public | Only of Pdomain.Set.t
 type chunk = {
   id : int;
   label : string;
-  acl : acl;
+  mutable acl : acl;
   mutable resident_pages : int;
   mutable generation : int;
   (* Mapping state per domain id. *)
@@ -176,6 +176,18 @@ let revoke_write t domain c =
       (* Trusted producers keep permanent write permission. *)
     else Hashtbl.replace c.mappings (Pdomain.id domain) Read_only
   | Read_only | No_access -> ()
+
+let restrict_chunk_acl t c acl =
+  c.acl <- acl;
+  let keep, evict = List.partition (fun d -> acl_allows d c) c.domains in
+  List.iter
+    (fun d ->
+      if Hashtbl.mem c.mappings (Pdomain.id d) then begin
+        Hashtbl.remove c.mappings (Pdomain.id d);
+        record t Unmap Page.pages_per_chunk
+      end)
+    evict;
+  c.domains <- keep
 
 let readable t domain c =
   match prot t domain c with

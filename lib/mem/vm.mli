@@ -125,6 +125,12 @@ val grant_write : t -> Pdomain.t -> chunk -> unit
 val revoke_write : t -> Pdomain.t -> chunk -> unit
 (** Drop to read-only (state change only; no-op for trusted domains). *)
 
+val restrict_chunk_acl : t -> chunk -> acl -> unit
+(** Narrow the chunk's ACL in place (e.g. revoking a consumer's standing
+    access to a stream's pool). Mappings held by untrusted domains the
+    new ACL excludes are torn down, charging an [Unmap] per evicted
+    domain; trusted domains and still-allowed domains keep theirs. *)
+
 val readable : t -> Pdomain.t -> chunk -> bool
 val writable : t -> Pdomain.t -> chunk -> bool
 

@@ -21,7 +21,12 @@ let cell t key =
     Hashtbl.add t.counters key r;
     r
 
-let add t key n = cell t key := !(cell t key) + n
+let counter = cell
+
+let add t key n =
+  let r = cell t key in
+  r := !r + n
+
 let incr t key = add t key 1
 
 let get t key =
@@ -54,7 +59,10 @@ let to_list t =
   List.sort (fun (a, _) (b, _) -> String.compare a b) l
 
 let reset t =
-  Hashtbl.reset t.counters;
+  (* Zero cells in place rather than dropping them: hot paths are allowed
+     to hold a counter cell (see {!counter}), and those refs must keep
+     feeding the registry across a reset. *)
+  Hashtbl.iter (fun _ r -> r := 0) t.counters;
   Hashtbl.reset t.hists
 
 (* Snapshots are plain sorted assoc lists: cheap to take mid-experiment,

@@ -27,6 +27,12 @@ val add : t -> string -> int -> unit
 val get : t -> string -> int
 (** Absent counters read 0. *)
 
+val counter : t -> string -> int ref
+(** The live cell behind a counter (created at 0 on first use). Hot
+    paths resolve a cell once and bump it with a plain [incr]/[:=],
+    avoiding the per-event Hashtbl probe of {!add}. Cells stay valid
+    across {!reset} (which zeroes them in place). *)
+
 (** {2 Gauges} *)
 
 val set_gauge : t -> string -> (unit -> int) -> unit
@@ -66,7 +72,8 @@ val to_list : t -> (string * int) list
 (** Counters and sampled gauges, sorted by name. *)
 
 val reset : t -> unit
-(** Clears counters and histograms; registered gauges survive. *)
+(** Zeroes counters (in place, so cells from {!counter} stay live) and
+    clears histograms; registered gauges survive. *)
 
 val render : ?prefix:string -> t -> string
 (** Human-readable dump: non-zero counters/gauges, then histogram

@@ -169,8 +169,12 @@ let write_back kernel ~file ~off ~len =
 
 let iol_write_body proc ~file ~off agg =
   let kernel = Process.kernel proc in
+  let sys = Kernel.sys kernel in
   let _size = file_size proc ~file in
   let len = Iobuf.Agg.length agg in
+  (* The kernel side (filecache, write-back) gains the data by reference;
+     repeated writes on the same stream hit the grant-epoch fast path. *)
+  Transfer.grant sys agg ~to_:(Iosys.kernel sys);
   Filecache.insert (Kernel.unified_cache kernel) ~file ~off agg;
   if len > 0 then write_back kernel ~file ~off ~len;
   Process.charge proc (Kernel.cost kernel).Costmodel.syscall

@@ -168,6 +168,14 @@ let send_mode ?on_complete proc c mode agg =
   let chain, cksum_bytes, cksum_folds =
     match mode with
     | Zero_copy ->
+      (* The data passes by reference: enforce that the caller can read
+         what it is sending before the NIC does. On a warm stream (same
+         pool, same domain) this is the grant-epoch comparison, not a
+         chunk walk. Copied mode has copy semantics (the kernel copies
+         out of staging buffers the caller may never have mapped), and
+         Spliced bodies come from the kernel's own cache view, so neither
+         is subject to this check. *)
+      Iolite_core.Transfer.check_readable sys (Process.domain proc) agg;
       (* Per-packet checksums derived during segmentation from cached
          fragment sums: a warm resend touches no payload bytes. *)
       let d = Cksum.Cache.packet_sums (Kernel.cksum_cache kernel) agg ~mtu in

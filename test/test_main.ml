@@ -4,4 +4,5 @@ let () =
    @ Test_cache.suites @ Test_fs.suites @ Test_net.suites @ Test_ipc.suites
    @ Test_os.suites @ Test_httpd.suites @ Test_apps.suites
    @ Test_workload.suites @ Test_stdiol.suites @ Test_mmapio.suites
-   @ Test_faults.suites @ Test_misc.suites @ Test_obs.suites)
+   @ Test_faults.suites @ Test_transfer.suites @ Test_misc.suites
+   @ Test_obs.suites)

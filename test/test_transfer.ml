@@ -1,0 +1,329 @@
+(* Warm-path cross-domain transfer: chunk-set memos and grant epochs.
+
+   The fast path (pool grant epochs + memoized distinct-chunk sets) must
+   make exactly the decisions the slice-walking oracle makes, and every
+   event that can invalidate a coverage record — ACL narrowing, chunk
+   destruction, fresh-chunk allocation, pageout reclaim — must push the
+   next transfer back through the cold walk. *)
+
+open Iolite_core
+module Mem = Iolite_mem
+module Vm = Iolite_mem.Vm
+module Pdomain = Iolite_mem.Pdomain
+module Metrics = Iolite_obs.Metrics
+
+let mk () =
+  let sys = Iosys.create ~capacity:(32 * 1024 * 1024) () in
+  let alice = Iosys.new_domain sys ~name:"alice" in
+  let bob = Iosys.new_domain sys ~name:"bob" in
+  let carol = Iosys.new_domain sys ~name:"carol" in
+  let pool_a =
+    Iobuf.Pool.create sys ~name:"pa"
+      ~acl:(Vm.Only (Pdomain.Set.of_list [ alice; bob ]))
+  in
+  let pool_b =
+    Iobuf.Pool.create sys ~name:"pb"
+      ~acl:(Vm.Only (Pdomain.Set.singleton alice))
+  in
+  (sys, alice, bob, carol, pool_a, pool_b)
+
+let counter sys name = Metrics.get (Iosys.metrics sys) name
+
+(* ------------------------------------------------------------------ *)
+(* Directed: counters and the warm/cold split                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_warm_after_cold () =
+  let sys, alice, _, _, pool_a, _ = mk () in
+  let agg = Iobuf.Agg.of_string pool_a ~producer:alice (String.make 5000 'x') in
+  let reader = Iosys.new_domain sys ~name:"reader-warm" in
+  (* reader is not on the ACL of pool_a: its first transfer must fault
+     and must never record coverage. *)
+  (match Transfer.grant sys agg ~to_:reader with
+  | () -> Alcotest.fail "stranger granted"
+  | exception Vm.Protection_fault _ -> ());
+  (* alice: first send walks and maps, records coverage; the rest are
+     warm. *)
+  let cold0 = counter sys "transfer.cold_walks" in
+  let a1 = Transfer.send sys agg ~to_:alice in
+  Alcotest.(check int) "first send is cold" (cold0 + 1)
+    (counter sys "transfer.cold_walks");
+  let warm0 = counter sys "transfer.warm_hits" in
+  let maps0 = counter sys "vm.map_read" in
+  let a2 = Transfer.send sys agg ~to_:alice in
+  Transfer.check_readable sys alice agg;
+  Alcotest.(check int) "two warm hits" (warm0 + 2)
+    (counter sys "transfer.warm_hits");
+  Alcotest.(check int) "warm transfers cost no map ops" maps0
+    (counter sys "vm.map_read");
+  List.iter Iobuf.Agg.free [ agg; a1; a2 ]
+
+let test_epoch_covers_api () =
+  let sys, alice, _, _, pool_a, _ = mk () in
+  let agg = Iobuf.Agg.of_string pool_a ~producer:alice "covered" in
+  Alcotest.(check bool) "no coverage before any transfer" false
+    (Iobuf.Pool.epoch_covers pool_a alice);
+  Transfer.grant sys agg ~to_:alice;
+  Alcotest.(check bool) "coverage after cold walk" true
+    (Iobuf.Pool.epoch_covers pool_a alice);
+  let e = Iobuf.Pool.epoch pool_a in
+  (* Force a fresh chunk: the pool's only chunk is held by [agg], so a
+     chunk-sized allocation cannot fit and must mint a new one. *)
+  let b = Iobuf.Pool.alloc pool_a ~producer:alice Iobuf.Pool.max_alloc in
+  Alcotest.(check bool) "fresh chunk advances the epoch" true
+    (Iobuf.Pool.epoch pool_a > e);
+  Alcotest.(check bool) "fresh chunk invalidates coverage" false
+    (Iobuf.Pool.epoch_covers pool_a alice);
+  Iobuf.Buffer.decr_ref b;
+  Iobuf.Agg.free agg
+
+(* ------------------------------------------------------------------ *)
+(* Directed: epoch invalidation still raises Protection_fault          *)
+(* ------------------------------------------------------------------ *)
+
+let test_acl_narrowing_faults () =
+  let sys, alice, bob, _, pool_a, _ = mk () in
+  let agg = Iobuf.Agg.of_string pool_a ~producer:alice (String.make 3000 'y') in
+  let b1 = Transfer.send sys agg ~to_:bob in
+  let b2 = Transfer.send sys agg ~to_:bob in
+  (* bob is warm now. Narrow the pool to alice only: bob's mappings are
+     torn down and his coverage record dies with the epoch. *)
+  Alcotest.(check bool) "bob covered pre-narrowing" true
+    (Iobuf.Pool.epoch_covers pool_a bob);
+  Iobuf.Pool.restrict_acl pool_a (Vm.Only (Pdomain.Set.singleton alice));
+  Alcotest.(check bool) "narrowing kills coverage" false
+    (Iobuf.Pool.epoch_covers pool_a bob);
+  (match Transfer.grant sys agg ~to_:bob with
+  | () -> Alcotest.fail "grant after ACL narrowing must fault"
+  | exception Vm.Protection_fault _ -> ());
+  (match Transfer.check_readable sys bob agg with
+  | () -> Alcotest.fail "check_readable after ACL narrowing must fault"
+  | exception Vm.Protection_fault _ -> ());
+  (* alice is still on the ACL; she re-walks (her record also died) and
+     re-records. *)
+  let a1 = Transfer.send sys agg ~to_:alice in
+  Transfer.check_readable sys alice agg;
+  List.iter Iobuf.Agg.free [ agg; b1; b2; a1 ]
+
+let test_destroy_faults () =
+  let sys, alice, bob, _, pool_a, _ = mk () in
+  let agg = Iobuf.Agg.of_string pool_a ~producer:alice "doomed" in
+  let b1 = Transfer.send sys agg ~to_:bob in
+  Alcotest.(check bool) "bob covered" true (Iobuf.Pool.epoch_covers pool_a bob);
+  List.iter Iobuf.Agg.free [ agg; b1 ];
+  Iobuf.Pool.destroy pool_a;
+  Alcotest.(check bool) "destroy kills coverage" false
+    (Iobuf.Pool.epoch_covers pool_a bob);
+  (* The pool mints a fresh chunk for the next allocation; bob holds no
+     mapping on it, so a stale warm record would be a soundness hole. *)
+  let agg2 = Iobuf.Agg.of_string pool_a ~producer:alice "reborn" in
+  (match Transfer.check_readable sys bob agg2 with
+  | () -> Alcotest.fail "check_readable on post-destroy chunk must fault"
+  | exception Vm.Protection_fault _ -> ());
+  Iobuf.Agg.free agg2
+
+let test_fresh_chunk_faults () =
+  let sys, alice, bob, _, pool_a, _ = mk () in
+  let agg = Iobuf.Agg.of_string pool_a ~producer:alice "orig" in
+  let b1 = Transfer.send sys agg ~to_:bob in
+  Alcotest.(check bool) "bob covered" true (Iobuf.Pool.epoch_covers pool_a bob);
+  (* Mint a fresh chunk while bob's record exists; the new chunk is not
+     mapped by bob, so transfers drawing on it must go cold — and
+     check_readable (which never maps) must fault. *)
+  let big = Iobuf.Pool.alloc pool_a ~producer:alice Iobuf.Pool.max_alloc in
+  Iobuf.Buffer.seal big;
+  let agg2 = Iobuf.Agg.of_buffer_owned big in
+  (match Transfer.check_readable sys bob agg2 with
+  | () -> Alcotest.fail "check_readable on fresh chunk must fault"
+  | exception Vm.Protection_fault _ -> ());
+  (* grant does map (bob is on the ACL), so it re-covers. *)
+  Transfer.grant sys agg2 ~to_:bob;
+  Transfer.check_readable sys bob agg2;
+  List.iter Iobuf.Agg.free [ agg; b1; agg2 ]
+
+(* ------------------------------------------------------------------ *)
+(* Directed: reclaim early-exit and its epoch bump                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_reclaim_stops_early () =
+  let sys, alice, _, _, pool_a, _ = mk () in
+  (* Build a free list with resident memory: a packed (sub-page) buffer
+     pins its chunk's first page even after the chunk drains, unlike
+     whole-chunk buffers whose pages return immediately. Alternating
+     with a chunk-sized allocation forces each small buffer onto its own
+     chunk. *)
+  let smalls = ref [] in
+  for _ = 1 to 4 do
+    let s = Iobuf.Pool.alloc pool_a ~producer:alice 1024 in
+    Iobuf.Buffer.seal s;
+    smalls := s :: !smalls;
+    let big =
+      Iobuf.Pool.alloc ~paged:true pool_a ~producer:alice Iobuf.Pool.max_alloc
+    in
+    Iobuf.Buffer.seal big;
+    Iobuf.Buffer.decr_ref big
+  done;
+  List.iter Iobuf.Buffer.decr_ref !smalls;
+  let resident0 = Iobuf.Pool.resident_bytes pool_a in
+  Alcotest.(check bool) "free list holds resident memory" true
+    (resident0 >= 4 * Mem.Page.page_size);
+  (* Asking for one byte must release exactly one chunk's remainder, not
+     sweep the whole free list. *)
+  let freed = Iobuf.Pool.reclaim pool_a 1 in
+  Alcotest.(check int) "one chunk's page released" Mem.Page.page_size freed;
+  Alcotest.(check int) "other chunks untouched" (resident0 - freed)
+    (Iobuf.Pool.resident_bytes pool_a);
+  (* A reclaim that freed something is conservative about coverage. *)
+  let agg = Iobuf.Agg.of_string pool_a ~producer:alice "post-reclaim" in
+  Transfer.grant sys agg ~to_:alice;
+  let e = Iobuf.Pool.epoch pool_a in
+  let freed2 = Iobuf.Pool.reclaim pool_a 1 in
+  Alcotest.(check bool) "something freed" true (freed2 > 0);
+  Alcotest.(check bool) "reclaim advances the epoch" true
+    (Iobuf.Pool.epoch pool_a > e);
+  (* And a no-op reclaim (nothing resident left to free) leaves the
+     epoch alone. *)
+  while Iobuf.Pool.reclaim pool_a max_int > 0 do
+    ()
+  done;
+  let e2 = Iobuf.Pool.epoch pool_a in
+  ignore (Iobuf.Pool.reclaim pool_a 1);
+  Alcotest.(check int) "no-op reclaim keeps the epoch" e2
+    (Iobuf.Pool.epoch pool_a);
+  Iobuf.Agg.free agg
+
+(* ------------------------------------------------------------------ *)
+(* Directed: the warm path through a real consumer (zero-copy pipe)    *)
+(* ------------------------------------------------------------------ *)
+
+let test_pipe_roundtrips_go_warm () =
+  let sys, _, _, _, _, _ = mk () in
+  let writer = Iosys.new_domain sys ~name:"pipe-writer" in
+  let reader = Iosys.new_domain sys ~name:"pipe-reader" in
+  let reader_pool =
+    Iobuf.Pool.create sys ~name:"rp" ~acl:(Vm.Only (Pdomain.Set.singleton reader))
+  in
+  let pipe =
+    Iolite_ipc.Pipe.create sys ~mode:Iolite_ipc.Pipe.Zero_copy ~writer ~reader
+      ~reader_pool ()
+  in
+  let spool = Iolite_ipc.Pipe.stream_pool pipe in
+  let roundtrip () =
+    let agg = Iobuf.Agg.of_string spool ~producer:writer (String.make 2000 'p') in
+    Iolite_ipc.Pipe.write pipe agg;
+    match Iolite_ipc.Pipe.read pipe with
+    | Some got -> Iobuf.Agg.free got
+    | None -> Alcotest.fail "pipe drained unexpectedly"
+  in
+  (* Cold roundtrips while the stream pool grows; then the pool recycles
+     its chunk and the stream settles. *)
+  roundtrip ();
+  roundtrip ();
+  let maps0 = counter sys "vm.map_read" in
+  let warm0 = counter sys "transfer.warm_hits" in
+  for _ = 1 to 10 do
+    roundtrip ()
+  done;
+  Alcotest.(check int) "warm roundtrips cost no map ops" maps0
+    (counter sys "vm.map_read");
+  (* Each roundtrip makes two transfer decisions: the writer's grant and
+     the reader's delivery check. *)
+  Alcotest.(check int) "all 20 decisions warm" (warm0 + 20)
+    (counter sys "transfer.warm_hits")
+
+(* ------------------------------------------------------------------ *)
+(* Property: fast path agrees with the slice-walking oracle            *)
+(* ------------------------------------------------------------------ *)
+
+(* The oracle's grant decision from first principles: every distinct
+   chunk's ACL must admit the domain. *)
+let oracle_admits domain agg =
+  let ok = ref true in
+  Transfer.iter_chunks agg (fun c ->
+      match Vm.chunk_acl c with
+      | Vm.Public -> ()
+      | Vm.Only set -> if not (Pdomain.Set.mem domain set) then ok := false);
+  !ok
+
+let sorted_chunk_ids iter agg =
+  let ids = ref [] in
+  iter agg (fun c -> ids := Vm.chunk_id c :: !ids);
+  List.sort compare !ids
+
+let rec distinct = function
+  | [] | [ _ ] -> true
+  | a :: (b :: _ as rest) -> a <> b && distinct rest
+
+let prop_fast_path_matches_oracle =
+  QCheck.Test.make ~name:"grant/readability agree with slice-walk oracle"
+    ~count:150
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 10) (pair bool (int_range 1 400)))
+        bool)
+    (fun (pieces, self_concat) ->
+      let sys, alice, bob, carol, pool_a, pool_b = mk () in
+      let parts =
+        List.map
+          (fun (use_b, n) ->
+            Iobuf.Agg.of_string
+              (if use_b then pool_b else pool_a)
+              ~producer:alice (String.make n 'q'))
+          pieces
+      in
+      let base = Iobuf.Agg.concat_list parts in
+      List.iter Iobuf.Agg.free parts;
+      (* Optionally double the rope onto itself: shared subtrees and
+         repeated chunks exercise the dedup on both sides. *)
+      let agg =
+        if self_concat then begin
+          let doubled = Iobuf.Agg.concat base base in
+          Iobuf.Agg.free base;
+          doubled
+        end
+        else base
+      in
+      (* 1. The memoized distinct-chunk set is exactly the oracle's. *)
+      let fast_ids = sorted_chunk_ids Iobuf.Agg.iter_distinct_chunks agg in
+      let oracle_ids = sorted_chunk_ids Transfer.iter_chunks agg in
+      let sets_agree = fast_ids = oracle_ids && distinct fast_ids in
+      (* 2. Grant and readability decisions agree with the oracle for
+         every domain, cold and warm. *)
+      let decisions_agree domain =
+        let expect = oracle_admits domain agg in
+        let attempt f =
+          match f () with
+          | () -> true
+          | exception Vm.Protection_fault _ -> false
+        in
+        let g1 = attempt (fun () -> Transfer.grant sys agg ~to_:domain) in
+        (* Repeat: the second decision may ride the epoch fast path and
+           must not change the answer. *)
+        let g2 = attempt (fun () -> Transfer.grant sys agg ~to_:domain) in
+        let r = attempt (fun () -> Transfer.check_readable sys domain agg) in
+        g1 = expect && g2 = expect
+        && r = expect (* granted implies readable; refused stays refused:
+                         a failed grant maps only the admissible prefix,
+                         never the faulting chunk *)
+      in
+      let all_agree =
+        List.for_all decisions_agree [ alice; bob; carol ]
+      in
+      Iobuf.Agg.free agg;
+      sets_agree && all_agree)
+
+let suites =
+  [
+    ( "core.transfer.warm",
+      [
+        Alcotest.test_case "warm after cold" `Quick test_warm_after_cold;
+        Alcotest.test_case "epoch covers api" `Quick test_epoch_covers_api;
+        Alcotest.test_case "acl narrowing faults" `Quick test_acl_narrowing_faults;
+        Alcotest.test_case "destroy faults" `Quick test_destroy_faults;
+        Alcotest.test_case "fresh chunk faults" `Quick test_fresh_chunk_faults;
+        Alcotest.test_case "reclaim stops early" `Quick test_reclaim_stops_early;
+        Alcotest.test_case "pipe goes warm" `Quick test_pipe_roundtrips_go_warm;
+      ] );
+    ( "core.transfer.props",
+      [ QCheck_alcotest.to_alcotest prop_fast_path_matches_oracle ] );
+  ]
