@@ -17,6 +17,9 @@
      dune exec bench/main.exe -- obs [label] [out.json]
          # observability overhead: asserts the disabled-tracer guard adds
          # no measurable per-event cost (history in ./BENCH_obs.json)
+     dune exec bench/main.exe -- cache [label] [out.json] [entries]
+         # unified-file-cache scaling: lookup/carve/evict against files
+         # holding 1k/10k entries (default ./BENCH_cache.json, appended)
      dune exec bench/main.exe -- agg [label] [out.json]
          # deep-aggregate scaling section: repeated 1 KB appends up to ~MBs,
          # splits at random offsets, byte gets at random indices. Prints a
@@ -519,6 +522,86 @@ let run_transfer ?(label = "current") ?(out = "BENCH_transfer.json")
   append_json_run ~benchmark:"transfer" ~out ~label (List.rev !entries)
 
 (* ------------------------------------------------------------------ *)
+(* Unified file cache scaling                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Measures the per-operation cost of the unified file cache as files
+   accumulate entries — the regime of the paper's Fig. 8 trace replays,
+   where a single large file can be cached as thousands of
+   insert/carve remainders. [insert_seq] appends ascending entries (the
+   fixture build); [lookup_warm] repeats one exact-bounds hit at the
+   file's tail; [lookup_rand] hits a random entry per op (cold index
+   probe); [lookup_span16] covers 16 entries per hit; [carve_replace]
+   overwrites a random whole entry (carve + reinsert); [evict_drain]
+   evicts half the entries through the policy. The recorded runs in
+   BENCH_cache.json are labeled: the pre-optimization numbers
+   ("list-baseline") walked offset-sorted per-file lists and are the
+   regression baseline the interval-index runs are compared against. *)
+
+let run_cache ?(label = "current") ?(out = "BENCH_cache.json") ?scales () =
+  let scales = match scales with Some l -> l | None -> [ 1000; 10_000 ] in
+  Printf.printf "\n== Unified file cache scaling (label: %s) ==\n" label;
+  let entries = ref [] in
+  let record e =
+    entries := e :: !entries;
+    cksum_show e
+  in
+  Printf.printf "  %-18s %8s %10s %14s %12s\n" "op" "entries" "iters"
+    "total (ms)" "ns/op";
+  List.iter
+    (fun n ->
+      let sys = Iosys.create ~capacity:(256 * 1024 * 1024) () in
+      let d = Iosys.new_domain sys ~name:"bench" in
+      let pool =
+        Iobuf.Pool.create sys ~name:"cachebench"
+          ~acl:(Vm.Only (Pdomain.Set.singleton d))
+      in
+      let cache = Filecache.create ~register_with_pageout:false sys () in
+      let esz = 128 in
+      let payload = String.make esz 'e' in
+      let rng = Iolite_util.Rng.create 7L in
+      let next = ref 0 in
+      record
+        (time_op ~op:"insert_seq" ~pieces:n ~piece_size:esz ~iters:n (fun () ->
+             Filecache.insert cache ~file:1 ~off:(!next * esz)
+               (Iobuf.Agg.of_string pool ~producer:d payload);
+             incr next));
+      let last_off = (n - 1) * esz in
+      record
+        (time_op ~op:"lookup_warm" ~pieces:n ~piece_size:esz ~iters:5000
+           (fun () ->
+             match Filecache.lookup cache ~file:1 ~off:last_off ~len:esz with
+             | Some a -> Iobuf.Agg.free a
+             | None -> assert false));
+      record
+        (time_op ~op:"lookup_rand" ~pieces:n ~piece_size:esz ~iters:5000
+           (fun () ->
+             let k = Iolite_util.Rng.int rng n in
+             match Filecache.lookup cache ~file:1 ~off:(k * esz) ~len:esz with
+             | Some a -> Iobuf.Agg.free a
+             | None -> assert false));
+      record
+        (time_op ~op:"lookup_span16" ~pieces:n ~piece_size:esz ~iters:2000
+           (fun () ->
+             let k = Iolite_util.Rng.int rng (n - 16) in
+             match
+               Filecache.lookup cache ~file:1 ~off:(k * esz) ~len:(16 * esz)
+             with
+             | Some a -> Iobuf.Agg.free a
+             | None -> assert false));
+      record
+        (time_op ~op:"carve_replace" ~pieces:n ~piece_size:esz ~iters:2000
+           (fun () ->
+             let k = Iolite_util.Rng.int rng n in
+             Filecache.insert cache ~file:1 ~off:(k * esz)
+               (Iobuf.Agg.of_string pool ~producer:d payload)));
+      record
+        (time_op ~op:"evict_drain" ~pieces:n ~piece_size:esz ~iters:(n / 2)
+           (fun () -> ignore (Filecache.evict_one cache))))
+    scales;
+  append_json_run ~benchmark:"cache" ~out ~label (List.rev !entries)
+
+(* ------------------------------------------------------------------ *)
 (* Observability overhead                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -654,6 +737,13 @@ let () =
       match rest with _ :: _ :: p :: _ -> int_of_string p | _ -> 1024
     in
     run_transfer ~label ~out ~pieces ()
+  | _ :: "cache" :: rest ->
+    let label = match rest with l :: _ -> l | [] -> "current" in
+    let out = match rest with _ :: o :: _ -> o | _ -> "BENCH_cache.json" in
+    let scales =
+      match rest with _ :: _ :: n :: _ -> Some [ int_of_string n ] | _ -> None
+    in
+    run_cache ~label ~out ?scales ()
   | _ :: "obs" :: rest ->
     let label = match rest with l :: _ -> l | [] -> "current" in
     let out = match rest with _ :: o :: _ -> o | _ -> "BENCH_obs.json" in

@@ -3,13 +3,60 @@ module Trace = Iolite_obs.Trace
 
 let log = Iolite_util.Logging.src "cache"
 
-type entry = { efile : int; eoff : int; elen : int; eagg : Iobuf.Agg.t }
+type entry = {
+  efile : int;
+  eoff : int;
+  elen : int;
+  eagg : Iobuf.Agg.t;
+  (* Aggregated Section 3.7 reference tracking: the number of watcher
+     registrations (one per pinned slice) whose buffer is currently
+     referenced outside cache entries. The entry is "currently
+     referenced" iff this is non-zero — an O(1) check, maintained by
+     [ewatch] registered on every underlying buffer at pin time. *)
+  eref_cell : int ref;
+  ewatch : int -> unit;
+}
+
+let make_entry ~file ~off ~len agg =
+  let cell = ref 0 in
+  {
+    efile = file;
+    eoff = off;
+    elen = len;
+    eagg = agg;
+    eref_cell = cell;
+    ewatch = (fun d -> cell := !cell + d);
+  }
+
+(* Per-file interval index: entries keyed by offset in a balanced tree
+   (they never overlap within a file), with the file's cached byte count
+   maintained incrementally so [file_bytes] is O(1). *)
+type filerec = {
+  mutable ftree : entry Itree.t;
+  mutable fbytes : int;
+}
+
+(* Counter cells resolved once at cache creation (the cached-cell
+   pattern): the lookup fast path's promise is "no allocation, no
+   Hashtbl probes", which has to include the metrics bookkeeping. *)
+type cells = {
+  cc_probe : int ref; (* cache.probe: index probes (lookup/covered) *)
+  cc_fastpath : int ref; (* cache.fastpath_hit: zero-alloc exact hits *)
+  cc_hit : int ref;
+  cc_miss : int ref;
+  cc_insert : int ref;
+  cc_eviction : int ref;
+  cc_refcheck : int ref; (* cache.refcheck: O(1) Section 3.7 checks *)
+  cc_refscan : int ref; (* cache.refscan: slice-walk checks (verify only) *)
+}
 
 type t = {
   sys : Iosys.t;
   mutable policy : Policy.t;
-  files : (int, entry list ref) Hashtbl.t; (* per-file, sorted by offset *)
+  files : (int, filerec) Hashtbl.t;
   index : (Policy.key, entry) Hashtbl.t;
+  sentinel : entry; (* floor-probe default: covers nothing *)
+  cells : cells;
   mutable bytes : int;
   mutable slices : int; (* total pinned slices, from cached Agg.num_slices *)
   mutable capacity : (unit -> int) option;
@@ -20,103 +67,140 @@ type t = {
 
 let key e = (e.efile, e.eoff)
 
-let pin agg =
-  Iobuf.Agg.iter_slices agg (fun s ->
-      Iobuf.Buffer.incr_cache_ref (Iobuf.Slice.buffer s))
+let pin e =
+  Iobuf.Agg.iter_slices e.eagg (fun s ->
+      let b = Iobuf.Slice.buffer s in
+      Iobuf.Buffer.incr_cache_ref b;
+      (* Register after the cache ref is counted, then sample the current
+         status: the watcher reports only subsequent transitions. *)
+      Iobuf.Buffer.add_ext_watcher b e.ewatch;
+      if Iobuf.Buffer.externally_referenced b then incr e.eref_cell)
 
-let unpin agg =
-  Iobuf.Agg.iter_slices agg (fun s ->
-      Iobuf.Buffer.decr_cache_ref (Iobuf.Slice.buffer s))
+let unpin e =
+  Iobuf.Agg.iter_slices e.eagg (fun s ->
+      let b = Iobuf.Slice.buffer s in
+      if Iobuf.Buffer.externally_referenced b then decr e.eref_cell;
+      Iobuf.Buffer.remove_ext_watcher b e.ewatch;
+      Iobuf.Buffer.decr_cache_ref b)
 
-let entry_referenced e =
-  (* An entry is "currently referenced" when some underlying buffer is
-     held by anything besides cache entries (Section 3.7). *)
+(* The slice-walk reference check the O(1) counters replaced, kept only
+   for {!verify_ref_tracking}; [cache.refscan] counts its uses so tests
+   can assert the eviction hot path never takes it. *)
+let entry_referenced_scan t e =
+  incr t.cells.cc_refscan;
   let referenced = ref false in
   Iobuf.Agg.iter_slices e.eagg (fun s ->
       if Iobuf.Buffer.externally_referenced (Iobuf.Slice.buffer s) then
         referenced := true);
   !referenced
 
-let file_entries t file =
-  match Hashtbl.find_opt t.files file with
-  | Some r -> r
-  | None ->
-    let r = ref [] in
-    Hashtbl.replace t.files file r;
-    r
+let verify_ref_tracking t =
+  let ok = ref true in
+  Hashtbl.iter
+    (fun _ e ->
+      if entry_referenced_scan t e <> (!(e.eref_cell) > 0) then ok := false)
+    t.index;
+  !ok
 
-(* Insert into the offset-sorted per-file list in one pass.
-   Tail-recursive: per-file lists can reach many thousands of entries
-   during trace replays. *)
-let insert_sorted e l =
-  let rec go acc = function
-    | [] -> List.rev_append acc [ e ]
-    | x :: _ as l when e.eoff <= x.eoff -> List.rev_append acc (e :: l)
-    | x :: rest -> go (x :: acc) rest
-  in
-  go [] l
+let file_rec t file =
+  match Hashtbl.find_opt t.files file with
+  | Some fr -> fr
+  | None ->
+    let fr = { ftree = Itree.empty; fbytes = 0 } in
+    Hashtbl.replace t.files file fr;
+    fr
 
 let add_entry t e =
-  let r = file_entries t e.efile in
-  r := insert_sorted e !r;
+  let fr = file_rec t e.efile in
+  fr.ftree <- Itree.add fr.ftree ~key:e.eoff e;
+  fr.fbytes <- fr.fbytes + e.elen;
   Hashtbl.replace t.index (key e) e;
-  pin e.eagg;
+  pin e;
   t.bytes <- t.bytes + e.elen;
   t.slices <- t.slices + Iobuf.Agg.num_slices e.eagg;
   t.policy.Policy.on_insert (key e) ~size:e.elen
 
 let drop_entry t e =
-  let r = file_entries t e.efile in
-  r := List.filter (fun e' -> not (e' == e)) !r;
-  if !r = [] then Hashtbl.remove t.files e.efile;
+  (match Hashtbl.find_opt t.files e.efile with
+  | Some fr ->
+    fr.ftree <- Itree.remove fr.ftree ~key:e.eoff;
+    fr.fbytes <- fr.fbytes - e.elen;
+    if Itree.is_empty fr.ftree then Hashtbl.remove t.files e.efile
+  | None -> ());
   Hashtbl.remove t.index (key e);
   t.policy.Policy.on_remove (key e);
-  unpin e.eagg;
+  unpin e;
   t.slices <- t.slices - Iobuf.Agg.num_slices e.eagg;
   Iobuf.Agg.free e.eagg;
   t.bytes <- t.bytes - e.elen
 
 let evict_one t =
+  (* The policy returns the key of its final eligible-true probe (see
+     the {!Policy.t} contract), so capturing the entry there avoids a
+     second index lookup on the chosen victim. *)
+  let victim = ref None in
   let eligible_unref k =
     match Hashtbl.find_opt t.index k with
-    | Some e -> not (entry_referenced e)
+    | Some e ->
+      incr t.cells.cc_refcheck;
+      if !(e.eref_cell) = 0 then begin
+        victim := Some e;
+        true
+      end
+      else false
     | None -> false
   in
-  let victim =
-    match t.policy.Policy.choose ~eligible:eligible_unref with
-    | Some k -> Some k
-    | None ->
-      (* All entries are referenced: fall back to the policy's choice
-         among them (Section 3.7). *)
-      t.policy.Policy.choose ~eligible:(fun k -> Hashtbl.mem t.index k)
-  in
-  match victim with
-  | None -> 0
-  | Some k -> (
+  let eligible_any k =
     match Hashtbl.find_opt t.index k with
-    | None -> 0
     | Some e ->
-      drop_entry t e;
-      t.evictions <- t.evictions + 1;
-      Metrics.incr (Iosys.metrics t.sys) "cache.eviction";
-      (let tr = Iosys.trace t.sys in
-       if Trace.enabled tr then
-         Trace.instant tr ~cat:"cache" ~name:"evict"
-           ~args:[ ("file", Int e.efile); ("bytes", Int e.elen) ]
-           ());
-      Logs.debug ~src:log (fun m ->
-          m "evicted file %d [%d,+%d) under %s; %d entries / %d bytes remain"
-            e.efile e.eoff e.elen t.policy.Policy.name
-            (Hashtbl.length t.index) t.bytes);
-      e.elen)
+      victim := Some e;
+      true
+    | None -> false
+  in
+  (match t.policy.Policy.choose ~eligible:eligible_unref with
+  | Some _ -> ()
+  | None ->
+    (* All entries are referenced: fall back to the policy's choice
+       among them (Section 3.7). *)
+    victim := None;
+    ignore (t.policy.Policy.choose ~eligible:eligible_any));
+  match !victim with
+  | None -> 0
+  | Some e ->
+    drop_entry t e;
+    t.evictions <- t.evictions + 1;
+    incr t.cells.cc_eviction;
+    (let tr = Iosys.trace t.sys in
+     if Trace.enabled tr then
+       Trace.instant tr ~cat:"cache" ~name:"evict"
+         ~args:[ ("file", Int e.efile); ("bytes", Int e.elen) ]
+         ());
+    Logs.debug ~src:log (fun m ->
+        m "evicted file %d [%d,+%d) under %s; %d entries / %d bytes remain"
+          e.efile e.eoff e.elen t.policy.Policy.name
+          (Hashtbl.length t.index) t.bytes);
+    e.elen
 
 let create ?(policy = Policy.lru ()) ?(register_with_pageout = true) sys () =
+  let m = Iosys.metrics sys in
   let t =
     {
       sys;
       policy;
       files = Hashtbl.create 512;
       index = Hashtbl.create 512;
+      sentinel = make_entry ~file:(-1) ~off:min_int ~len:0 (Iobuf.Agg.empty ());
+      cells =
+        {
+          cc_probe = Metrics.counter m "cache.probe";
+          cc_fastpath = Metrics.counter m "cache.fastpath_hit";
+          cc_hit = Metrics.counter m "cache.hit";
+          cc_miss = Metrics.counter m "cache.miss";
+          cc_insert = Metrics.counter m "cache.insert";
+          cc_eviction = Metrics.counter m "cache.eviction";
+          cc_refcheck = Metrics.counter m "cache.refcheck";
+          cc_refscan = Metrics.counter m "cache.refscan";
+        };
       bytes = 0;
       slices = 0;
       capacity = None;
@@ -147,108 +231,161 @@ let enforce_capacity t =
   match t.capacity with
   | None -> ()
   | Some cap_fn ->
-    let continue = ref true in
-    while !continue do
-      if t.bytes > cap_fn () then begin
-        if evict_one t = 0 then continue := false
+    (* The capacity read is hoisted out of the eviction loop: one call
+       per enforcement round, re-read between rounds so a capacity
+       function that shrinks while we evict still converges. *)
+    let continue_ = ref true in
+    while !continue_ do
+      let cap = cap_fn () in
+      if t.bytes <= cap then continue_ := false
+      else begin
+        let progressing = ref true in
+        while !progressing && t.bytes > cap do
+          if evict_one t = 0 then begin
+            progressing := false;
+            continue_ := false
+          end
+        done
       end
-      else continue := false
     done
 
-(* Entries (sorted by offset) that together cover [off, off+len) with no
-   gaps; [None] if any byte is missing. *)
+(* First index key whose entry can reach past [off]: the floor entry
+   when it straddles [off], else [off] itself. (Entries never overlap,
+   so at most one entry starts before [off] and ends beyond it.) *)
+let scan_start t fr ~off =
+  let e = Itree.floor_def fr.ftree ~key:off t.sentinel in
+  if e.eoff + e.elen > off then e.eoff else off
+
+(* Entries (in offset order) that together cover [off, off+len) with no
+   gaps; [None] if any byte is missing. O(log n + entries returned). *)
+let find_covering_fr t fr ~off ~len =
+  let acc = ref [] in
+  let cursor = ref off in
+  let complete = ref false in
+  Itree.iter_from fr.ftree ~key:(scan_start t fr ~off) (fun e ->
+      if e.eoff > !cursor then false (* gap *)
+      else begin
+        acc := e :: !acc;
+        cursor := e.eoff + e.elen;
+        if !cursor >= off + len then begin
+          complete := true;
+          false
+        end
+        else true
+      end);
+  if !complete then Some (List.rev !acc) else None
+
 let find_covering t ~file ~off ~len =
   match Hashtbl.find_opt t.files file with
   | None -> None
-  | Some r ->
-    let rec walk cursor acc = function
-      | [] -> None
-      | e :: rest ->
-        if e.eoff + e.elen <= cursor then walk cursor acc rest
-        else if e.eoff > cursor then None (* gap *)
-        else begin
-          let acc = e :: acc in
-          if e.eoff + e.elen >= off + len then Some (List.rev acc)
-          else walk (e.eoff + e.elen) acc rest
-        end
-    in
-    walk off [] !r
+  | Some fr -> find_covering_fr t fr ~off ~len
 
 let covered t ~file ~off ~len =
-  len = 0 || Option.is_some (find_covering t ~file ~off ~len)
+  len = 0
+  ||
+  (incr t.cells.cc_probe;
+   Option.is_some (find_covering t ~file ~off ~len))
 
-let note t event ~file ~bytes =
-  Metrics.incr (Iosys.metrics t.sys) ("cache." ^ event);
+let trace_note t event ~file ~bytes =
   let tr = Iosys.trace t.sys in
   if Trace.enabled tr then
     Trace.instant tr ~cat:"cache" ~name:event
       ~args:[ ("file", Int file); ("bytes", Int bytes) ]
       ()
 
+let miss t ~file ~len =
+  t.misses <- t.misses + 1;
+  incr t.cells.cc_miss;
+  trace_note t "miss" ~file ~bytes:len;
+  None
+
 let lookup t ~file ~off ~len =
-  match find_covering t ~file ~off ~len with
-  | Some entries ->
-    t.hits <- t.hits + 1;
-    note t "hit" ~file ~bytes:len;
-    let parts =
-      List.map
-        (fun e ->
-          t.policy.Policy.on_access (key e) ~size:e.elen;
-          let lo = max off e.eoff and hi = min (off + len) (e.eoff + e.elen) in
-          Iobuf.Agg.sub e.eagg ~off:(lo - e.eoff) ~len:(hi - lo))
-        entries
-    in
-    let agg = Iobuf.Agg.concat_list parts in
-    List.iter Iobuf.Agg.free parts;
-    Some agg
-  | None ->
-    t.misses <- t.misses + 1;
-    note t "miss" ~file ~bytes:len;
-    None
+  incr t.cells.cc_probe;
+  match Hashtbl.find_opt t.files file with
+  | None -> miss t ~file ~len
+  | Some fr ->
+    let e = Itree.floor_def fr.ftree ~key:off t.sentinel in
+    let e_end = e.eoff + e.elen in
+    if e_end > off && off + len <= e_end then begin
+      (* One entry covers the whole range: no walk, no recombination. *)
+      t.hits <- t.hits + 1;
+      incr t.cells.cc_hit;
+      trace_note t "hit" ~file ~bytes:len;
+      t.policy.Policy.on_access (e.efile, e.eoff) ~size:e.elen;
+      if e.eoff = off && e.elen = len then begin
+        (* Exact bounds: share the entry's rope outright. *)
+        incr t.cells.cc_fastpath;
+        Some (Iobuf.Agg.dup e.eagg)
+      end
+      else Some (Iobuf.Agg.sub e.eagg ~off:(off - e.eoff) ~len)
+    end
+    else begin
+      match find_covering_fr t fr ~off ~len with
+      | Some entries ->
+        t.hits <- t.hits + 1;
+        incr t.cells.cc_hit;
+        trace_note t "hit" ~file ~bytes:len;
+        let parts =
+          List.map
+            (fun e ->
+              t.policy.Policy.on_access (key e) ~size:e.elen;
+              let lo = max off e.eoff
+              and hi = min (off + len) (e.eoff + e.elen) in
+              Iobuf.Agg.sub e.eagg ~off:(lo - e.eoff) ~len:(hi - lo))
+            entries
+        in
+        let agg = Iobuf.Agg.concat_list parts in
+        List.iter Iobuf.Agg.free parts;
+        Some agg
+      | None -> miss t ~file ~len
+    end
 
 (* Remove the parts of existing entries overlapping [off, off+len),
    keeping trimmed remainders (whose buffers persist — snapshot
-   semantics). *)
+   semantics). O(log n + overlapping entries). *)
 let carve t ~file ~off ~len =
-  match Hashtbl.find_opt t.files file with
-  | None -> ()
-  | Some r ->
-    let overlapping, _ =
-      List.partition
-        (fun e -> e.eoff < off + len && off < e.eoff + e.elen)
-        !r
-    in
-    List.iter
-      (fun e ->
-        let keep_left = off - e.eoff in
-        let keep_right = e.eoff + e.elen - (off + len) in
-        (* Build remainders before dropping (sub needs the live agg). *)
-        let remainders = ref [] in
-        if keep_left > 0 then begin
-          let agg = Iobuf.Agg.sub e.eagg ~off:0 ~len:keep_left in
-          remainders :=
-            { efile = file; eoff = e.eoff; elen = keep_left; eagg = agg }
-            :: !remainders
-        end;
-        if keep_right > 0 then begin
-          let agg =
-            Iobuf.Agg.sub e.eagg ~off:(off + len - e.eoff) ~len:keep_right
-          in
-          remainders :=
-            { efile = file; eoff = off + len; elen = keep_right; eagg = agg }
-            :: !remainders
-        end;
-        drop_entry t e;
-        List.iter (add_entry t) !remainders)
-      overlapping
+  if len > 0 then
+    match Hashtbl.find_opt t.files file with
+    | None -> ()
+    | Some fr ->
+      let overlapping = ref [] in
+      Itree.iter_from fr.ftree ~key:(scan_start t fr ~off) (fun e ->
+          if e.eoff < off + len then begin
+            overlapping := e :: !overlapping;
+            true
+          end
+          else false);
+      List.iter
+        (fun e ->
+          let keep_left = off - e.eoff in
+          let keep_right = e.eoff + e.elen - (off + len) in
+          (* Build remainders before dropping (sub needs the live agg). *)
+          let remainders = ref [] in
+          if keep_left > 0 then begin
+            let agg = Iobuf.Agg.sub e.eagg ~off:0 ~len:keep_left in
+            remainders :=
+              make_entry ~file ~off:e.eoff ~len:keep_left agg :: !remainders
+          end;
+          if keep_right > 0 then begin
+            let agg =
+              Iobuf.Agg.sub e.eagg ~off:(off + len - e.eoff) ~len:keep_right
+            in
+            remainders :=
+              make_entry ~file ~off:(off + len) ~len:keep_right agg
+              :: !remainders
+          end;
+          drop_entry t e;
+          List.iter (add_entry t) !remainders)
+        (List.rev !overlapping)
 
 let insert t ~file ~off agg =
   let len = Iobuf.Agg.length agg in
   if len = 0 then Iobuf.Agg.free agg
   else begin
     carve t ~file ~off ~len;
-    add_entry t { efile = file; eoff = off; elen = len; eagg = agg };
-    note t "insert" ~file ~bytes:len;
+    add_entry t (make_entry ~file ~off ~len agg);
+    incr t.cells.cc_insert;
+    trace_note t "insert" ~file ~bytes:len;
     enforce_capacity t
   end
 
@@ -257,24 +394,27 @@ let backfill t ~file ~off agg =
   if len = 0 then Iobuf.Agg.free agg
   else begin
     (* Gaps of [off, off+len) not covered by existing (newer) entries. *)
-    let existing =
-      match Hashtbl.find_opt t.files file with Some r -> !r | None -> []
-    in
     let gaps = ref [] in
     let cursor = ref off in
-    List.iter
-      (fun e ->
-        let e_end = e.eoff + e.elen in
-        if e_end > !cursor && e.eoff < off + len then begin
-          if e.eoff > !cursor then gaps := (!cursor, e.eoff - !cursor) :: !gaps;
-          cursor := max !cursor e_end
-        end)
-      existing;
+    (match Hashtbl.find_opt t.files file with
+    | None -> ()
+    | Some fr ->
+      Itree.iter_from fr.ftree ~key:(scan_start t fr ~off) (fun e ->
+          if e.eoff >= off + len then false
+          else begin
+            let e_end = e.eoff + e.elen in
+            if e_end > !cursor then begin
+              if e.eoff > !cursor then
+                gaps := (!cursor, e.eoff - !cursor) :: !gaps;
+              cursor := e_end
+            end;
+            true
+          end));
     if !cursor < off + len then gaps := (!cursor, off + len - !cursor) :: !gaps;
     List.iter
       (fun (gap_off, gap_len) ->
         let sub = Iobuf.Agg.sub agg ~off:(gap_off - off) ~len:gap_len in
-        add_entry t { efile = file; eoff = gap_off; elen = gap_len; eagg = sub })
+        add_entry t (make_entry ~file ~off:gap_off ~len:gap_len sub))
       (List.rev !gaps);
     Iobuf.Agg.free agg;
     enforce_capacity t
@@ -283,12 +423,17 @@ let backfill t ~file ~off agg =
 let invalidate_file t ~file =
   match Hashtbl.find_opt t.files file with
   | None -> ()
-  | Some r -> List.iter (fun e -> drop_entry t e) !r
+  | Some fr -> List.iter (fun e -> drop_entry t e) (Itree.to_list fr.ftree)
 
 let file_bytes t ~file =
   match Hashtbl.find_opt t.files file with
   | None -> 0
-  | Some r -> List.fold_left (fun acc e -> acc + e.elen) 0 !r
+  | Some fr -> fr.fbytes
+
+let entries t ~file =
+  match Hashtbl.find_opt t.files file with
+  | None -> []
+  | Some fr -> List.map (fun e -> (e.eoff, e.elen)) (Itree.to_list fr.ftree)
 
 let total_bytes t = t.bytes
 let total_slices t = t.slices

@@ -18,7 +18,14 @@
 
     Replacement is delegated to a {!Policy.t} (LRU by default; Flash-Lite
     installs GDS). Victims are preferentially entries not currently
-    referenced outside the cache. *)
+    referenced outside the cache — an O(1) check per candidate, kept
+    incrementally by buffer reference-transition watchers rather than
+    re-walking each entry's slices.
+
+    Entries of a file are indexed by a balanced interval tree keyed on
+    offset, so lookup/insert/backfill are O(log n + k) in the file's
+    entry count n and overlap size k, and an exact-bounds single-entry
+    hit returns without allocating. *)
 
 type t
 
@@ -44,8 +51,10 @@ val set_capacity : t -> (unit -> int) option -> unit
 
 val lookup : t -> file:int -> off:int -> len:int -> Iobuf.Agg.t option
 (** On a hit, a fresh aggregate over exactly the requested range (caller
-    owns and must free it). [None] when the range is not fully covered
-    by a single entry. *)
+    owns and must free it). [None] when cached entries do not cover
+    every byte of the range. A request matching one entry's exact bounds
+    is a zero-allocation fast path (a shared rope, counted by the
+    [cache.fastpath_hit] metric). *)
 
 val covered : t -> file:int -> off:int -> len:int -> bool
 (** Hit test without constructing an aggregate or recording an access. *)
@@ -70,7 +79,7 @@ val evict_one : t -> int
     best referenced one). Returns bytes unpinned, 0 when empty. *)
 
 val file_bytes : t -> file:int -> int
-(** Cached bytes for one file (diagnostic). *)
+(** Cached bytes for one file. O(1): maintained incrementally per file. *)
 
 (** {2 Introspection} *)
 
@@ -87,3 +96,12 @@ val misses : t -> int
 
 val evictions : t -> int
 val reset_stats : t -> unit
+
+val entries : t -> file:int -> (int * int) list
+(** [(offset, length)] of each cached entry of [file], ascending by
+    offset (diagnostic/test support). *)
+
+val verify_ref_tracking : t -> bool
+(** Slow cross-check of the O(1) reference counters against a full
+    slice walk of every entry (test support). Each walk increments the
+    [cache.refscan] metric, which stays at zero on production paths. *)

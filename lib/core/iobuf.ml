@@ -43,6 +43,11 @@ type buffer_t = {
   mutable sealed : bool;
   mutable refs : int;
   mutable cache_refs : int;
+  (* External-reference transition subscribers (the file cache's O(1)
+     Section 3.7 tracking): called with +1/-1 whenever
+     [refs > cache_refs] flips. Empty for buffers no cache entry pins,
+     so the refcount hot paths pay one load and branch. *)
+  mutable watchers : (int -> unit) list;
 }
 
 (* Chunk-set summary of a rope subtree: the distinct VM chunks under its
@@ -67,9 +72,15 @@ module Buffer = struct
   let refcount b = b.refs
   let chunk b = b.store.vc
 
+  (* The external-reference predicate is [refs > cache_refs]; each
+     mutation below detects the one transition it can cause (the counts
+     move by exactly 1) and notifies the buffer's watchers. *)
+  let notify_watchers b delta = List.iter (fun f -> f delta) b.watchers
+
   let incr_ref b =
     if b.refs <= 0 then invalid_arg "Buffer.incr_ref: buffer already dead";
-    b.refs <- b.refs + 1
+    b.refs <- b.refs + 1;
+    if b.watchers != [] && b.refs = b.cache_refs + 1 then notify_watchers b 1
 
   (* Forward-declared hook: Pool installs the chunk-retirement logic. *)
   let on_buffer_dead : (t -> unit) ref = ref (fun _ -> ())
@@ -77,15 +88,28 @@ module Buffer = struct
   let decr_ref b =
     if b.refs <= 0 then invalid_arg "Buffer.decr_ref: refcount underflow";
     b.refs <- b.refs - 1;
+    if b.watchers != [] && b.refs = b.cache_refs then notify_watchers b (-1);
     if b.refs = 0 then !on_buffer_dead b
 
-  let incr_cache_ref b = b.cache_refs <- b.cache_refs + 1
+  let incr_cache_ref b =
+    b.cache_refs <- b.cache_refs + 1;
+    if b.watchers != [] && b.refs = b.cache_refs then notify_watchers b (-1)
 
   let decr_cache_ref b =
     if b.cache_refs <= 0 then invalid_arg "Buffer.decr_cache_ref: underflow";
-    b.cache_refs <- b.cache_refs - 1
+    b.cache_refs <- b.cache_refs - 1;
+    if b.watchers != [] && b.refs = b.cache_refs + 1 then notify_watchers b 1
 
   let externally_referenced b = b.refs > b.cache_refs
+
+  let add_ext_watcher b f = b.watchers <- f :: b.watchers
+
+  let remove_ext_watcher b f =
+    let rec drop_one = function
+      | [] -> []
+      | g :: rest -> if g == f then rest else g :: drop_one rest
+    in
+    b.watchers <- drop_one b.watchers
 
   let writer_cell store producer =
     match
@@ -343,6 +367,7 @@ module Pool = struct
         sealed = false;
         refs = 1;
         cache_refs = 0;
+        watchers = [];
       }
     in
     store.bump <- boff + (if owns_pages > 0 then owns_pages * Page.page_size else size);

@@ -50,6 +50,20 @@ module Buffer : sig
   val decr_cache_ref : t -> unit
   val externally_referenced : t -> bool
 
+  val add_ext_watcher : t -> (int -> unit) -> unit
+  (** Subscribe to transitions of {!externally_referenced}: the callback
+      receives [+1] when the buffer becomes externally referenced and
+      [-1] when it stops being so. Registrations carry multiplicity —
+      the same closure registered [n] times is called [n] times per
+      transition. The subscriber must sample the current status itself
+      at registration time; only subsequent transitions are reported.
+      Buffers with no watchers pay one load and branch on the refcount
+      paths. *)
+
+  val remove_ext_watcher : t -> (int -> unit) -> unit
+  (** Remove one registration of the closure (physical equality);
+      a no-op when it is not registered. *)
+
   (** {2 Filling (producer side)} *)
 
   exception Immutable

@@ -134,13 +134,13 @@ module Fheap = struct
 end
 
 let gds ?(cost = fun _ ~size:_ -> 1.0) () =
-  let infos : (key, float * int) Hashtbl.t ref = ref (Hashtbl.create 256) in
+  let infos : (key, float * int) Hashtbl.t = Hashtbl.create 256 in
   let heap = Fheap.create () in
   let inflation = ref 0.0 in
   let stamp = ref 0 in
   let set k h =
     incr stamp;
-    Hashtbl.replace !infos k (h, !stamp);
+    Hashtbl.replace infos k (h, !stamp);
     Fheap.push heap (h, !stamp, k)
   in
   let priority k ~size =
@@ -153,7 +153,7 @@ let gds ?(cost = fun _ ~size:_ -> 1.0) () =
       match Fheap.pop heap with
       | None -> None
       | Some ((h, s, k) as entry) -> (
-        match Hashtbl.find_opt !infos k with
+        match Hashtbl.find_opt infos k with
         | Some (h', s') when h = h' && s = s' ->
           if eligible k then begin
             (* GDS: L rises to the victim's H. *)
@@ -174,6 +174,6 @@ let gds ?(cost = fun _ ~size:_ -> 1.0) () =
     name = "GDS";
     on_insert = (fun k ~size -> set k (priority k ~size));
     on_access = (fun k ~size -> set k (priority k ~size));
-    on_remove = (fun k -> Hashtbl.remove !infos k);
+    on_remove = (fun k -> Hashtbl.remove infos k);
     choose;
   }

@@ -21,7 +21,13 @@ type t = {
   choose : eligible:(key -> bool) -> key option;
       (** Best victim among tracked keys satisfying [eligible]; [None]
           when no tracked key qualifies. Choosing does not remove — the
-          cache calls [on_remove] when it actually evicts. *)
+          cache calls [on_remove] when it actually evicts.
+
+          Contract: [Some k] is returned only when the {e final}
+          invocation of [eligible] was [eligible k] and it returned
+          [true] (both built-in policies stop probing at their first
+          eligible key). Callers rely on this to capture the victim's
+          state inside the predicate instead of re-resolving [k]. *)
 }
 
 val lru : unit -> t

@@ -62,8 +62,9 @@ let ensure_cached proc cache ~pool ~file =
   let size = file_size proc ~file in
   if
     size > 0 && size <= admission_limit kernel
-    && not (Filecache.covered cache ~file ~off:0 ~len:size)
+    (* O(1) byte-count screen first; the covered probe walks the index. *)
     && Filecache.file_bytes cache ~file < size
+    && not (Filecache.covered cache ~file ~off:0 ~len:size)
   then begin
     let agg = disk_fetch proc ~pool ~file ~size in
     (* Backfill: cache entries may hold writes newer than the disk. *)

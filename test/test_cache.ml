@@ -164,6 +164,157 @@ let test_gds_inflation_protects_recent () =
   Alcotest.(check bool) "small survives" true
     (Filecache.covered cache ~file:2 ~off:0 ~len:10)
 
+let test_carve_preserves_disjoint () =
+  (* An insert that overlaps the middle of a file must leave entries on
+     both sides untouched and trim only the stragglers — offsets, byte
+     totals and contents all preserved. *)
+  let _, app, pool, cache = mk () in
+  List.iter
+    (fun (off, s) -> put cache pool app ~file:4 ~off s)
+    [ (0, "AAAAAAAA"); (10, "BBBBBBBB"); (20, "CCCCCCCC");
+      (30, "DDDDDDDD"); (40, "EEEEEEEE") ];
+  (* Overwrite [15, 35): clips B on the right, swallows C, clips D on
+     the left. *)
+  put cache pool app ~file:4 ~off:15 (String.make 20 'x');
+  Alcotest.(check (list (pair int int)))
+    "entry layout"
+    [ (0, 8); (10, 5); (15, 20); (35, 3); (40, 8) ]
+    (Filecache.entries cache ~file:4);
+  Alcotest.(check int) "byte total" 44 (Filecache.total_bytes cache);
+  let check_range off len expect =
+    match Filecache.lookup cache ~file:4 ~off ~len with
+    | Some a ->
+      Alcotest.(check string) "range" expect (agg_str a);
+      Iobuf.Agg.free a
+    | None -> Alcotest.fail "expected hit"
+  in
+  check_range 0 8 "AAAAAAAA";
+  check_range 10 5 "BBBBB";
+  check_range 35 3 "DDD";
+  check_range 40 8 "EEEEEEEE";
+  Alcotest.(check bool) "carved range gone at 20" true
+    (Filecache.lookup cache ~file:4 ~off:15 ~len:20 <> None)
+
+let test_evict_victim_order () =
+  (* The victim-capture eviction (single index probe) must still follow
+     strict LRU order and report exact byte counts. *)
+  let _, app, pool, cache = mk () in
+  put cache pool app ~file:1 ~off:0 (String.make 11 'a');
+  put cache pool app ~file:2 ~off:0 (String.make 22 'b');
+  put cache pool app ~file:3 ~off:0 (String.make 33 'c');
+  ignore (Filecache.lookup cache ~file:1 ~off:0 ~len:11 |> Option.map Iobuf.Agg.free);
+  Alcotest.(check int) "oldest untouched evicted" 22 (Filecache.evict_one cache);
+  Alcotest.(check int) "then next" 33 (Filecache.evict_one cache);
+  Alcotest.(check int) "then the touched one" 11 (Filecache.evict_one cache);
+  Alcotest.(check int) "empty" 0 (Filecache.evict_one cache);
+  Alcotest.(check int) "evictions counted" 3 (Filecache.evictions cache)
+
+let test_shrinking_capacity_converges () =
+  let _, app, pool, cache = mk () in
+  for file = 1 to 20 do
+    put cache pool app ~file ~off:0 (String.make 50 'x')
+  done;
+  (* A capacity that shrinks on every read: enforcement must re-check it
+     between rounds and still converge to the floor — with one read per
+     round, not one per eviction. *)
+  let calls = ref 0 in
+  Filecache.set_capacity cache
+    (Some
+       (fun () ->
+         incr calls;
+         max 100 (1000 - (200 * !calls))));
+  put cache pool app ~file:21 ~off:0 (String.make 50 'x');
+  Alcotest.(check bool) "converged to the floor" true
+    (Filecache.total_bytes cache <= 100);
+  Alcotest.(check bool) "many evictions" true (Filecache.evictions cache >= 15);
+  Alcotest.(check bool)
+    (Printf.sprintf "capacity read per round, not per eviction (%d reads)"
+       !calls)
+    true
+    (!calls < 10 && !calls < Filecache.evictions cache)
+
+let test_fastpath_counters () =
+  let sys, app, pool, cache = mk () in
+  let m = Iosys.metrics sys in
+  let get name = Iolite_obs.Metrics.get m name in
+  put cache pool app ~file:1 ~off:0 "0123456789";
+  put cache pool app ~file:1 ~off:10 "abcdefghij";
+  let free_hit ~off ~len =
+    match Filecache.lookup cache ~file:1 ~off ~len with
+    | Some a -> Iobuf.Agg.free a
+    | None -> Alcotest.fail "expected hit"
+  in
+  (* Exact entry bounds: the zero-alloc path. *)
+  free_hit ~off:0 ~len:10;
+  Alcotest.(check int) "fastpath hit" 1 (get "cache.fastpath_hit");
+  (* Sub-range of one entry: hit, but not the fast path. *)
+  free_hit ~off:2 ~len:5;
+  (* Spanning two entries: hit, not the fast path. *)
+  free_hit ~off:5 ~len:10;
+  Alcotest.(check int) "no further fastpath" 1 (get "cache.fastpath_hit");
+  Alcotest.(check int) "all were hits" 3 (get "cache.hit");
+  ignore (Filecache.lookup cache ~file:1 ~off:15 ~len:10);
+  Alcotest.(check int) "miss counted" 1 (get "cache.miss");
+  Alcotest.(check int) "every lookup probed" 4 (get "cache.probe")
+
+let test_eviction_never_scans_slices () =
+  (* The Section 3.7 check on the eviction path must be the O(1) counter
+     read ([cache.refcheck]), never the per-slice walk ([cache.refscan])
+     — even across an eviction storm with live external references. *)
+  let sys, app, pool, cache = mk () in
+  let m = Iosys.metrics sys in
+  for file = 1 to 30 do
+    put cache pool app ~file ~off:0 (String.make 64 (Char.chr (64 + file)))
+  done;
+  (* A partial-range hold pins boundary buffers of file 5's entry. *)
+  let held =
+    match Filecache.lookup cache ~file:5 ~off:8 ~len:16 with
+    | Some a -> a
+    | None -> Alcotest.fail "hit"
+  in
+  while Filecache.evict_one cache > 0 do
+    ()
+  done;
+  Alcotest.(check int) "cache emptied" 0 (Filecache.entry_count cache);
+  Alcotest.(check int) "no slice scans on the hot path" 0
+    (Iolite_obs.Metrics.get m "cache.refscan");
+  Alcotest.(check bool) "O(1) checks happened" true
+    (Iolite_obs.Metrics.get m "cache.refcheck" > 0);
+  Alcotest.(check string) "held snapshot outlives eviction"
+    (String.make 16 'E') (agg_str held);
+  Iobuf.Agg.free held
+
+let test_ref_tracking_transitions () =
+  (* External references appear and disappear via buffer refcount
+     transitions; the per-entry counters must track them exactly and
+     steer eviction per Section 3.7. *)
+  let _, app, pool, cache = mk () in
+  put cache pool app ~file:1 ~off:0 (String.make 100 'a');
+  put cache pool app ~file:2 ~off:0 (String.make 100 'b');
+  Alcotest.(check bool) "counters clean" true (Filecache.verify_ref_tracking cache);
+  (* A partial-range lookup creates fresh boundary leaves holding real
+     buffer references: file 1 becomes externally referenced. *)
+  let held =
+    match Filecache.lookup cache ~file:1 ~off:10 ~len:50 with
+    | Some a -> a
+    | None -> Alcotest.fail "hit"
+  in
+  (* Touch file 2 so file 1 is the LRU victim — but it is referenced. *)
+  ignore (Filecache.lookup cache ~file:2 ~off:0 ~len:100 |> Option.map Iobuf.Agg.free);
+  Alcotest.(check bool) "counters track the hold" true
+    (Filecache.verify_ref_tracking cache);
+  Alcotest.(check int) "unreferenced entry evicted instead" 100
+    (Filecache.evict_one cache);
+  Alcotest.(check bool) "referenced file survives" true
+    (Filecache.covered cache ~file:1 ~off:0 ~len:100);
+  Alcotest.(check bool) "recent file was sacrificed" false
+    (Filecache.covered cache ~file:2 ~off:0 ~len:100);
+  (* Releasing the hold flips the entry back to unreferenced. *)
+  Iobuf.Agg.free held;
+  Alcotest.(check bool) "counters track the release" true
+    (Filecache.verify_ref_tracking cache);
+  Alcotest.(check int) "now evictable" 100 (Filecache.evict_one cache)
+
 let test_lru_policy_order () =
   let p = Policy.lru () in
   p.Policy.on_insert (1, 0) ~size:10;
@@ -319,6 +470,226 @@ let prop_cache_matches_model =
         ops;
       !ok)
 
+(* ------------------------------------------------------------------ *)
+(* Model-based property test: the interval index against the seed's    *)
+(* sorted-list implementation, kept here as a behavioral oracle.       *)
+(* ------------------------------------------------------------------ *)
+
+module Listcache = struct
+  (* The pre-index per-file sorted-list cache, over plain strings:
+     carve via List.partition, backfill via a linear gap walk — the
+     exact replacement semantics the tree must reproduce. *)
+  type lentry = { loff : int; ldata : string }
+
+  type t = (int, lentry list ref) Hashtbl.t
+
+  let create () : t = Hashtbl.create 8
+  let llen e = String.length e.ldata
+
+  let file_entries t file =
+    match Hashtbl.find_opt t file with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.replace t file r;
+      r
+
+  let insert_sorted r e =
+    let rec go = function
+      | [] -> [ e ]
+      | x :: rest -> if e.loff < x.loff then e :: x :: rest else x :: go rest
+    in
+    r := go !r
+
+  let carve t ~file ~off ~len =
+    let r = file_entries t file in
+    let overlapping, keep =
+      List.partition (fun e -> e.loff < off + len && off < e.loff + llen e) !r
+    in
+    r := keep;
+    List.iter
+      (fun e ->
+        let keep_left = off - e.loff in
+        let keep_right = e.loff + llen e - (off + len) in
+        if keep_left > 0 then
+          insert_sorted r { loff = e.loff; ldata = String.sub e.ldata 0 keep_left };
+        if keep_right > 0 then
+          insert_sorted r
+            {
+              loff = off + len;
+              ldata = String.sub e.ldata (off + len - e.loff) keep_right;
+            })
+      overlapping
+
+  let insert t ~file ~off data =
+    if String.length data > 0 then begin
+      carve t ~file ~off ~len:(String.length data);
+      insert_sorted (file_entries t file) { loff = off; ldata = data }
+    end
+
+  let backfill t ~file ~off data =
+    let len = String.length data in
+    if len > 0 then begin
+      let r = file_entries t file in
+      let cursor = ref off in
+      let gaps = ref [] in
+      List.iter
+        (fun e ->
+          let e_end = e.loff + llen e in
+          if e.loff < off + len && e_end > !cursor then begin
+            if e.loff > !cursor then gaps := (!cursor, e.loff - !cursor) :: !gaps;
+            cursor := e_end
+          end)
+        !r;
+      if !cursor < off + len then gaps := (!cursor, off + len - !cursor) :: !gaps;
+      List.iter
+        (fun (go, gl) ->
+          insert_sorted r { loff = go; ldata = String.sub data (go - off) gl })
+        (List.rev !gaps)
+    end
+
+  let lookup t ~file ~off ~len =
+    let r = file_entries t file in
+    let buf = Buffer.create len in
+    let rec walk cursor = function
+      | [] -> None
+      | e :: rest ->
+        let e_end = e.loff + llen e in
+        if e_end <= cursor then walk cursor rest
+        else if e.loff > cursor then None
+        else begin
+          let lo = max cursor e.loff and hi = min (off + len) e_end in
+          Buffer.add_string buf (String.sub e.ldata (lo - e.loff) (hi - lo));
+          if hi >= off + len then Some (Buffer.contents buf) else walk hi rest
+        end
+    in
+    walk off !r
+
+  let invalidate t ~file = Hashtbl.remove t file
+
+  let entries t ~file =
+    match Hashtbl.find_opt t file with
+    | None -> []
+    | Some r -> List.map (fun e -> (e.loff, llen e)) !r
+
+  let file_bytes t ~file =
+    List.fold_left (fun acc (_, l) -> acc + l) 0 (entries t ~file)
+end
+
+type oop =
+  | Oop_insert of int * int * string
+  | Oop_backfill of int * int * string
+  | Oop_lookup of int * int * int * bool (* file, off, len, hold snapshot *)
+  | Oop_evict
+  | Oop_invalidate of int
+
+let oracle_files = 3
+
+let oop_gen =
+  let open QCheck.Gen in
+  let file = 0 -- (oracle_files - 1) in
+  let off = 0 -- 200 in
+  let data = string_size ~gen:(char_range 'a' 'z') (1 -- 80) in
+  frequency
+    [
+      (5, map3 (fun f o d -> Oop_insert (f, o, d)) file off data);
+      (2, map3 (fun f o d -> Oop_backfill (f, o, d)) file off data);
+      ( 4,
+        map3
+          (fun f o (l, h) -> Oop_lookup (f, o, l, h))
+          file off
+          (pair (1 -- 100) bool) );
+      (2, return Oop_evict);
+      (1, map (fun f -> Oop_invalidate f) file);
+    ]
+
+let prop_cache_matches_list_impl =
+  QCheck.Test.make ~name:"interval index matches sorted-list implementation"
+    ~count:200
+    (QCheck.make
+       QCheck.Gen.(list_size (1 -- 60) oop_gen)
+       ~print:(fun ops ->
+         String.concat ";"
+           (List.map
+              (function
+                | Oop_insert (f, o, d) ->
+                  Printf.sprintf "ins(%d,%d,%d)" f o (String.length d)
+                | Oop_backfill (f, o, d) ->
+                  Printf.sprintf "bf(%d,%d,%d)" f o (String.length d)
+                | Oop_lookup (f, o, l, h) ->
+                  Printf.sprintf "look(%d,%d,%d,%b)" f o l h
+                | Oop_evict -> "evict"
+                | Oop_invalidate f -> Printf.sprintf "inv(%d)" f)
+              ops)))
+    (fun ops ->
+      let _, app, pool, cache = mk () in
+      let oracle = Listcache.create () in
+      let held = ref [] (* (agg, expected bytes) snapshots *) in
+      let ok = ref true in
+      let check b = if not b then ok := false in
+      (* Eviction drops whole entries the oracle can't predict (policy
+         state differs); reconcile it from the cache's entry layout and
+         check the freed byte count matches what disappeared. *)
+      let resync_after_evict freed =
+        let dropped = ref 0 in
+        for f = 0 to oracle_files - 1 do
+          let real = Filecache.entries cache ~file:f in
+          let r = Listcache.file_entries oracle f in
+          r :=
+            List.filter
+              (fun e ->
+                if List.mem (e.Listcache.loff, Listcache.llen e) real then true
+                else begin
+                  dropped := !dropped + Listcache.llen e;
+                  false
+                end)
+              !r
+        done;
+        check (freed = !dropped)
+      in
+      let agree () =
+        for f = 0 to oracle_files - 1 do
+          check (Filecache.entries cache ~file:f = Listcache.entries oracle ~file:f);
+          check (Filecache.file_bytes cache ~file:f = Listcache.file_bytes oracle ~file:f)
+        done;
+        check (Filecache.verify_ref_tracking cache)
+      in
+      List.iter
+        (fun op ->
+          (match op with
+          | Oop_insert (f, off, d) ->
+            Filecache.insert cache ~file:f ~off
+              (Iobuf.Agg.of_string pool ~producer:app d);
+            Listcache.insert oracle ~file:f ~off d
+          | Oop_backfill (f, off, d) ->
+            Filecache.backfill cache ~file:f ~off
+              (Iobuf.Agg.of_string pool ~producer:app d);
+            Listcache.backfill oracle ~file:f ~off d
+          | Oop_lookup (f, off, len, hold) -> (
+            let expect = Listcache.lookup oracle ~file:f ~off ~len in
+            let got = Filecache.lookup cache ~file:f ~off ~len in
+            match (expect, got) with
+            | None, None -> ()
+            | Some e, Some agg ->
+              check (String.equal e (agg_str agg));
+              (* Snapshot semantics: the result must keep these exact
+                 bytes across every later carve/eviction. *)
+              if hold then held := (agg, e) :: !held else Iobuf.Agg.free agg
+            | Some _, None | None, Some _ -> check false)
+          | Oop_evict -> resync_after_evict (Filecache.evict_one cache)
+          | Oop_invalidate f ->
+            Filecache.invalidate_file cache ~file:f;
+            Listcache.invalidate oracle ~file:f);
+          agree ())
+        ops;
+      List.iter
+        (fun (agg, expect) ->
+          check (String.equal expect (agg_str agg));
+          Iobuf.Agg.free agg)
+        !held;
+      check (Filecache.verify_ref_tracking cache);
+      !ok)
+
 let test_deep_per_file_list () =
   (* Thousands of entries on one file, inserted in descending offset
      order so every insertion traverses the whole sorted list — a stack
@@ -379,8 +750,18 @@ let suites =
         Alcotest.test_case "unified pageout trim" `Quick test_unified_trim_via_pageout;
         Alcotest.test_case "policy swap" `Quick test_policy_swap_preserves_entries;
         Alcotest.test_case "deep per-file list" `Quick test_deep_per_file_list;
+        Alcotest.test_case "carve preserves disjoint" `Quick test_carve_preserves_disjoint;
+        Alcotest.test_case "evict victim order" `Quick test_evict_victim_order;
+        Alcotest.test_case "shrinking capacity converges" `Quick test_shrinking_capacity_converges;
+        Alcotest.test_case "fastpath counters" `Quick test_fastpath_counters;
+        Alcotest.test_case "eviction never scans slices" `Quick test_eviction_never_scans_slices;
+        Alcotest.test_case "ref tracking transitions" `Quick test_ref_tracking_transitions;
       ] );
-    ("core.filecache.props", [ QCheck_alcotest.to_alcotest prop_cache_matches_model ]);
+    ( "core.filecache.props",
+      [
+        QCheck_alcotest.to_alcotest prop_cache_matches_model;
+        QCheck_alcotest.to_alcotest prop_cache_matches_list_impl;
+      ] );
     ( "core.policy",
       [
         Alcotest.test_case "lru order" `Quick test_lru_policy_order;

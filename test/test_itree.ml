@@ -1,0 +1,145 @@
+open Iolite_core
+
+(* ------------------------------------------------------------------ *)
+(* Directed tests                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let of_pairs pairs =
+  List.fold_left (fun t (k, v) -> Itree.add t ~key:k v) Itree.empty pairs
+
+let test_basic () =
+  let t = of_pairs [ (5, "e"); (1, "a"); (3, "c"); (9, "i") ] in
+  Alcotest.(check (option string)) "find 3" (Some "c") (Itree.find_opt t ~key:3);
+  Alcotest.(check (option string)) "find absent" None (Itree.find_opt t ~key:4);
+  Alcotest.(check (list string)) "in order" [ "a"; "c"; "e"; "i" ] (Itree.to_list t);
+  let t = Itree.add t ~key:3 "C" in
+  Alcotest.(check (option string)) "replace" (Some "C") (Itree.find_opt t ~key:3);
+  Alcotest.(check int) "replace keeps cardinal" 4 (Itree.cardinal t);
+  let t = Itree.remove t ~key:5 in
+  Alcotest.(check (list string)) "after remove" [ "a"; "C"; "i" ] (Itree.to_list t);
+  Alcotest.(check bool) "remove absent is noop" true
+    (Itree.to_list (Itree.remove t ~key:42) = Itree.to_list t)
+
+let test_floor () =
+  let t = of_pairs [ (10, 10); (20, 20); (30, 30) ] in
+  Alcotest.(check int) "exact" 20 (Itree.floor_def t ~key:20 (-1));
+  Alcotest.(check int) "between" 20 (Itree.floor_def t ~key:29 (-1));
+  Alcotest.(check int) "above all" 30 (Itree.floor_def t ~key:1000 (-1));
+  Alcotest.(check int) "below all -> default" (-1) (Itree.floor_def t ~key:9 (-1));
+  Alcotest.(check int) "empty -> default" (-1)
+    (Itree.floor_def Itree.empty ~key:5 (-1))
+
+let test_iter_from () =
+  let t = of_pairs (List.init 10 (fun i -> (i * 2, i * 2))) in
+  let seen = ref [] in
+  Itree.iter_from t ~key:7 (fun v ->
+      seen := v :: !seen;
+      true);
+  Alcotest.(check (list int)) "from 7" [ 8; 10; 12; 14; 16; 18 ] (List.rev !seen);
+  let seen = ref [] in
+  Itree.iter_from t ~key:0 (fun v ->
+      seen := v :: !seen;
+      v < 6);
+  Alcotest.(check (list int)) "early stop" [ 0; 2; 4; 6 ] (List.rev !seen)
+
+let test_balance_adversarial () =
+  (* Ascending, descending, and zig-zag insertion orders, interleaved
+     with removals, must keep the AVL invariant. *)
+  let n = 2000 in
+  let asc = List.init n (fun i -> i) in
+  let desc = List.init n (fun i -> n - 1 - i) in
+  let zig = List.init n (fun i -> if i mod 2 = 0 then i / 2 else n - (i / 2)) in
+  List.iter
+    (fun keys ->
+      let t = List.fold_left (fun t k -> Itree.add t ~key:k k) Itree.empty keys in
+      Alcotest.(check bool) "balanced after inserts" true (Itree.balanced t);
+      Alcotest.(check int) "cardinal" (List.length (List.sort_uniq compare keys))
+        (Itree.cardinal t);
+      let t =
+        List.fold_left
+          (fun t k -> if k mod 3 = 0 then Itree.remove t ~key:k else t)
+          t keys
+      in
+      Alcotest.(check bool) "balanced after removes" true (Itree.balanced t))
+    [ asc; desc; zig ]
+
+(* ------------------------------------------------------------------ *)
+(* Model-based property: Itree against a sorted association list       *)
+(* ------------------------------------------------------------------ *)
+
+type op = Add of int * int | Remove of int | Find of int | Floor of int
+
+let op_gen =
+  let open QCheck.Gen in
+  let key = 0 -- 60 in
+  frequency
+    [
+      (4, map2 (fun k v -> Add (k, v)) key (0 -- 1000));
+      (2, map (fun k -> Remove k) key);
+      (2, map (fun k -> Find k) key);
+      (2, map (fun k -> Floor k) key);
+    ]
+
+let prop_matches_assoc_model =
+  QCheck.Test.make ~name:"itree matches sorted-assoc model" ~count:500
+    (QCheck.make
+       QCheck.Gen.(list_size (1 -- 80) op_gen)
+       ~print:(fun ops ->
+         String.concat ";"
+           (List.map
+              (function
+                | Add (k, v) -> Printf.sprintf "add(%d,%d)" k v
+                | Remove k -> Printf.sprintf "rm(%d)" k
+                | Find k -> Printf.sprintf "find(%d)" k
+                | Floor k -> Printf.sprintf "floor(%d)" k)
+              ops)))
+    (fun ops ->
+      let tree = ref Itree.empty in
+      let model = ref [] (* sorted (key, value) pairs *) in
+      let ok = ref true in
+      let check b = if not b then ok := false in
+      List.iter
+        (function
+          | Add (k, v) ->
+            tree := Itree.add !tree ~key:k v;
+            model := List.sort compare ((k, v) :: List.remove_assoc k !model)
+          | Remove k ->
+            tree := Itree.remove !tree ~key:k;
+            model := List.remove_assoc k !model
+          | Find k -> check (Itree.find_opt !tree ~key:k = List.assoc_opt k !model)
+          | Floor k ->
+            let expect =
+              List.fold_left
+                (fun acc (k', v) -> if k' <= k then v else acc)
+                (-1) !model
+            in
+            check (Itree.floor_def !tree ~key:k (-1) = expect))
+        ops;
+      check (Itree.balanced !tree);
+      check (Itree.to_list !tree = List.map snd !model);
+      (* iter_from from every present key agrees with the model suffix. *)
+      List.iter
+        (fun (k, _) ->
+          let seen = ref [] in
+          Itree.iter_from !tree ~key:k (fun v ->
+              seen := v :: !seen;
+              true);
+          let expect = List.filter_map
+              (fun (k', v) -> if k' >= k then Some v else None)
+              !model
+          in
+          check (List.rev !seen = expect))
+        !model;
+      !ok)
+
+let suites =
+  [
+    ( "core.itree",
+      [
+        Alcotest.test_case "basic ops" `Quick test_basic;
+        Alcotest.test_case "floor" `Quick test_floor;
+        Alcotest.test_case "iter_from" `Quick test_iter_from;
+        Alcotest.test_case "adversarial balance" `Quick test_balance_adversarial;
+      ] );
+    ("core.itree.props", [ QCheck_alcotest.to_alcotest prop_matches_assoc_model ]);
+  ]
