@@ -272,11 +272,11 @@ let agg_json_of_run ~label entries =
   Stdlib.Buffer.add_string b "      ]\n    }";
   Stdlib.Buffer.contents b
 
-(* Append one labeled run to a JSON history file (shared by the agg and
-   cksum sections): the checked-in BENCH_*.json files accumulate the perf
-   trajectory across PRs instead of being clobbered per run. *)
-let append_json_run ~benchmark ~out ~label entries =
-  let run_json = agg_json_of_run ~label entries in
+(* Append one labeled run to a JSON history file (shared by the agg,
+   cksum, and scale sections): the checked-in BENCH_*.json files
+   accumulate the perf trajectory across PRs instead of being clobbered
+   per run. *)
+let append_json_text ~benchmark ~out ~run_json =
   let fresh =
     Printf.sprintf
       "{\n  \"benchmark\": %S,\n  \"units\": \"nanoseconds \
@@ -315,6 +315,9 @@ let append_json_run ~benchmark ~out ~label entries =
     close_out oc;
     Printf.printf "  %s %s\n%!" verb out
   with Sys_error e -> Printf.printf "  could not write %s: %s\n%!" out e
+
+let append_json_run ~benchmark ~out ~label entries =
+  append_json_text ~benchmark ~out ~run_json:(agg_json_of_run ~label entries)
 
 let run_agg ?(label = "current") ?(out = "BENCH_agg.json") () =
   Printf.printf "\n== Deep-aggregate scaling (label: %s) ==\n" label;
@@ -691,6 +694,62 @@ let run_obs ?(label = "current") ?(out = "BENCH_obs.json") () =
   append_json_run ~benchmark:"obs" ~out ~label (List.rev !entries)
 
 (* ------------------------------------------------------------------ *)
+(* C1M connection-scale sweep                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Holds 10^3..10^6 concurrent persistent connections against Flash-Lite
+   and measures per-request wall cost, request latency percentiles,
+   warm-phase fresh-chunk allocations, and timer cancel+insert cost at
+   full population — once on the pre-scaffolding configuration (binary
+   heap timers, single-shard tables: "heap-flat") and once on the
+   scaffolding ("wheel-sharded"). Flat wall ns/req and timer ns/op
+   across three decades of population is the acceptance criterion. *)
+
+let scale_json_of_run ~label points =
+  let module E = Iolite_workload.Experiments in
+  let b = Stdlib.Buffer.create 1024 in
+  Stdlib.Buffer.add_string b
+    (Printf.sprintf "    {\n      \"label\": %S,\n      \"entries\": [\n" label);
+  List.iteri
+    (fun i p ->
+      Stdlib.Buffer.add_string b
+        (Printf.sprintf
+           "        {\"conns\": %d, \"config\": %S, \"requests\": %d, \
+            \"sim_rps\": %.0f, \"wall_ns_per_req\": %.1f, \"p50_s\": %.6f, \
+            \"p90_s\": %.6f, \"p99_s\": %.6f, \"fresh_warm\": %d, \
+            \"recycled_warm\": %d, \"timer_ns_per_op\": %.1f, \
+            \"peak_timers\": %d, \"idle_closed\": %d}%s\n"
+           p.E.c1m_conns p.E.c1m_label p.E.c1m_requests p.E.c1m_sim_rps
+           p.E.c1m_wall_ns_per_req p.E.c1m_p50 p.E.c1m_p90 p.E.c1m_p99
+           p.E.c1m_fresh_warm p.E.c1m_recycled_warm p.E.c1m_timer_ns_per_op
+           p.E.c1m_peak_timers p.E.c1m_idle_closed
+           (if i = List.length points - 1 then "" else ",")))
+    points;
+  Stdlib.Buffer.add_string b "      ]\n    }";
+  Stdlib.Buffer.contents b
+
+let run_scale ?(label = "current") ?(out = "BENCH_scale.json")
+    ?(conns = [ 1_000; 10_000; 100_000; 1_000_000 ]) () =
+  Printf.printf "\n== C1M connection-scale sweep (label: %s) ==\n%!" label;
+  let module E = Iolite_workload.Experiments in
+  let points = ref [] in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun baseline ->
+          Printf.printf "  running %d conns, %s...\n%!" n
+            (if baseline then "heap-flat" else "wheel-sharded");
+          points := E.c1m ~baseline ~conns:n () :: !points;
+          (* each point retires a whole simulated machine *)
+          Gc.full_major ())
+        [ true; false ])
+    conns;
+  let points = List.rev !points in
+  E.print_c1m points;
+  append_json_text ~benchmark:"c1m-scale" ~out
+    ~run_json:(scale_json_of_run ~label points)
+
+(* ------------------------------------------------------------------ *)
 (* Paper figures                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -748,6 +807,17 @@ let () =
     let label = match rest with l :: _ -> l | [] -> "current" in
     let out = match rest with _ :: o :: _ -> o | _ -> "BENCH_obs.json" in
     run_obs ~label ~out ()
+  | _ :: "scale" :: rest ->
+    (* scale [LABEL] [OUT] [CONNS,CONNS,...] *)
+    let label = match rest with l :: _ -> l | [] -> "current" in
+    let out = match rest with _ :: o :: _ -> o | _ -> "BENCH_scale.json" in
+    let conns =
+      match rest with
+      | _ :: _ :: c :: _ ->
+        Some (List.map int_of_string (String.split_on_char ',' c))
+      | _ -> None
+    in
+    run_scale ~label ~out ?conns ()
   | _ :: "figures" :: rest ->
     (* figures [SCALE] [--metrics] [--trace FILE] *)
     let scale = ref 0.5 in

@@ -158,6 +158,52 @@ let cmds =
      Cmdliner.Cmd.v
        (Cmdliner.Cmd.info "trace" ~doc:"Inspect a synthesized trace")
        Cmdliner.Term.(const run $ verbose_arg $ trace_name));
+    (let conns_arg =
+       Cmdliner.Arg.(
+         value
+         & opt (list int) [ 1_000; 10_000 ]
+         & info [ "c"; "conns" ] ~docv:"N,N,..."
+             ~doc:
+               "Concurrent-connection populations to sweep (the recorded \
+                BENCH_scale.json runs 1e3,1e4,1e5,1e6).")
+     in
+     let requests_arg =
+       Cmdliner.Arg.(
+         value
+         & opt (some int) None
+         & info [ "requests" ] ~docv:"N"
+             ~doc:"Measured-phase requests per point (default 50000).")
+     in
+     let baseline_arg =
+       Cmdliner.Arg.(
+         value
+         & flag
+         & info [ "baseline-only" ]
+             ~doc:
+               "Run only the heap-timer, single-shard baseline \
+                configuration (default: baseline and scaffolding both).")
+     in
+     let run verbose directives conns requests baseline_only =
+       with_logging verbose directives;
+       let points =
+         List.concat_map
+           (fun n ->
+             let p b = E.c1m ~baseline:b ?requests ~conns:n () in
+             if baseline_only then [ p true ] else [ p true; p false ])
+           conns
+       in
+       E.print_c1m points
+     in
+     Cmdliner.Cmd.v
+       (Cmdliner.Cmd.info "scale"
+          ~doc:
+            "C1M sweep: hold N concurrent connections against Flash-Lite \
+             and measure per-request wall cost, latency percentiles, \
+             warm-phase fresh allocations, and timer churn at full \
+             population")
+       Cmdliner.Term.(
+         const run $ verbose_arg $ log_arg $ conns_arg $ requests_arg
+         $ baseline_arg));
     (let run verbose directives metrics trace_out =
        with_logging verbose directives;
        let r = E.smoke () in

@@ -10,14 +10,26 @@ type chunkstore = {
   mutable live : int; (* buffers not yet reclaimed *)
   mutable tail_freed : bool; (* unused tail pages returned to the VM *)
   mutable writers : (Pdomain.t * int ref) list; (* producers still filling *)
+  mutable cls : int; (* size class currently slicing this chunk; -1 = none *)
+}
+
+(* Power-of-two size classes (64 B .. 64 KB). Each class owns a cursor
+   chunk ([cls_writer]) that bump-allocates uniform slots, plus a free
+   list of drained chunks queued for recycling. Chunks themselves are
+   uniform 64 KB, so a drained chunk can be adopted by any class — the
+   class is a property of the current fill cycle, not of the chunk. *)
+type size_class = {
+  cls_slot : int; (* slot size in bytes *)
+  mutable cls_writer : chunkstore option;
+  mutable cls_free : chunkstore list;
+  mutable cls_used : bool; (* has ever held a chunk (metrics) *)
 }
 
 type pool_t = {
   sys : Iosys.t;
   pname : string;
   mutable pacl : Vm.acl;
-  mutable current : chunkstore option;
-  mutable empty_chunks : chunkstore list;
+  classes : size_class array;
   mutable all_chunks : chunkstore list;
   (* Grant epochs (the warm-transfer fast path, Section 3.4): [epoch]
      advances whenever the set of chunks a consumer might have to map
@@ -201,31 +213,59 @@ module Pool = struct
 
   let max_alloc = Page.chunk_size
 
-  let resident_empty_bytes p =
-    List.fold_left (fun acc c -> acc + Vm.resident_bytes c.vc) 0 p.empty_chunks
+  (* Size-class geometry: power-of-two slots from 64 B to a whole
+     chunk. Sub-[large_threshold] allocations pack into shared pages;
+     larger (or explicitly paged) ones round up to whole pages, so
+     their slots are page multiples and reclaim page-granularly. *)
+  let class_min_bits = 6
 
-  (* Release resident empty chunks until [n] bytes are freed, stopping at
-     the first chunk that satisfies the request instead of scanning the
-     whole free list. *)
+  let class_max_bits =
+    let rec go b = if 1 lsl b >= Page.chunk_size then b else go (b + 1) in
+    go class_min_bits
+
+  let class_count = class_max_bits - class_min_bits + 1
+
+  let pow2_bits n =
+    let rec go b = if 1 lsl b >= n then b else go (b + 1) in
+    go 0
+
+  let resident_empty_bytes p =
+    Array.fold_left
+      (fun acc cls ->
+        List.fold_left (fun acc c -> acc + Vm.resident_bytes c.vc) acc
+          cls.cls_free)
+      0 p.classes
+
+  (* Release resident free-list chunks (across every size class) until
+     [n] bytes are freed, stopping at the first chunk that satisfies the
+     request instead of scanning all free lists. Recycled chunks on a
+     class free list therefore never pin memory against the pageout
+     daemon: they lose their resident pages here and pay an
+     [ensure_resident] when next adopted. *)
   let release_until p n =
     let vm = Iosys.vm p.sys in
-    let rec go freed = function
-      | [] -> freed
-      | _ when freed >= n -> freed
-      | c :: rest ->
-        let freed =
-          if Vm.chunk_resident c.vc then
-            freed + Vm.release_chunk_memory vm c.vc
-          else freed
-        in
-        go freed rest
-    in
-    let freed = go 0 p.empty_chunks in
+    let freed = ref 0 in
+    let reclaimed = ref 0 in
+    (try
+       Array.iter
+         (fun cls ->
+           List.iter
+             (fun c ->
+               if !freed >= n then raise Exit;
+               if Vm.chunk_resident c.vc then begin
+                 freed := !freed + Vm.release_chunk_memory vm c.vc;
+                 incr reclaimed
+               end)
+             cls.cls_free)
+         p.classes
+     with Exit -> ());
+    if !reclaimed > 0 then
+      Metrics.add (Iosys.metrics p.sys) "pool.freelist_reclaimed" !reclaimed;
     (* Conservative: paged-out chunks make the warm-transfer shortcut's
        "no page-fault simulation" assumption worth re-checking, so force
        the next transfer per domain back through the cold walk. *)
-    if freed > 0 then p.epoch <- p.epoch + 1;
-    freed
+    if !freed > 0 then p.epoch <- p.epoch + 1;
+    !freed
 
   let create sys ~name ~acl =
     let p =
@@ -233,8 +273,14 @@ module Pool = struct
         sys;
         pname = name;
         pacl = acl;
-        current = None;
-        empty_chunks = [];
+        classes =
+          Array.init class_count (fun i ->
+              {
+                cls_slot = 1 lsl (i + class_min_bits);
+                cls_writer = None;
+                cls_free = [];
+                cls_used = false;
+              });
         all_chunks = [];
         epoch = 1;
         grant_epochs = [||];
@@ -252,7 +298,7 @@ module Pool = struct
 
   let fresh_chunk p =
     let vc = Vm.alloc_chunk (Iosys.vm p.sys) ~label:p.pname ~acl:p.pacl in
-    Metrics.incr (Iosys.metrics p.sys) "pool.fresh_chunk";
+    Metrics.incr (Iosys.metrics p.sys) "pool.fresh";
     (* A chunk no consumer has ever mapped: every recorded coverage is
        stale until the next cold walk re-verifies it. *)
     p.epoch <- p.epoch + 1;
@@ -264,40 +310,73 @@ module Pool = struct
         live = 0;
         tail_freed = false;
         writers = [];
+        cls = -1;
       }
     in
     p.all_chunks <- c :: p.all_chunks;
     c
 
-  let take_chunk p =
-    match p.empty_chunks with
-    | c :: rest ->
-      p.empty_chunks <- rest;
-      (* Recycling keeps VM mappings: warm allocation costs no map ops
-         (only any released pages are charged back). *)
-      Vm.recycle_chunk (Iosys.vm p.sys) c.vc;
-      Metrics.incr (Iosys.metrics p.sys) "pool.recycle_chunk";
-      (* Untrusted producers pay the write-permission toggle once per
-         chunk reuse (Section 3.2); stale grants from the previous fill
-         cycle are revoked here so the next fill re-grants. *)
-      List.iter
-        (fun (d, _) -> Vm.revoke_write (Iosys.vm p.sys) d c.vc)
-        c.writers;
-      c.writers <- [];
-      c.bump <- 0;
-      c.tail_freed <- false;
-      c
-    | [] -> fresh_chunk p
+  let recycle p c =
+    (* Recycling keeps VM mappings — and, deliberately, the pool epoch:
+       a recycled chunk is one every covered consumer already maps, so
+       warm-transfer grant epochs survive chunk reuse (the PR 4 rule;
+       only fresh chunks, ACL narrowing, destruction and pageout
+       reclaim invalidate coverage). *)
+    Vm.recycle_chunk (Iosys.vm p.sys) c.vc;
+    Metrics.incr (Iosys.metrics p.sys) "pool.recycled";
+    (* Untrusted producers pay the write-permission toggle once per
+       chunk reuse (Section 3.2); stale grants from the previous fill
+       cycle are revoked here so the next fill re-grants. *)
+    List.iter
+      (fun (d, _) -> Vm.revoke_write (Iosys.vm p.sys) d c.vc)
+      c.writers;
+    c.writers <- [];
+    c.bump <- 0;
+    c.tail_freed <- false;
+    c
+
+  (* Adopt a chunk for class [idx]: own free list first, then steal a
+     drained chunk queued under any other class (chunks are uniform, so
+     a chunk that last served 1 KB slots can serve 16 KB slots next),
+     and only mint a fresh chunk when no drained chunk exists anywhere.
+     Steady-state serving therefore runs entirely on recycled chunks. *)
+  let take_chunk p idx =
+    let cls = p.classes.(idx) in
+    let c =
+      match cls.cls_free with
+      | c :: rest ->
+        cls.cls_free <- rest;
+        recycle p c
+      | [] -> (
+        let stolen = ref None in
+        Array.iter
+          (fun other ->
+            match (!stolen, other.cls_free) with
+            | None, c :: rest ->
+              other.cls_free <- rest;
+              stolen := Some c
+            | _ -> ())
+          p.classes;
+        match !stolen with Some c -> recycle p c | None -> fresh_chunk p)
+    in
+    if not cls.cls_used then begin
+      cls.cls_used <- true;
+      Metrics.incr (Iosys.metrics p.sys) "pool.classes"
+    end;
+    c.cls <- idx;
+    c
 
   (* A chunk that can no longer satisfy allocations keeps live buffers in
      [0, bump) but its tail pages were never used: give them back. Hand-
      off also revokes the producers' write permissions (the buffers are
-     all immutable now). *)
-  let retire_current p =
-    match p.current with
+     all immutable now). With uniform slots a writer normally retires
+     exactly full, so the tail is empty; the free is kept for the
+     destroy/teardown paths that retire partial writers. *)
+  let retire_writer p cls =
+    match cls.cls_writer with
     | None -> ()
     | Some c ->
-      p.current <- None;
+      cls.cls_writer <- None;
       List.iter
         (fun (d, _) -> Vm.revoke_write (Iosys.vm p.sys) d c.vc)
         c.writers;
@@ -317,42 +396,37 @@ module Pool = struct
      recovered when the whole chunk drains. *)
   let large_threshold = Page.page_size / 2
 
-  let shape ~paged size =
-    if paged || size >= large_threshold then `Paged (Page.round_to_pages size)
-    else `Packed
-
-  let fit ~paged store size =
-    match shape ~paged size with
-    | `Paged rounded ->
-      let start = Page.round_to_pages store.bump in
-      if start + rounded <= Page.chunk_size then Some (start, rounded / Page.page_size)
-      else None
-    | `Packed ->
-      if store.bump + size <= Page.chunk_size then Some (store.bump, 0) else None
+  let class_index ~paged size =
+    let bits =
+      if paged || size >= large_threshold then
+        pow2_bits (Page.round_to_pages size)
+      else max class_min_bits (pow2_bits size)
+    in
+    bits - class_min_bits
 
   let alloc ?(paged = false) p ~producer size =
     if size <= 0 || size > max_alloc then
       invalid_arg
         (Printf.sprintf "Pool.alloc: size %d out of range (1..%d)" size max_alloc);
-    let store, (boff, owns_pages) =
-      match p.current with
-      | Some c when fit ~paged c size <> None -> (c, Option.get (fit ~paged c size))
+    let idx = class_index ~paged size in
+    let cls = p.classes.(idx) in
+    let slot = cls.cls_slot in
+    let store =
+      match cls.cls_writer with
+      | Some c when c.bump + slot <= Page.chunk_size -> c
       | Some _ | None ->
-        retire_current p;
-        let c = take_chunk p in
-        p.current <- Some c;
-        (c, Option.get (fit ~paged c size))
+        retire_writer p cls;
+        let c = take_chunk p idx in
+        cls.cls_writer <- Some c;
+        c
     in
+    let boff = store.bump in
+    let owns_pages = if slot >= Page.page_size then slot / Page.page_size else 0 in
     let vm = Iosys.vm p.sys in
     Vm.grant_write vm producer store.vc;
     if not (Pdomain.trusted producer) then begin
       (* Temporary write permission over the buffer's pages. *)
-      Vm.note_op vm Vm.Grant_write
-        ~pages:
-          (max 1
-             (match shape ~paged size with
-             | `Paged rounded -> rounded / Page.page_size
-             | `Packed -> 1));
+      Vm.note_op vm Vm.Grant_write ~pages:(max 1 owns_pages);
       incr (Buffer.writer_cell store producer)
     end;
     let b =
@@ -370,7 +444,7 @@ module Pool = struct
         watchers = [];
       }
     in
-    store.bump <- boff + (if owns_pages > 0 then owns_pages * Page.page_size else size);
+    store.bump <- boff + slot;
     store.live <- store.live + 1;
     Metrics.incr (Iosys.metrics p.sys) "pool.alloc";
     b
@@ -385,12 +459,16 @@ module Pool = struct
       ignore (Vm.free_pages (Iosys.vm p.sys) store.vc ~pages:b.owns_pages);
     store.live <- store.live - 1;
     if store.live = 0 then begin
-      (* Fully drained: queue for lazy recycling (generation bump and
-         repopulation happen at next reuse, avoiding charge thrash). *)
-      (match p.current with
-      | Some c when c == store -> p.current <- None
+      (* Fully drained: queue on the owning class's free list for lazy
+         recycling (generation bump and repopulation happen at next
+         reuse, avoiding charge thrash). *)
+      let cls =
+        p.classes.(if store.cls >= 0 then store.cls else 0)
+      in
+      (match cls.cls_writer with
+      | Some c when c == store -> cls.cls_writer <- None
       | Some _ | None -> ());
-      p.empty_chunks <- store :: p.empty_chunks
+      cls.cls_free <- store :: cls.cls_free
     end
 
   let () = Buffer.on_buffer_dead := retire_buffer
@@ -399,7 +477,16 @@ module Pool = struct
     List.fold_left (fun acc c -> acc + Vm.resident_bytes c.vc) 0 p.all_chunks
 
   let chunk_count p = List.length p.all_chunks
-  let free_chunk_count p = List.length p.empty_chunks
+
+  let free_chunk_count p =
+    Array.fold_left
+      (fun acc cls -> acc + List.length cls.cls_free)
+      0 p.classes
+
+  let class_slot_sizes p =
+    Array.to_list p.classes
+    |> List.filter_map (fun cls ->
+           if cls.cls_used then Some cls.cls_slot else None)
 
   let reclaim p n = release_until p n
 
@@ -413,8 +500,11 @@ module Pool = struct
            p.pname);
     List.iter (fun c -> Vm.destroy_chunk (Iosys.vm p.sys) c.vc) p.all_chunks;
     p.all_chunks <- [];
-    p.empty_chunks <- [];
-    p.current <- None;
+    Array.iter
+      (fun cls ->
+        cls.cls_writer <- None;
+        cls.cls_free <- [])
+      p.classes;
     p.epoch <- p.epoch + 1
 
   (* --- Grant epochs (warm-transfer fast path) ---------------------- *)

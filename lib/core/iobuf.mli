@@ -146,11 +146,27 @@ module Pool : sig
   (** Bytes of chunk memory currently resident. *)
 
   val chunk_count : t -> int
+
   val free_chunk_count : t -> int
+  (** Drained chunks queued on size-class free lists, pool-wide. *)
+
+  val class_slot_sizes : t -> int list
+  (** Slot sizes (bytes) of the size classes this pool has ever used.
+
+      Allocation is size-classed: each power-of-two class (64 B .. one
+      chunk) owns a cursor chunk that bump-allocates uniform slots, and
+      drained chunks queue on per-class free lists. A class prefers its
+      own free list, steals drained chunks from other classes next
+      (chunks are uniform 64 KB), and mints a fresh chunk only when no
+      drained chunk exists anywhere — so steady-state serving recycles
+      instead of growing the pool. Recycled chunks keep their VM
+      mappings {e and} the pool epoch, so warm-transfer coverage
+      survives reuse. Counters: [pool.fresh], [pool.recycled],
+      [pool.classes], [pool.freelist_reclaimed]. *)
 
   val reclaim : t -> int -> int
-  (** Release up to [n] bytes of empty-chunk memory (retaining mappings);
-      returns bytes freed. Installed as a pageout segment. *)
+  (** Release up to [n] bytes of free-list chunk memory (retaining
+      mappings); returns bytes freed. Installed as a pageout segment. *)
 
   val destroy : t -> unit
   (** Destroys all chunks. Raises [Invalid_argument] if live buffers

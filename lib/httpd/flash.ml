@@ -100,7 +100,11 @@ type t = {
   mutable response_bytes : int;
   mutable cgi : Cgi.t option;
   flight : Singleflight.t;
-  latencies : Hist.t;
+  (* Request-latency histograms are sharded by connection id: the
+     completion hook touches one shard, and readers merge the shards
+     into one histogram at snapshot time (log-bucketed histograms merge
+     exactly, so the merged view equals an unsharded one). *)
+  latencies : Hist.t array;
 }
 
 let header_agg proc ~keep_alive ~len =
@@ -208,7 +212,7 @@ let handle t proc mapcache conn =
       let sent_cell = ref 0 in
       let on_complete t_end =
         let dt = t_end -. t0 in
-        Hist.add t.latencies dt;
+        Hist.add t.latencies.(Sock.id conn land (Array.length t.latencies - 1)) dt;
         Metrics.observe (Kernel.metrics t.kernel) "httpd.request_latency_s" dt;
         let tr = Kernel.trace t.kernel in
         if Trace.enabled tr then
@@ -245,11 +249,18 @@ let handle t proc mapcache conn =
   in
   loop ()
 
-let start ?(variant = Iolite) ?cgi_doc_size ?cgi_mode ?policy kernel ~port =
+let round_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let start ?(variant = Iolite) ?cgi_doc_size ?cgi_mode ?policy ?(lat_shards = 16)
+    ?conn_shards ?idle_timeout kernel ~port =
   let reserve_tss =
     match variant with Conventional | Sendfile -> true | Iolite -> false
   in
-  let listener = Sock.listen ~reserve_tss kernel ~port in
+  let listener =
+    Sock.listen ~reserve_tss ?shards:conn_shards ?idle_timeout kernel ~port
+  in
   let t =
     {
       kernel;
@@ -259,7 +270,8 @@ let start ?(variant = Iolite) ?cgi_doc_size ?cgi_mode ?policy kernel ~port =
       response_bytes = 0;
       cgi = None;
       flight = Singleflight.create ();
-      latencies = Hist.create ();
+      latencies =
+        Array.init (round_pow2 (max 1 lat_shards)) (fun _ -> Hist.create ());
     }
   in
   Logs.info ~src:log (fun m ->
@@ -327,8 +339,13 @@ let transfer_stats t =
   let m = Kernel.metrics t.kernel in
   (Metrics.get m "transfer.warm_hits", Metrics.get m "transfer.cold_walks")
 
-let latency_hist t = t.latencies
+let latency_hist t =
+  Array.fold_left
+    (fun acc h -> Hist.merge acc h)
+    (Hist.create ()) t.latencies
+
+let latency_shard_count t = Array.length t.latencies
 
 let latency_stats t =
-  if Hist.count t.latencies = 0 then None
-  else Some (Hist.summary t.latencies)
+  let merged = latency_hist t in
+  if Hist.count merged = 0 then None else Some (Hist.summary merged)

@@ -32,12 +32,19 @@ val start :
   ?cgi_doc_size:int ->
   ?cgi_mode:Cgi.mode ->
   ?policy:Iolite_core.Policy.t ->
+  ?lat_shards:int ->
+  ?conn_shards:int ->
+  ?idle_timeout:float ->
   Kernel.t ->
   port:int ->
   t
 (** Spawns the server process; [variant] defaults to [Iolite].
     [cgi_mode] selects FastCGI (default) or fork-per-request CGI 1.1.
-    [policy] (default GDS for [Iolite]) customizes the unified cache. *)
+    [policy] (default GDS for [Iolite]) customizes the unified cache.
+    [lat_shards] (default 16, rounded to a power of two) shards the
+    request-latency histogram by connection id; [conn_shards] sizes the
+    listener's connection table; [idle_timeout] > 0 arms per-connection
+    idle timers (see {!Sock.listen}). *)
 
 val listener : t -> Sock.listener
 val variant : t -> variant
@@ -61,9 +68,12 @@ val transfer_stats : t -> int * int
     steady-state IO-Lite server should be almost entirely warm. *)
 
 val latency_hist : t -> Iolite_util.Stats.Hist.t
-(** The live request-latency histogram (seconds, request arrival to
-    last byte drained). Also mirrored into the kernel registry under
-    [httpd.request_latency_s]. *)
+(** The request-latency histogram (seconds, request arrival to last
+    byte drained), merged across the per-connection-id shards at call
+    time — identical to what an unsharded histogram would hold. Also
+    mirrored into the kernel registry under [httpd.request_latency_s]. *)
+
+val latency_shard_count : t -> int
 
 val latency_stats : t -> Iolite_util.Stats.summary option
 (** p50/p90/p99 (and mean/min/max) of request latency; [None] before

@@ -1,24 +1,52 @@
-type t = {
+(* Hash-sharded flow table: the port key picks a shard, so binds,
+   unbinds and classifications touch one small table instead of one
+   global one, and per-shard stat counters keep the classify hot path a
+   single increment. Aggregate counts are summed at read time. *)
+
+type shard = {
   flows : (int, Iolite_core.Iobuf.Pool.t) Hashtbl.t;
-  mutable lookups : int;
-  mutable matched : int;
+  mutable s_lookups : int;
+  mutable s_matched : int;
 }
+
+type t = { shards : shard array; mask : int }
 
 type verdict = Demuxed of Iolite_core.Iobuf.Pool.t | Unmatched
 
-let create () = { flows = Hashtbl.create 64; lookups = 0; matched = 0 }
+let round_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
 
-let bind t ~port pool = Hashtbl.replace t.flows port pool
-let unbind t ~port = Hashtbl.remove t.flows port
+let create ?(shards = 16) () =
+  let n = round_pow2 (max 1 shards) in
+  {
+    shards =
+      Array.init n (fun _ ->
+          { flows = Hashtbl.create 64; s_lookups = 0; s_matched = 0 });
+    mask = n - 1;
+  }
+
+let shard t ~port = t.shards.(port land t.mask)
+
+let bind t ~port pool = Hashtbl.replace (shard t ~port).flows port pool
+let unbind t ~port = Hashtbl.remove (shard t ~port).flows port
 
 let classify t ~port =
-  t.lookups <- t.lookups + 1;
-  match Hashtbl.find_opt t.flows port with
+  let s = shard t ~port in
+  s.s_lookups <- s.s_lookups + 1;
+  match Hashtbl.find_opt s.flows port with
   | Some pool ->
-    t.matched <- t.matched + 1;
+    s.s_matched <- s.s_matched + 1;
     Demuxed pool
   | None -> Unmatched
 
-let lookups t = t.lookups
-let matched t = t.matched
-let flow_count t = Hashtbl.length t.flows
+let lookups t =
+  Array.fold_left (fun acc s -> acc + s.s_lookups) 0 t.shards
+
+let matched t =
+  Array.fold_left (fun acc s -> acc + s.s_matched) 0 t.shards
+
+let flow_count t =
+  Array.fold_left (fun acc s -> acc + Hashtbl.length s.flows) 0 t.shards
+
+let shard_count t = Array.length t.shards

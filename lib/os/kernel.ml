@@ -11,6 +11,7 @@ type config = {
   cost : Costmodel.t;
   cksum_cache_enabled : bool;
   cache_policy : Policy.t;
+  filter_shards : int;
   seed : int64;
 }
 
@@ -24,6 +25,7 @@ let default_config () =
     cost = Costmodel.default;
     cksum_cache_enabled = true;
     cache_policy = Policy.lru ();
+    filter_shards = 16;
     seed = 0x10117EL;
   }
 
@@ -95,7 +97,7 @@ let create ?config engine =
       conv_cache;
       cksum_cache =
         Iolite_net.Cksum.Cache.create ~enabled:config.cksum_cache_enabled ();
-      filter = Iolite_net.Packetfilter.create ();
+      filter = Iolite_net.Packetfilter.create ~shards:config.filter_shards ();
       page_pool =
         Iolite_core.Iobuf.Pool.create sys ~name:"vm_pages" ~acl:Vm.Public;
       file_pool =

@@ -21,6 +21,7 @@ type config = {
   cost : Costmodel.t;
   cksum_cache_enabled : bool;
   cache_policy : Iolite_core.Policy.t;  (** for the unified cache *)
+  filter_shards : int;  (** packet-filter flow-table shards, default 16 *)
   seed : int64;
 }
 

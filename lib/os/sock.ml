@@ -15,9 +15,17 @@ type listener = {
   lport : int;
   reserve_tss : bool;
   incoming : conn Sync.Mailbox.t;
+  (* Hash-sharded table of accepted connections: registration, lookup
+     and teardown touch one small shard, never a structure sized by the
+     whole live population. *)
+  lshards : (int, conn) Hashtbl.t array;
+  lmask : int;
+  mutable llive : int;
+  mutable lidle : float; (* idle timeout armed at accept; 0 = off *)
 }
 
 and conn = {
+  cid : int; (* process-wide id; also the shard key *)
   ckernel : Kernel.t;
   cport : int;
   crtt : float;
@@ -27,20 +35,51 @@ and conn = {
   mutable client_closed : bool;
   mutable pending : int;
   mutable reserved : int; (* wired socket-buffer reservation *)
+  mutable chome : listener option; (* registered in chome's shard table *)
+  mutable cidle : float;
+  mutable ctimer : Iolite_sim.Engine.timer option;
 }
 
-let listen ?(reserve_tss = false) kernel ~port =
-  { lkernel = kernel; lport = port; reserve_tss; incoming = Sync.Mailbox.create () }
+let next_cid = ref 0
+
+let round_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let listen ?(reserve_tss = false) ?(shards = 16) ?(idle_timeout = 0.0) kernel
+    ~port =
+  let n = round_pow2 (max 1 shards) in
+  {
+    lkernel = kernel;
+    lport = port;
+    reserve_tss;
+    incoming = Sync.Mailbox.create ();
+    lshards = Array.init n (fun _ -> Hashtbl.create 64);
+    lmask = n - 1;
+    llive = 0;
+    lidle = idle_timeout;
+  }
 
 let port c = c.cport
 let rtt c = c.crtt
+let id c = c.cid
 let pending_responses c = c.pending
+
+let set_idle_timeout l dt = l.lidle <- dt
+let live_conns l = l.llive
+let shard_count l = Array.length l.lshards
+
+let iter_conns l f =
+  Array.iter (fun tbl -> Hashtbl.iter (fun _ c -> f c) tbl) l.lshards
 
 let connect ?(rtt = 0.0) ?(tss = 65536) kernel listener =
   (* Three-way handshake: SYN, SYN-ACK, ACK. *)
   if rtt > 0.0 then Proc.sleep (1.5 *. rtt);
+  let cid = !next_cid in
+  incr next_cid;
   let c =
     {
+      cid;
       ckernel = kernel;
       cport = listener.lport;
       crtt = rtt;
@@ -50,6 +89,9 @@ let connect ?(rtt = 0.0) ?(tss = 65536) kernel listener =
       client_closed = false;
       pending = 0;
       reserved = 0;
+      chome = None;
+      cidle = 0.0;
+      ctimer = None;
     }
   in
   Sync.Mailbox.send listener.incoming c;
@@ -61,11 +103,69 @@ let request c req =
   Sync.Mailbox.send c.to_server (Req req);
   Sync.Mailbox.recv c.to_client
 
+let request_async c req =
+  if c.client_closed then failwith "Sock.request_async: connection closed";
+  Sync.Mailbox.send c.to_server (Req req)
+
+let try_response c = Sync.Mailbox.try_recv c.to_client
+let queued_responses c = Sync.Mailbox.length c.to_client
+
 let close c =
   if not c.client_closed then begin
     c.client_closed <- true;
     Sync.Mailbox.send c.to_server Fin
   end
+
+(* Idle-timeout machinery. Timers live on the engine's timer wheel:
+   arming, re-arming on every request and cancelling at teardown are
+   all O(1), which is what lets a 10^6-connection population carry one
+   coarse timeout each. Expiry behaves like a client-initiated close. *)
+let disarm_idle c =
+  match c.ctimer with
+  | None -> ()
+  | Some tm ->
+    c.ctimer <- None;
+    ignore (Iolite_sim.Engine.cancel_timer (Kernel.engine c.ckernel) tm)
+
+let expire_idle c =
+  c.ctimer <- None;
+  if not c.client_closed then begin
+    Metrics.incr (Kernel.metrics c.ckernel) "sock.idle_closed";
+    c.client_closed <- true;
+    Sync.Mailbox.send c.to_server Fin
+  end
+
+let arm_idle c =
+  if c.cidle > 0.0 && not c.client_closed then begin
+    let engine = Kernel.engine c.ckernel in
+    c.ctimer <-
+      Some
+        (Iolite_sim.Engine.schedule_cancelable ~name:"sock.idle" engine
+           (Iolite_sim.Engine.now engine +. c.cidle)
+           (fun () -> expire_idle c))
+  end
+
+let rearm_idle c =
+  if c.cidle > 0.0 then begin
+    Metrics.incr (Kernel.metrics c.ckernel) "sock.idle_rearm";
+    disarm_idle c;
+    arm_idle c
+  end
+
+let register l c =
+  Hashtbl.replace l.lshards.(c.cid land l.lmask) c.cid c;
+  c.chome <- Some l;
+  l.llive <- l.llive + 1
+
+let unregister c =
+  match c.chome with
+  | None -> ()
+  | Some l ->
+    c.chome <- None;
+    if Hashtbl.mem l.lshards.(c.cid land l.lmask) c.cid then begin
+      Hashtbl.remove l.lshards.(c.cid land l.lmask) c.cid;
+      l.llive <- l.llive - 1
+    end
 
 let accept proc listener =
   let c = Sync.Mailbox.recv listener.incoming in
@@ -78,6 +178,9 @@ let accept proc listener =
       (Iosys.physmem (Kernel.sys listener.lkernel))
       Physmem.Net_wired c.reserved
   end;
+  register listener c;
+  c.cidle <- listener.lidle;
+  arm_idle c;
   c
 
 let release_reservation c =
@@ -93,8 +196,11 @@ let recv proc c ~zero_copy =
   | Fin ->
     Process.charge proc (Kernel.cost c.ckernel).Costmodel.tcp_teardown;
     release_reservation c;
+    disarm_idle c;
+    unregister c;
     None
   | Req s ->
+    rearm_idle c;
     let kernel = Process.kernel proc in
     let cost = Kernel.cost kernel in
     let len = String.length s in

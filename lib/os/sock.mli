@@ -19,17 +19,44 @@
 type listener
 type conn
 
-val listen : ?reserve_tss:bool -> Kernel.t -> port:int -> listener
+val listen :
+  ?reserve_tss:bool ->
+  ?shards:int ->
+  ?idle_timeout:float ->
+  Kernel.t ->
+  port:int ->
+  listener
 (** At most one listener per port per kernel in this model.
 
     [reserve_tss] models the conventional server's socket buffers: every
     accepted connection wires Tss bytes of kernel memory until it is torn
     down, so memory consumption grows with the concurrent connection
     count — the Fig. 12 effect. IO-Lite servers leave it [false]: their
-    send queues reference IO-Lite buffers and wire only mbuf headers. *)
+    send queues reference IO-Lite buffers and wire only mbuf headers.
+
+    Accepted connections live in a hash-sharded table ([shards] rounded
+    up to a power of two, default 16) keyed by connection id, so
+    registration and teardown touch one small shard regardless of the
+    live population. [idle_timeout] > 0 arms a per-connection idle timer
+    at accept, re-armed on every request (O(1) on the engine's timer
+    wheel); expiry closes the connection as if the client had, counted
+    by [sock.idle_closed]. *)
 
 val port : conn -> int
 val rtt : conn -> float
+
+val id : conn -> int
+(** Process-wide connection id (also the shard key). *)
+
+val set_idle_timeout : listener -> float -> unit
+(** Applies to connections accepted afterwards; 0 disables. *)
+
+val live_conns : listener -> int
+(** Accepted connections not yet torn down (O(1)). *)
+
+val shard_count : listener -> int
+
+val iter_conns : listener -> (conn -> unit) -> unit
 
 (** {2 Client side (driver coroutines, not OS processes)} *)
 
@@ -41,6 +68,17 @@ val request : conn -> string -> int
 (** Send a request and block until the whole response has arrived;
     returns the response length in bytes. Raises [Failure] if the server
     closed the connection. *)
+
+val request_async : conn -> string -> unit
+(** Queue a request without blocking for the response (and without the
+    client-side half-RTT pacing — the caller owns its own pacing). Lets
+    one driver coroutine pump requests into an arbitrarily large
+    connection population; responses accumulate for {!try_response}. *)
+
+val try_response : conn -> int option
+(** Dequeue a completed response's byte count, if one has drained. *)
+
+val queued_responses : conn -> int
 
 val close : conn -> unit
 (** Client-initiated close; the server's next [recv] returns [None]. *)

@@ -1,9 +1,16 @@
+type timer_backend = [ `Wheel | `Heap ]
+
 type t = {
   mutable clock : float;
   mutable seq : int;
   mutable current : string option; (* name of the running process *)
   queue : (unit -> unit) Heap.t;
+  wheel : (unit -> unit) Twheel.t;
+  backend : timer_backend;
+  mutable live_timers : int;
 }
+
+type timer = { mutable t_pending : bool; mutable t_cancel : unit -> bool }
 
 type _ Effect.t +=
   | E_now : float Effect.t
@@ -13,10 +20,20 @@ type _ Effect.t +=
   | E_engine : t Effect.t
   | E_self : string option Effect.t
 
-let create () = { clock = 0.0; seq = 0; current = None; queue = Heap.create () }
+let create ?(timer_backend = `Wheel) ?(timer_tick = 1e-3) () =
+  {
+    clock = 0.0;
+    seq = 0;
+    current = None;
+    queue = Heap.create ();
+    wheel = Twheel.create ~tick:timer_tick ();
+    backend = timer_backend;
+    live_timers = 0;
+  }
 
 let now t = t.clock
 let current_name t = t.current
+let timer_backend t = t.backend
 
 let schedule t time thunk =
   let seq = t.seq in
@@ -24,6 +41,7 @@ let schedule t time thunk =
   Heap.push t.queue ~time ~seq thunk
 
 let pending t = Heap.size t.queue
+let pending_timers t = t.live_timers
 
 (* Run a process body under the engine's deep effect handler. Every
    continuation resumed later re-enters through the thunks we queue, which
@@ -80,22 +98,84 @@ let spawn ?name t f = schedule t t.clock (fun () -> exec t name f)
 
 let spawn_at ?name t time f = schedule t time (fun () -> exec t name f)
 
+(* Coarse cancelable timers. On the wheel backend the deadline is
+   quantized up to the wheel tick (never fires early); insert and
+   cancel are O(1) regardless of how many timers are pending. The heap
+   backend keeps exact deadlines and O(log n) insert with tombstone
+   cancel — it exists as the measured baseline for the scale sweep. *)
+let schedule_cancelable ?name t time f =
+  let tm = { t_pending = true; t_cancel = (fun () -> false) } in
+  let body () =
+    tm.t_pending <- false;
+    t.live_timers <- t.live_timers - 1;
+    exec t name f
+  in
+  t.live_timers <- t.live_timers + 1;
+  (match t.backend with
+  | `Wheel ->
+    let tick =
+      max (Twheel.current_tick t.wheel)
+        (Twheel.tick_of_time t.wheel (Float.max time t.clock))
+    in
+    let h = Twheel.add t.wheel ~tick body in
+    tm.t_cancel <- (fun () -> Twheel.cancel t.wheel h)
+  | `Heap ->
+    let seq = t.seq in
+    t.seq <- seq + 1;
+    let e = Heap.push_entry t.queue ~time:(Float.max time t.clock) ~seq body in
+    tm.t_cancel <- (fun () -> Heap.cancel t.queue e));
+  tm
+
+let cancel_timer t tm =
+  if not tm.t_pending then false
+  else if tm.t_cancel () then begin
+    tm.t_pending <- false;
+    t.live_timers <- t.live_timers - 1;
+    true
+  end
+  else false
+
+let timer_pending tm = tm.t_pending
+
+(* The run loop merges two event sources: the fine-grained heap and the
+   coarse timer wheel. The heap wins ties so exactly-ordered events keep
+   their FIFO semantics; wheel timers at the same quantized instant fire
+   after them, which is within the wheel's quantization contract. *)
 let run ?until t =
   let stop = ref false in
   while not !stop do
-    match Heap.peek_time t.queue with
+    let heap_time = Heap.peek_time t.queue in
+    let wheel_next =
+      if Twheel.size t.wheel = 0 then None
+      else Twheel.next_due_tick t.wheel
+    in
+    let next =
+      match (heap_time, wheel_next) with
+      | None, None -> None
+      | Some h, None -> Some (`Heap, h)
+      | None, Some k -> Some (`Wheel k, Twheel.time_of_tick t.wheel k)
+      | Some h, Some k ->
+        let w = Twheel.time_of_tick t.wheel k in
+        if h <= w then Some (`Heap, h) else Some (`Wheel k, w)
+    in
+    match next with
     | None -> stop := true
-    | Some time ->
+    | Some (src, time) ->
       let past_deadline =
         match until with Some u -> time > u | None -> false
       in
       if past_deadline then stop := true
       else begin
-        match Heap.pop t.queue with
-        | None -> stop := true
-        | Some (time, _seq, thunk) ->
+        match src with
+        | `Heap -> (
+          match Heap.pop t.queue with
+          | None -> ()
+          | Some (time, _seq, thunk) ->
+            t.clock <- Float.max t.clock time;
+            thunk ())
+        | `Wheel k ->
           t.clock <- Float.max t.clock time;
-          thunk ()
+          Twheel.advance_to t.wheel k ~fire:(fun thunk -> thunk ())
       end
   done;
   t.current <- None;

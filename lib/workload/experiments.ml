@@ -436,8 +436,8 @@ let replay_point ~kind ~trace ~log ~prefix ~scale ~sampling =
     let c = Kernel.metrics kernel in
     Printf.eprintf
       "    fresh_chunks=%d recycled=%d refetch=%d acl_copy=%d uc_entries=%d cc_entries=%d\n%!"
-      (Iolite_obs.Metrics.get c "pool.fresh_chunk")
-      (Iolite_obs.Metrics.get c "pool.recycle_chunk")
+      (Iolite_obs.Metrics.get c "pool.fresh")
+      (Iolite_obs.Metrics.get c "pool.recycled")
       (Iolite_obs.Metrics.get c "cache.refetch")
       (Iolite_obs.Metrics.get c "cache.acl_copy")
       (F.entry_count uc) (F.entry_count cc)
@@ -941,3 +941,171 @@ let smoke ?(tracing = true) () =
     sm_cksum = Flash.cksum_stats flash;
     sm_requests = Flash.requests flash;
   }
+
+(* ------------------------------------------------------------------ *)
+(* C1M: connection-scale scaffolding sweep                             *)
+(* ------------------------------------------------------------------ *)
+
+type c1m_point = {
+  c1m_conns : int;
+  c1m_label : string;
+  c1m_requests : int;
+  c1m_sim_rps : float;
+  c1m_wall_ns_per_req : float;
+  c1m_p50 : float;
+  c1m_p90 : float;
+  c1m_p99 : float;
+  c1m_fresh_warm : int;
+  c1m_recycled_warm : int;
+  c1m_timer_ns_per_op : float;
+  c1m_peak_timers : int;
+  c1m_idle_closed : int;
+}
+
+let c1m ?(baseline = false) ?(requests = 50_000) ~conns () =
+  let module Http = Iolite_httpd.Http in
+  let module Sock = Iolite_os.Sock in
+  let label = if baseline then "heap-flat" else "wheel-sharded" in
+  let shards = if baseline then 1 else 16 in
+  let engine =
+    Engine.create ~timer_backend:(if baseline then `Heap else `Wheel) ()
+  in
+  let config =
+    { (Kernel.default_config ()) with Kernel.filter_shards = shards }
+  in
+  let kernel = Kernel.create ~config engine in
+  let nfiles = 64 in
+  let sizes = [| 512; 1024; 2048; 4096; 8192; 16384 |] in
+  for i = 0 to nfiles - 1 do
+    ignore
+      (Kernel.add_file kernel
+         ~name:(Printf.sprintf "/f%d" i)
+         ~size:sizes.(i mod Array.length sizes))
+  done;
+  let flash =
+    Flash.start ~variant:Flash.Iolite ~lat_shards:shards ~conn_shards:shards
+      ~idle_timeout:3600.0 kernel ~port:80
+  in
+  let listener = Flash.listener flash in
+  let reqs =
+    Array.init nfiles (fun i ->
+        Http.request_string ~keep_alive:true (Printf.sprintf "/f%d" i))
+  in
+  let warm_requests = max 2_000 (min 10_000 (requests / 4)) in
+  let m = Kernel.metrics kernel in
+  let s1 = ref (Iolite_obs.Metrics.snapshot m) in
+  let s2 = ref !s1 in
+  let v1 = ref 0.0 and v2 = ref 0.0 in
+  let t1 = ref 0.0 and t2 = ref 0.0 in
+  let peak_timers = ref 0 in
+  let churn_ns = ref 0.0 in
+  let conns_arr = ref [||] in
+  (* A fixed pool of worker fibers pulls request indices off a shared
+     counter, so concurrency stays bounded while the request stream
+     round-robins over the whole connection population — every request
+     re-arms that connection's idle timer at full population. *)
+  let workers = 64 in
+  let next = ref 0 and finished = ref 0 and limit = ref 0 in
+  let run_workers total k =
+    next := 0;
+    finished := 0;
+    limit := total;
+    for w = 0 to workers - 1 do
+      Engine.spawn ~name:(Printf.sprintf "c1m.worker%d" w) engine (fun () ->
+          let arr = !conns_arr in
+          let n = Array.length arr in
+          let rec loop () =
+            let i = !next in
+            if i < !limit then begin
+              incr next;
+              ignore (Sock.request arr.(i mod n) reqs.(i mod nfiles));
+              loop ()
+            end
+          in
+          loop ();
+          incr finished;
+          if !finished = workers then k ())
+    done
+  in
+  Engine.spawn ~name:"c1m.driver" engine (fun () ->
+      let c0 = Sock.connect ~rtt:1e-4 kernel listener in
+      let arr = Array.make conns c0 in
+      for i = 1 to conns - 1 do
+        arr.(i) <- Sock.connect ~rtt:1e-4 kernel listener
+      done;
+      conns_arr := arr;
+      run_workers warm_requests (fun () ->
+          s1 := Iolite_obs.Metrics.snapshot m;
+          v1 := Engine.now engine;
+          t1 := Unix.gettimeofday ();
+          run_workers requests (fun () ->
+              s2 := Iolite_obs.Metrics.snapshot m;
+              v2 := Engine.now engine;
+              t2 := Unix.gettimeofday ();
+              peak_timers := Engine.pending_timers engine;
+              (* Timer churn at full population: the cancel+insert pair
+                 every idle-timer re-arm performs, measured in isolation
+                 while the backend holds [conns] pending timeouts. *)
+              let ops = 100_000 in
+              let due = Engine.now engine +. 1800.0 in
+              let ct0 = Unix.gettimeofday () in
+              for _ = 1 to ops do
+                let tm = Engine.schedule_cancelable engine due (fun () -> ()) in
+                ignore (Engine.cancel_timer engine tm)
+              done;
+              churn_ns :=
+                (Unix.gettimeofday () -. ct0) *. 1e9 /. float_of_int ops;
+              Array.iter Sock.close arr)));
+  Engine.run engine;
+  let d = Iolite_obs.Metrics.diff ~before:!s1 ~after:!s2 in
+  let dval key =
+    match List.assoc_opt key d with Some v -> v | None -> 0
+  in
+  let p50, p90, p99 =
+    match Flash.latency_stats flash with
+    | Some s -> Iolite_util.Stats.(s.p50, s.p90, s.p99)
+    | None -> (0.0, 0.0, 0.0)
+  in
+  {
+    c1m_conns = conns;
+    c1m_label = label;
+    c1m_requests = requests;
+    c1m_sim_rps = float_of_int requests /. Float.max 1e-9 (!v2 -. !v1);
+    c1m_wall_ns_per_req =
+      (!t2 -. !t1) *. 1e9 /. float_of_int (max 1 requests);
+    c1m_p50 = p50;
+    c1m_p90 = p90;
+    c1m_p99 = p99;
+    c1m_fresh_warm = dval "pool.fresh";
+    c1m_recycled_warm = dval "pool.recycled";
+    c1m_timer_ns_per_op = !churn_ns;
+    c1m_peak_timers = !peak_timers;
+    c1m_idle_closed = Iolite_obs.Metrics.get m "sock.idle_closed";
+  }
+
+let print_c1m points =
+  let rows =
+    List.map
+      (fun p ->
+        [
+          string_of_int p.c1m_conns;
+          p.c1m_label;
+          string_of_int p.c1m_requests;
+          Printf.sprintf "%.0f" p.c1m_sim_rps;
+          Printf.sprintf "%.0f" p.c1m_wall_ns_per_req;
+          Printf.sprintf "%.4f" p.c1m_p50;
+          Printf.sprintf "%.4f" p.c1m_p90;
+          Printf.sprintf "%.4f" p.c1m_p99;
+          string_of_int p.c1m_fresh_warm;
+          Printf.sprintf "%.0f" p.c1m_timer_ns_per_op;
+          string_of_int p.c1m_peak_timers;
+        ])
+      points
+  in
+  Table.print
+    ~header:
+      [
+        "conns"; "config"; "reqs"; "sim req/s"; "wall ns/req"; "p50 s";
+        "p90 s"; "p99 s"; "fresh(warm)"; "timer ns/op"; "peak timers";
+      ]
+    ~rows

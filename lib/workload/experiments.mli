@@ -119,3 +119,41 @@ val smoke : ?tracing:bool -> unit -> smoke_result
     persistent connections, two measurement phases) with tracing armed:
     the CI smoke test, the trace-determinism test, and [iolite smoke]
     all run this. Two calls produce byte-identical [sm_trace_json]. *)
+
+(** {2 C1M: connection-scale scaffolding (timer wheel + size classes +
+    shards)} *)
+
+type c1m_point = {
+  c1m_conns : int;  (** concurrent persistent connections held open *)
+  c1m_label : string;  (** ["heap-flat"] or ["wheel-sharded"] *)
+  c1m_requests : int;  (** measured-phase request count *)
+  c1m_sim_rps : float;  (** requests per simulated second *)
+  c1m_wall_ns_per_req : float;
+      (** host wall-clock per request over the measured phase — the
+          per-op cost that must stay flat as [conns] grows *)
+  c1m_p50 : float;
+  c1m_p90 : float;
+  c1m_p99 : float;  (** request latency, simulated seconds *)
+  c1m_fresh_warm : int;
+      (** [pool.fresh] delta across the measured phase: fresh chunks
+          allocated after warm-up, ≈ 0 when recycling works *)
+  c1m_recycled_warm : int;  (** [pool.recycled] delta, same phase *)
+  c1m_timer_ns_per_op : float;
+      (** wall-clock per cancel+insert pair at full population — the
+          idle-timer re-arm cost (O(1) wheel vs. O(log n) heap) *)
+  c1m_peak_timers : int;  (** pending timers at peak, ≈ [conns] *)
+  c1m_idle_closed : int;  (** connections reaped by idle expiry (≈ 0) *)
+}
+
+val c1m : ?baseline:bool -> ?requests:int -> conns:int -> unit -> c1m_point
+(** One point of the connection-scale sweep: a Flash-Lite server holds
+    [conns] persistent connections (each with a one-hour idle timer),
+    64 driver fibers stream [requests] (default 50k) round-robin over
+    the whole population, and the measured phase is bracketed with
+    metrics snapshots and wall-clock stamps. [baseline] runs the
+    pre-scaffolding configuration — exact binary-heap timers and
+    single-shard connection/filter/latency tables — against which the
+    default (timer wheel, 16-way shards) is compared. Ends with a
+    100k-op timer cancel+insert churn at full population. *)
+
+val print_c1m : c1m_point list -> unit

@@ -335,6 +335,70 @@ let test_sock_persistent_multiple_requests () =
   Engine.run (Kernel.engine kernel);
   Alcotest.(check int) "all served on one connection" 10 !served
 
+let test_sock_idle_timeout_expires () =
+  let _, kernel = mk () in
+  let listener = Sock.listen ~shards:4 ~idle_timeout:5.0 kernel ~port:80 in
+  Alcotest.(check int) "shard count rounded" 4 (Sock.shard_count listener);
+  let server_saw_close = ref false in
+  ignore
+    (Process.spawn kernel ~name:"server" (fun proc ->
+         let conn = Sock.accept proc listener in
+         (* The client never writes: recv must return None when the idle
+            timer reaps the connection, exactly like a client close. *)
+         match Sock.recv proc conn ~zero_copy:true with
+         | None -> server_saw_close := true
+         | Some _ -> ()));
+  let registered = ref (-1) in
+  Engine.spawn (Kernel.engine kernel) (fun () ->
+      let conn = Sock.connect kernel listener in
+      ignore conn;
+      Engine.Proc.sleep 0.1;
+      registered := Sock.live_conns listener);
+  Engine.run (Kernel.engine kernel);
+  Alcotest.(check int) "conn in sharded table while open" 1 !registered;
+  Alcotest.(check bool) "server unblocked by idle reaper" true
+    !server_saw_close;
+  Alcotest.(check int) "idle close counted" 1
+    (Counter.get (Kernel.metrics kernel) "sock.idle_closed");
+  Alcotest.(check int) "table empty after teardown" 0
+    (Sock.live_conns listener);
+  Alcotest.(check bool) "reaped at the timeout, not before" true
+    (Engine.now (Kernel.engine kernel) >= 5.0)
+
+let test_sock_idle_timer_rearms_on_requests () =
+  let _, kernel = mk () in
+  let listener = Sock.listen ~idle_timeout:1.0 kernel ~port:80 in
+  let served = ref 0 in
+  ignore
+    (Process.spawn kernel ~name:"server" (fun proc ->
+         let conn = Sock.accept proc listener in
+         let rec loop () =
+           match Sock.recv proc conn ~zero_copy:true with
+           | None -> ()
+           | Some _ ->
+             incr served;
+             Sock.send proc conn ~zero_copy:true
+               (Iobuf.Agg.of_string (Process.pool proc)
+                  ~producer:(Process.domain proc) "resp");
+             loop ()
+         in
+         loop ()));
+  Engine.spawn (Kernel.engine kernel) (fun () ->
+      let conn = Sock.connect kernel listener in
+      (* Each gap is under the 1 s timeout, but the total span is well
+         past it: every request must push the deadline out. *)
+      for _ = 1 to 5 do
+        Engine.Proc.sleep 0.8;
+        ignore (Sock.request conn "ping")
+      done;
+      Sock.close conn);
+  Engine.run (Kernel.engine kernel);
+  Alcotest.(check int) "all requests served" 5 !served;
+  Alcotest.(check int) "no idle close" 0
+    (Counter.get (Kernel.metrics kernel) "sock.idle_closed");
+  Alcotest.(check bool) "timer re-armed per request" true
+    (Counter.get (Kernel.metrics kernel) "sock.idle_rearm" >= 5)
+
 let suites =
   [
     ( "os.cpu",
@@ -367,5 +431,9 @@ let suites =
         Alcotest.test_case "rtt delays" `Quick test_sock_rtt_delays_response;
         Alcotest.test_case "tss reservation" `Quick test_sock_tss_reservation_lifecycle;
         Alcotest.test_case "persistent requests" `Quick test_sock_persistent_multiple_requests;
+        Alcotest.test_case "idle timeout expires" `Quick
+          test_sock_idle_timeout_expires;
+        Alcotest.test_case "idle timer re-arms" `Quick
+          test_sock_idle_timer_rearms_on_requests;
       ] );
   ]

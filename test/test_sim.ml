@@ -239,12 +239,268 @@ let test_determinism () =
   in
   Alcotest.(check string) "identical traces" (run_once ()) (run_once ())
 
+let test_heap_cancel_tombstones () =
+  let h = Heap.create () in
+  let entries =
+    List.init 10 (fun i -> Heap.push_entry h ~time:(float_of_int i) ~seq:i i)
+  in
+  Alcotest.(check int) "all live" 10 (Heap.size h);
+  (* Cancel the three smallest and one in the middle. *)
+  List.iteri
+    (fun i e ->
+      if i < 3 || i = 6 then
+        Alcotest.(check bool) "cancel live entry" true (Heap.cancel h e))
+    entries;
+  Alcotest.(check int) "live after cancel" 6 (Heap.size h);
+  Alcotest.(check int) "tombstones still resident" 10 (Heap.raw_size h);
+  Alcotest.(check bool) "double cancel refused" false
+    (Heap.cancel h (List.nth entries 0));
+  (* peek skips the cancelled prefix without popping live work. *)
+  Alcotest.(check (option (float 1e-9))) "peek skips tombstones" (Some 3.0)
+    (Heap.peek_time h);
+  let popped = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some (_, _, v) ->
+      popped := v :: !popped;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "only live popped" [ 3; 4; 5; 7; 8; 9 ]
+    (List.rev !popped);
+  Alcotest.(check bool) "cancel after pop refused" false
+    (Heap.cancel h (List.nth entries 4))
+
+(* ------------------------------------------------------------------ *)
+(* Timer wheel                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_twheel_basic_fire_order () =
+  let w = Twheel.create ~tick:1.0 ~bits:2 ~levels:3 () in
+  let fired = ref [] in
+  let fire v = fired := v :: !fired in
+  ignore (Twheel.add w ~tick:5 "a");
+  ignore (Twheel.add w ~tick:3 "b");
+  ignore (Twheel.add w ~tick:5 "c");
+  ignore (Twheel.add w ~tick:40 "far");
+  Alcotest.(check int) "pending" 4 (Twheel.size w);
+  Alcotest.(check (option int)) "earliest bound below first expiry" (Some 3)
+    (Twheel.next_due_tick w);
+  Twheel.advance_to w 4 ~fire;
+  Alcotest.(check (list string)) "only b so far" [ "b" ] (List.rev !fired);
+  Twheel.advance_to w 10 ~fire;
+  Alcotest.(check (list string))
+    "ties fire in insertion order" [ "b"; "a"; "c" ] (List.rev !fired);
+  Twheel.advance_to w 64 ~fire;
+  Alcotest.(check (list string))
+    "cross-frame timer cascades and fires" [ "b"; "a"; "c"; "far" ]
+    (List.rev !fired);
+  Alcotest.(check int) "empty" 0 (Twheel.size w)
+
+let test_twheel_cancel () =
+  let w = Twheel.create ~tick:1.0 ~bits:4 ~levels:2 () in
+  let h1 = Twheel.add w ~tick:7 "x" in
+  let h2 = Twheel.add w ~tick:7 "y" in
+  Alcotest.(check bool) "cancel pending" true (Twheel.cancel w h1);
+  Alcotest.(check bool) "double cancel refused" false (Twheel.cancel w h1);
+  Alcotest.(check bool) "handle inactive" false (Twheel.is_active h1);
+  let fired = ref [] in
+  Twheel.advance_to w 20 ~fire:(fun v -> fired := v :: !fired);
+  Alcotest.(check (list string)) "survivor fires" [ "y" ] !fired;
+  Alcotest.(check bool) "cancel after fire refused" false (Twheel.cancel w h2)
+
+let test_twheel_never_early () =
+  (* A 1 ms wheel must round fractional deadlines up, never down. *)
+  let w = Twheel.create () in
+  Alcotest.(check int) "exact tick" 2 (Twheel.tick_of_time w 0.002);
+  Alcotest.(check int) "fraction rounds up" 3 (Twheel.tick_of_time w 0.0021);
+  Alcotest.(check int) "epsilon below stays put" 2
+    (Twheel.tick_of_time w (0.002 -. 1e-12))
+
+let test_twheel_reentrant_insert () =
+  (* fire may insert timers at or before the cursor; they run before
+     advance_to returns (the engine relies on this for zero-delay
+     rescheduling). *)
+  let w = Twheel.create ~tick:1.0 ~bits:2 ~levels:2 () in
+  let fired = ref [] in
+  let fire v =
+    fired := v :: !fired;
+    if v = "first" then ignore (Twheel.add w ~tick:0 "chained")
+  in
+  ignore (Twheel.add w ~tick:2 "first");
+  Twheel.advance_to w 2 ~fire;
+  Alcotest.(check (list string)) "chained timer fired within advance"
+    [ "first"; "chained" ] (List.rev !fired)
+
+(* Model test: the wheel against a sorted-list oracle. Tiny levels (4
+   slots each) so short random delays constantly cross cascade frame
+   boundaries; deltas beyond the horizon exercise top-level clamping. *)
+
+type wop = W_add of int | W_cancel of int | W_advance of int
+
+let wop_gen =
+  let open QCheck.Gen in
+  frequency
+    [
+      (5, map (fun d -> W_add d) (0 -- 100));
+      (2, map (fun i -> W_cancel i) (0 -- 1000));
+      (4, map (fun d -> W_advance d) (0 -- 20));
+    ]
+
+let prop_twheel_matches_oracle =
+  QCheck.Test.make ~name:"timer wheel matches sorted-list oracle" ~count:400
+    (QCheck.make
+       QCheck.Gen.(list_size (1 -- 60) wop_gen)
+       ~print:(fun ops ->
+         String.concat ";"
+           (List.map
+              (function
+                | W_add d -> Printf.sprintf "add+%d" d
+                | W_cancel i -> Printf.sprintf "cancel#%d" i
+                | W_advance d -> Printf.sprintf "adv+%d" d)
+              ops)))
+    (fun ops ->
+      let w = Twheel.create ~tick:1.0 ~bits:2 ~levels:3 () in
+      (* Oracle: live (expiry, seq, value) triples plus the handle, kept
+         unsorted; expected fire order is (expiry, seq). *)
+      let live = ref [] in
+      let seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | W_add d ->
+            let tick = Twheel.current_tick w + d in
+            let h = Twheel.add w ~tick !seq in
+            live := (tick, !seq, h) :: !live;
+            incr seq
+          | W_cancel i ->
+            let n = List.length !live in
+            if n > 0 then begin
+              let tick, s, h = List.nth !live (i mod n) in
+              if not (Twheel.cancel w h) then ok := false;
+              live := List.filter (fun (_, s', _) -> s' <> s) !live;
+              ignore tick
+            end
+          | W_advance d ->
+            let target = Twheel.current_tick w + d in
+            let fired = ref [] in
+            Twheel.advance_to w target ~fire:(fun v -> fired := v :: !fired);
+            let expected, rest =
+              List.partition (fun (t, _, _) -> t <= target) !live
+            in
+            (* Exactly the due set fires — nothing early, nothing
+               stranded — in nondecreasing tick order. (Same-tick
+               timers inserted at different cursor positions may
+               interleave either way: cascading merges their slot
+               lists, so global FIFO only holds within one insertion
+               point. The order is still deterministic.) *)
+            let got = List.rev !fired in
+            let tick_of s =
+              match List.find_opt (fun (_, s', _) -> s' = s) expected with
+              | Some (t, _, _) -> t
+              | None -> -1 (* fired something not due: fail below *)
+            in
+            if
+              List.sort compare got
+              <> List.sort compare (List.map (fun (_, s, _) -> s) expected)
+            then ok := false;
+            let rec nondecreasing = function
+              | a :: (b :: _ as tl) ->
+                tick_of a <= tick_of b && nondecreasing tl
+              | _ -> true
+            in
+            if not (nondecreasing got) then ok := false;
+            live := rest)
+        ops;
+      if Twheel.size w <> List.length !live then ok := false;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Cancelable engine timers                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_timer_quantized_never_early () =
+  let e = Engine.create () (* wheel backend, 1 ms tick *) in
+  let fired_at = ref (-1.0) in
+  let tm =
+    Engine.schedule_cancelable e 0.0012 (fun () -> fired_at := Engine.now e)
+  in
+  Alcotest.(check bool) "pending before run" true (Engine.timer_pending tm);
+  Engine.run e;
+  Alcotest.(check (float 1e-12)) "fired at the next tick boundary" 0.002
+    !fired_at;
+  Alcotest.(check bool) "not pending after fire" false (Engine.timer_pending tm)
+
+let test_engine_timer_cancel () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  let t1 = Engine.schedule_cancelable e 0.5 (fun () -> fired := 1 :: !fired) in
+  let _t2 = Engine.schedule_cancelable e 1.0 (fun () -> fired := 2 :: !fired) in
+  Alcotest.(check int) "two pending" 2 (Engine.pending_timers e);
+  Alcotest.(check bool) "cancel live" true (Engine.cancel_timer e t1);
+  Alcotest.(check bool) "double cancel refused" false (Engine.cancel_timer e t1);
+  Alcotest.(check int) "one pending" 1 (Engine.pending_timers e);
+  Engine.run e;
+  Alcotest.(check (list int)) "only survivor fired" [ 2 ] !fired;
+  Alcotest.(check int) "none pending" 0 (Engine.pending_timers e)
+
+let test_engine_timer_heap_backend () =
+  let e = Engine.create ~timer_backend:`Heap () in
+  let fired_at = ref (-1.0) in
+  let t1 =
+    Engine.schedule_cancelable e 0.0012 (fun () -> fired_at := Engine.now e)
+  in
+  let t2 = Engine.schedule_cancelable e 2.0 (fun () -> fired_at := -2.0) in
+  ignore t1;
+  Alcotest.(check bool) "cancel on heap backend" true (Engine.cancel_timer e t2);
+  Engine.run e;
+  Alcotest.(check (float 1e-12)) "heap timers fire at exact time" 0.0012
+    !fired_at
+
+let test_engine_timer_interleaves_with_sleeps () =
+  (* Wheel timers and heap sleeps share one virtual clock; order must
+     follow deadlines across the two backends. *)
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.spawn e (fun () ->
+      Proc.sleep 0.0015;
+      log := "sleep" :: !log);
+  ignore (Engine.schedule_cancelable e 0.001 (fun () -> log := "t1" :: !log));
+  ignore (Engine.schedule_cancelable e 0.0021 (fun () -> log := "t3" :: !log));
+  Engine.run e;
+  Alcotest.(check (list string))
+    "merged order" [ "t1"; "sleep"; "t3" ] (List.rev !log)
+
 let suites =
   [
     ( "sim.heap",
       [
         Alcotest.test_case "order" `Quick test_heap_order;
         Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+        Alcotest.test_case "cancel tombstones" `Quick
+          test_heap_cancel_tombstones;
+      ] );
+    ( "sim.twheel",
+      [
+        Alcotest.test_case "fire order + cascade" `Quick
+          test_twheel_basic_fire_order;
+        Alcotest.test_case "cancel" `Quick test_twheel_cancel;
+        Alcotest.test_case "never early" `Quick test_twheel_never_early;
+        Alcotest.test_case "re-entrant insert" `Quick
+          test_twheel_reentrant_insert;
+        QCheck_alcotest.to_alcotest prop_twheel_matches_oracle;
+      ] );
+    ( "sim.timer",
+      [
+        Alcotest.test_case "wheel quantizes up" `Quick
+          test_engine_timer_quantized_never_early;
+        Alcotest.test_case "cancel" `Quick test_engine_timer_cancel;
+        Alcotest.test_case "heap backend exact" `Quick
+          test_engine_timer_heap_backend;
+        Alcotest.test_case "interleaves with sleeps" `Quick
+          test_engine_timer_interleaves_with_sleeps;
       ] );
     ( "sim.engine",
       [

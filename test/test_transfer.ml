@@ -147,30 +147,27 @@ let test_fresh_chunk_faults () =
 
 let test_reclaim_stops_early () =
   let sys, alice, _, _, pool_a, _ = mk () in
-  (* Build a free list with resident memory: a packed (sub-page) buffer
-     pins its chunk's first page even after the chunk drains, unlike
-     whole-chunk buffers whose pages return immediately. Alternating
-     with a chunk-sized allocation forces each small buffer onto its own
-     chunk. *)
+  (* Build free lists with resident memory: packed (sub-page) buffers
+     pin their chunk's memory even after the chunk drains, unlike
+     whole-chunk buffers whose pages return immediately. Allocation is
+     size-classed, so four buffers of four different classes land on
+     four distinct chunks, and freeing them queues four resident chunks
+     on the class free lists. *)
   let smalls = ref [] in
-  for _ = 1 to 4 do
-    let s = Iobuf.Pool.alloc pool_a ~producer:alice 1024 in
-    Iobuf.Buffer.seal s;
-    smalls := s :: !smalls;
-    let big =
-      Iobuf.Pool.alloc ~paged:true pool_a ~producer:alice Iobuf.Pool.max_alloc
-    in
-    Iobuf.Buffer.seal big;
-    Iobuf.Buffer.decr_ref big
-  done;
+  List.iter
+    (fun size ->
+      let s = Iobuf.Pool.alloc pool_a ~producer:alice size in
+      Iobuf.Buffer.seal s;
+      smalls := s :: !smalls)
+    [ 128; 256; 512; 1024 ];
   List.iter Iobuf.Buffer.decr_ref !smalls;
   let resident0 = Iobuf.Pool.resident_bytes pool_a in
-  Alcotest.(check bool) "free list holds resident memory" true
+  Alcotest.(check bool) "free lists hold resident memory" true
     (resident0 >= 4 * Mem.Page.page_size);
-  (* Asking for one byte must release exactly one chunk's remainder, not
+  (* Asking for one byte must release exactly one chunk's memory, not
      sweep the whole free list. *)
   let freed = Iobuf.Pool.reclaim pool_a 1 in
-  Alcotest.(check int) "one chunk's page released" Mem.Page.page_size freed;
+  Alcotest.(check int) "one chunk released" Mem.Page.chunk_size freed;
   Alcotest.(check int) "other chunks untouched" (resident0 - freed)
     (Iobuf.Pool.resident_bytes pool_a);
   (* A reclaim that freed something is conservative about coverage. *)
@@ -230,6 +227,40 @@ let test_pipe_roundtrips_go_warm () =
      the reader's delivery check. *)
   Alcotest.(check int) "all 20 decisions warm" (warm0 + 20)
     (counter sys "transfer.warm_hits")
+
+(* ------------------------------------------------------------------ *)
+(* Directed: chunk recycling keeps warm grant epochs                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_recycle_keeps_warm_epochs () =
+  let sys, alice, bob, _, pool_a, _ = mk () in
+  let agg = Iobuf.Agg.of_string pool_a ~producer:alice (String.make 2000 'r') in
+  let b1 = Transfer.send sys agg ~to_:bob in
+  Alcotest.(check bool) "bob covered" true (Iobuf.Pool.epoch_covers pool_a bob);
+  let e = Iobuf.Pool.epoch pool_a in
+  let fresh0 = counter sys "pool.fresh" in
+  let recycled0 = counter sys "pool.recycled" in
+  (* Drain every buffer: the chunk parks on its class free list. *)
+  List.iter Iobuf.Agg.free [ agg; b1 ];
+  Alcotest.(check bool) "chunk parked for reuse" true
+    (Iobuf.Pool.free_chunk_count pool_a > 0);
+  (* The next fill cycle runs on the recycled chunk, not a fresh one. *)
+  let agg2 = Iobuf.Agg.of_string pool_a ~producer:alice (String.make 2000 's') in
+  Alcotest.(check int) "no fresh chunk minted" fresh0 (counter sys "pool.fresh");
+  Alcotest.(check bool) "reuse went through recycle" true
+    (counter sys "pool.recycled" > recycled0);
+  (* Recycling kept the VM mappings and the grant epoch: bob's coverage
+     record survives and the next transfer stays warm. *)
+  Alcotest.(check int) "epoch survives reuse" e (Iobuf.Pool.epoch pool_a);
+  Alcotest.(check bool) "bob still covered" true
+    (Iobuf.Pool.epoch_covers pool_a bob);
+  let warm0 = counter sys "transfer.warm_hits" in
+  let cold0 = counter sys "transfer.cold_walks" in
+  let b2 = Transfer.send sys agg2 ~to_:bob in
+  Alcotest.(check int) "send after recycle is warm" (warm0 + 1)
+    (counter sys "transfer.warm_hits");
+  Alcotest.(check int) "no cold walk" cold0 (counter sys "transfer.cold_walks");
+  List.iter Iobuf.Agg.free [ agg2; b2 ]
 
 (* ------------------------------------------------------------------ *)
 (* Property: fast path agrees with the slice-walking oracle            *)
@@ -323,6 +354,8 @@ let suites =
         Alcotest.test_case "fresh chunk faults" `Quick test_fresh_chunk_faults;
         Alcotest.test_case "reclaim stops early" `Quick test_reclaim_stops_early;
         Alcotest.test_case "pipe goes warm" `Quick test_pipe_roundtrips_go_warm;
+        Alcotest.test_case "recycle keeps warm epochs" `Quick
+          test_recycle_keeps_warm_epochs;
       ] );
     ( "core.transfer.props",
       [ QCheck_alcotest.to_alcotest prop_fast_path_matches_oracle ] );
