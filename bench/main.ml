@@ -27,6 +27,11 @@
          # If the output file already holds a run history, the new run is
          # appended to its "runs" array, so the checked-in BENCH_agg.json
          # accumulates the perf trajectory across PRs.
+     dune exec bench/main.exe -- async [label] [out.json] [scale]
+         # async disk pipeline: legacy vs. queued backend, warm and
+         # memory-pressure scenarios — request-latency percentiles, disk
+         # utilization, batching/coalescing/readahead counters, and a
+         # cold sequential-read time (default ./BENCH_async.json).
 *)
 
 open Bechamel
@@ -750,6 +755,51 @@ let run_scale ?(label = "current") ?(out = "BENCH_scale.json")
     ~run_json:(scale_json_of_run ~label points)
 
 (* ------------------------------------------------------------------ *)
+(* Async disk pipeline                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Tail latency under memory pressure, legacy (serialized disk, no
+   readahead, synchronous pageout) vs. async (queued ring + elevator,
+   readahead, single-flight fills, batched pageout writes), plus a cold
+   sequential-read headline. The "legacy" entries are the pre-async
+   system recorded for comparison. *)
+
+let async_json_of_run ~label points =
+  let module E = Iolite_workload.Experiments in
+  let b = Stdlib.Buffer.create 1024 in
+  Stdlib.Buffer.add_string b
+    (Printf.sprintf "    {\n      \"label\": %S,\n      \"entries\": [\n" label);
+  List.iteri
+    (fun i p ->
+      Stdlib.Buffer.add_string b
+        (Printf.sprintf
+           "        {\"scenario\": %S, \"backend\": %S, \"mem_mb\": %d, \
+            \"requests\": %d, \"p50_s\": %.6f, \"p90_s\": %.6f, \"p99_s\": \
+            %.6f, \"disk_util\": %.4f, \"disk_reads\": %d, \"disk_writes\": \
+            %d, \"batches\": %d, \"batched\": %d, \"fill_coalesced\": %d, \
+            \"readahead_issued\": %d, \"readahead_hit\": %d, \"swap_writes\": \
+            %d, \"seq_read_s\": %.6f}%s\n"
+           p.E.as_scenario p.E.as_label p.E.as_mem_mb p.E.as_requests
+           p.E.as_p50 p.E.as_p90 p.E.as_p99 p.E.as_disk_util p.E.as_disk_reads
+           p.E.as_disk_writes p.E.as_batches p.E.as_batched p.E.as_coalesced
+           p.E.as_ra_issued p.E.as_ra_hit p.E.as_swap_writes p.E.as_seq_read_s
+           (if i = List.length points - 1 then "" else ",")))
+    points;
+  Stdlib.Buffer.add_string b "      ]\n    }";
+  Stdlib.Buffer.contents b
+
+let run_async ?(label = "current") ?(out = "BENCH_async.json") ?(scale = 1.0)
+    () =
+  Printf.printf
+    "\n== Async disk pipeline: tail latency under pressure (label: %s) ==\n%!"
+    label;
+  let module E = Iolite_workload.Experiments in
+  let points = E.async_sweep ~scale () in
+  E.print_async points;
+  append_json_text ~benchmark:"async-disk" ~out
+    ~run_json:(async_json_of_run ~label points)
+
+(* ------------------------------------------------------------------ *)
 (* Paper figures                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -818,6 +868,14 @@ let () =
       | _ -> None
     in
     run_scale ~label ~out ?conns ()
+  | _ :: "async" :: rest ->
+    (* async [LABEL] [OUT] [SCALE] *)
+    let label = match rest with l :: _ -> l | [] -> "current" in
+    let out = match rest with _ :: o :: _ -> o | _ -> "BENCH_async.json" in
+    let scale =
+      match rest with _ :: _ :: s :: _ -> float_of_string s | _ -> 1.0
+    in
+    run_async ~label ~out ~scale ()
   | _ :: "figures" :: rest ->
     (* figures [SCALE] [--metrics] [--trace FILE] *)
     let scale = ref 0.5 in

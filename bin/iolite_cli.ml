@@ -204,6 +204,19 @@ let cmds =
        Cmdliner.Term.(
          const run $ verbose_arg $ log_arg $ conns_arg $ requests_arg
          $ baseline_arg));
+    (let run verbose directives scale =
+       with_logging verbose directives;
+       E.print_async (E.async_sweep ~scale ())
+     in
+     Cmdliner.Cmd.v
+       (Cmdliner.Cmd.info "async"
+          ~doc:
+            "Async disk pipeline sweep: legacy/async backends at 128MB \
+             (warm) and 24MB (memory pressure), measuring foreground \
+             small-file latency percentiles under a background scan, disk \
+             utilization, batching, miss coalescing and readahead \
+             accuracy")
+       Cmdliner.Term.(const run $ verbose_arg $ log_arg $ scale_arg));
     (let run verbose directives metrics trace_out =
        with_logging verbose directives;
        let r = E.smoke () in

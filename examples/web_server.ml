@@ -4,7 +4,9 @@
    then explain where the difference comes from using the kernels' own
    operation counters.
 
-   Run with: dune exec examples/web_server.exe *)
+   Run with: dune exec examples/web_server.exe
+   Pass --legacy-disk to use the serialized pre-async disk backend
+   (no request queue, no readahead, no miss coalescing at the device). *)
 
 module Engine = Iolite_sim.Engine
 module Kernel = Iolite_os.Kernel
@@ -29,9 +31,17 @@ let site kernel =
 
 let pages = [| "/index.html"; "/logo.gif"; "/paper.ps"; "/photo.jpg"; "/doc7.html" |]
 
+let legacy_disk = Array.exists (( = ) "--legacy-disk") Sys.argv
+
+let kernel_config () =
+  let c = Kernel.default_config () in
+  if legacy_disk then
+    { c with Kernel.disk_backend = `Legacy; readahead = false }
+  else c
+
 let drive variant =
   let engine = Engine.create () in
-  let kernel = Kernel.create engine in
+  let kernel = Kernel.create ~config:(kernel_config ()) engine in
   site kernel;
   let server = Flash.start ~variant kernel ~port:80 in
   let rng = Iolite_util.Rng.create 11L in
@@ -66,6 +76,17 @@ let () =
     ~header:
       [ "server"; "bandwidth"; "requests"; "bytes copied"; "bytes checksummed"; "bytes sent" ]
     ~rows:[ row "Flash-Lite (IO-Lite)" (k_lite, r_lite); row "Flash (conventional)" (k_conv, r_conv) ];
+  Printf.printf
+    "\nDisk pipeline (%s backend): %d reads in %d batches, %d requests \
+     batched with\nneighbors, %d concurrent misses coalesced onto \
+     in-flight fills.\n"
+    (match Iolite_fs.Disk.backend (Kernel.disk k_lite) with
+    | `Queued -> "queued"
+    | `Legacy -> "legacy")
+    (Iolite_fs.Disk.reads (Kernel.disk k_lite))
+    (Iolite_fs.Disk.batches (Kernel.disk k_lite))
+    (Iolite_fs.Disk.batched (Kernel.disk k_lite))
+    (Counter.get (Kernel.metrics k_lite) "cache.fill_coalesced");
   Printf.printf
     "\nFlash-Lite moved %s over the wire while copying %s and checksumming \
      only %s\n(headers, plus each document once — the checksum cache covers \

@@ -15,9 +15,13 @@ type entry = {
      [ewatch] registered on every underlying buffer at pin time. *)
   eref_cell : int ref;
   ewatch : int -> unit;
+  (* Entered the cache via readahead and not yet demanded: cleared by
+     the first lookup that touches it (a readahead hit); an eviction
+     while still set means the prefetch was wasted. *)
+  mutable eprefetch : bool;
 }
 
-let make_entry ~file ~off ~len agg =
+let make_entry ?(prefetched = false) ~file ~off ~len agg =
   let cell = ref 0 in
   {
     efile = file;
@@ -26,6 +30,7 @@ let make_entry ~file ~off ~len agg =
     eagg = agg;
     eref_cell = cell;
     ewatch = (fun d -> cell := !cell + d);
+    eprefetch = prefetched;
   }
 
 (* Per-file interval index: entries keyed by offset in a balanced tree
@@ -48,6 +53,9 @@ type cells = {
   cc_eviction : int ref;
   cc_refcheck : int ref; (* cache.refcheck: O(1) Section 3.7 checks *)
   cc_refscan : int ref; (* cache.refscan: slice-walk checks (verify only) *)
+  cc_coalesced : int ref; (* cache.fill_coalesced: misses that joined a fill *)
+  cc_ra_hit : int ref; (* cache.readahead_hit: prefetched entry demanded *)
+  cc_ra_wasted : int ref; (* cache.readahead_wasted: evicted undemanded *)
 }
 
 type t = {
@@ -55,6 +63,12 @@ type t = {
   mutable policy : Policy.t;
   files : (int, filerec) Hashtbl.t;
   index : (Policy.key, entry) Hashtbl.t;
+  (* Single-flight fills: one in-flight fill per (file, offset) range;
+     concurrent misses block on the leader's ivar instead of fetching
+     again. Whole-file fills key on offset 0; extent-granular fills key
+     on their aligned start, so a demand read waits only for the extent
+     it needs, not a whole readahead window. *)
+  fills : (int * int, unit Iolite_sim.Sync.Ivar.t) Hashtbl.t;
   sentinel : entry; (* floor-probe default: covers nothing *)
   cells : cells;
   mutable bytes : int;
@@ -167,6 +181,7 @@ let evict_one t =
   match !victim with
   | None -> 0
   | Some e ->
+    if e.eprefetch then incr t.cells.cc_ra_wasted;
     drop_entry t e;
     t.evictions <- t.evictions + 1;
     incr t.cells.cc_eviction;
@@ -189,6 +204,7 @@ let create ?(policy = Policy.lru ()) ?(register_with_pageout = true) sys () =
       policy;
       files = Hashtbl.create 512;
       index = Hashtbl.create 512;
+      fills = Hashtbl.create 16;
       sentinel = make_entry ~file:(-1) ~off:min_int ~len:0 (Iobuf.Agg.empty ());
       cells =
         {
@@ -200,6 +216,9 @@ let create ?(policy = Policy.lru ()) ?(register_with_pageout = true) sys () =
           cc_eviction = Metrics.counter m "cache.eviction";
           cc_refcheck = Metrics.counter m "cache.refcheck";
           cc_refscan = Metrics.counter m "cache.refscan";
+          cc_coalesced = Metrics.counter m "cache.fill_coalesced";
+          cc_ra_hit = Metrics.counter m "cache.readahead_hit";
+          cc_ra_wasted = Metrics.counter m "cache.readahead_wasted";
         };
       bytes = 0;
       slices = 0;
@@ -312,6 +331,10 @@ let lookup t ~file ~off ~len =
       incr t.cells.cc_hit;
       trace_note t "hit" ~file ~bytes:len;
       t.policy.Policy.on_access (e.efile, e.eoff) ~size:e.elen;
+      if e.eprefetch then begin
+        e.eprefetch <- false;
+        incr t.cells.cc_ra_hit
+      end;
       if e.eoff = off && e.elen = len then begin
         (* Exact bounds: share the entry's rope outright. *)
         incr t.cells.cc_fastpath;
@@ -329,6 +352,10 @@ let lookup t ~file ~off ~len =
           List.map
             (fun e ->
               t.policy.Policy.on_access (key e) ~size:e.elen;
+              if e.eprefetch then begin
+                e.eprefetch <- false;
+                incr t.cells.cc_ra_hit
+              end;
               let lo = max off e.eoff
               and hi = min (off + len) (e.eoff + e.elen) in
               Iobuf.Agg.sub e.eagg ~off:(lo - e.eoff) ~len:(hi - lo))
@@ -364,14 +391,17 @@ let carve t ~file ~off ~len =
           if keep_left > 0 then begin
             let agg = Iobuf.Agg.sub e.eagg ~off:0 ~len:keep_left in
             remainders :=
-              make_entry ~file ~off:e.eoff ~len:keep_left agg :: !remainders
+              make_entry ~prefetched:e.eprefetch ~file ~off:e.eoff
+                ~len:keep_left agg
+              :: !remainders
           end;
           if keep_right > 0 then begin
             let agg =
               Iobuf.Agg.sub e.eagg ~off:(off + len - e.eoff) ~len:keep_right
             in
             remainders :=
-              make_entry ~file ~off:(off + len) ~len:keep_right agg
+              make_entry ~prefetched:e.eprefetch ~file ~off:(off + len)
+                ~len:keep_right agg
               :: !remainders
           end;
           drop_entry t e;
@@ -389,7 +419,7 @@ let insert t ~file ~off agg =
     enforce_capacity t
   end
 
-let backfill t ~file ~off agg =
+let backfill ?(prefetched = false) t ~file ~off agg =
   let len = Iobuf.Agg.length agg in
   if len = 0 then Iobuf.Agg.free agg
   else begin
@@ -414,11 +444,37 @@ let backfill t ~file ~off agg =
     List.iter
       (fun (gap_off, gap_len) ->
         let sub = Iobuf.Agg.sub agg ~off:(gap_off - off) ~len:gap_len in
-        add_entry t (make_entry ~file ~off:gap_off ~len:gap_len sub))
+        add_entry t (make_entry ~prefetched ~file ~off:gap_off ~len:gap_len sub))
       (List.rev !gaps);
     Iobuf.Agg.free agg;
     enforce_capacity t
   end
+
+(* Run [fill] (a blocking disk fetch) at most once among concurrent
+   callers keyed on [(file, off)]. The first caller leads: it runs
+   [fill] and, however it exits, wakes the followers. A follower
+   suspends on the leader's ivar, counts as a coalesced miss, and on
+   waking re-checks coverage at the call site (the leader may have
+   filled a different range, or pressure may have evicted the fill
+   already). *)
+let fill_single_flight t ~file ?(off = 0) fill =
+  match Hashtbl.find_opt t.fills (file, off) with
+  | Some iv ->
+    incr t.cells.cc_coalesced;
+    trace_note t "fill_coalesced" ~file ~bytes:0;
+    Iolite_sim.Sync.Ivar.read iv;
+    false
+  | None ->
+    let iv = Iolite_sim.Sync.Ivar.create () in
+    Hashtbl.replace t.fills (file, off) iv;
+    Fun.protect
+      ~finally:(fun () ->
+        Hashtbl.remove t.fills (file, off);
+        Iolite_sim.Sync.Ivar.fill iv ())
+      fill;
+    true
+
+let fill_in_flight t ~file ?(off = 0) () = Hashtbl.mem t.fills (file, off)
 
 let invalidate_file t ~file =
   match Hashtbl.find_opt t.files file with

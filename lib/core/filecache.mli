@@ -65,11 +65,31 @@ val insert : t -> file:int -> off:int -> Iobuf.Agg.t -> unit
     Overlapping older entries are replaced (trimmed or dropped) — their
     buffers persist while referenced elsewhere. *)
 
-val backfill : t -> file:int -> off:int -> Iobuf.Agg.t -> unit
+val backfill : ?prefetched:bool -> t -> file:int -> off:int -> Iobuf.Agg.t -> unit
 (** Like {!insert} but for data arriving from backing store: existing
     entries are {e newer} than the incoming bytes (they may hold writes
     not yet visible on disk), so only the gaps they leave are filled.
-    Takes ownership of the aggregate. *)
+    Takes ownership of the aggregate. [prefetched] marks the created
+    entries as readahead products: the first {!lookup} touching one
+    counts a [cache.readahead_hit] (and clears the mark), while
+    evicting one still marked counts a [cache.readahead_wasted]. *)
+
+val fill_single_flight : t -> file:int -> ?off:int -> (unit -> unit) -> bool
+(** [fill_single_flight t ~file ?off fill] coalesces concurrent fills of
+    one file range, keyed on [(file, off)] ([off] defaults to 0:
+    whole-file fills; extent-granular fills pass their aligned start, so
+    a demand read waits only for the extent it needs rather than a whole
+    readahead window). If no fill of the range is in flight, runs [fill]
+    (the leader) and returns [true]. Otherwise blocks the calling
+    process until the in-flight fill completes, counts a
+    [cache.fill_coalesced], and returns [false] — the caller must then
+    re-check coverage, since the leader's fill may have covered a
+    different range or already been evicted. Must run inside a
+    simulation process. *)
+
+val fill_in_flight : t -> file:int -> ?off:int -> unit -> bool
+(** Whether a single-flight fill of [(file, off)] is currently in
+    flight. *)
 
 val invalidate_file : t -> file:int -> unit
 (** Drop all entries of a file (e.g. file deletion/truncation). *)

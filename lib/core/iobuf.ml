@@ -286,7 +286,11 @@ module Pool = struct
         grant_epochs = [||];
       }
     in
-    Pageout.register_segment (Iosys.pageout sys) ~name:("pool:" ^ name)
+    (* Pool chunks hold application-produced buffer data with no backing
+       file copy, so reclaiming them is a dirty eviction: the pageout
+       daemon writes the victims to swap before the round completes. *)
+    Pageout.register_segment ~dirty:true (Iosys.pageout sys)
+      ~name:("pool:" ^ name)
       ~is_io_cache:false
       ~resident:(fun () -> resident_empty_bytes p)
       ~reclaim:(fun n -> release_until p n);

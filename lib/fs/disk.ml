@@ -2,11 +2,33 @@ module Sync = Iolite_sim.Sync
 module Proc = Iolite_sim.Engine.Proc
 module Trace = Iolite_obs.Trace
 
+type backend = [ `Legacy | `Queued ]
+
+type op = [ `Read | `Write ]
+
+type request = {
+  r_op : op;
+  r_file : int;
+  r_off : int;
+  r_bytes : int;
+  r_submit : float; (* virtual submission time, for the async span *)
+  r_proc : string option; (* submitting process, for trace args *)
+  r_done : unit -> unit;
+}
+
 type t = {
+  backend : backend;
   positioning_s : float;
   sequential_positioning_s : float;
   bytes_per_sec : float;
-  lock : Sync.Semaphore.t;
+  qdepth : int;
+  lock : Sync.Semaphore.t; (* legacy serialization *)
+  ring : Sync.Semaphore.t; (* queued: submission slots *)
+  pending : request Queue.t;
+  mutable dispatching : bool;
+  mutable in_service : int;
+  mutable batch_seq : int; (* batches dispatched so far *)
+  mutable batched : int; (* requests serviced in batches of >= 2 *)
   mutable last_file : int;
   mutable last_end : int;
   mutable reads : int;
@@ -17,13 +39,22 @@ type t = {
   trace : Trace.t;
 }
 
-let create ?(positioning_s = 0.008) ?(sequential_positioning_s = 0.0005)
-    ?(bytes_per_sec = 12e6) ?trace () =
+let create ?(backend = `Queued) ?(qdepth = 64) ?(positioning_s = 0.008)
+    ?(sequential_positioning_s = 0.0005) ?(bytes_per_sec = 12e6) ?trace () =
+  if qdepth < 1 then invalid_arg "Disk.create: qdepth";
   {
+    backend;
     positioning_s;
     sequential_positioning_s;
     bytes_per_sec;
+    qdepth;
     lock = Sync.Semaphore.create 1;
+    ring = Sync.Semaphore.create qdepth;
+    pending = Queue.create ();
+    dispatching = false;
+    in_service = 0;
+    batch_seq = 0;
+    batched = 0;
     last_file = -1;
     last_end = -1;
     reads = 0;
@@ -34,37 +65,194 @@ let create ?(positioning_s = 0.008) ?(sequential_positioning_s = 0.0005)
     trace = (match trace with Some tr -> tr | None -> Trace.create ());
   }
 
-let service t ~file ~off ~bytes =
+let op_name = function `Read -> "read" | `Write -> "write"
+
+(* Counters account at service time, inside the request's traced
+   extent, so a congested disk's spans and counters always agree. *)
+let account t op bytes =
+  match op with
+  | `Read ->
+    t.reads <- t.reads + 1;
+    t.bytes_read <- t.bytes_read + bytes
+  | `Write ->
+    t.writes <- t.writes + 1;
+    t.bytes_written <- t.bytes_written + bytes
+
+(* Position-then-transfer cost of one request, with the sequential
+   discount against whatever the head last serviced — under the queued
+   backend that includes a batched neighbor serviced just before. *)
+let service_cost t ~file ~off ~bytes =
+  let sequential = file = t.last_file && off = t.last_end in
+  let position =
+    if sequential then t.sequential_positioning_s else t.positioning_s
+  in
+  position +. (float_of_int bytes /. t.bytes_per_sec)
+
+let service_one t ~file ~off ~bytes =
+  let cost = service_cost t ~file ~off ~bytes in
+  Proc.sleep cost;
+  t.busy <- t.busy +. cost;
+  t.last_file <- file;
+  t.last_end <- off + bytes
+
+(* ------------------------------ legacy ----------------------------- *)
+
+let legacy_service t ~file ~off ~bytes =
   Sync.Semaphore.with_acquired t.lock (fun () ->
-      let sequential = file = t.last_file && off = t.last_end in
-      let position =
-        if sequential then t.sequential_positioning_s else t.positioning_s
-      in
-      let transfer = float_of_int bytes /. t.bytes_per_sec in
-      Proc.sleep (position +. transfer);
-      t.busy <- t.busy +. position +. transfer;
-      t.last_file <- file;
-      t.last_end <- off + bytes)
+      service_one t ~file ~off ~bytes)
 
 (* Spans cover queueing (semaphore wait) plus positioning and
    transfer, so a congested disk shows as long [disk] spans. *)
-let traced t name ~file ~bytes f =
+let legacy_traced t name ~file ~bytes f =
   if Trace.enabled t.trace then
     Trace.span t.trace ~cat:"disk" ~name
       ~args:[ ("file", Trace.Int file); ("bytes", Trace.Int bytes) ]
       f
   else f ()
 
-let read t ~file ~off ~bytes =
-  traced t "read" ~file ~bytes (fun () -> service t ~file ~off ~bytes);
-  t.reads <- t.reads + 1;
-  t.bytes_read <- t.bytes_read + bytes
+let legacy_op t op ~file ~off ~bytes =
+  legacy_traced t (op_name op) ~file ~bytes (fun () ->
+      legacy_service t ~file ~off ~bytes;
+      account t op bytes)
 
-let write t ~file ~off ~bytes =
-  traced t "write" ~file ~bytes (fun () -> service t ~file ~off ~bytes);
-  t.writes <- t.writes + 1;
-  t.bytes_written <- t.bytes_written + bytes
+(* ------------------------------ queued ----------------------------- *)
 
+(* One dispatcher fiber drains the ring in frozen batches: it removes
+   every pending request (up to the ring depth — the io_uring-shaped
+   completion bound), sorts the batch in C-SCAN elevator order starting
+   from the head's current position, services each request, and fires
+   the completion callbacks as it goes. Requests submitted while a
+   batch is in service wait for the next batch, which bounds every
+   request's wait to one batch turn (no starvation). *)
+
+let elevator t batch =
+  let arr = Array.of_list batch in
+  Array.sort
+    (fun a b ->
+      match compare a.r_file b.r_file with
+      | 0 -> compare a.r_off b.r_off
+      | c -> c)
+    arr;
+  (* Rotate so service resumes at the first request at-or-after the
+     head position and wraps (C-SCAN). *)
+  let n = Array.length arr in
+  let start = ref 0 in
+  (try
+     for i = 0 to n - 1 do
+       let r = arr.(i) in
+       if
+         r.r_file > t.last_file
+         || (r.r_file = t.last_file && r.r_off >= t.last_end)
+       then begin
+         start := i;
+         raise Stdlib.Exit
+       end
+     done;
+     start := 0
+   with Stdlib.Exit -> ());
+  List.init n (fun i -> arr.((i + !start) mod n))
+
+let complete_span t r =
+  if Trace.enabled t.trace then begin
+    let now = Trace.now t.trace in
+    let args =
+      [ ("file", Trace.Int r.r_file); ("bytes", Trace.Int r.r_bytes) ]
+    in
+    let args =
+      match r.r_proc with
+      | Some p -> args @ [ ("proc", Trace.Str p) ]
+      | None -> args
+    in
+    Trace.complete t.trace ~cat:"disk" ~name:(op_name r.r_op) ~ts:r.r_submit
+      ~dur:(now -. r.r_submit) ~args ()
+  end
+
+let rec dispatch t =
+  if Queue.is_empty t.pending then t.dispatching <- false
+  else begin
+    let batch = ref [] in
+    let n = ref 0 in
+    while (not (Queue.is_empty t.pending)) && !n < t.qdepth do
+      batch := Queue.pop t.pending :: !batch;
+      incr n
+    done;
+    t.batch_seq <- t.batch_seq + 1;
+    if !n >= 2 then t.batched <- t.batched + !n;
+    let ordered = elevator t !batch in
+    List.iter
+      (fun r ->
+        service_one t ~file:r.r_file ~off:r.r_off ~bytes:r.r_bytes;
+        t.in_service <- t.in_service - 1;
+        account t r.r_op r.r_bytes;
+        complete_span t r;
+        Sync.Semaphore.release t.ring;
+        r.r_done ())
+      ordered;
+    dispatch t
+  end
+
+(* Enqueueing is split from slot acquisition and dispatcher spawn: the
+   latter two perform engine effects and so must run in the submitting
+   fiber proper, never inside a [Proc.suspend] register closure. *)
+let enqueue t ~proc ~op ~file ~off ~bytes k =
+  let r =
+    {
+      r_op = op;
+      r_file = file;
+      r_off = off;
+      r_bytes = bytes;
+      r_submit = (if Trace.enabled t.trace then Trace.now t.trace else 0.0);
+      r_proc = proc;
+      r_done = k;
+    }
+  in
+  Queue.push r t.pending;
+  t.in_service <- t.in_service + 1
+
+let ensure_dispatcher t =
+  if not t.dispatching then begin
+    t.dispatching <- true;
+    Proc.spawn ~name:"disk.dispatch" (fun () -> dispatch t)
+  end
+
+let submitter_name t = if Trace.enabled t.trace then Proc.self () else None
+
+let submit_queued t ~op ~file ~off ~bytes k =
+  (* Backpressure: block the submitter while the ring is full. *)
+  let proc = submitter_name t in
+  Sync.Semaphore.acquire t.ring;
+  enqueue t ~proc ~op ~file ~off ~bytes k;
+  ensure_dispatcher t
+
+(* ------------------------------ public ----------------------------- *)
+
+let submit t ~op ~file ~off ~bytes k =
+  match t.backend with
+  | `Queued -> submit_queued t ~op ~file ~off ~bytes k
+  | `Legacy ->
+    (* The legacy device has no ring; model an async submission as a
+       helper fiber serialized by the device semaphore. *)
+    Proc.spawn ~name:"disk.legacy-submit" (fun () ->
+        legacy_op t op ~file ~off ~bytes;
+        k ())
+
+let blocking t op ~file ~off ~bytes =
+  match t.backend with
+  | `Legacy -> legacy_op t op ~file ~off ~bytes
+  | `Queued ->
+    let proc = submitter_name t in
+    Sync.Semaphore.acquire t.ring;
+    (* A freshly spawned dispatcher only runs once this fiber parks, so
+       it observes the request pushed by the register closure. *)
+    ensure_dispatcher t;
+    Proc.suspend (fun resume -> enqueue t ~proc ~op ~file ~off ~bytes resume)
+
+let read t ~file ~off ~bytes = blocking t `Read ~file ~off ~bytes
+let write t ~file ~off ~bytes = blocking t `Write ~file ~off ~bytes
+let backend t = t.backend
+let queue_depth t = t.in_service
+let batches t = t.batch_seq
+let batched t = t.batched
 let reads t = t.reads
 let writes t = t.writes
 let bytes_read t = t.bytes_read

@@ -69,29 +69,6 @@ module Mapcache = struct
     m
 end
 
-(* Deduplicate concurrent fetches of the same file (Flash's helper
-   processes coalesce on the same miss). *)
-module Singleflight = struct
-  type t = (int, unit Sync.Ivar.t) Hashtbl.t
-
-  let create () : t = Hashtbl.create 64
-
-  let run t ~file f =
-    match Hashtbl.find_opt t file with
-    | Some ivar -> Sync.Ivar.read ivar
-    | None ->
-      let ivar = Sync.Ivar.create () in
-      Hashtbl.replace t file ivar;
-      (match f () with
-      | () ->
-        Hashtbl.remove t file;
-        Sync.Ivar.fill ivar ()
-      | exception e ->
-        Hashtbl.remove t file;
-        Sync.Ivar.fill ivar ();
-        raise e)
-end
-
 type t = {
   kernel : Kernel.t;
   listener : Sock.listener;
@@ -99,7 +76,6 @@ type t = {
   mutable requests : int;
   mutable response_bytes : int;
   mutable cgi : Cgi.t option;
-  flight : Singleflight.t;
   (* Request-latency histograms are sharded by connection id: the
      completion hook touches one shard, and readers merge the shards
      into one histogram at snapshot time (log-bucketed histograms merge
@@ -111,9 +87,11 @@ let header_agg proc ~keep_alive ~len =
   let header = Http.response_header ~keep_alive ~content_length:len () in
   Iobuf.Agg.of_string (Process.pool proc) ~producer:(Process.domain proc) header
 
-let send_static_conv t proc conn mapcache ~on_complete ~keep_alive ~file =
-  Singleflight.run t.flight ~file (fun () ->
-      if not (Fileio.cached_conv proc ~file) then Fileio.fetch_conv proc ~file);
+(* Concurrent fetches of the same file (Flash's helper processes
+   coalescing on a miss) are deduplicated by the file cache's per-file
+   single-flight fill latch, inside fetch_conv/fetch_unified. *)
+let send_static_conv _t proc conn mapcache ~on_complete ~keep_alive ~file =
+  if not (Fileio.cached_conv proc ~file) then Fileio.fetch_conv proc ~file;
   let m = Mapcache.get mapcache proc ~file in
   let body = Iobuf.Agg.dup (Fileio.mapping_agg m) in
   let header = header_agg proc ~keep_alive ~len:(Iobuf.Agg.length body) in
@@ -124,10 +102,8 @@ let send_static_conv t proc conn mapcache ~on_complete ~keep_alive ~file =
   Sock.send ~on_complete proc conn ~zero_copy:false resp;
   len
 
-let send_static_iolite t proc conn ~on_complete ~keep_alive ~file =
-  Singleflight.run t.flight ~file (fun () ->
-      if not (Fileio.cached_unified proc ~file) then
-        Fileio.fetch_unified proc ~file);
+let send_static_iolite _t proc conn ~on_complete ~keep_alive ~file =
+  if not (Fileio.cached_unified proc ~file) then Fileio.fetch_unified proc ~file;
   let size = Fileio.stat_size proc ~file in
   let body = Fileio.iol_read proc ~file ~off:0 ~len:size in
   let header = header_agg proc ~keep_alive ~len:(Iobuf.Agg.length body) in
@@ -138,9 +114,8 @@ let send_static_iolite t proc conn ~on_complete ~keep_alive ~file =
   Sock.send ~on_complete proc conn ~zero_copy:true resp;
   len
 
-let send_static_sendfile t proc conn ~on_complete ~keep_alive ~file =
-  Singleflight.run t.flight ~file (fun () ->
-      if not (Fileio.cached_conv proc ~file) then Fileio.fetch_conv proc ~file);
+let send_static_sendfile _t proc conn ~on_complete ~keep_alive ~file =
+  if not (Fileio.cached_conv proc ~file) then Fileio.fetch_conv proc ~file;
   let size = Fileio.stat_size proc ~file in
   let header = Http.response_header ~keep_alive ~content_length:size () in
   Sock.sendfile ~on_complete proc conn ~file ~header
@@ -269,7 +244,6 @@ let start ?(variant = Iolite) ?cgi_doc_size ?cgi_mode ?policy ?(lat_shards = 16)
       requests = 0;
       response_bytes = 0;
       cgi = None;
-      flight = Singleflight.create ();
       latencies =
         Array.init (round_pow2 (max 1 lat_shards)) (fun _ -> Hist.create ());
     }

@@ -6,16 +6,23 @@ let log = Iolite_util.Logging.src "pageout"
 type segment = {
   name : string;
   is_io_cache : bool;
+  dirty : bool;
   resident : unit -> int;
   reclaim : int -> int;
+}
+
+type swapper = {
+  swap_out : bytes:int -> on_done:(unit -> unit) -> bool;
+  swap_wait : (unit -> bool) -> unit;
 }
 
 type t = {
   physmem : Physmem.t;
   rng : Rng.t;
   trace : Trace.t;
-  mutable segments : segment list;
+  segments : segment Queue.t;
   mutable evictor : unit -> int;
+  mutable swapper : swapper option;
   (* Counters for the Section 3.7 rule, reset at each entry eviction. *)
   mutable selected_since_evict : int;
   mutable io_selected_since_evict : int;
@@ -23,6 +30,8 @@ type t = {
   mutable total_selected : int;
   mutable total_io_selected : int;
   mutable total_evicted : int;
+  mutable total_swap_writes : int;
+  mutable total_swap_bytes : int;
 }
 
 let create ?trace ~physmem ~seed () =
@@ -30,23 +39,32 @@ let create ?trace ~physmem ~seed () =
     physmem;
     rng = Rng.create seed;
     trace = (match trace with Some tr -> tr | None -> Trace.create ());
-    segments = [];
+    segments = Queue.create ();
     evictor = (fun () -> 0);
+    swapper = None;
     selected_since_evict = 0;
     io_selected_since_evict = 0;
     total_selected = 0;
     total_io_selected = 0;
     total_evicted = 0;
+    total_swap_writes = 0;
+    total_swap_bytes = 0;
   }
 
-let register_segment t ~name ~is_io_cache ~resident ~reclaim =
-  t.segments <- t.segments @ [ { name; is_io_cache; resident; reclaim } ]
+(* Registration order is observation order (the weighted pick walks it),
+   so segments append FIFO — O(1) per registration. *)
+let register_segment ?(dirty = false) t ~name ~is_io_cache ~resident ~reclaim =
+  Queue.add { name; is_io_cache; dirty; resident; reclaim } t.segments
 
 let set_entry_evictor t f = t.evictor <- f
+let set_swapper t sw = t.swapper <- Some sw
 
 (* Pick a segment with probability proportional to resident size. *)
 let pick_segment t =
-  let sizes = List.map (fun s -> (s, s.resident ())) t.segments in
+  let sizes =
+    Queue.fold (fun acc s -> (s, s.resident ()) :: acc) [] t.segments
+    |> List.rev
+  in
   let total = List.fold_left (fun acc (_, n) -> acc + n) 0 sizes in
   if total <= 0 then None
   else begin
@@ -62,6 +80,24 @@ let pick_segment t =
 let run t ~needed =
   let freed = ref 0 in
   let stall = ref 0 in
+  (* Victim writes for the whole reclaim round are submitted
+     asynchronously as the round walks segments; the daemon joins once
+     at the end, so a round's writes batch on the device instead of
+     stalling the reclaiming process once per victim. *)
+  let outstanding = ref 0 in
+  let submitted = ref false in
+  let swap_victim got =
+    match t.swapper with
+    | None -> ()
+    | Some sw ->
+      incr outstanding;
+      if sw.swap_out ~bytes:got ~on_done:(fun () -> decr outstanding) then begin
+        submitted := true;
+        t.total_swap_writes <- t.total_swap_writes + 1;
+        t.total_swap_bytes <- t.total_swap_bytes + got
+      end
+      else decr outstanding
+  in
   (* A stall bound keeps the daemon from spinning when everything resident
      is pinned by live references. *)
   while !freed < needed && !stall < 256 do
@@ -75,6 +111,7 @@ let run t ~needed =
         t.total_io_selected <- t.total_io_selected + 1
       end;
       let got = s.reclaim Page.page_size in
+      if got > 0 && s.dirty then swap_victim got;
       freed := !freed + got;
       (* Section 3.7 rule: more than half of recent victims held cached
          I/O data => the file cache is too large; evict one entry. *)
@@ -97,13 +134,20 @@ let run t ~needed =
       if got = 0 && unpinned = 0 then incr stall else stall := 0
   done;
   ignore t.physmem;
+  (* Join: suspend the reclaiming process until every victim write of
+     this round has completed. Rounds nest safely — a process that
+     faults while we wait runs its own round with its own counters. *)
+  (match t.swapper with
+  | Some sw when !submitted -> sw.swap_wait (fun () -> !outstanding = 0)
+  | _ -> ());
   if Trace.enabled t.trace then
     Trace.instant t.trace ~cat:"vm" ~name:"pageout"
       ~args:[ ("needed", Int needed); ("freed", Int !freed) ]
       ();
   Logs.debug ~src:log (fun m ->
-      m "pageout: needed %d, freed %d (lifetime: %d pages selected, %d io, %d entry evictions)"
-        needed !freed t.total_selected t.total_io_selected t.total_evicted);
+      m "pageout: needed %d, freed %d (lifetime: %d pages selected, %d io, %d entry evictions, %d victim writes)"
+        needed !freed t.total_selected t.total_io_selected t.total_evicted
+        t.total_swap_writes);
   !freed
 
 let install t =
@@ -112,3 +156,5 @@ let install t =
 let pages_selected t = t.total_selected
 let io_pages_selected t = t.total_io_selected
 let entries_evicted t = t.total_evicted
+let swap_writes t = t.total_swap_writes
+let swap_bytes t = t.total_swap_bytes

@@ -21,6 +21,7 @@ val create :
     at the end of every daemon run when tracing is enabled. *)
 
 val register_segment :
+  ?dirty:bool ->
   t ->
   name:string ->
   is_io_cache:bool ->
@@ -29,11 +30,36 @@ val register_segment :
   unit
 (** [resident ()] reports the segment's current resident bytes;
     [reclaim n] attempts to free up to [n] bytes of them (returning the
-    number actually freed; 0 when everything is pinned). *)
+    number actually freed; 0 when everything is pinned). [dirty]
+    (default [false]) marks a segment whose victims hold data with no
+    backing copy — buffer-pool pages of application-produced data —
+    so each reclaim from it submits a victim write through the
+    installed {!swapper}. Clean segments (file caches, re-fetchable
+    from disk) are dropped without I/O. Registration is O(1). *)
 
 val set_entry_evictor : t -> (unit -> int) -> unit
 (** Evict one file-cache entry, returning the bytes it unpinned and
     freed. Used when the Section 3.7 rule fires. *)
+
+type swapper = {
+  swap_out : bytes:int -> on_done:(unit -> unit) -> bool;
+      (** Submit an asynchronous victim write of [bytes] to backing
+          store; call [on_done] at its virtual completion time. Returns
+          [false] when submission is impossible (no process context),
+          in which case the write is skipped and not awaited. *)
+  swap_wait : (unit -> bool) -> unit;
+      (** Block the calling (reclaiming) process until the predicate
+          holds — the end-of-round join. Only invoked after at least
+          one successful [swap_out] of the round, so it always runs in
+          process context. *)
+}
+(** The pageout daemon's link to the disk, installed by the OS layer
+    (this library cannot see the device). Victim writes for a reclaim
+    round are submitted as the round progresses and joined once at the
+    end, so one round's writes batch on the device instead of stalling
+    the reclaiming process once per victim. *)
+
+val set_swapper : t -> swapper -> unit
 
 val run : t -> needed:int -> int
 (** Select victims until [needed] bytes are freed or no progress can be
@@ -50,3 +76,8 @@ val io_pages_selected : t -> int
 
 val entries_evicted : t -> int
 (** Number of times the Section 3.7 rule evicted a cache entry. *)
+
+val swap_writes : t -> int
+(** Victim writes submitted (lifetime). *)
+
+val swap_bytes : t -> int

@@ -44,6 +44,7 @@ type chunk = {
 type t = {
   physmem : Physmem.t;
   mutable on_op : op -> pages:int -> unit;
+  mutable pager : pages:int -> unit;
   metrics : Metrics.t;
   trace : Trace.t;
   mutable next_chunk : int;
@@ -55,12 +56,14 @@ let create ?metrics ?trace ~physmem () =
   {
     physmem;
     on_op = (fun _ ~pages:_ -> ());
+    pager = (fun ~pages:_ -> ());
     metrics = (match metrics with Some m -> m | None -> Metrics.create ());
     trace = (match trace with Some tr -> tr | None -> Trace.create ());
     next_chunk = 0;
   }
 
 let set_on_op t f = t.on_op <- f
+let set_pager t f = t.pager <- f
 let metrics t = t.metrics
 
 let record t op pages =
@@ -206,8 +209,11 @@ let check_readable t domain c =
          (Printf.sprintf "domain %s has no read mapping for chunk %d (%s)"
             (Pdomain.name domain) c.id c.label));
   if c.resident_pages = 0 then begin
-    (* Touching a paged-out chunk: fault it back in. *)
+    (* Touching a paged-out chunk: fault it back in. The pager reads the
+       chunk back from backing store, suspending just the faulting
+       process; the fault cost itself is charged via [on_op]. *)
     record t Page_fault 1;
+    t.pager ~pages:Page.pages_per_chunk;
     ensure_resident t c
   end
 

@@ -44,6 +44,13 @@ val create :
 val set_on_op : t -> (op -> pages:int -> unit) -> unit
 (** Observer for cost accounting; defaults to a no-op. *)
 
+val set_pager : t -> (pages:int -> unit) -> unit
+(** Swap-in hook, called when a read touches a paged-out chunk (just
+    after the [Page_fault] is recorded, before the pages are
+    re-allocated). The OS layer installs a blocking disk read here so a
+    fault suspends exactly the faulting simulated process. Defaults to
+    a no-op. *)
+
 val note_op : t -> op -> pages:int -> unit
 (** Record an operation (counters + observer) without changing mapping
     state. The buffer layer uses this to charge write-permission toggles

@@ -21,32 +21,36 @@ let stat_size proc ~file =
     (Kernel.cost kernel).Costmodel.metadata_lookup;
   size
 
-(* Read a whole file from disk into IO-Lite buffers allocated from
-   [pool]. The kernel is the producer (trusted: no permission toggling);
-   placement is DMA. Returns the caller-owned aggregate. *)
-let disk_fetch proc ~pool ~file ~size =
+(* Read [off, off+bytes) of a file from disk into IO-Lite buffers
+   allocated from [pool]. The kernel is the producer (trusted: no
+   permission toggling); placement is DMA. Returns the caller-owned
+   aggregate. *)
+let disk_fetch_range proc ~pool ~file ~off ~bytes =
   let kernel = Process.kernel proc in
   let sys = Kernel.sys kernel in
   let kd = Iosys.kernel sys in
-  Iolite_fs.Disk.read (Kernel.disk kernel) ~file ~off:0 ~bytes:size;
+  Iolite_fs.Disk.read (Kernel.disk kernel) ~file ~off ~bytes;
   let rec build pos acc =
-    if pos >= size then List.rev acc
+    if pos >= bytes then List.rev acc
     else begin
-      let n = min Iobuf.Pool.max_alloc (size - pos) in
+      let n = min Iobuf.Pool.max_alloc (bytes - pos) in
       let b = Iobuf.Pool.alloc ~paged:true pool ~producer:kd n in
       Iosys.with_fill_mode sys `Dma (fun () ->
-          Filestore.fill_buffer (Kernel.store kernel) b ~file ~off:pos);
+          Filestore.fill_buffer (Kernel.store kernel) b ~file ~off:(off + pos));
       Iobuf.Buffer.seal b;
       build (pos + n) (Iobuf.Agg.of_buffer_owned b :: acc)
     end
   in
-  if size = 0 then Iobuf.Agg.empty ()
+  if bytes = 0 then Iobuf.Agg.empty ()
   else begin
     let parts = build 0 [] in
     let agg = Iobuf.Agg.concat_list parts in
     List.iter Iobuf.Agg.free parts;
     agg
   end
+
+let disk_fetch proc ~pool ~file ~size =
+  disk_fetch_range proc ~pool ~file ~off:0 ~bytes:size
 
 (* Admission control: an object bigger than this fraction of the cache
    budget is served uncached — inserting it would wipe out a large slice
@@ -57,19 +61,29 @@ let admission_limit kernel =
     (Iolite_core.Iosys.physmem (Kernel.sys kernel))
   / 8
 
+(* Run [fill] under the cache's per-range single-flight latch:
+   concurrent missing readers coalesce onto one disk read. A follower
+   that waited out someone else's fill re-checks [needed] — the leader
+   may have filled a different range — and leads at most once itself. *)
+let single_flight cache ~file ?(off = 0) ~needed fill =
+  if needed () then
+    if not (Filecache.fill_single_flight cache ~file ~off fill) then
+      if needed () then
+        ignore (Filecache.fill_single_flight cache ~file ~off fill)
+
 let ensure_cached proc cache ~pool ~file =
   let kernel = Process.kernel proc in
   let size = file_size proc ~file in
-  if
+  let needed () =
     size > 0 && size <= admission_limit kernel
     (* O(1) byte-count screen first; the covered probe walks the index. *)
     && Filecache.file_bytes cache ~file < size
     && not (Filecache.covered cache ~file ~off:0 ~len:size)
-  then begin
-    let agg = disk_fetch proc ~pool ~file ~size in
-    (* Backfill: cache entries may hold writes newer than the disk. *)
-    Filecache.backfill cache ~file ~off:0 agg
-  end;
+  in
+  single_flight cache ~file ~needed (fun () ->
+      let agg = disk_fetch proc ~pool ~file ~size in
+      (* Backfill: cache entries may hold writes newer than the disk. *)
+      Filecache.backfill cache ~file ~off:0 agg);
   size
 
 (* The unified cache fills from the kernel's world-readable file pool:
@@ -126,15 +140,100 @@ let deliver proc agg =
     Iobuf.Agg.free agg;
     Iobuf.Agg.of_string (Process.pool proc) ~producer:(Process.domain proc) data
 
+(* {2 Extent-granular fills and readahead}
+
+   Small files are cached whole, as before. A file bigger than one
+   extent is demand-paged at extent granularity: [IOL_read] ensures only
+   the extents under the requested range, and a per-file adaptive window
+   prefetches ahead of sequential readers. *)
+
+let extent = Iobuf.Pool.max_alloc
+let ra_max_window = 8 (* extents: caps the window at 512 KB *)
+let align_down n = n - (n mod extent)
+let align_up n = align_down (n + extent - 1)
+
+(* Fetch one extent and backfill it, under the extent's single-flight
+   latch; [prefetched] marks readahead products for hit/waste
+   accounting. *)
+let fill_extent ?(prefetched = false) proc cache ~pool ~file ~size ~lo =
+  let hi = min size (lo + extent) in
+  let needed () = not (Filecache.covered cache ~file ~off:lo ~len:(hi - lo)) in
+  single_flight cache ~file ~off:lo ~needed (fun () ->
+      let agg = disk_fetch_range proc ~pool ~file ~off:lo ~bytes:(hi - lo) in
+      Filecache.backfill ~prefetched cache ~file ~off:lo agg)
+
+(* Ensure the extent-aligned span covering [off, off+len) is cached.
+   Each extent fills under its own latch, so a reader coalescing onto an
+   in-flight fill (usually a prefetch) waits for one extent's disk time,
+   never a whole readahead window. *)
+let ensure_range proc cache ~pool ~file ~size ~off ~len =
+  if len > 0 then begin
+    let lo = ref (align_down off) in
+    let hi = min size (align_up (off + len)) in
+    while !lo < hi do
+      fill_extent proc cache ~pool ~file ~size ~lo:!lo;
+      lo := !lo + extent
+    done
+  end
+
+(* Adaptive sequential readahead, driven on every large-file IOL_read:
+   a read starting exactly where the previous one ended doubles the
+   window (up to [ra_max_window] extents); a seek resets it to one. The
+   prefetch runs on its own fiber so the demanding read returns without
+   waiting for it; prefetched extents enter the cache through the
+   interval-index backfill marked as such, so later hits (and wasted
+   evictions) are attributable. *)
+let readahead proc cache ~pool ~file ~size ~off ~len =
+  let kernel = Process.kernel proc in
+  let st = Kernel.ra_state kernel ~file in
+  if off = st.Kernel.ra_next then
+    st.Kernel.ra_window <- min ra_max_window (st.Kernel.ra_window * 2)
+  else st.Kernel.ra_window <- 1;
+  st.Kernel.ra_next <- off + len;
+  (* The window starts past the demanded range; each uncovered,
+     not-in-flight extent gets its own fiber and its own extent-sized
+     disk request. Issued together they land in one dispatcher batch,
+     so the elevator services them as one contiguous sequential run —
+     the io_uring shape: N small SQEs, one submission. Per-extent
+     requests also mean a demand reader behind the prefetch coalesces
+     onto exactly the extent it needs. *)
+  let pf_lo = align_up (off + len) in
+  let pf_hi = min size (pf_lo + (st.Kernel.ra_window * extent)) in
+  if Iolite_sim.Engine.Proc.running () then begin
+    let lo = ref pf_lo in
+    while !lo < pf_hi do
+      let e = !lo in
+      if
+        (not
+           (Filecache.covered cache ~file ~off:e
+              ~len:(min extent (size - e))))
+        && not (Filecache.fill_in_flight cache ~file ~off:e ())
+      then begin
+        Metrics.incr (Kernel.metrics kernel) "cache.readahead_issued";
+        Iolite_sim.Engine.Proc.spawn ~name:"readahead" (fun () ->
+            fill_extent ~prefetched:true proc cache ~pool ~file ~size ~lo:e)
+      end;
+      lo := !lo + extent
+    done
+  end
+
 let iol_read_body ?pool proc ~file ~off ~len =
   let kernel = Process.kernel proc in
   let cache = Kernel.unified_cache kernel in
-  let size =
-    match pool with
-    | None -> ensure_unified proc ~file
-    | Some pool -> ensure_cached proc cache ~pool ~file
+  let fill_pool =
+    match pool with None -> Kernel.file_pool kernel | Some pool -> pool
   in
+  let size = file_size proc ~file in
   let len = max 0 (min len (size - off)) in
+  if
+    Kernel.readahead_enabled kernel
+    && size > extent
+    && size <= admission_limit kernel
+  then begin
+    ensure_range proc cache ~pool:fill_pool ~file ~size ~off ~len;
+    readahead proc cache ~pool:fill_pool ~file ~size ~off ~len
+  end
+  else ignore (ensure_cached proc cache ~pool:fill_pool ~file);
   let result =
     if len = 0 then Iobuf.Agg.empty ()
     else begin

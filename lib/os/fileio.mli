@@ -2,12 +2,19 @@
     Section 3.4), the backward-compatible POSIX copy interface
     (Section 4.2), and [mmap] (Section 3.8).
 
-    On a unified-cache miss the whole file is fetched from the simulated
-    disk into IO-Lite buffers allocated from the {e requesting process's}
-    pool (the pool determines the ACL of the cached data, Section 3.3)
-    but {e produced} by the trusted kernel, so no write-permission
-    toggling occurs. Disk placement is DMA: no CPU is charged for the
-    fill. *)
+    On a unified-cache miss, small files are fetched whole from the
+    simulated disk into IO-Lite buffers allocated from the {e requesting
+    process's} pool (the pool determines the ACL of the cached data,
+    Section 3.3) but {e produced} by the trusted kernel, so no
+    write-permission toggling occurs. Disk placement is DMA: no CPU is
+    charged for the fill.
+
+    Files larger than one extent (64 KB) are demand-paged at extent
+    granularity with adaptive sequential readahead (window doubles on
+    sequential hits up to 8 extents, resets on seeks), when
+    [Kernel.config.readahead] is on. All miss fills are single-flight
+    per file: concurrent missing readers coalesce onto one disk read
+    ([cache.fill_coalesced] counts the followers). *)
 
 exception No_such_file of int
 

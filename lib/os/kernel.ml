@@ -13,6 +13,9 @@ type config = {
   cache_policy : Policy.t;
   filter_shards : int;
   seed : int64;
+  disk_backend : Iolite_fs.Disk.backend;
+  readahead : bool;
+  swap_writeback : bool;
 }
 
 let log = Iolite_util.Logging.src "kernel"
@@ -27,7 +30,16 @@ let default_config () =
     cache_policy = Policy.lru ();
     filter_shards = 16;
     seed = 0x10117EL;
+    disk_backend = `Queued;
+    readahead = true;
+    swap_writeback = true;
   }
+
+(* Per-file sequential-readahead state (Fileio drives the policy). *)
+type ra = {
+  mutable ra_next : int; (* offset one past the last sequential read *)
+  mutable ra_window : int; (* current prefetch window, in extents *)
+}
 
 type t = {
   engine : Iolite_sim.Engine.t;
@@ -43,10 +55,16 @@ type t = {
   filter : Iolite_net.Packetfilter.t;
   page_pool : Iolite_core.Iobuf.Pool.t;
   file_pool : Iolite_core.Iobuf.Pool.t;
+  ra : (int, ra) Hashtbl.t;
+  mutable swap_cursor : int; (* next free swap-partition offset *)
   mutable pending : float;
   mutable next_pid : int;
   mutable metadata_wired : int;
 }
+
+(* Distinguished device id for the swap partition (real file ids are
+   positive). *)
+let swap_file = -2
 
 let create ?config engine =
   let config = match config with Some c -> c | None -> default_config () in
@@ -88,7 +106,9 @@ let create ?config engine =
       sys;
       config;
       cpu = Cpu.create ~context_switch:config.cost.Costmodel.context_switch ();
-      disk = Iolite_fs.Disk.create ~trace:(Iosys.trace sys) ();
+      disk =
+        Iolite_fs.Disk.create ~backend:config.disk_backend
+          ~trace:(Iosys.trace sys) ();
       link =
         Iolite_net.Link.create ~trace:(Iosys.trace sys)
           ~bits_per_sec:config.link_bits_per_sec ();
@@ -102,11 +122,53 @@ let create ?config engine =
         Iolite_core.Iobuf.Pool.create sys ~name:"vm_pages" ~acl:Vm.Public;
       file_pool =
         Iolite_core.Iobuf.Pool.create sys ~name:"filecache" ~acl:Vm.Public;
+      ra = Hashtbl.create 64;
+      swap_cursor = 0;
       pending = 0.0;
       next_pid = 0;
       metadata_wired = 0;
     }
   in
+  if config.swap_writeback then begin
+    (* Pageout victim writes and fault swap-ins go to the swap
+       partition through the disk. Swap slots are handed out from a
+       rotating cursor, so one reclaim round's victims are contiguous
+       and batch into (mostly) sequential device traffic. *)
+    let module Sync = Iolite_sim.Sync in
+    let module Proc = Iolite_sim.Engine.Proc in
+    let swap_cv = Sync.Condvar.create () in
+    Iolite_mem.Pageout.set_swapper (Iosys.pageout sys)
+      {
+        Iolite_mem.Pageout.swap_out =
+          (fun ~bytes ~on_done ->
+            if Proc.running () then begin
+              let off = t.swap_cursor in
+              t.swap_cursor <- off + bytes;
+              Iolite_fs.Disk.submit t.disk ~op:`Write ~file:swap_file ~off
+                ~bytes (fun () ->
+                  on_done ();
+                  Sync.Condvar.broadcast swap_cv);
+              true
+            end
+            else false);
+        swap_wait =
+          (fun done_ ->
+            while not (done_ ()) do
+              Sync.Condvar.wait swap_cv
+            done);
+      };
+    (* Swap-in: a fault on a paged-out chunk reads it back, suspending
+       exactly the faulting process. The slot offset is modeled as the
+       tail of the swapped region. *)
+    Vm.set_pager (Iosys.vm sys) (fun ~pages ->
+        if Proc.running () then begin
+          let bytes = pages * Iolite_mem.Page.page_size in
+          Iolite_obs.Metrics.incr (Iosys.metrics sys) "vm.swap_in";
+          Iolite_fs.Disk.read t.disk ~file:swap_file
+            ~off:(max 0 (t.swap_cursor - bytes))
+            ~bytes
+        end)
+  end;
   (* VM operations and data touches accumulate CPU work; syscall
      wrappers charge it to the calling process. *)
   Vm.set_on_op (Iosys.vm sys) (fun op ~pages ->
@@ -134,6 +196,14 @@ let create ?config engine =
       Iolite_mem.Pageout.pages_selected (Iosys.pageout sys));
   Iolite_obs.Metrics.set_gauge m "vm.pageout_entry_evictions" (fun () ->
       Iolite_mem.Pageout.entries_evicted (Iosys.pageout sys));
+  Iolite_obs.Metrics.set_gauge m "vm.swap_writes" (fun () ->
+      Iolite_mem.Pageout.swap_writes (Iosys.pageout sys));
+  Iolite_obs.Metrics.set_gauge m "disk.qdepth" (fun () ->
+      Iolite_fs.Disk.queue_depth t.disk);
+  Iolite_obs.Metrics.set_gauge m "disk.batched" (fun () ->
+      Iolite_fs.Disk.batched t.disk);
+  Iolite_obs.Metrics.set_gauge m "disk.batches" (fun () ->
+      Iolite_fs.Disk.batches t.disk);
   Iosys.set_on_touch sys (fun kind n ->
       let c = config.cost in
       let dt =
@@ -189,6 +259,15 @@ let add_file t ~name ~size =
 
 let metrics t = Iosys.metrics t.sys
 let trace t = Iosys.trace t.sys
+let readahead_enabled t = t.config.readahead
+
+let ra_state t ~file =
+  match Hashtbl.find_opt t.ra file with
+  | Some st -> st
+  | None ->
+    let st = { ra_next = 0; ra_window = 1 } in
+    Hashtbl.replace t.ra file st;
+    st
 
 let enable_tracing t =
   Iolite_obs.Trace.enable (Iosys.trace t.sys)

@@ -23,6 +23,19 @@ type config = {
   cache_policy : Iolite_core.Policy.t;  (** for the unified cache *)
   filter_shards : int;  (** packet-filter flow-table shards, default 16 *)
   seed : int64;
+  disk_backend : Iolite_fs.Disk.backend;
+      (** [`Queued] (default): batched submission/completion ring with
+          elevator dispatch; [`Legacy]: the semaphore-serialized FIFO
+          device (the pre-async baseline). *)
+  readahead : bool;
+      (** Per-file sequential readahead on the [IOL_read] miss path
+          (default [true]); the window adapts — doubling on sequential
+          hits, resetting on seeks. *)
+  swap_writeback : bool;
+      (** Model pageout victim writes and fault swap-ins against a
+          swap partition on the disk (default [true]). Victim writes
+          are submitted asynchronously per reclaim round and joined at
+          the end; swap-ins suspend only the faulting process. *)
 }
 
 val default_config : unit -> config
@@ -79,6 +92,22 @@ val fresh_pid : t -> int
 
 val add_file : t -> name:string -> size:int -> int
 (** Register a file and account its metadata in wired kernel memory. *)
+
+(** {2 Readahead bookkeeping}
+
+    Per-file sequential-access state, owned here so it survives across
+    syscalls; {!Fileio} drives the adaptive-window policy. *)
+
+type ra = {
+  mutable ra_next : int;  (** offset one past the last sequential read *)
+  mutable ra_window : int;  (** current prefetch window, in extents *)
+}
+
+val ra_state : t -> file:int -> ra
+(** The file's readahead state, created on first use
+    ([ra_next = 0], [ra_window = 1]). *)
+
+val readahead_enabled : t -> bool
 
 (** {2 Observability} *)
 

@@ -191,4 +191,9 @@ module Proc = struct
   let suspend register = Effect.perform (E_suspend register)
   let engine () = Effect.perform E_engine
   let self () = Effect.perform E_self
+
+  let running () =
+    match Effect.perform E_now with
+    | _ -> true
+    | exception Effect.Unhandled _ -> false
 end

@@ -98,4 +98,9 @@ module Proc : sig
 
   val self : unit -> string option
   (** This process's spawn name. *)
+
+  val running : unit -> bool
+  (** [true] when the caller executes inside a process (engine effects
+      are available). Lets dual-context code — pageout hooks, metrics
+      samplers — take a fiber-blocking path only when one exists. *)
 end

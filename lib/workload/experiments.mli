@@ -157,3 +157,45 @@ val c1m : ?baseline:bool -> ?requests:int -> conns:int -> unit -> c1m_point
     100k-op timer cancel+insert churn at full population. *)
 
 val print_c1m : c1m_point list -> unit
+
+(** {2 Async disk pipeline: tail latency under memory pressure} *)
+
+type async_point = {
+  as_label : string;  (** ["legacy"] or ["async"] *)
+  as_scenario : string;  (** ["warm"] (128MB) or ["pressure"] (24MB) *)
+  as_mem_mb : int;
+  as_requests : int;  (** responses completed in the measured window *)
+  as_p50 : float;
+  as_p90 : float;
+  as_p99 : float;  (** request latency, simulated seconds *)
+  as_disk_util : float;
+      (** disk busy time / elapsed simulated time over the client run *)
+  as_disk_reads : int;
+  as_disk_writes : int;
+  as_batches : int;  (** dispatcher rounds *)
+  as_batched : int;  (** requests that shared a round with a neighbor *)
+  as_coalesced : int;  (** misses that joined an in-flight fill *)
+  as_ra_issued : int;
+  as_ra_hit : int;
+  as_swap_writes : int;  (** swap traffic (writes + faults), async only *)
+  as_seq_read_s : float;
+      (** cold 1.75MB sequential read, simulated seconds — the
+          readahead-pipelining headline *)
+}
+
+val async_point :
+  ?legacy:bool -> ?scale:float -> pressure:bool -> unit -> async_point
+(** One point: a cold 1.75MB sequential read (the readahead headline),
+    then foreground-vs-background contention — a scanner process streams
+    wc over 24MB of 1MB data files while three workers serve small-file
+    requests (70% warmed hot head, 30% cold tail) and are the measured
+    latency population. [pressure] shrinks memory to 24MB so the scan
+    never fits the io budget and keeps the disk at its knee; what a
+    foreground miss then costs is where the backends diverge. [legacy]
+    runs the pre-async system (serialized disk, no readahead,
+    synchronous pageout). *)
+
+val async_sweep : ?scale:float -> unit -> async_point list
+(** legacy/async × warm/pressure, in that order. *)
+
+val print_async : async_point list -> unit

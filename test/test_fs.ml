@@ -8,24 +8,31 @@ let run_sim f =
   Engine.run e;
   Engine.now e
 
+(* For serial request streams the two backends must charge identical
+   costs; the legacy cost model is the reference. *)
 let test_disk_latency_model () =
-  let d = Disk.create ~positioning_s:0.008 ~sequential_positioning_s:0.0005
-      ~bytes_per_sec:12e6 () in
-  let elapsed =
-    run_sim (fun () ->
-        Disk.read d ~file:1 ~off:0 ~bytes:120_000;
-        (* Sequential follow-up is cheap. *)
-        Disk.read d ~file:1 ~off:120_000 ~bytes:120_000;
-        (* Different file seeks again. *)
-        Disk.read d ~file:2 ~off:0 ~bytes:0)
-  in
-  let expect = 0.008 +. 0.01 +. 0.0005 +. 0.01 +. 0.008 in
-  Alcotest.(check (float 1e-6)) "latency" expect elapsed;
-  Alcotest.(check int) "reads counted" 3 (Disk.reads d);
-  Alcotest.(check int) "bytes counted" 240_000 (Disk.bytes_read d)
+  List.iter
+    (fun backend ->
+      let d =
+        Disk.create ~backend ~positioning_s:0.008
+          ~sequential_positioning_s:0.0005 ~bytes_per_sec:12e6 ()
+      in
+      let elapsed =
+        run_sim (fun () ->
+            Disk.read d ~file:1 ~off:0 ~bytes:120_000;
+            (* Sequential follow-up is cheap. *)
+            Disk.read d ~file:1 ~off:120_000 ~bytes:120_000;
+            (* Different file seeks again. *)
+            Disk.read d ~file:2 ~off:0 ~bytes:0)
+      in
+      let expect = 0.008 +. 0.01 +. 0.0005 +. 0.01 +. 0.008 in
+      Alcotest.(check (float 1e-6)) "latency" expect elapsed;
+      Alcotest.(check int) "reads counted" 3 (Disk.reads d);
+      Alcotest.(check int) "bytes counted" 240_000 (Disk.bytes_read d))
+    [ `Legacy; `Queued ]
 
 let test_disk_fifo_queueing () =
-  let d = Disk.create ~positioning_s:0.01 ~bytes_per_sec:1e9 () in
+  let d = Disk.create ~backend:`Legacy ~positioning_s:0.01 ~bytes_per_sec:1e9 () in
   let order = ref [] in
   let e = Engine.create () in
   for i = 1 to 3 do
@@ -44,6 +51,85 @@ let test_disk_write_accounting () =
   Alcotest.(check int) "writes" 1 (Disk.writes d);
   Alcotest.(check int) "bytes written" 5000 (Disk.bytes_written d);
   Alcotest.(check bool) "busy time positive" true (Disk.busy_time d > 0.0)
+
+(* Contiguous requests from different fibers, submitted interleaved:
+   the elevator sorts them back into file order inside the batch so the
+   later half rides the sequential discount. Legacy arrival order pays
+   full positioning for both. *)
+let test_disk_elevator_discount () =
+  let run backend =
+    let d =
+      Disk.create ~backend ~positioning_s:0.01
+        ~sequential_positioning_s:0.001 ~bytes_per_sec:1e9 ()
+    in
+    let e = Engine.create () in
+    (* Arrival order: second half first, then an unrelated file, then
+       the first half. *)
+    Engine.spawn e (fun () -> Disk.read d ~file:1 ~off:1000 ~bytes:1000);
+    Engine.spawn e (fun () -> Disk.read d ~file:9 ~off:0 ~bytes:1000);
+    Engine.spawn e (fun () -> Disk.read d ~file:1 ~off:0 ~bytes:1000);
+    Engine.run e;
+    Engine.now e
+  in
+  let legacy = run `Legacy and queued = run `Queued in
+  (* Elevator order is 1:0, 1:1000 (discounted), 9:0. *)
+  Alcotest.(check (float 1e-9)) "legacy: three full seeks" 0.030003 legacy;
+  Alcotest.(check (float 1e-9)) "queued: one discounted" 0.021003 queued
+
+(* An async submission overlaps the submitter's own compute: total
+   elapsed is max(cpu, disk), not the sum. *)
+let test_disk_async_overlap () =
+  let d = Disk.create ~positioning_s:0.01 ~bytes_per_sec:1e9 () in
+  let completed_at = ref nan in
+  let elapsed =
+    run_sim (fun () ->
+        Disk.submit d ~op:`Read ~file:1 ~off:0 ~bytes:1000 (fun () ->
+            completed_at := Proc.now ());
+        (* Compute while the disk positions and transfers. *)
+        Proc.sleep 0.05)
+  in
+  Alcotest.(check (float 1e-9)) "disk done during compute" 0.010001
+    !completed_at;
+  Alcotest.(check (float 1e-9)) "total is max, not sum" 0.05 elapsed;
+  Alcotest.(check int) "read accounted" 1 (Disk.reads d)
+
+(* qcheck oracle: the queued elevator services exactly the multiset of
+   requests FIFO does (same op/byte totals, every completion fires) and
+   never starves — with at most [qdepth] requests outstanding, a
+   request admitted while batch [k] is in flight completes by batch
+   [k+1]. *)
+let test_disk_elevator_oracle =
+  let gen =
+    QCheck.Gen.(list_size (1 -- 24) (triple (0 -- 4) (0 -- 15) (1 -- 5000)))
+  in
+  QCheck.Test.make ~count:60 ~name:"elevator services FIFO's multiset"
+    (QCheck.make gen) (fun reqs ->
+      let serve backend =
+        let d =
+          Disk.create ~backend ~qdepth:24 ~positioning_s:0.01
+            ~sequential_positioning_s:0.001 ~bytes_per_sec:1e6 ()
+        in
+        let e = Engine.create () in
+        let done_ = ref 0 in
+        List.iteri
+          (fun i (file, block, bytes) ->
+            Engine.spawn e (fun () ->
+                (* Stagger some submissions into later batches. *)
+                if i mod 3 = 2 then Proc.sleep 0.005;
+                let submit_batch = Disk.batches d in
+                let op = if i mod 4 = 0 then `Write else `Read in
+                Disk.submit d ~op ~file ~off:(block * 4096) ~bytes (fun () ->
+                    incr done_;
+                    if backend = `Queued then
+                      let turn = Disk.batches d - submit_batch in
+                      if turn > 1 then
+                        Alcotest.failf "starved: waited %d batch turns" turn)))
+          reqs;
+        Engine.run e;
+        (!done_, Disk.reads d, Disk.writes d, Disk.bytes_read d,
+         Disk.bytes_written d)
+      in
+      serve `Queued = serve `Legacy)
 
 let test_filestore_registration () =
   let fs = Filestore.create () in
@@ -131,6 +217,9 @@ let suites =
         Alcotest.test_case "latency model" `Quick test_disk_latency_model;
         Alcotest.test_case "fifo queueing" `Quick test_disk_fifo_queueing;
         Alcotest.test_case "write accounting" `Quick test_disk_write_accounting;
+        Alcotest.test_case "elevator discount" `Quick test_disk_elevator_discount;
+        Alcotest.test_case "async overlap" `Quick test_disk_async_overlap;
+        QCheck_alcotest.to_alcotest test_disk_elevator_oracle;
       ] );
     ( "fs.filestore",
       [

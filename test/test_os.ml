@@ -204,6 +204,200 @@ let test_disk_only_on_miss () =
         (Iolite_fs.Disk.reads (Kernel.disk kernel));
       Alcotest.(check int) "one disk read total" 1 reads_after_first)
 
+(* ------------------ Async pipeline: single-flight ----------------- *)
+
+let test_single_flight_coalesces () =
+  let _, kernel = mk () in
+  let file = Kernel.add_file kernel ~name:"/data" ~size:8_000 in
+  let done_ = ref 0 in
+  for i = 1 to 5 do
+    ignore
+      (Process.spawn kernel
+         ~name:(Printf.sprintf "r%d" i)
+         (fun proc ->
+           let a = Fileio.iol_read proc ~file ~off:0 ~len:8_000 in
+           Alcotest.(check int) "full read" 8_000 (Iobuf.Agg.length a);
+           Iobuf.Agg.free a;
+           incr done_))
+  done;
+  Engine.run (Kernel.engine kernel);
+  Alcotest.(check int) "all readers finished" 5 !done_;
+  Alcotest.(check int) "one disk read for five concurrent misses" 1
+    (Iolite_fs.Disk.reads (Kernel.disk kernel));
+  Alcotest.(check int) "four followers coalesced" 4
+    (Counter.get (Kernel.metrics kernel) "cache.fill_coalesced")
+
+(* Invariant: no matter how reader arrivals interleave with the fill,
+   each distinct (small) file is read from disk exactly once — arrivals
+   during the fill coalesce onto it, arrivals after it hit the cache. *)
+let test_single_flight_qcheck =
+  let gen =
+    QCheck.Gen.(list_size (int_range 1 12) (pair (int_range 0 2) (int_range 0 5)))
+  in
+  QCheck.Test.make ~count:30
+    ~name:"single-flight: one disk read per distinct file"
+    (QCheck.make gen)
+    (fun readers ->
+      let _, kernel = mk () in
+      let files =
+        Array.init 3 (fun i ->
+            Kernel.add_file kernel
+              ~name:(Printf.sprintf "/f%d" i)
+              ~size:(4_000 * (i + 1)))
+      in
+      List.iteri
+        (fun i (fi, delay) ->
+          ignore
+            (Process.spawn kernel
+               ~name:(Printf.sprintf "r%d" i)
+               (fun proc ->
+                 if delay > 0 then
+                   Engine.Proc.sleep (float_of_int delay *. 0.001);
+                 let a =
+                   Fileio.iol_read proc ~file:files.(fi) ~off:0 ~len:100
+                 in
+                 Iobuf.Agg.free a)))
+        readers;
+      Engine.run (Kernel.engine kernel);
+      let distinct = List.sort_uniq compare (List.map fst readers) in
+      Iolite_fs.Disk.reads (Kernel.disk kernel) = List.length distinct)
+
+(* --------------------- Async pipeline: readahead ------------------- *)
+
+let extent = Iolite_core.Iobuf.Pool.max_alloc
+
+let test_readahead_window_grow_reset () =
+  let _, kernel = mk () in
+  let size = 16 * extent in
+  let file = Kernel.add_file kernel ~name:"/big" ~size in
+  in_proc kernel (fun proc ->
+      let read off =
+        let a = Fileio.iol_read proc ~file ~off ~len:extent in
+        Iobuf.Agg.free a
+      in
+      read 0;
+      let st = Kernel.ra_state kernel ~file in
+      Alcotest.(check int) "doubles on first sequential read" 2
+        st.Kernel.ra_window;
+      read extent;
+      Alcotest.(check int) "doubles again" 4 st.Kernel.ra_window;
+      read (2 * extent);
+      Alcotest.(check int) "caps at 8 extents" 8 st.Kernel.ra_window;
+      read (3 * extent);
+      Alcotest.(check int) "stays capped" 8 st.Kernel.ra_window;
+      read (10 * extent);
+      Alcotest.(check int) "seek resets to 1" 1 st.Kernel.ra_window);
+  Alcotest.(check bool) "readahead issued" true
+    (Counter.get (Kernel.metrics kernel) "cache.readahead_issued" > 0)
+
+let test_readahead_hits_counted () =
+  let _, kernel = mk () in
+  let size = 8 * extent in
+  let file = Kernel.add_file kernel ~name:"/big" ~size in
+  in_proc kernel (fun proc ->
+      let off = ref 0 in
+      while !off < size do
+        let a = Fileio.iol_read proc ~file ~off:!off ~len:extent in
+        off := !off + Iobuf.Agg.length a;
+        Iobuf.Agg.free a
+      done);
+  Alcotest.(check bool) "prefetched extents were hit" true
+    (Counter.get (Kernel.metrics kernel) "cache.readahead_hit" > 0);
+  (* Per-extent requests: exactly one disk read per extent — the scan
+     never re-reads an extent the prefetcher already fetched. *)
+  Alcotest.(check int) "one disk read per extent" 8
+    (Iolite_fs.Disk.reads (Kernel.disk kernel))
+
+(* ------------- Async pipeline: trace-level overlap ----------------- *)
+
+(* Extract (cat, name, ts, dur) from the "X" (complete-span) events of a
+   Chrome trace-event JSON dump. *)
+let complete_events json =
+  let has seg sub =
+    let n = String.length sub and m = String.length seg in
+    let rec go i = i + n <= m && (String.sub seg i n = sub || go (i + 1)) in
+    go 0
+  in
+  let str_field seg key =
+    let k = Printf.sprintf "\"%s\":\"" key in
+    let kl = String.length k in
+    let rec find i =
+      if i + kl > String.length seg then None
+      else if String.sub seg i kl = k then
+        let j = String.index_from seg (i + kl) '"' in
+        Some (String.sub seg (i + kl) (j - (i + kl)))
+      else find (i + 1)
+    in
+    find 0
+  in
+  let float_field seg key =
+    let k = Printf.sprintf "\"%s\":" key in
+    let kl = String.length k in
+    let rec find i =
+      if i + kl > String.length seg then None
+      else if String.sub seg i kl = k then begin
+        let j = ref (i + kl) in
+        let buf = Buffer.create 8 in
+        while
+          !j < String.length seg
+          &&
+          match seg.[!j] with
+          | '0' .. '9' | '.' | '-' | '+' | 'e' -> true
+          | _ -> false
+        do
+          Buffer.add_char buf seg.[!j];
+          incr j
+        done;
+        float_of_string_opt (Buffer.contents buf)
+      end
+      else find (i + 1)
+    in
+    find 0
+  in
+  String.split_on_char '{' json
+  |> List.filter_map (fun seg ->
+         if not (has seg "\"ph\":\"X\"") then None
+         else
+           match
+             ( str_field seg "cat",
+               str_field seg "name",
+               float_field seg "ts",
+               float_field seg "dur" )
+           with
+           | Some c, Some n, Some ts, Some dur -> Some (c, n, ts, dur)
+           | _ -> None)
+
+let test_trace_disk_span_overlaps_cpu () =
+  let _, kernel = mk () in
+  Kernel.enable_tracing kernel;
+  let file = Kernel.add_file kernel ~name:"/data" ~size:40_000 in
+  ignore
+    (Process.spawn kernel ~name:"reader" (fun proc ->
+         let a = Fileio.iol_read proc ~file ~off:0 ~len:40_000 in
+         Iobuf.Agg.free a));
+  Engine.spawn ~name:"cruncher" (Kernel.engine kernel) (fun () ->
+      Iolite_obs.Trace.span (Kernel.trace kernel) ~cat:"os" ~name:"compute"
+        (fun () -> Cpu.charge (Kernel.cpu kernel) ~owner:999 0.05));
+  Engine.run (Kernel.engine kernel);
+  let evs =
+    complete_events (Iolite_obs.Trace.to_json (Kernel.trace kernel))
+  in
+  let disk = List.filter (fun (c, _, _, _) -> c = "disk") evs in
+  let compute = List.filter (fun (_, n, _, _) -> n = "compute") evs in
+  Alcotest.(check bool) "disk span traced" true (disk <> []);
+  Alcotest.(check bool) "compute span traced" true (compute <> []);
+  (* Under the async backend the disk services the reader's fill while
+     the cruncher's CPU burst is in progress: the spans overlap. *)
+  let overlaps =
+    List.exists
+      (fun (_, _, ts, dur) ->
+        List.exists
+          (fun (_, _, ts', dur') -> ts < ts' +. dur' && ts' < ts +. dur)
+          compute)
+      disk
+  in
+  Alcotest.(check bool) "disk span overlaps concurrent CPU span" true overlaps
+
 (* --------------------------- Sockets ------------------------------ *)
 
 let sock_roundtrip ~zero_copy ~rtt =
@@ -422,6 +616,18 @@ let suites =
         Alcotest.test_case "admission limit" `Quick test_admission_limit;
         Alcotest.test_case "stat + missing" `Quick test_stat_and_missing_file;
         Alcotest.test_case "disk only on miss" `Quick test_disk_only_on_miss;
+      ] );
+    ( "os.async",
+      [
+        Alcotest.test_case "single-flight coalesces" `Quick
+          test_single_flight_coalesces;
+        QCheck_alcotest.to_alcotest test_single_flight_qcheck;
+        Alcotest.test_case "readahead window grow/reset" `Quick
+          test_readahead_window_grow_reset;
+        Alcotest.test_case "readahead hits counted" `Quick
+          test_readahead_hits_counted;
+        Alcotest.test_case "disk span overlaps cpu span" `Quick
+          test_trace_disk_span_overlaps_cpu;
       ] );
     ( "os.sock",
       [
