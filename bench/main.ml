@@ -662,6 +662,21 @@ let run_obs ?(label = "current") ?(out = "BENCH_obs.json") () =
           Trace.instant tr ~cat:"bench" ~name:"ev" ())
   in
   record disabled;
+  (* The causal-tracing additions ride the same contract: a disabled
+     flow emitter and a disabled attribution note are each one bool
+     load and branch. *)
+  let flow = Iolite_obs.Flow.create tr in
+  record
+    (best "disabled_flow" (fun () ->
+         sink := !sink + 1;
+         if Iolite_obs.Flow.enabled flow then
+           Iolite_obs.Flow.step flow ~id:1 ()));
+  let attr = Iolite_obs.Attrib.create () in
+  record
+    (best "disabled_attrib" (fun () ->
+         sink := !sink + 1;
+         if Iolite_obs.Attrib.enabled attr then
+           Iolite_obs.Attrib.note attr ~ctx:1 Iolite_obs.Attrib.Queue 1e-9));
   (* Context: cost with the tracer armed (buffering an instant event).
      Cleared each batch so the buffer does not grow without bound. *)
   let vnow = ref 0.0 in
@@ -771,6 +786,11 @@ let async_json_of_run ~label points =
     (Printf.sprintf "    {\n      \"label\": %S,\n      \"entries\": [\n" label);
   List.iteri
     (fun i p ->
+      let attr k =
+        match List.assoc_opt k p.E.as_attr_totals with
+        | Some v -> v
+        | None -> 0.0
+      in
       Stdlib.Buffer.add_string b
         (Printf.sprintf
            "        {\"scenario\": %S, \"backend\": %S, \"mem_mb\": %d, \
@@ -778,11 +798,21 @@ let async_json_of_run ~label points =
             %.6f, \"disk_util\": %.4f, \"disk_reads\": %d, \"disk_writes\": \
             %d, \"batches\": %d, \"batched\": %d, \"fill_coalesced\": %d, \
             \"readahead_issued\": %d, \"readahead_hit\": %d, \"swap_writes\": \
-            %d, \"seq_read_s\": %.6f}%s\n"
+            %d, \"seq_read_s\": %.6f, \"attr_completed\": %d, \
+            \"attr_wall_s\": %.6f, \"attr_queue_s\": %.6f, \
+            \"attr_disk_service_s\": %.6f, \"attr_coalesced_wait_s\": %.6f, \
+            \"attr_vm_stall_s\": %.6f, \"attr_cpu_s\": %.6f, \
+            \"tail_covered_min\": %.4f}%s\n"
            p.E.as_scenario p.E.as_label p.E.as_mem_mb p.E.as_requests
            p.E.as_p50 p.E.as_p90 p.E.as_p99 p.E.as_disk_util p.E.as_disk_reads
            p.E.as_disk_writes p.E.as_batches p.E.as_batched p.E.as_coalesced
            p.E.as_ra_issued p.E.as_ra_hit p.E.as_swap_writes p.E.as_seq_read_s
+           p.E.as_attr_completed (attr "wall") (attr "queue")
+           (attr "disk_service") (attr "coalesced_wait") (attr "vm_stall")
+           (attr "cpu")
+           (List.fold_left
+              (fun acc r -> Float.min acc (Iolite_obs.Attrib.covered r))
+              1.0 p.E.as_tail)
            (if i = List.length points - 1 then "" else ",")))
     points;
   Stdlib.Buffer.add_string b "      ]\n    }";
@@ -796,6 +826,7 @@ let run_async ?(label = "current") ?(out = "BENCH_async.json") ?(scale = 1.0)
   let module E = Iolite_workload.Experiments in
   let points = E.async_sweep ~scale () in
   E.print_async points;
+  E.print_async_tail points;
   append_json_text ~benchmark:"async-disk" ~out
     ~run_json:(async_json_of_run ~label points)
 

@@ -206,7 +206,9 @@ let cmds =
          $ baseline_arg));
     (let run verbose directives scale =
        with_logging verbose directives;
-       E.print_async (E.async_sweep ~scale ())
+       let points = E.async_sweep ~scale () in
+       E.print_async points;
+       E.print_async_tail points
      in
      Cmdliner.Cmd.v
        (Cmdliner.Cmd.info "async"
@@ -253,6 +255,67 @@ let cmds =
              stack (static + CGI, tracing armed)")
        Cmdliner.Term.(
          const run $ verbose_arg $ log_arg $ metrics_arg $ trace_arg));
+    (let filter_arg =
+       Cmdliner.Arg.(
+         value
+         & opt (some string) None
+         & info [ "filter" ] ~docv:"PREFIX"
+             ~doc:
+               "Only show metrics whose dotted name starts with $(docv) \
+                (e.g. $(b,cache.) or $(b,net.)).")
+     in
+     let report verbose directives filter =
+       with_logging verbose directives;
+       let r = E.smoke () in
+       let keep k =
+         match filter with
+         | None -> true
+         | Some p -> String.length k >= String.length p
+                     && String.sub k 0 (String.length p) = p
+       in
+       let find l k =
+         match List.assoc_opt k l with Some v -> v | None -> 0
+       in
+       let rows =
+         List.filter_map
+           (fun (k, v) ->
+             let cold = find r.E.sm_cold k and warm = find r.E.sm_warm k in
+             if keep k && (v <> 0 || cold <> 0 || warm <> 0) then
+               Some
+                 [
+                   k;
+                   string_of_int cold;
+                   string_of_int warm;
+                   string_of_int v;
+                 ]
+             else None)
+           r.E.sm_metrics
+       in
+       Printf.printf "smoke run: %d requests; per-phase deltas and final \
+                      snapshot\n" r.E.sm_requests;
+       Iolite_util.Table.print
+         ~header:[ "metric"; "cold"; "warm"; "final" ]
+         ~rows;
+       match r.E.sm_latency with
+       | Some s ->
+         Printf.printf
+           "\nrequest latency: p50=%.4fs p90=%.4fs p99=%.4fs mean=%.4fs\n"
+           s.Iolite_util.Stats.p50 s.Iolite_util.Stats.p90
+           s.Iolite_util.Stats.p99 s.Iolite_util.Stats.mean
+       | None -> ()
+     in
+     let report_cmd =
+       Cmdliner.Cmd.v
+         (Cmdliner.Cmd.info "report"
+            ~doc:
+              "Run the deterministic smoke workload and render its metrics \
+               registry — per-phase (cold/warm) counter deltas against the \
+               final snapshot — as an aligned table")
+         Cmdliner.Term.(const report $ verbose_arg $ log_arg $ filter_arg)
+     in
+     Cmdliner.Cmd.group
+       (Cmdliner.Cmd.info "obs" ~doc:"Observability reports")
+       [ report_cmd ]);
   ]
 
 let () =

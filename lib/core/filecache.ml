@@ -1,5 +1,6 @@
 module Metrics = Iolite_obs.Metrics
 module Trace = Iolite_obs.Trace
+module Attrib = Iolite_obs.Attrib
 
 let log = Iolite_util.Logging.src "cache"
 
@@ -67,8 +68,10 @@ type t = {
      concurrent misses block on the leader's ivar instead of fetching
      again. Whole-file fills key on offset 0; extent-granular fills key
      on their aligned start, so a demand read waits only for the extent
-     it needs, not a whole readahead window. *)
-  fills : (int * int, unit Iolite_sim.Sync.Ivar.t) Hashtbl.t;
+     it needs, not a whole readahead window. The leader's flow id rides
+     along so followers can attribute their wait to the fill they
+     piggybacked on. *)
+  fills : (int * int, int * unit Iolite_sim.Sync.Ivar.t) Hashtbl.t;
   sentinel : entry; (* floor-probe default: covers nothing *)
   cells : cells;
   mutable bytes : int;
@@ -458,15 +461,33 @@ let backfill ?(prefetched = false) t ~file ~off agg =
    filled a different range, or pressure may have evicted the fill
    already). *)
 let fill_single_flight t ~file ?(off = 0) fill =
+  let a = Iosys.attrib t.sys in
+  let tr = Iosys.trace t.sys in
+  let ctx = if Attrib.enabled a || Trace.enabled tr then Attrib.here a else 0 in
   match Hashtbl.find_opt t.fills (file, off) with
-  | Some iv ->
+  | Some (leader, iv) ->
     incr t.cells.cc_coalesced;
-    trace_note t "fill_coalesced" ~file ~bytes:0;
-    Iolite_sim.Sync.Ivar.read iv;
+    if Trace.enabled tr then begin
+      Trace.instant tr ~cat:"cache" ~name:"fill_coalesced"
+        ~args:[ ("file", Int file); ("leader", Int leader) ]
+        ();
+      if ctx <> 0 then
+        Trace.flow_step tr ~id:ctx
+          ~args:[ ("at", Str "fill_coalesced"); ("leader", Int leader) ]
+          ()
+    end;
+    if Attrib.enabled a && ctx > 0 then begin
+      (* The follower's whole suspension is time spent waiting on the
+         leader's in-flight fill. *)
+      let t0 = Attrib.now a in
+      Iolite_sim.Sync.Ivar.read iv;
+      Attrib.note ~leader a ~ctx Attrib.Coalesced_wait (Attrib.now a -. t0)
+    end
+    else Iolite_sim.Sync.Ivar.read iv;
     false
   | None ->
     let iv = Iolite_sim.Sync.Ivar.create () in
-    Hashtbl.replace t.fills (file, off) iv;
+    Hashtbl.replace t.fills (file, off) (abs ctx, iv);
     Fun.protect
       ~finally:(fun () ->
         Hashtbl.remove t.fills (file, off);

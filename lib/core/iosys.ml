@@ -28,6 +28,8 @@ type t = {
   kernel : Pdomain.t;
   metrics : Metrics.t;
   trace : Trace.t;
+  flow : Iolite_obs.Flow.t;
+  attrib : Iolite_obs.Attrib.t;
   xfer : xfer_cells;
   mutable on_touch : touch -> int -> unit;
   mutable touch_data : bool;
@@ -39,12 +41,15 @@ let create ?(capacity = 128 * 1024 * 1024) ?(seed = 0x10117EL) () =
   let metrics = Metrics.create () in
   let trace = Trace.create () in
   let vm = Vm.create ~metrics ~trace ~physmem () in
-  let pageout = Pageout.create ~trace ~physmem ~seed () in
+  let attrib = Iolite_obs.Attrib.create () in
+  let pageout = Pageout.create ~trace ~attrib ~physmem ~seed () in
   Pageout.install pageout;
   {
     physmem;
     vm;
     pageout;
+    flow = Iolite_obs.Flow.create trace;
+    attrib;
     kernel = Pdomain.make ~trusted:true ~name:"kernel" ();
     metrics;
     trace;
@@ -97,3 +102,5 @@ let touch_data t = t.touch_data
 let set_touch_data t v = t.touch_data <- v
 let metrics t = t.metrics
 let trace t = t.trace
+let flow t = t.flow
+let attrib t = t.attrib

@@ -69,3 +69,12 @@ val transfer_cells : t -> xfer_cells
 val trace : t -> Iolite_obs.Trace.t
 (** The kernel-wide tracer (created disabled; armed by the OS layer,
     which owns the virtual clock). *)
+
+val flow : t -> Iolite_obs.Flow.t
+(** The kernel-wide flow-id allocator/emitter (shares {!trace}).
+    Request ids are per kernel, so same-seed runs allocate
+    identically. *)
+
+val attrib : t -> Iolite_obs.Attrib.t
+(** The kernel-wide wait-state attribution collector (created
+    disabled; armed by the OS layer alongside the tracer). *)

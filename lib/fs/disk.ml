@@ -1,6 +1,7 @@
 module Sync = Iolite_sim.Sync
 module Proc = Iolite_sim.Engine.Proc
 module Trace = Iolite_obs.Trace
+module Attrib = Iolite_obs.Attrib
 
 type backend = [ `Legacy | `Queued ]
 
@@ -13,6 +14,7 @@ type request = {
   r_bytes : int;
   r_submit : float; (* virtual submission time, for the async span *)
   r_proc : string option; (* submitting process, for trace args *)
+  r_ctx : int; (* submitter's flow context; 0 for async submissions *)
   r_done : unit -> unit;
 }
 
@@ -37,10 +39,12 @@ type t = {
   mutable bytes_written : int;
   mutable busy : float;
   trace : Trace.t;
+  attrib : Attrib.t;
 }
 
 let create ?(backend = `Queued) ?(qdepth = 64) ?(positioning_s = 0.008)
-    ?(sequential_positioning_s = 0.0005) ?(bytes_per_sec = 12e6) ?trace () =
+    ?(sequential_positioning_s = 0.0005) ?(bytes_per_sec = 12e6) ?trace
+    ?attrib () =
   if qdepth < 1 then invalid_arg "Disk.create: qdepth";
   {
     backend;
@@ -63,6 +67,7 @@ let create ?(backend = `Queued) ?(qdepth = 64) ?(positioning_s = 0.008)
     bytes_written = 0;
     busy = 0.0;
     trace = (match trace with Some tr -> tr | None -> Trace.create ());
+    attrib = (match attrib with Some a -> a | None -> Attrib.create ());
   }
 
 let op_name = function `Read -> "read" | `Write -> "write"
@@ -112,7 +117,27 @@ let legacy_traced t name ~file ~bytes f =
 
 let legacy_op t op ~file ~off ~bytes =
   legacy_traced t (op_name op) ~file ~bytes (fun () ->
-      legacy_service t ~file ~off ~bytes;
+      let a = t.attrib in
+      let ctx =
+        if Attrib.enabled a || Trace.enabled t.trace then Attrib.here a else 0
+      in
+      if ctx <> 0 && Trace.enabled t.trace then
+        Trace.flow_step t.trace ~id:ctx
+          ~args:[ ("at", Trace.Str "disk"); ("file", Trace.Int file) ]
+          ();
+      if Attrib.enabled a && ctx > 0 then begin
+        (* Device-lock wait is queueing; the serviced extent is disk
+           service. *)
+        let t0 = Attrib.now a in
+        Sync.Semaphore.acquire t.lock;
+        let t1 = Attrib.now a in
+        Attrib.note a ~ctx Queue (t1 -. t0);
+        Fun.protect
+          ~finally:(fun () -> Sync.Semaphore.release t.lock)
+          (fun () -> service_one t ~file ~off ~bytes);
+        Attrib.note a ~ctx Disk_service (Attrib.now a -. t1)
+      end
+      else legacy_service t ~file ~off ~bytes;
       account t op bytes)
 
 (* ------------------------------ queued ----------------------------- *)
@@ -181,7 +206,24 @@ let rec dispatch t =
     let ordered = elevator t !batch in
     List.iter
       (fun r ->
+        (* A flow step in the dispatcher fiber at service start lands
+           inside the request's [disk] span, so Perfetto stitches the
+           submitting request into this batch. *)
+        if r.r_ctx <> 0 && Trace.enabled t.trace then
+          Trace.flow_step t.trace ~id:r.r_ctx
+            ~args:[ ("at", Trace.Str "disk"); ("file", Trace.Int r.r_file) ]
+            ();
+        let charge = Attrib.enabled t.attrib && r.r_ctx > 0 in
+        let t_svc = if charge then Attrib.now t.attrib else 0.0 in
         service_one t ~file:r.r_file ~off:r.r_off ~bytes:r.r_bytes;
+        if charge then begin
+          (* Submission-to-service-start is elevator queue residency
+             (plus any ring wait the submitter already recorded);
+             service-start-to-now is device service. *)
+          Attrib.note t.attrib ~ctx:r.r_ctx Queue (t_svc -. r.r_submit);
+          Attrib.note t.attrib ~ctx:r.r_ctx Disk_service
+            (Attrib.now t.attrib -. t_svc)
+        end;
         t.in_service <- t.in_service - 1;
         account t r.r_op r.r_bytes;
         complete_span t r;
@@ -194,15 +236,19 @@ let rec dispatch t =
 (* Enqueueing is split from slot acquisition and dispatcher spawn: the
    latter two perform engine effects and so must run in the submitting
    fiber proper, never inside a [Proc.suspend] register closure. *)
-let enqueue t ~proc ~op ~file ~off ~bytes k =
+let enqueue t ~proc ~ctx ~op ~file ~off ~bytes k =
   let r =
     {
       r_op = op;
       r_file = file;
       r_off = off;
       r_bytes = bytes;
-      r_submit = (if Trace.enabled t.trace then Trace.now t.trace else 0.0);
+      r_submit =
+        (if Trace.enabled t.trace then Trace.now t.trace
+         else if Attrib.enabled t.attrib then Attrib.now t.attrib
+         else 0.0);
       r_proc = proc;
+      r_ctx = ctx;
       r_done = k;
     }
   in
@@ -218,10 +264,12 @@ let ensure_dispatcher t =
 let submitter_name t = if Trace.enabled t.trace then Proc.self () else None
 
 let submit_queued t ~op ~file ~off ~bytes k =
-  (* Backpressure: block the submitter while the ring is full. *)
+  (* Backpressure: block the submitter while the ring is full. Async
+     submissions carry no flow context — nobody is suspended on the
+     completion, so nothing should be charged for its waits. *)
   let proc = submitter_name t in
   Sync.Semaphore.acquire t.ring;
-  enqueue t ~proc ~op ~file ~off ~bytes k;
+  enqueue t ~proc ~ctx:0 ~op ~file ~off ~bytes k;
   ensure_dispatcher t
 
 (* ------------------------------ public ----------------------------- *)
@@ -241,11 +289,22 @@ let blocking t op ~file ~off ~bytes =
   | `Legacy -> legacy_op t op ~file ~off ~bytes
   | `Queued ->
     let proc = submitter_name t in
-    Sync.Semaphore.acquire t.ring;
+    let a = t.attrib in
+    let ctx =
+      if Attrib.enabled a || Trace.enabled t.trace then Attrib.here a else 0
+    in
+    if Attrib.enabled a && ctx > 0 then begin
+      (* Submit-ring admission wait is queueing on the request. *)
+      let t0 = Attrib.now a in
+      Sync.Semaphore.acquire t.ring;
+      Attrib.note a ~ctx Queue (Attrib.now a -. t0)
+    end
+    else Sync.Semaphore.acquire t.ring;
     (* A freshly spawned dispatcher only runs once this fiber parks, so
        it observes the request pushed by the register closure. *)
     ensure_dispatcher t;
-    Proc.suspend (fun resume -> enqueue t ~proc ~op ~file ~off ~bytes resume)
+    Proc.suspend (fun resume ->
+        enqueue t ~proc ~ctx ~op ~file ~off ~bytes resume)
 
 let read t ~file ~off ~bytes = blocking t `Read ~file ~off ~bytes
 let write t ~file ~off ~bytes = blocking t `Write ~file ~off ~bytes

@@ -37,6 +37,7 @@ val create :
   ?sequential_positioning_s:float ->
   ?bytes_per_sec:float ->
   ?trace:Iolite_obs.Trace.t ->
+  ?attrib:Iolite_obs.Attrib.t ->
   unit ->
   t
 (** Defaults: [`Queued] backend with a 64-slot ring, 8 ms average
@@ -44,7 +45,13 @@ val create :
     request, 12 MB/s media transfer. [trace] receives a
     [disk]/[read|write] span per request covering queueing +
     positioning + transfer (emitted at completion as a [complete]
-    event under the queued backend, with the submitter in [proc]). *)
+    event under the queued backend, with the submitter in [proc]),
+    plus a flow step per in-context request at service start so the
+    request stitches into the dispatcher batch. [attrib] charges
+    blocking requests' waits to their flow context: ring admission and
+    submission-to-service residency as [Queue], the serviced extent as
+    [Disk_service]. Asynchronous submissions are never charged (their
+    submitter isn't waiting). *)
 
 val read : t -> file:int -> off:int -> bytes:int -> unit
 (** Must run inside a simulation process; blocks the caller for

@@ -173,13 +173,19 @@ let handle t proc mapcache conn =
     match Sock.recv proc conn ~zero_copy with
     | None -> ()
     | Some raw ->
-      Process.charge proc request_overhead;
       let parsed = Http.parse_request raw in
       let rpath =
         match parsed with
         | Some { Http.path; _ } -> path
         | None -> "<malformed>"
       in
+      (* The flow context was installed by [Sock.recv] at the demux
+         point; open the request's wait-state decomposition before any
+         CPU is charged so every edge lands in it. *)
+      let rid = Proc.ctx () in
+      let a = Kernel.attrib t.kernel in
+      if rid > 0 then Iolite_obs.Attrib.begin_request a ~ctx:rid ~tag:rpath;
+      Process.charge proc request_overhead;
       (* Latency is measured request-arrival to last-byte-drained: the
          completion hook fires from the asynchronous TCP drain, so the
          response bytes are captured through a cell it closes over. *)
@@ -190,11 +196,17 @@ let handle t proc mapcache conn =
         Hist.add t.latencies.(Sock.id conn land (Array.length t.latencies - 1)) dt;
         Metrics.observe (Kernel.metrics t.kernel) "httpd.request_latency_s" dt;
         let tr = Kernel.trace t.kernel in
-        if Trace.enabled tr then
+        if Trace.enabled tr then begin
           Trace.complete tr ~cat:"httpd" ~name:"request" ~ts:t0 ~dur:dt
             ~args:
               [ ("path", Trace.Str rpath); ("bytes", Trace.Int !sent_cell) ]
-            ()
+            ();
+          if rid > 0 then
+            Iolite_obs.Flow.finish (Kernel.flow t.kernel) ~id:rid
+              ~args:[ ("path", Trace.Str rpath) ]
+              ()
+        end;
+        if rid > 0 then Iolite_obs.Attrib.end_request a ~ctx:rid
       in
       let sent =
         match parsed with
@@ -220,6 +232,9 @@ let handle t proc mapcache conn =
       sent_cell := sent;
       t.requests <- t.requests + 1;
       t.response_bytes <- t.response_bytes + sent;
+      (* The response is now the drain fiber's business (it carries the
+         flow context); the handler is idle until the next request. *)
+      if rid <> 0 then Proc.set_ctx 0;
       loop ()
   in
   loop ()

@@ -1,5 +1,6 @@
 module Rng = Iolite_util.Rng
 module Trace = Iolite_obs.Trace
+module Attrib = Iolite_obs.Attrib
 
 let log = Iolite_util.Logging.src "pageout"
 
@@ -20,6 +21,7 @@ type t = {
   physmem : Physmem.t;
   rng : Rng.t;
   trace : Trace.t;
+  attrib : Attrib.t;
   segments : segment Queue.t;
   mutable evictor : unit -> int;
   mutable swapper : swapper option;
@@ -34,11 +36,12 @@ type t = {
   mutable total_swap_bytes : int;
 }
 
-let create ?trace ~physmem ~seed () =
+let create ?trace ?attrib ~physmem ~seed () =
   {
     physmem;
     rng = Rng.create seed;
     trace = (match trace with Some tr -> tr | None -> Trace.create ());
+    attrib = (match attrib with Some a -> a | None -> Attrib.create ());
     segments = Queue.create ();
     evictor = (fun () -> 0);
     swapper = None;
@@ -77,7 +80,7 @@ let pick_segment t =
     walk 0 sizes
   end
 
-let run t ~needed =
+let run_round t ~needed =
   let freed = ref 0 in
   let stall = ref 0 in
   (* Victim writes for the whole reclaim round are submitted
@@ -149,6 +152,27 @@ let run t ~needed =
         needed !freed t.total_selected t.total_io_selected t.total_evicted
         t.total_swap_writes);
   !freed
+
+(* The whole reclaim round — victim selection, submit-ring backpressure
+   on the victim writes, and the end-of-round [swap_wait] join — stalls
+   the process that hit the low-memory hook, so the round's duration is
+   one [Vm_stall] interval on that process's request. Inner disk waits
+   are not separately charged: victim writes are submitted
+   asynchronously (only blocking reads carry disk attribution). *)
+let run t ~needed =
+  let a = t.attrib in
+  if not (Attrib.enabled a) then run_round t ~needed
+  else begin
+    let ctx = Attrib.here a in
+    if ctx <> 0 && Trace.enabled t.trace then
+      Trace.flow_step t.trace ~id:ctx
+        ~args:[ ("at", Str "pageout") ]
+        ();
+    let t0 = Attrib.now a in
+    let freed = run_round t ~needed in
+    Attrib.note a ~ctx Vm_stall (Attrib.now a -. t0);
+    freed
+  end
 
 let install t =
   Physmem.set_low_memory_hook t.physmem (fun ~needed -> run t ~needed)

@@ -16,9 +16,18 @@
 type t
 
 val create :
-  ?trace:Iolite_obs.Trace.t -> physmem:Physmem.t -> seed:int64 -> unit -> t
+  ?trace:Iolite_obs.Trace.t ->
+  ?attrib:Iolite_obs.Attrib.t ->
+  physmem:Physmem.t ->
+  seed:int64 ->
+  unit ->
+  t
 (** [trace] receives a [vm]/[pageout] instant (args [needed], [freed])
-    at the end of every daemon run when tracing is enabled. *)
+    at the end of every daemon run when tracing is enabled, plus a flow
+    step when the run happens inside a request context. [attrib]
+    charges each whole reclaim round (selection, victim-write
+    backpressure, end-of-round swap join) as one [Vm_stall] interval on
+    the request whose allocation triggered it. *)
 
 val register_segment :
   ?dirty:bool ->

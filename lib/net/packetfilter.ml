@@ -9,7 +9,16 @@ type shard = {
   mutable s_matched : int;
 }
 
-type t = { shards : shard array; mask : int }
+type t = {
+  shards : shard array;
+  mask : int;
+  (* Request-id source for early demultiplexing: when a flow allocator
+     is attached (observability armed), [demux] stamps every classified
+     packet train with a fresh flow id — the packet filter is where a
+     request first becomes identifiable, so causal traces are anchored
+     here. [None] keeps the classify path allocation-free. *)
+  mutable flow : Iolite_obs.Flow.t option;
+}
 
 type verdict = Demuxed of Iolite_core.Iobuf.Pool.t | Unmatched
 
@@ -24,7 +33,11 @@ let create ?(shards = 16) () =
       Array.init n (fun _ ->
           { flows = Hashtbl.create 64; s_lookups = 0; s_matched = 0 });
     mask = n - 1;
+    flow = None;
   }
+
+let attach_flow t flow = t.flow <- Some (flow : Iolite_obs.Flow.t)
+let detach_flow t = t.flow <- None
 
 let shard t ~port = t.shards.(port land t.mask)
 
@@ -39,6 +52,13 @@ let classify t ~port =
     s.s_matched <- s.s_matched + 1;
     Demuxed pool
   | None -> Unmatched
+
+let demux t ~port =
+  let v = classify t ~port in
+  let rid =
+    match t.flow with Some f -> Iolite_obs.Flow.fresh f | None -> 0
+  in
+  (v, rid)
 
 let lookups t =
   Array.fold_left (fun acc s -> acc + s.s_lookups) 0 t.shards

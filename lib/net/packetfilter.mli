@@ -30,6 +30,19 @@ val unbind : t -> port:int -> unit
 val classify : t -> port:int -> verdict
 (** One classification (counted). *)
 
+val attach_flow : t -> Iolite_obs.Flow.t -> unit
+(** Attach the kernel's flow-id allocator: from now on {!demux} stamps
+    each classified request with a fresh flow id. The packet filter is
+    the earliest point a request is identifiable, so causal traces
+    anchor their [ph:"s"] flow event on the id allocated here. *)
+
+val detach_flow : t -> unit
+
+val demux : t -> port:int -> verdict * int
+(** [classify] plus request-id allocation: returns the verdict and a
+    fresh flow id (0 when no allocator is attached — the unobserved
+    hot path allocates nothing). *)
+
 val lookups : t -> int
 val matched : t -> int
 val flow_count : t -> int

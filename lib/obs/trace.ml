@@ -1,6 +1,11 @@
 type arg = Int of int | Str of string | Float of float
 
-type phase = Instant | Complete of float (* duration, seconds *)
+type flow_kind = Flow_start | Flow_step | Flow_finish
+
+type phase =
+  | Instant
+  | Complete of float (* duration, seconds *)
+  | Flow of flow_kind * int (* ph:"s"/"t"/"f" with the flow (request) id *)
 
 type event = {
   eph : phase;
@@ -11,23 +16,33 @@ type event = {
   eargs : (string * arg) list;
 }
 
+(* Events live in a growable circular array: push is O(1) amortized and
+   the ring-buffer mode (set_capacity) bounds it, overwriting the oldest
+   event and counting the drop. *)
 type t = {
   mutable enabled : bool;
   mutable clock : unit -> float;
   mutable scope : unit -> string option;
-  (* Reversed event list: push is O(1) and allocation-free beyond the
-     event itself; emission reverses once. *)
-  mutable events : event list;
-  mutable count : int;
+  mutable buf : event array;
+  mutable head : int; (* index of the oldest retained event *)
+  mutable len : int; (* retained events *)
+  mutable capacity : int; (* 0 = unbounded *)
+  mutable dropped : int; (* events overwritten by ring wrap-around *)
 }
+
+let dummy_event =
+  { eph = Instant; ecat = ""; ename = ""; ets = 0.0; etid = ""; eargs = [] }
 
 let create () =
   {
     enabled = false;
     clock = (fun () -> 0.0);
     scope = (fun () -> None);
-    events = [];
-    count = 0;
+    buf = [||];
+    head = 0;
+    len = 0;
+    capacity = 0;
+    dropped = 0;
   }
 
 let[@inline] enabled t = t.enabled
@@ -39,17 +54,64 @@ let enable t ~clock ~scope =
 
 let disable t = t.enabled <- false
 let now t = t.clock ()
-let event_count t = t.count
+let event_count t = t.len
+let dropped t = t.dropped
 
 let clear t =
-  t.events <- [];
-  t.count <- 0
+  t.buf <- [||];
+  t.head <- 0;
+  t.len <- 0;
+  t.dropped <- 0
+
+(* Copy the retained events (oldest first) into a fresh backing array of
+   size [ncap >= t.len], resetting head to 0. *)
+let rebuild t ncap =
+  let old_cap = Array.length t.buf in
+  let nb = Array.make (max ncap 1) dummy_event in
+  for i = 0 to t.len - 1 do
+    nb.(i) <- t.buf.((t.head + i) mod old_cap)
+  done;
+  t.buf <- nb;
+  t.head <- 0
+
+let set_capacity t cap =
+  match cap with
+  | None -> t.capacity <- 0
+  | Some n ->
+    if n <= 0 then invalid_arg "Trace.set_capacity: capacity must be positive";
+    if t.len > n then begin
+      (* Drop the oldest surplus before shrinking the backing array. *)
+      let surplus = t.len - n in
+      t.head <- (t.head + surplus) mod Array.length t.buf;
+      t.len <- n;
+      t.dropped <- t.dropped + surplus
+    end;
+    if Array.length t.buf <> n then rebuild t n;
+    t.capacity <- n
 
 let tid t = match t.scope () with Some name -> name | None -> "kernel"
 
 let push t e =
-  t.events <- e :: t.events;
-  t.count <- t.count + 1
+  let cap = Array.length t.buf in
+  if t.len < cap then begin
+    t.buf.((t.head + t.len) mod cap) <- e;
+    t.len <- t.len + 1
+  end
+  else if t.capacity > 0 && t.len >= t.capacity then begin
+    (* Bounded and full: overwrite the oldest in place. *)
+    t.buf.(t.head) <- e;
+    t.head <- (t.head + 1) mod cap;
+    t.dropped <- t.dropped + 1
+  end
+  else begin
+    let ncap =
+      let doubled = if cap = 0 then 64 else cap * 2 in
+      if t.capacity > 0 then min doubled t.capacity else doubled
+    in
+    rebuild t ncap;
+    t.buf.(t.len) <- e;
+    t.len <- t.len + 1
+  end
 
 (* Callers guard with [if Trace.enabled t then ...]; these re-check so an
    unguarded call is still correct, just marginally slower. *)
@@ -77,6 +139,24 @@ let complete t ~cat ~name ~ts ~dur ?(args = []) () =
         eargs = args;
       }
 
+let flow t kind ~id ?(cat = "flow") ?(name = "req") ?(args = []) () =
+  if t.enabled && id <> 0 then
+    push t
+      {
+        eph = Flow (kind, abs id);
+        ecat = cat;
+        ename = name;
+        ets = t.clock ();
+        etid = tid t;
+        eargs = args;
+      }
+
+let flow_start t ~id ?cat ?name ?args () = flow t Flow_start ~id ?cat ?name ?args ()
+let flow_step t ~id ?cat ?name ?args () = flow t Flow_step ~id ?cat ?name ?args ()
+
+let flow_finish t ~id ?cat ?name ?args () =
+  flow t Flow_finish ~id ?cat ?name ?args ()
+
 let span t ~cat ~name ?args f =
   if not t.enabled then f ()
   else begin
@@ -91,14 +171,28 @@ let span t ~cat ~name ?args f =
       raise e
   end
 
-let events t = List.rev t.events
+let iter_events t f =
+  let cap = Array.length t.buf in
+  for i = 0 to t.len - 1 do
+    f t.buf.((t.head + i) mod cap)
+  done
+
+let events t =
+  let acc = ref [] in
+  iter_events t (fun e -> acc := e :: !acc);
+  List.rev !acc
 
 (* ------------------------------------------------------------------ *)
 (* Chrome trace-event JSON (loadable in Perfetto / chrome://tracing)   *)
 (* ------------------------------------------------------------------ *)
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 2) in
+(* Serialization appends into a single [Buffer.t]; there is no per-event
+   intermediate string, so emitting n events is O(total bytes), and the
+   streaming writers below flush the same buffer to a channel whenever
+   it crosses a threshold — the full JSON string is never materialized
+   unless [to_json] is asked for one. *)
+
+let buffer_add_escaped b s =
   String.iter
     (fun c ->
       match c with
@@ -108,27 +202,36 @@ let json_escape s =
       | '\r' -> Buffer.add_string b "\\r"
       | '\t' -> Buffer.add_string b "\\t"
       | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        Printf.bprintf b "\\u%04x" (Char.code c)
       | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+    s
 
-let arg_json = function
-  | Int i -> string_of_int i
-  | Str s -> Printf.sprintf "\"%s\"" (json_escape s)
-  | Float f -> Printf.sprintf "%.6g" f
+let buffer_add_arg buf = function
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Str s ->
+    Buffer.add_char buf '"';
+    buffer_add_escaped buf s;
+    Buffer.add_char buf '"'
+  | Float f -> Printf.bprintf buf "%.6g" f
 
-let args_json args =
-  String.concat ","
-    (List.map
-       (fun (k, v) -> Printf.sprintf "\"%s\":%s" (json_escape k) (arg_json v))
-       args)
+let buffer_add_args buf args =
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf '"';
+      buffer_add_escaped buf k;
+      Buffer.add_string buf "\":";
+      buffer_add_arg buf v)
+    args
 
 (* Virtual seconds -> trace microseconds, fixed precision so equal
    virtual times always print identically. *)
-let ts_json s = Printf.sprintf "%.3f" (s *. 1e6)
+let buffer_add_ts buf s = Printf.bprintf buf "%.3f" (s *. 1e6)
 
-let buffer_add_events buf ~pid ~label evs =
+(* Emit one trace process (metadata + events) into [buf]. [spill] is
+   called after each emitted object so streaming writers can bound the
+   buffer; [emit_sep] threads the separator state across processes. *)
+let buffer_add_events ?(spill = fun () -> ()) ~emit_sep buf ~pid ~label iter =
   let tids = Hashtbl.create 8 in
   let tid_order = ref [] in
   let tid_of name =
@@ -140,58 +243,96 @@ let buffer_add_events buf ~pid ~label evs =
       tid_order := (name, i) :: !tid_order;
       i
   in
-  let emit_sep = ref false in
-  let emit s =
+  let start_obj () =
     if !emit_sep then Buffer.add_string buf ",\n";
-    emit_sep := true;
-    Buffer.add_string buf s
+    emit_sep := true
   in
-  emit
-    (Printf.sprintf
-       "{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_name\",\"args\":{\"name\":\"%s\"}}"
-       pid (json_escape label));
+  start_obj ();
+  Printf.bprintf buf
+    "{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_name\",\"args\":{\"name\":\"" pid;
+  buffer_add_escaped buf label;
+  Buffer.add_string buf "\"}}";
+  spill ();
   (* Reserve tids in first-seen order before emitting events, so thread
      metadata precedes use. *)
-  List.iter (fun e -> ignore (tid_of e.etid)) evs;
+  iter (fun e -> ignore (tid_of e.etid));
   List.iter
     (fun (name, i) ->
-      emit
-        (Printf.sprintf
-           "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}"
-           pid i (json_escape name)))
+      start_obj ();
+      Printf.bprintf buf
+        "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\""
+        pid i;
+      buffer_add_escaped buf name;
+      Buffer.add_string buf "\"}}";
+      spill ())
     (List.rev !tid_order);
-  List.iter
-    (fun e ->
-      let common =
-        Printf.sprintf
-          "\"pid\":%d,\"tid\":%d,\"cat\":\"%s\",\"name\":\"%s\",\"ts\":%s"
-          pid (tid_of e.etid) (json_escape e.ecat) (json_escape e.ename)
-          (ts_json e.ets)
-      in
-      let shape =
-        match e.eph with
-        | Instant -> "\"ph\":\"i\",\"s\":\"t\""
-        | Complete dur -> Printf.sprintf "\"ph\":\"X\",\"dur\":%s" (ts_json dur)
-      in
-      let args =
-        match e.eargs with
-        | [] -> ""
-        | args -> Printf.sprintf ",\"args\":{%s}" (args_json args)
-      in
-      emit (Printf.sprintf "{%s,%s%s}" common shape args))
-    evs
+  iter (fun e ->
+      start_obj ();
+      Printf.bprintf buf "{\"pid\":%d,\"tid\":%d,\"cat\":\"" pid (tid_of e.etid);
+      buffer_add_escaped buf e.ecat;
+      Buffer.add_string buf "\",\"name\":\"";
+      buffer_add_escaped buf e.ename;
+      Buffer.add_string buf "\",\"ts\":";
+      buffer_add_ts buf e.ets;
+      Buffer.add_char buf ',';
+      (match e.eph with
+      | Instant -> Buffer.add_string buf "\"ph\":\"i\",\"s\":\"t\""
+      | Complete dur ->
+        Buffer.add_string buf "\"ph\":\"X\",\"dur\":";
+        buffer_add_ts buf dur
+      | Flow (kind, id) ->
+        (* "bp":"e" binds the finish to its enclosing slice, the Chrome
+           trace-format convention Perfetto expects for stitching. *)
+        (match kind with
+        | Flow_start -> Buffer.add_string buf "\"ph\":\"s\""
+        | Flow_step -> Buffer.add_string buf "\"ph\":\"t\""
+        | Flow_finish -> Buffer.add_string buf "\"ph\":\"f\",\"bp\":\"e\"");
+        Printf.bprintf buf ",\"id\":%d" id);
+      (match e.eargs with
+      | [] -> ()
+      | args ->
+        Buffer.add_string buf ",\"args\":{";
+        buffer_add_args buf args;
+        Buffer.add_char buf '}');
+      Buffer.add_char buf '}';
+      spill ())
+
+let json_header = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+let json_footer = "\n]}\n"
 
 let to_json ?(pid = 1) ?(label = "iolite") t =
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
-  buffer_add_events buf ~pid ~label (events t);
-  Buffer.add_string buf "\n]}\n";
+  Buffer.add_string buf json_header;
+  buffer_add_events ~emit_sep:(ref false) buf ~pid ~label (iter_events t);
+  Buffer.add_string buf json_footer;
   Buffer.contents buf
+
+(* Streaming writer: one bounded scratch buffer, flushed whenever it
+   exceeds [spill_at] bytes. Memory stays O(spill_at) however long the
+   trace is. *)
+let spill_at = 1 lsl 16
+
+let output_events oc ~pid ~label iter =
+  let buf = Buffer.create (spill_at + 1024) in
+  let spill () =
+    if Buffer.length buf >= spill_at then begin
+      Buffer.output_buffer oc buf;
+      Buffer.clear buf
+    end
+  in
+  Buffer.add_string buf json_header;
+  buffer_add_events ~spill ~emit_sep:(ref false) buf ~pid ~label iter;
+  Buffer.add_string buf json_footer;
+  Buffer.output_buffer oc buf
+
+let output ?(pid = 1) ?(label = "iolite") t oc =
+  output_events oc ~pid ~label (iter_events t)
 
 let write ?pid ?label t path =
   let oc = open_out path in
-  output_string oc (to_json ?pid ?label t);
-  close_out oc
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output ?pid ?label t oc)
 
 module Sink = struct
   type trace = t
@@ -202,21 +343,34 @@ module Sink = struct
   let absorb t ~label trace = t.traces <- (label, trace) :: t.traces
   let count t = List.length t.traces
 
-  let to_json t =
-    let buf = Buffer.create 4096 in
-    Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
-    let first = ref true in
+  let add_all ?spill ~emit_sep buf t =
     List.iteri
       (fun i (label, trace) ->
-        if not !first then Buffer.add_string buf ",\n";
-        first := false;
-        buffer_add_events buf ~pid:(i + 1) ~label (events trace))
-      (List.rev t.traces);
-    Buffer.add_string buf "\n]}\n";
+        buffer_add_events ?spill ~emit_sep buf ~pid:(i + 1) ~label
+          (iter_events trace))
+      (List.rev t.traces)
+
+  let to_json t =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf json_header;
+    add_all ~emit_sep:(ref false) buf t;
+    Buffer.add_string buf json_footer;
     Buffer.contents buf
+
+  let output t oc =
+    let buf = Buffer.create (spill_at + 1024) in
+    let spill () =
+      if Buffer.length buf >= spill_at then begin
+        Buffer.output_buffer oc buf;
+        Buffer.clear buf
+      end
+    in
+    Buffer.add_string buf json_header;
+    add_all ~spill ~emit_sep:(ref false) buf t;
+    Buffer.add_string buf json_footer;
+    Buffer.output_buffer oc buf
 
   let write t path =
     let oc = open_out path in
-    output_string oc (to_json t);
-    close_out oc
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output t oc)
 end

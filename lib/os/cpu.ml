@@ -1,5 +1,6 @@
 module Sync = Iolite_sim.Sync
 module Proc = Iolite_sim.Engine.Proc
+module Attrib = Iolite_obs.Attrib
 
 type t = {
   context_switch : float;
@@ -7,30 +8,49 @@ type t = {
   mutable last_owner : int;
   mutable busy : float;
   mutable switches : int;
+  attrib : Attrib.t;
 }
 
-let create ?(context_switch = 30e-6) () =
+let create ?(context_switch = 30e-6) ?attrib () =
   {
     context_switch;
     lock = Sync.Semaphore.create 1;
     last_owner = -1;
     busy = 0.0;
     switches = 0;
+    attrib = (match attrib with Some a -> a | None -> Attrib.create ());
   }
 
+let charge_locked t ~owner dt =
+  Sync.Semaphore.with_acquired t.lock (fun () ->
+      let dt =
+        if t.last_owner <> owner && t.last_owner <> -1 then begin
+          t.switches <- t.switches + 1;
+          dt +. t.context_switch
+        end
+        else dt
+      in
+      t.last_owner <- owner;
+      Proc.sleep dt;
+      t.busy <- t.busy +. dt)
+
+(* The whole charge — CPU-lock contention, context-switch surcharge,
+   and the burn itself — is CPU time from the request's point of
+   view. *)
 let charge t ~owner dt =
-  if dt > 0.0 then
-    Sync.Semaphore.with_acquired t.lock (fun () ->
-        let dt =
-          if t.last_owner <> owner && t.last_owner <> -1 then begin
-            t.switches <- t.switches + 1;
-            dt +. t.context_switch
-          end
-          else dt
-        in
-        t.last_owner <- owner;
-        Proc.sleep dt;
-        t.busy <- t.busy +. dt)
+  if dt > 0.0 then begin
+    let a = t.attrib in
+    if Attrib.enabled a then begin
+      let ctx = Attrib.here a in
+      if ctx > 0 then begin
+        let t0 = Attrib.now a in
+        charge_locked t ~owner dt;
+        Attrib.note a ~ctx Cpu (Attrib.now a -. t0)
+      end
+      else charge_locked t ~owner dt
+    end
+    else charge_locked t ~owner dt
+  end
 
 let busy_time t = t.busy
 let switches t = t.switches

@@ -7,7 +7,11 @@
 
 type t
 
-val create : ?context_switch:float -> unit -> t
+val create :
+  ?context_switch:float -> ?attrib:Iolite_obs.Attrib.t -> unit -> t
+(** [attrib] charges each burst's full duration — lock contention,
+    context-switch surcharge, and the burn — as [Cpu] on the calling
+    fiber's flow context. *)
 
 val charge : t -> owner:int -> float -> unit
 (** Acquire the CPU (FIFO), burn the given seconds of simulated time

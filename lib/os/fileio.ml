@@ -211,6 +211,14 @@ let readahead proc cache ~pool ~file ~size ~off ~len =
       then begin
         Metrics.incr (Kernel.metrics kernel) "cache.readahead_issued";
         Iolite_sim.Engine.Proc.spawn ~name:"readahead" (fun () ->
+            (* The fiber inherits the demanding request's flow context;
+               detach it so the prefetch still stitches into the
+               request's flow (abs id) but its waits — concurrent with
+               the request, not on its critical path — are never
+               charged to the request's decomposition. *)
+            let c = Iolite_sim.Engine.Proc.ctx () in
+            if c > 0 then
+              Iolite_sim.Engine.Proc.set_ctx (Iolite_obs.Flow.detach c);
             fill_extent ~prefetched:true proc cache ~pool ~file ~size ~lo:e)
       end;
       lo := !lo + extent
@@ -257,7 +265,13 @@ let iol_read ?pool proc ~file ~off ~len =
   if Trace.enabled tr then
     Trace.span tr ~cat:"os" ~name:"IOL_read"
       ~args:[ ("file", Trace.Int file); ("len", Trace.Int len) ]
-      (fun () -> iol_read_body ?pool proc ~file ~off ~len)
+      (fun () ->
+        let c = Iolite_sim.Engine.Proc.ctx () in
+        if c <> 0 then
+          Trace.flow_step tr ~id:c
+            ~args:[ ("at", Trace.Str "IOL_read"); ("file", Trace.Int file) ]
+            ();
+        iol_read_body ?pool proc ~file ~off ~len)
   else iol_read_body ?pool proc ~file ~off ~len
 
 let write_back kernel ~file ~off ~len =

@@ -105,10 +105,12 @@ let create ?config engine =
       engine;
       sys;
       config;
-      cpu = Cpu.create ~context_switch:config.cost.Costmodel.context_switch ();
+      cpu =
+        Cpu.create ~context_switch:config.cost.Costmodel.context_switch
+          ~attrib:(Iosys.attrib sys) ();
       disk =
         Iolite_fs.Disk.create ~backend:config.disk_backend
-          ~trace:(Iosys.trace sys) ();
+          ~trace:(Iosys.trace sys) ~attrib:(Iosys.attrib sys) ();
       link =
         Iolite_net.Link.create ~trace:(Iosys.trace sys)
           ~bits_per_sec:config.link_bits_per_sec ();
@@ -164,9 +166,24 @@ let create ?config engine =
         if Proc.running () then begin
           let bytes = pages * Iolite_mem.Page.page_size in
           Iolite_obs.Metrics.incr (Iosys.metrics sys) "vm.swap_in";
-          Iolite_fs.Disk.read t.disk ~file:swap_file
-            ~off:(max 0 (t.swap_cursor - bytes))
-            ~bytes
+          let swap_in () =
+            Iolite_fs.Disk.read t.disk ~file:swap_file
+              ~off:(max 0 (t.swap_cursor - bytes))
+              ~bytes
+          in
+          let a = Iosys.attrib sys in
+          let ctx = if Iolite_obs.Attrib.enabled a then Iolite_obs.Attrib.here a else 0 in
+          if ctx > 0 then begin
+            (* The faulting request stalls for the swap-in; charge the
+               whole read as [Vm_stall] and run it under a detached
+               context so the disk layer doesn't also charge its queue
+               and service components (the flow still stitches). *)
+            let t0 = Iolite_obs.Attrib.now a in
+            Proc.with_ctx (Iolite_obs.Flow.detach ctx) swap_in;
+            Iolite_obs.Attrib.note a ~ctx Iolite_obs.Attrib.Vm_stall
+              (Iolite_obs.Attrib.now a -. t0)
+          end
+          else swap_in ()
         end)
   end;
   (* VM operations and data touches accumulate CPU work; syscall
@@ -204,6 +221,8 @@ let create ?config engine =
       Iolite_fs.Disk.batched t.disk);
   Iolite_obs.Metrics.set_gauge m "disk.batches" (fun () ->
       Iolite_fs.Disk.batches t.disk);
+  Iolite_obs.Metrics.set_gauge m "trace.dropped" (fun () ->
+      Iolite_obs.Trace.dropped (Iosys.trace sys));
   Iosys.set_on_touch sys (fun kind n ->
       let c = config.cost in
       let dt =
@@ -269,7 +288,23 @@ let ra_state t ~file =
     Hashtbl.replace t.ra file st;
     st
 
+let flow t = Iosys.flow t.sys
+let attrib t = Iosys.attrib t.sys
+
+let observing t = Iolite_obs.Attrib.enabled (Iosys.attrib t.sys)
+
+let enable_attribution t =
+  Iolite_obs.Attrib.enable (Iosys.attrib t.sys)
+    ~clock:(fun () -> Iolite_sim.Engine.now t.engine)
+    ~ctx:(fun () -> Iolite_sim.Engine.ctx t.engine);
+  (* Arm request-id allocation at the early-demux point. *)
+  Iolite_net.Packetfilter.attach_flow t.filter (Iosys.flow t.sys)
+
 let enable_tracing t =
   Iolite_obs.Trace.enable (Iosys.trace t.sys)
     ~clock:(fun () -> Iolite_sim.Engine.now t.engine)
-    ~scope:(fun () -> Iolite_sim.Engine.current_name t.engine)
+    ~scope:(fun () -> Iolite_sim.Engine.current_name t.engine);
+  (* Flow stitching and wait attribution share the context plumbing;
+     arming them together keeps every [disk]/[cache]/[vm] emitter's
+     view consistent. *)
+  enable_attribution t

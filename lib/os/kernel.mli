@@ -119,7 +119,26 @@ val metrics : t -> Iolite_obs.Metrics.t
 val trace : t -> Iolite_obs.Trace.t
 (** The kernel-wide tracer. Created disabled; see {!enable_tracing}. *)
 
+val flow : t -> Iolite_obs.Flow.t
+(** The kernel-wide flow-id allocator (deterministic, per kernel). *)
+
+val attrib : t -> Iolite_obs.Attrib.t
+(** The kernel-wide wait-state attribution collector. Created
+    disabled; see {!enable_attribution}. *)
+
+val observing : t -> bool
+(** [true] once {!enable_attribution} (or {!enable_tracing}) has armed
+    the kernel — the guard request-id allocation sites use. *)
+
 val enable_tracing : t -> unit
 (** Arm the tracer against this kernel's engine: events are stamped
     with virtual time and the simulated process name
-    ({!Iolite_sim.Engine.current_name}). *)
+    ({!Iolite_sim.Engine.current_name}). Also arms attribution (the
+    two share the flow-context plumbing). *)
+
+val enable_attribution : t -> unit
+(** Arm wait-state attribution alone (no event buffering): blocking
+    edges charge the running fiber's flow context
+    ({!Iolite_sim.Engine.ctx}) with [{queue, disk_service,
+    coalesced_wait, vm_stall, cpu}] intervals. Used by perf sweeps
+    that want decompositions without paying for a trace buffer. *)

@@ -211,21 +211,42 @@ let recv proc c ~zero_copy =
        Trace.instant tr ~cat:"net" ~name:"recv"
          ~args:[ ("bytes", Trace.Int len) ]
          ());
-    let path_cost =
+    let flow = Kernel.flow kernel in
+    let path_cost, rid =
       if zero_copy then begin
         (* Early demultiplexing: the packet filter classifies each packet
-           to the server's pool; data is placed copy-free by the driver. *)
-        (match
-           Iolite_net.Packetfilter.classify (Kernel.filter kernel) ~port:c.cport
-         with
+           to the server's pool; data is placed copy-free by the driver.
+           The filter is also where a request first becomes identifiable,
+           so it doubles as the flow-id allocation point. *)
+        let verdict, rid =
+          Iolite_net.Packetfilter.demux (Kernel.filter kernel) ~port:c.cport
+        in
+        (match verdict with
         | Iolite_net.Packetfilter.Demuxed _ -> ()
         | Iolite_net.Packetfilter.Unmatched ->
           (* Fall back to a delivery copy, as a conventional system. *)
           Kernel.add_pending kernel (Costmodel.copy_time cost len));
-        float_of_int pkts *. cost.Costmodel.demux
+        (float_of_int pkts *. cost.Costmodel.demux, rid)
       end
-      else Costmodel.copy_time cost len
+      else
+        (* Conventional delivery bypasses the filter; the accept-side
+           demux allocates the id instead. *)
+        ( Costmodel.copy_time cost len,
+          if Kernel.observing kernel then Iolite_obs.Flow.fresh flow else 0 )
     in
+    if rid > 0 then begin
+      (* Install the request's flow context on the serving fiber: it
+         rides every suspension and spawn from here (syscalls, cache
+         fills, disk waits, the TCP drain). *)
+      Proc.set_ctx rid;
+      (* Args stay free of [c.cid]: connection ids come from a
+         process-global counter, which would break the byte-identical
+         same-seed-trace guarantee. The port is the demux key. *)
+      if Iolite_obs.Flow.enabled flow then
+        Iolite_obs.Flow.start flow ~id:rid
+          ~args:[ ("port", Trace.Int c.cport) ]
+          ()
+    end;
     Process.charge proc
       (cost.Costmodel.syscall
       +. Costmodel.packet_time cost ~mtu len
@@ -237,7 +258,13 @@ let recv proc c ~zero_copy =
 let drain kernel c ~wired ~len ~chain ~on_complete =
   let link = Kernel.link kernel in
   let tr = Kernel.trace kernel in
-  let t0 = if Trace.enabled tr then Proc.now () else 0.0 in
+  let a = Kernel.attrib kernel in
+  (* The drain fiber inherited the request's flow context at spawn, so
+     link-queue residency and window round trips charge the request. *)
+  let ctx = if Iolite_obs.Attrib.enabled a then Iolite_obs.Attrib.here a else 0 in
+  let t0 = if Trace.enabled tr || ctx > 0 then Proc.now () else 0.0 in
+  if ctx <> 0 && Trace.enabled tr then
+    Trace.flow_step tr ~id:ctx ~args:[ ("at", Trace.Str "drain") ] ();
   let rec loop remaining =
     if remaining > 0 then begin
       let window = min c.ctss remaining in
@@ -251,6 +278,8 @@ let drain kernel c ~wired ~len ~chain ~on_complete =
     Physmem.unwire (Iosys.physmem (Kernel.sys kernel)) Physmem.Net_wired wired;
   Mbuf.free chain;
   c.pending <- c.pending - 1;
+  if ctx > 0 then
+    Iolite_obs.Attrib.note a ~ctx Iolite_obs.Attrib.Queue (Proc.now () -. t0);
   if Trace.enabled tr then
     Trace.complete tr ~cat:"net" ~name:"drain" ~ts:t0
       ~dur:(Proc.now () -. t0)

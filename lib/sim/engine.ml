@@ -4,6 +4,7 @@ type t = {
   mutable clock : float;
   mutable seq : int;
   mutable current : string option; (* name of the running process *)
+  mutable fctx : int; (* flow context of the running process, 0 = none *)
   queue : (unit -> unit) Heap.t;
   wheel : (unit -> unit) Twheel.t;
   backend : timer_backend;
@@ -25,6 +26,7 @@ let create ?(timer_backend = `Wheel) ?(timer_tick = 1e-3) () =
     clock = 0.0;
     seq = 0;
     current = None;
+    fctx = 0;
     queue = Heap.create ();
     wheel = Twheel.create ~tick:timer_tick ();
     backend = timer_backend;
@@ -33,6 +35,8 @@ let create ?(timer_backend = `Wheel) ?(timer_tick = 1e-3) () =
 
 let now t = t.clock
 let current_name t = t.current
+let ctx t = t.fctx
+let set_ctx t c = t.fctx <- c
 let timer_backend t = t.backend
 
 let schedule t time thunk =
@@ -47,10 +51,14 @@ let pending_timers t = t.live_timers
    continuation resumed later re-enters through the thunks we queue, which
    were created inside this handler, so the handler stays installed for the
    process's whole lifetime. Each queued thunk restores the process's name
-   before resuming, so [current_name] is accurate across interleavings. *)
-let rec exec t name (body : unit -> unit) : unit =
+   and flow context before resuming, so [current_name]/[ctx] are accurate
+   across interleavings. The flow context is captured at each suspension
+   point (not at [exec] entry) so [set_ctx] mid-body sticks; spawned
+   children inherit the spawner's context at spawn time. *)
+let rec exec t name fctx (body : unit -> unit) : unit =
   let open Effect.Deep in
   t.current <- name;
+  t.fctx <- fctx;
   match_with body ()
     {
       retc = (fun () -> ());
@@ -68,35 +76,41 @@ let rec exec t name (body : unit -> unit) : unit =
               (fun (k : (a, unit) continuation) ->
                 if dt < 0.0 then
                   discontinue k (Invalid_argument "Proc.sleep: negative delay")
-                else
+                else begin
+                  let ctx = t.fctx in
                   schedule t (t.clock +. dt) (fun () ->
                       t.current <- name;
-                      continue k ()))
+                      t.fctx <- ctx;
+                      continue k ())
+                end)
           | E_spawn (child_name, f) ->
             Some
               (fun (k : (a, unit) continuation) ->
-                schedule t t.clock (fun () -> exec t child_name f);
+                let ctx = t.fctx in
+                schedule t t.clock (fun () -> exec t child_name ctx f);
                 t.current <- name;
                 continue k ())
           | E_suspend register ->
             Some
               (fun (k : (a, unit) continuation) ->
                 let resumed = ref false in
+                let ctx = t.fctx in
                 let resume () =
                   if !resumed then
                     invalid_arg "Engine: suspended process resumed twice";
                   resumed := true;
                   schedule t t.clock (fun () ->
                       t.current <- name;
+                      t.fctx <- ctx;
                       continue k ())
                 in
                 register resume)
           | _ -> None);
     }
 
-let spawn ?name t f = schedule t t.clock (fun () -> exec t name f)
+let spawn ?name t f = schedule t t.clock (fun () -> exec t name 0 f)
 
-let spawn_at ?name t time f = schedule t time (fun () -> exec t name f)
+let spawn_at ?name t time f = schedule t time (fun () -> exec t name 0 f)
 
 (* Coarse cancelable timers. On the wheel backend the deadline is
    quantized up to the wheel tick (never fires early); insert and
@@ -108,7 +122,7 @@ let schedule_cancelable ?name t time f =
   let body () =
     tm.t_pending <- false;
     t.live_timers <- t.live_timers - 1;
-    exec t name f
+    exec t name 0 f
   in
   t.live_timers <- t.live_timers + 1;
   (match t.backend with
@@ -191,6 +205,14 @@ module Proc = struct
   let suspend register = Effect.perform (E_suspend register)
   let engine () = Effect.perform E_engine
   let self () = Effect.perform E_self
+  let ctx () = (engine ()).fctx
+  let set_ctx c = (engine ()).fctx <- c
+
+  let with_ctx c f =
+    let t = engine () in
+    let old = t.fctx in
+    t.fctx <- c;
+    Fun.protect ~finally:(fun () -> t.fctx <- old) f
 
   let running () =
     match Effect.perform E_now with

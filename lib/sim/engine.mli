@@ -70,6 +70,23 @@ val current_name : t -> string option
     scope function) use this to stamp events with the simulated
     process. *)
 
+val ctx : t -> int
+(** Flow context of the currently executing process: an opaque
+    request/flow id carried fiber-locally, [0] when none is set. Like
+    {!current_name} it is saved at every suspension point and restored
+    when the process resumes, and spawned children inherit the
+    spawner's context at spawn time — so a request id set at accept
+    demux rides through sleeps, semaphore waits, and helper fibers
+    (disk write-back, TCP drain, readahead). By convention a {e
+    negative} value is a "detached" context: flow-stitchable (use the
+    absolute value as the flow id) but not charged wait-state
+    attribution — used by prefetch fibers running concurrently with
+    their originating request. *)
+
+val set_ctx : t -> int -> unit
+(** Set the running process's flow context (sticks across its own
+    suspensions until overwritten; other processes are unaffected). *)
+
 (** Operations available {e inside} a process body. Calling them outside
     [run] raises [Stdlib.Effect.Unhandled]. *)
 module Proc : sig
@@ -98,6 +115,16 @@ module Proc : sig
 
   val self : unit -> string option
   (** This process's spawn name. *)
+
+  val ctx : unit -> int
+  (** This process's flow context (see the engine-level {!ctx}). *)
+
+  val set_ctx : int -> unit
+
+  val with_ctx : int -> (unit -> 'a) -> 'a
+  (** Run the thunk with the flow context set to the given value,
+      restoring the previous value afterwards (also on raise). The
+      override survives the thunk's own suspensions. *)
 
   val running : unit -> bool
   (** [true] when the caller executes inside a process (engine effects

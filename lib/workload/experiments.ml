@@ -1132,6 +1132,11 @@ type async_point = {
   as_ra_hit : int;
   as_swap_writes : int;
   as_seq_read_s : float;
+  (* Wait-state attribution over the measured (foreground) population:
+     the aggregate decomposition and the slowest-K tail reservoir. *)
+  as_attr_completed : int;
+  as_attr_totals : (string * float) list;
+  as_tail : Iolite_obs.Attrib.record list;
 }
 
 let seq_file_size = 1_792 * 1024
@@ -1151,6 +1156,11 @@ let async_point ?(legacy = false) ?(scale = 1.0) ~pressure () =
     }
   in
   let kernel = Kernel.create ~config engine in
+  (* Arm wait-state attribution (no trace buffer): each foreground job
+     below runs under a fresh flow id, so its latency decomposes into
+     {queue, disk_service, coalesced_wait, vm_stall, cpu} and the
+     slowest land in the tail reservoir. *)
+  Kernel.enable_attribution kernel;
   (* Site: a hot set of small documents plus a cold tail of 1MB data
      files consumed incrementally (the converted-utility shape: wc reads
      64KB units with per-byte compute between them). Under pressure the
@@ -1248,7 +1258,13 @@ let async_point ?(legacy = false) ?(scale = 1.0) ~pressure () =
                  else small.(nhot + Rng.int rng (nsmall - nhot))
                in
                let t0 = Engine.now engine in
+               let rid = Iolite_obs.Flow.fresh (Kernel.flow kernel) in
+               Iolite_sim.Engine.Proc.set_ctx rid;
+               Iolite_obs.Attrib.begin_request (Kernel.attrib kernel) ~ctx:rid
+                 ~tag:(Printf.sprintf "/s%d" file);
                ignore (Iolite_apps.Wc.run_iolite proc ~file);
+               Iolite_obs.Attrib.end_request (Kernel.attrib kernel) ~ctx:rid;
+               Iolite_sim.Engine.Proc.set_ctx 0;
                latencies := (Engine.now engine -. t0) :: !latencies;
                incr completed;
                if !completed >= jobs && not !stop then begin
@@ -1293,6 +1309,9 @@ let async_point ?(legacy = false) ?(scale = 1.0) ~pressure () =
     as_ra_hit = Iolite_obs.Metrics.get m "cache.readahead_hit";
     as_swap_writes = Iolite_obs.Metrics.get m "vm.swap_in" + Iolite_mem.Pageout.swap_writes (Iolite_core.Iosys.pageout (Kernel.sys kernel));
     as_seq_read_s = !seq_t;
+    as_attr_completed = Iolite_obs.Attrib.completed (Kernel.attrib kernel);
+    as_attr_totals = Iolite_obs.Attrib.totals (Kernel.attrib kernel);
+    as_tail = Iolite_obs.Attrib.slowest (Kernel.attrib kernel);
   }
 
 let async_sweep ?(scale = 1.0) () =
@@ -1330,3 +1349,52 @@ let print_async points =
         "disk util"; "batched"; "coalesced"; "ra hit/issued"; "seq ms";
       ]
     ~rows
+
+(* The tail profiler: per sweep point, the aggregate wait-state
+   decomposition and the slowest-K reservoir with per-request cause
+   breakdown, dominant cause and coverage (the >=95% contract). *)
+let print_async_tail points =
+  let module Attrib = Iolite_obs.Attrib in
+  let ms v = Printf.sprintf "%.2f" (v *. 1e3) in
+  List.iter
+    (fun p ->
+      Printf.printf "\n%s/%s: wait-state attribution over %d requests\n"
+        p.as_scenario p.as_label p.as_attr_completed;
+      (match p.as_attr_totals with
+      | ("wall", wall) :: causes when wall > 0.0 ->
+        Printf.printf "  aggregate:%s\n"
+          (String.concat ""
+             (List.map
+                (fun (c, v) ->
+                  Printf.sprintf " %s=%.1f%%" c (100.0 *. v /. wall))
+                causes))
+      | _ -> ());
+      if p.as_tail <> [] then begin
+        Printf.printf "  slowest %d:\n" (List.length p.as_tail);
+        let rows =
+          List.map
+            (fun r ->
+              let dom, _ = Attrib.dominant r in
+              [
+                string_of_int r.Attrib.ar_id;
+                r.Attrib.ar_tag;
+                ms (Attrib.wall r);
+                ms r.Attrib.ar_queue;
+                ms r.Attrib.ar_disk;
+                ms r.Attrib.ar_coalesced;
+                ms r.Attrib.ar_vm;
+                ms r.Attrib.ar_cpu;
+                dom;
+                Printf.sprintf "%.0f%%" (100.0 *. Attrib.covered r);
+              ])
+            p.as_tail
+        in
+        Table.print
+          ~header:
+            [
+              "req"; "tag"; "wall ms"; "queue"; "disk"; "coalesced"; "vm";
+              "cpu"; "dominant"; "covered";
+            ]
+          ~rows
+      end)
+    points

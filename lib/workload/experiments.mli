@@ -181,6 +181,14 @@ type async_point = {
   as_seq_read_s : float;
       (** cold 1.75MB sequential read, simulated seconds — the
           readahead-pipelining headline *)
+  as_attr_completed : int;
+      (** foreground requests with a wait-state decomposition *)
+  as_attr_totals : (string * float) list;
+      (** [("wall", _)] plus the five causes, summed over the measured
+          population ({!Iolite_obs.Attrib.totals}) *)
+  as_tail : Iolite_obs.Attrib.record list;
+      (** the slowest-K reservoir, slowest first — the tail profiler's
+          input *)
 }
 
 val async_point :
@@ -199,3 +207,10 @@ val async_sweep : ?scale:float -> unit -> async_point list
 (** legacy/async × warm/pressure, in that order. *)
 
 val print_async : async_point list -> unit
+
+val print_async_tail : async_point list -> unit
+(** The p99 tail profiler's report: per sweep point, the aggregate
+    wait-state decomposition (percent of total wall per cause) and the
+    slowest-K table — per retained request its five-way breakdown,
+    dominant cause and coverage (components / wall, the >=95%
+    contract). *)

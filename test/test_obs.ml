@@ -158,6 +158,282 @@ let test_trace_sink () =
     [ "\"kernel-1\""; "\"kernel-2\""; "\"pid\":1"; "\"pid\":2"; "tx1"; "tx2" ]
 
 (* ------------------------------------------------------------------ *)
+(* Ring-buffer bounding                                                *)
+(* ------------------------------------------------------------------ *)
+
+let armed () =
+  let tr = Trace.create () in
+  let t = ref 0.0 in
+  Trace.enable tr
+    ~clock:(fun () ->
+      t := !t +. 0.001;
+      !t)
+    ~scope:(fun () -> None);
+  tr
+
+let event_names tr = List.map (fun e -> e.Trace.ename) (Trace.events tr)
+
+let test_trace_ring_buffer () =
+  let tr = armed () in
+  Trace.set_capacity tr (Some 4);
+  for i = 1 to 10 do
+    Trace.instant tr ~cat:"t" ~name:(Printf.sprintf "e%d" i) ()
+  done;
+  Alcotest.(check int) "retains the capacity" 4 (Trace.event_count tr);
+  Alcotest.(check int) "drops the oldest surplus" 6 (Trace.dropped tr);
+  Alcotest.(check (list string))
+    "newest events survive, oldest first"
+    [ "e7"; "e8"; "e9"; "e10" ]
+    (event_names tr);
+  (* Shrinking below the retained count evicts immediately. *)
+  Trace.set_capacity tr (Some 2);
+  Alcotest.(check int) "shrink drops immediately" 2 (Trace.event_count tr);
+  Alcotest.(check int) "shrink counts as dropped" 8 (Trace.dropped tr);
+  Alcotest.(check (list string))
+    "still the newest" [ "e9"; "e10" ] (event_names tr);
+  (* Lifting the bound keeps what is retained and grows again. *)
+  Trace.set_capacity tr None;
+  for i = 11 to 13 do
+    Trace.instant tr ~cat:"t" ~name:(Printf.sprintf "e%d" i) ()
+  done;
+  Alcotest.(check int) "unbounded grows" 5 (Trace.event_count tr);
+  Alcotest.(check int) "no further drops" 8 (Trace.dropped tr);
+  (* The serialized view matches the retained window. *)
+  let json = Trace.to_json tr in
+  Alcotest.(check bool) "dropped event absent from json" false
+    (contains ~sub:"\"e8\"" json);
+  Alcotest.(check bool) "retained event present in json" true
+    (contains ~sub:"\"e13\"" json);
+  Trace.clear tr;
+  Alcotest.(check int) "clear resets dropped" 0 (Trace.dropped tr)
+
+(* ------------------------------------------------------------------ *)
+(* Streaming serialization                                             *)
+(* ------------------------------------------------------------------ *)
+
+let populated () =
+  let tr = armed () in
+  Trace.instant tr ~cat:"cache" ~name:"hit"
+    ~args:[ ("path", Trace.Str "/a\"b\\c\n"); ("n", Trace.Int 3) ]
+    ();
+  Trace.complete tr ~cat:"os" ~name:"IOL_read" ~ts:0.001 ~dur:0.5
+    ~args:[ ("f", Trace.Float 0.25) ]
+    ();
+  Trace.flow_start tr ~id:1 ();
+  Trace.flow_step tr ~id:1 ~args:[ ("at", Trace.Str "disk") ] ();
+  Trace.flow_finish tr ~id:1 ();
+  tr
+
+let stream_to_string f =
+  let path = Filename.temp_file "iolite" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      f oc;
+      close_out oc;
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s)
+
+let test_trace_streaming_matches () =
+  let tr = populated () in
+  Alcotest.(check string)
+    "output streams exactly to_json's bytes" (Trace.to_json tr)
+    (stream_to_string (fun oc -> Trace.output tr oc));
+  let sink = Trace.Sink.create () in
+  Trace.Sink.absorb sink ~label:"k1" tr;
+  Trace.Sink.absorb sink ~label:"k2" (populated ());
+  Alcotest.(check string)
+    "sink output streams exactly Sink.to_json's bytes"
+    (Trace.Sink.to_json sink)
+    (stream_to_string (fun oc -> Trace.Sink.output sink oc))
+
+(* ------------------------------------------------------------------ *)
+(* Flow chains                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Collect each request id's flow events (oldest first) and check the
+   chain invariant: exactly one [s] opening it, exactly one [f] closing
+   it, [t] steps strictly inside, timestamps nondecreasing. *)
+let check_flow_chains tr =
+  let chains = Hashtbl.create 16 in
+  Trace.iter_events tr (fun e ->
+      match e.Trace.eph with
+      | Trace.Flow (kind, id) ->
+        let prev = try Hashtbl.find chains id with Not_found -> [] in
+        Hashtbl.replace chains id ((kind, e.Trace.ets) :: prev)
+      | Trace.Instant | Trace.Complete _ -> ());
+  Hashtbl.iter
+    (fun id rev ->
+      let chain = List.rev rev in
+      (match chain with
+      | (Trace.Flow_start, _) :: rest ->
+        List.iter
+          (fun (k, _) ->
+            if k = Trace.Flow_start then
+              Alcotest.failf "flow %d: duplicate start" id)
+          rest
+      | _ -> Alcotest.failf "flow %d: does not open with ph:s" id);
+      (match List.rev chain with
+      | (Trace.Flow_finish, _) :: rest ->
+        List.iter
+          (fun (k, _) ->
+            if k = Trace.Flow_finish then
+              Alcotest.failf "flow %d: duplicate finish" id)
+          rest
+      | _ -> Alcotest.failf "flow %d: does not close with ph:f" id);
+      ignore
+        (List.fold_left
+           (fun prev (_, ts) ->
+             if ts < prev then
+               Alcotest.failf "flow %d: timestamps decrease" id;
+             ts)
+           neg_infinity chain))
+    chains;
+  Hashtbl.length chains
+
+(* Property: any interleaving of requests emitted through the Flow API
+   — including steps emitted from detached (negative) contexts and
+   buffer growth across the default chunk size — serializes into
+   well-formed connected chains. *)
+let prop_flow_chains =
+  let gen =
+    QCheck.Gen.(
+      list_size (1 -- 8)
+        (pair (int_range 0 5) (list_size (0 -- 10) (int_range 0 2))))
+  in
+  QCheck.Test.make ~name:"flow events form connected s->t*->f chains"
+    ~count:200 (QCheck.make gen) (fun reqs ->
+      let tr = armed () in
+      let flow = Iolite_obs.Flow.create tr in
+      (* Per request: its op queue [start; step*; finish]; the generated
+         pick list drives the interleaving. *)
+      let n = List.length reqs in
+      let ids = Array.init n (fun _ -> Iolite_obs.Flow.fresh flow) in
+      let queues =
+        Array.of_list
+          (List.map
+             (fun (steps, _) ->
+               ref
+                 ((`Start :: List.init steps (fun j -> `Step (j land 1 = 1)))
+                 @ [ `Finish ]))
+             reqs)
+      in
+      let emit i =
+        match !(queues.(i)) with
+        | [] -> ()
+        | op :: rest ->
+          queues.(i) := rest;
+          let id = ids.(i) in
+          (match op with
+          | `Start -> Iolite_obs.Flow.start flow ~id ()
+          | `Step detached ->
+            (* A detached context stitches via its absolute value. *)
+            let id = if detached then Iolite_obs.Flow.detach id else id in
+            Iolite_obs.Flow.step flow ~id ()
+          | `Finish -> Iolite_obs.Flow.finish flow ~id ())
+      in
+      (* Interleave: walk every request's pick list round-robin, then
+         drain any remainder in order. *)
+      List.iteri
+        (fun i (_, picks) -> List.iter (fun p -> emit ((i + p) mod n)) picks)
+        reqs;
+      Array.iteri
+        (fun i q -> List.iter (fun _ -> emit i) !q)
+        queues;
+      check_flow_chains tr = n)
+
+(* ------------------------------------------------------------------ *)
+(* Wait attribution: the coalesced-miss edge                           *)
+(* ------------------------------------------------------------------ *)
+
+module Engine = Iolite_sim.Engine
+module Kernel = Iolite_os.Kernel
+module Process = Iolite_os.Process
+module Attrib = Iolite_obs.Attrib
+module Flow = Iolite_obs.Flow
+
+(* Two cold readers of the same small file: the first becomes the fill
+   leader (it eats the disk read), the second lands on the in-flight
+   single-flight latch. The follower's wait must be attributed as
+   [Coalesced_wait] naming the leader's flow id, and the trace must
+   carry the follower's [fill_coalesced] flow step. *)
+let test_coalesced_attributes_to_leader () =
+  let engine = Engine.create () in
+  let kernel = Kernel.create engine in
+  Kernel.enable_tracing kernel;
+  let file = Kernel.add_file kernel ~name:"/doc.bin" ~size:49_152 in
+  let a = Kernel.attrib kernel in
+  let flow = Kernel.flow kernel in
+  let rids = Array.make 2 0 in
+  for i = 0 to 1 do
+    ignore
+      (Process.spawn kernel
+         ~name:(Printf.sprintf "reader%d" i)
+         (fun proc ->
+           let rid = Flow.fresh flow in
+           rids.(i) <- rid;
+           Engine.Proc.set_ctx rid;
+           Attrib.begin_request a ~ctx:rid ~tag:"/doc.bin";
+           Flow.start flow ~id:rid ();
+           ignore (Iolite_os.Fileio.iol_read proc ~file ~off:0 ~len:1024);
+           Flow.finish flow ~id:rid ();
+           Attrib.end_request a ~ctx:rid;
+           Engine.Proc.set_ctx 0))
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "both requests completed" 2 (Attrib.completed a);
+  Alcotest.(check int) "one miss coalesced" 1
+    (Metrics.get (Kernel.metrics kernel) "cache.fill_coalesced");
+  let records = Attrib.slowest a in
+  let follower =
+    match List.filter (fun r -> r.Attrib.ar_coalesced > 0.0) records with
+    | [ r ] -> r
+    | l -> Alcotest.failf "expected one coalesced record, got %d" (List.length l)
+  in
+  let leader =
+    match List.filter (fun r -> r.Attrib.ar_coalesced = 0.0) records with
+    | [ r ] -> r
+    | l -> Alcotest.failf "expected one leader record, got %d" (List.length l)
+  in
+  Alcotest.(check int) "follower waited on the leader's fill"
+    leader.Attrib.ar_id follower.Attrib.ar_coalesced_on;
+  Alcotest.(check bool) "the leader ate the disk service" true
+    (leader.Attrib.ar_disk > 0.0);
+  Alcotest.(check bool) "the follower paid no disk service" true
+    (follower.Attrib.ar_disk = 0.0);
+  (* The follower's wait spans the leader's fill, so it cannot be
+     shorter than the leader's disk time, and the decomposition must
+     cover its wall time (the >=95% acceptance contract). *)
+  Alcotest.(check bool) "coalesced wait covers the leader's fill" true
+    (follower.Attrib.ar_coalesced +. 1e-12 >= leader.Attrib.ar_disk);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "request %d covered >= 0.95" r.Attrib.ar_id)
+        true
+        (Attrib.covered r >= 0.95))
+    records;
+  (* The trace carries the coalesced step against the follower's id,
+     tagged with the leader, and both chains are well-formed. *)
+  let tr = Kernel.trace kernel in
+  let step_found = ref false in
+  Trace.iter_events tr (fun e ->
+      match e.Trace.eph with
+      | Trace.Flow (Trace.Flow_step, id)
+        when id = follower.Attrib.ar_id
+             && List.mem_assoc "leader" e.Trace.eargs ->
+        if List.assoc "leader" e.Trace.eargs
+           = Trace.Int leader.Attrib.ar_id
+        then step_found := true
+      | _ -> ());
+  Alcotest.(check bool) "trace step names the leader" true !step_found;
+  Alcotest.(check int) "two well-formed flow chains" 2 (check_flow_chains tr)
+
+(* ------------------------------------------------------------------ *)
 (* End-to-end acceptance: the deterministic smoke run                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -185,7 +461,16 @@ let test_smoke_trace_subsystems () =
         (Printf.sprintf "trace has %s events" cat)
         true
         (contains ~sub:(Printf.sprintf "\"cat\":\"%s\"" cat) a.E.sm_trace_json))
-    [ "cache"; "net"; "vm"; "disk"; "httpd"; "os" ]
+    [ "cache"; "net"; "vm"; "disk"; "httpd"; "os"; "flow" ];
+  (* Causal stitching: the run emits whole flow chains — starts, steps
+     and enclosing-bound finishes sharing request ids. *)
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool)
+        (Printf.sprintf "trace has %s flow events" sub)
+        true
+        (contains ~sub a.E.sm_trace_json))
+    [ "\"ph\":\"s\""; "\"ph\":\"t\""; "\"ph\":\"f\",\"bp\":\"e\"" ]
 
 let dget l k = match List.assoc_opt k l with Some v -> v | None -> 0
 
@@ -243,6 +528,15 @@ let suites =
         Alcotest.test_case "disabled is a no-op" `Quick test_trace_disabled_noop;
         Alcotest.test_case "events and json" `Quick test_trace_events_and_json;
         Alcotest.test_case "sink" `Quick test_trace_sink;
+        Alcotest.test_case "ring buffer bound" `Quick test_trace_ring_buffer;
+        Alcotest.test_case "streaming output" `Quick
+          test_trace_streaming_matches;
+      ] );
+    ( "obs.flow",
+      [
+        QCheck_alcotest.to_alcotest prop_flow_chains;
+        Alcotest.test_case "coalesced wait attributes to leader" `Quick
+          test_coalesced_attributes_to_leader;
       ] );
     ( "obs.smoke",
       [
