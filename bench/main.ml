@@ -32,6 +32,11 @@
          # memory-pressure scenarios — request-latency percentiles, disk
          # utilization, batching/coalescing/readahead counters, and a
          # cold sequential-read time (default ./BENCH_async.json).
+     dune exec bench/main.exe -- write [label] [out.json] [crash_runs]
+         # delayed write-back: eager vs. clustered disk write ops on the
+         # sequential headline, the CAWL burst sweep at two flush
+         # intervals, and the crash-at-any-point consistency harness
+         # (default ./BENCH_write.json, 1000 crash points).
 *)
 
 open Bechamel
@@ -677,6 +682,18 @@ let run_obs ?(label = "current") ?(out = "BENCH_obs.json") () =
          sink := !sink + 1;
          if Iolite_obs.Attrib.enabled attr then
            Iolite_obs.Attrib.note attr ~ctx:1 Iolite_obs.Attrib.Queue 1e-9));
+  (* The write-back layer's per-cluster telemetry is one pre-resolved
+     counter-cell bump plus the same disabled-tracer guard — no name
+     lookups on the flush path. *)
+  let wcell =
+    Iolite_obs.Metrics.counter (Iolite_obs.Metrics.create ()) "write.clustered"
+  in
+  record
+    (best "disabled_wb_count" (fun () ->
+         sink := !sink + 1;
+         wcell := !wcell + 1;
+         if Trace.enabled tr then
+           Trace.instant tr ~cat:"wb" ~name:"cluster" ()));
   (* Context: cost with the tracer armed (buffering an instant event).
      Cleared each batch so the buffer does not grow without bound. *)
   let vnow = ref 0.0 in
@@ -831,6 +848,73 @@ let run_async ?(label = "current") ?(out = "BENCH_async.json") ?(scale = 1.0)
     ~run_json:(async_json_of_run ~label points)
 
 (* ------------------------------------------------------------------ *)
+(* Delayed write-back                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Three exhibits: the clustering headline (eager one-disk-op-per-write
+   vs. the sync daemon merging adjacent dirty extents — compare disk
+   write ops for the same bytes), the CAWL sweep (write throughput vs.
+   burst size over the dirty hard limit under two flush intervals:
+   memory speed below the knee, drain speed above, the knee's position
+   set by the interval), and the crash-at-any-point harness (randomized
+   crash points replayed against the durable-write log; the per-offset
+   oracle must accept every recovered byte and fsync'd data must
+   survive). *)
+
+let write_json_of_run ~label ~crash points =
+  let module E = Iolite_workload.Experiments in
+  let module C = Iolite_workload.Crash in
+  let b = Stdlib.Buffer.create 1024 in
+  Stdlib.Buffer.add_string b
+    (Printf.sprintf "    {\n      \"label\": %S,\n      \"entries\": [\n" label);
+  List.iteri
+    (fun i p ->
+      Stdlib.Buffer.add_string b
+        (Printf.sprintf
+           "        {\"point\": %S, \"flush_interval\": %.2f, \"burst\": %d, \
+            \"x\": %.3f, \"writes\": %d, \"bytes\": %d, \"disk_writes\": %d, \
+            \"disk_bytes\": %d, \"cluster_writes\": %d, \"clustered\": %d, \
+            \"flushes\": %d, \"superseded\": %d, \"throttled\": %d, \
+            \"write_s\": %.6f, \"mbps\": %.2f}%s\n"
+           p.E.wp_label p.E.wp_flush_interval p.E.wp_burst p.E.wp_x
+           p.E.wp_writes p.E.wp_bytes p.E.wp_disk_writes p.E.wp_disk_bytes
+           p.E.wp_cluster_writes p.E.wp_clustered p.E.wp_flushes
+           p.E.wp_superseded p.E.wp_throttled p.E.wp_write_s p.E.wp_mbps
+           (if i = List.length points - 1 then "" else ",")))
+    points;
+  let find l = List.find_opt (fun p -> p.E.wp_label = l) points in
+  let ratio =
+    match (find "eager", find "delayed") with
+    | Some e, Some d when d.E.wp_disk_writes > 0 ->
+      float_of_int e.E.wp_disk_writes /. float_of_int d.E.wp_disk_writes
+    | _ -> 0.0
+  in
+  Stdlib.Buffer.add_string b
+    (Printf.sprintf
+       "      ],\n      \"eager_over_delayed_disk_ops\": %.1f,\n      \
+        \"crash\": {\"points\": %d, \"failures\": %d, \"durable_min\": %d, \
+        \"durable_max\": %d}\n    }"
+       ratio crash.C.r_points
+       (List.length crash.C.r_failures)
+       crash.C.r_durable_min crash.C.r_durable_max);
+  Stdlib.Buffer.contents b
+
+let run_write ?(label = "current") ?(out = "BENCH_write.json")
+    ?(crash_runs = 1000) () =
+  Printf.printf
+    "\n== Delayed write-back: clustering + CAWL (label: %s) ==\n%!" label;
+  let module E = Iolite_workload.Experiments in
+  let module C = Iolite_workload.Crash in
+  let points = E.write_seq () @ E.write_cawl_sweep () in
+  E.print_write points;
+  Printf.printf "\n  crash harness: %d randomized crash points...\n%!"
+    crash_runs;
+  let crash = C.run_many ~runs:crash_runs () in
+  C.print crash;
+  append_json_text ~benchmark:"write-back" ~out
+    ~run_json:(write_json_of_run ~label ~crash points)
+
+(* ------------------------------------------------------------------ *)
 (* Paper figures                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -907,6 +991,14 @@ let () =
       match rest with _ :: _ :: s :: _ -> float_of_string s | _ -> 1.0
     in
     run_async ~label ~out ~scale ()
+  | _ :: "write" :: rest ->
+    (* write [LABEL] [OUT] [CRASH_RUNS] *)
+    let label = match rest with l :: _ -> l | [] -> "current" in
+    let out = match rest with _ :: o :: _ -> o | _ -> "BENCH_write.json" in
+    let crash_runs =
+      match rest with _ :: _ :: n :: _ -> Some (int_of_string n) | _ -> None
+    in
+    run_write ~label ~out ?crash_runs ()
   | _ :: "figures" :: rest ->
     (* figures [SCALE] [--metrics] [--trace FILE] *)
     let scale = ref 0.5 in

@@ -219,6 +219,37 @@ let cmds =
              utilization, batching, miss coalescing and readahead \
              accuracy")
        Cmdliner.Term.(const run $ verbose_arg $ log_arg $ scale_arg));
+    (let crash_arg =
+       Cmdliner.Arg.(
+         value & opt int 0
+         & info [ "crash" ] ~docv:"N"
+             ~doc:
+               "Also run the crash-at-any-point consistency harness over \
+                $(docv) randomized crash points (the recorded \
+                BENCH_write.json uses 1000) and report oracle failures.")
+     in
+     let run verbose directives metrics trace_out crash_points =
+       with_logging verbose directives;
+       with_observability ~metrics ~trace_out (fun () ->
+           E.print_write (E.write_seq () @ E.write_cawl_sweep ()));
+       if crash_points > 0 then begin
+         let module C = Iolite_workload.Crash in
+         Printf.printf "\ncrash harness: %d randomized crash points...\n%!"
+           crash_points;
+         C.print (C.run_many ~runs:crash_points ())
+       end
+     in
+     Cmdliner.Cmd.v
+       (Cmdliner.Cmd.info "write"
+          ~doc:
+            "Delayed write-back sweep: eager vs. clustered disk write \
+             operations on the small-sequential-write headline, plus the \
+             CAWL burst sweep at two sync-daemon flush intervals \
+             (memory-speed vs. disk-bound regimes either side of the \
+             dirty-limit knee)")
+       Cmdliner.Term.(
+         const run $ verbose_arg $ log_arg $ metrics_arg $ trace_arg
+         $ crash_arg));
     (let run verbose directives metrics trace_out =
        with_logging verbose directives;
        let r = E.smoke () in

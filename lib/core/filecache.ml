@@ -20,9 +20,22 @@ type entry = {
      the first lookup that touches it (a readahead hit); an eviction
      while still set means the prefetch was wasted. *)
   mutable eprefetch : bool;
+  (* Delayed write-back (the B_DELWRI scheme): a dirty entry holds bytes
+     newer than the backing store. [egen] is the generation stamp
+     allotted when the dirty entry was created; a cluster captures
+     (entry, gen) pairs so a completion can tell whether the bytes it
+     made durable are still the entry's bytes. [ecaptured] is set while
+     a flush holds a snapshot of the entry's data (the entry may then be
+     evicted safely — durability rides the in-flight cluster).
+     [esuperseded] marks a dirty entry replaced by a newer write before
+     its write-back completed. *)
+  mutable edirty : bool;
+  egen : int;
+  mutable ecaptured : bool;
+  mutable esuperseded : bool;
 }
 
-let make_entry ?(prefetched = false) ~file ~off ~len agg =
+let make_entry ?(prefetched = false) ?(gen = 0) ~file ~off ~len agg =
   let cell = ref 0 in
   {
     efile = file;
@@ -32,6 +45,10 @@ let make_entry ?(prefetched = false) ~file ~off ~len agg =
     eref_cell = cell;
     ewatch = (fun d -> cell := !cell + d);
     eprefetch = prefetched;
+    edirty = gen > 0;
+    egen = gen;
+    ecaptured = false;
+    esuperseded = false;
   }
 
 (* Per-file interval index: entries keyed by offset in a balanced tree
@@ -40,6 +57,7 @@ let make_entry ?(prefetched = false) ~file ~off ~len agg =
 type filerec = {
   mutable ftree : entry Itree.t;
   mutable fbytes : int;
+  mutable fdirty : int; (* dirty bytes of entries still in the index *)
 }
 
 (* Counter cells resolved once at cache creation (the cached-cell
@@ -57,6 +75,8 @@ type cells = {
   cc_coalesced : int ref; (* cache.fill_coalesced: misses that joined a fill *)
   cc_ra_hit : int ref; (* cache.readahead_hit: prefetched entry demanded *)
   cc_ra_wasted : int ref; (* cache.readahead_wasted: evicted undemanded *)
+  cc_superseded : int ref; (* write.superseded: dirty bytes obsoleted pre-durable *)
+  cc_evict_flush : int ref; (* cache.evict_flush: dirty victims force-flushed *)
 }
 
 type t = {
@@ -80,6 +100,13 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable dirty : int; (* total dirty bytes across files *)
+  mutable gen : int; (* dirty-generation allocator *)
+  (* Called (if set) when eviction picks a dirty, not-yet-captured
+     victim: the write-back layer captures the victim file's dirty
+     clusters before the entry is dropped, so reclaim never loses
+     buffered writes. *)
+  mutable evict_flush : (file:int -> unit) option;
 }
 
 let key e = (e.efile, e.eoff)
@@ -123,7 +150,7 @@ let file_rec t file =
   match Hashtbl.find_opt t.files file with
   | Some fr -> fr
   | None ->
-    let fr = { ftree = Itree.empty; fbytes = 0 } in
+    let fr = { ftree = Itree.empty; fbytes = 0; fdirty = 0 } in
     Hashtbl.replace t.files file fr;
     fr
 
@@ -131,6 +158,10 @@ let add_entry t e =
   let fr = file_rec t e.efile in
   fr.ftree <- Itree.add fr.ftree ~key:e.eoff e;
   fr.fbytes <- fr.fbytes + e.elen;
+  if e.edirty then begin
+    fr.fdirty <- fr.fdirty + e.elen;
+    t.dirty <- t.dirty + e.elen
+  end;
   Hashtbl.replace t.index (key e) e;
   pin e;
   t.bytes <- t.bytes + e.elen;
@@ -142,6 +173,10 @@ let drop_entry t e =
   | Some fr ->
     fr.ftree <- Itree.remove fr.ftree ~key:e.eoff;
     fr.fbytes <- fr.fbytes - e.elen;
+    if e.edirty then begin
+      fr.fdirty <- fr.fdirty - e.elen;
+      t.dirty <- t.dirty - e.elen
+    end;
     if Itree.is_empty fr.ftree then Hashtbl.remove t.files e.efile
   | None -> ());
   Hashtbl.remove t.index (key e);
@@ -184,6 +219,24 @@ let evict_one t =
   match !victim with
   | None -> 0
   | Some e ->
+    (* A dirty victim whose bytes no flush holds yet would lose buffered
+       writes: hand the file to the write-back layer first. The hook
+       captures the file's dirty clusters (data snapshots — see
+       {!collect_dirty}), after which dropping the entry is safe. *)
+    if e.edirty && not e.ecaptured then begin
+      match t.evict_flush with
+      | Some hook ->
+        incr t.cells.cc_evict_flush;
+        hook ~file:e.efile
+      | None -> ()
+    end;
+    if e.edirty && not e.ecaptured then
+      (* The hook could not capture the victim (its range overlaps an
+         in-flight write): dropping it would lose buffered writes, so
+         report no progress — the write completes within the round and
+         a later probe succeeds. *)
+      0
+    else begin
     if e.eprefetch then incr t.cells.cc_ra_wasted;
     drop_entry t e;
     t.evictions <- t.evictions + 1;
@@ -198,6 +251,7 @@ let evict_one t =
           e.efile e.eoff e.elen t.policy.Policy.name
           (Hashtbl.length t.index) t.bytes);
     e.elen
+    end
 
 let create ?(policy = Policy.lru ()) ?(register_with_pageout = true) sys () =
   let m = Iosys.metrics sys in
@@ -222,6 +276,8 @@ let create ?(policy = Policy.lru ()) ?(register_with_pageout = true) sys () =
           cc_coalesced = Metrics.counter m "cache.fill_coalesced";
           cc_ra_hit = Metrics.counter m "cache.readahead_hit";
           cc_ra_wasted = Metrics.counter m "cache.readahead_wasted";
+          cc_superseded = Metrics.counter m "write.superseded";
+          cc_evict_flush = Metrics.counter m "cache.evict_flush";
         };
       bytes = 0;
       slices = 0;
@@ -229,6 +285,9 @@ let create ?(policy = Policy.lru ()) ?(register_with_pageout = true) sys () =
       hits = 0;
       misses = 0;
       evictions = 0;
+      dirty = 0;
+      gen = 0;
+      evict_flush = None;
     }
   in
   if register_with_pageout then begin
@@ -387,15 +446,35 @@ let carve t ~file ~off ~len =
           else false);
       List.iter
         (fun e ->
+          (* A dirty entry being overwritten before its write-back
+             completed is superseded: a parked (uncaptured) delayed
+             write simply never reaches the disk (counted here); one
+             already captured by an in-flight cluster is counted when
+             the stale completion arrives (see {!ack_cluster}). *)
+          if e.edirty then begin
+            e.esuperseded <- true;
+            if not e.ecaptured then incr t.cells.cc_superseded
+          end;
           let keep_left = off - e.eoff in
           let keep_right = e.eoff + e.elen - (off + len) in
+          (* The surviving flanks of a dirty entry are still dirty (their
+             bytes were not overwritten, and if the original was captured
+             the completion will not clean them) — restamp them with a
+             fresh generation. *)
+          let flank_gen () =
+            if e.edirty then begin
+              t.gen <- t.gen + 1;
+              t.gen
+            end
+            else 0
+          in
           (* Build remainders before dropping (sub needs the live agg). *)
           let remainders = ref [] in
           if keep_left > 0 then begin
             let agg = Iobuf.Agg.sub e.eagg ~off:0 ~len:keep_left in
             remainders :=
-              make_entry ~prefetched:e.eprefetch ~file ~off:e.eoff
-                ~len:keep_left agg
+              make_entry ~prefetched:e.eprefetch ~gen:(flank_gen ()) ~file
+                ~off:e.eoff ~len:keep_left agg
               :: !remainders
           end;
           if keep_right > 0 then begin
@@ -403,20 +482,27 @@ let carve t ~file ~off ~len =
               Iobuf.Agg.sub e.eagg ~off:(off + len - e.eoff) ~len:keep_right
             in
             remainders :=
-              make_entry ~prefetched:e.eprefetch ~file ~off:(off + len)
-                ~len:keep_right agg
+              make_entry ~prefetched:e.eprefetch ~gen:(flank_gen ()) ~file
+                ~off:(off + len) ~len:keep_right agg
               :: !remainders
           end;
           drop_entry t e;
           List.iter (add_entry t) !remainders)
         (List.rev !overlapping)
 
-let insert t ~file ~off agg =
+let insert ?(dirty = false) t ~file ~off agg =
   let len = Iobuf.Agg.length agg in
   if len = 0 then Iobuf.Agg.free agg
   else begin
     carve t ~file ~off ~len;
-    add_entry t (make_entry ~file ~off ~len agg);
+    let gen =
+      if dirty then begin
+        t.gen <- t.gen + 1;
+        t.gen
+      end
+      else 0
+    in
+    add_entry t (make_entry ~gen ~file ~off ~len agg);
     incr t.cells.cc_insert;
     trace_note t "insert" ~file ~bytes:len;
     enforce_capacity t
@@ -511,6 +597,134 @@ let entries t ~file =
   match Hashtbl.find_opt t.files file with
   | None -> []
   | Some fr -> List.map (fun e -> (e.eoff, e.elen)) (Itree.to_list fr.ftree)
+
+(* ----------------------- delayed write-back ----------------------- *)
+
+let dirty_bytes t = t.dirty
+
+let file_dirty_bytes t ~file =
+  match Hashtbl.find_opt t.files file with
+  | None -> 0
+  | Some fr -> fr.fdirty
+
+let dirty_files t =
+  Hashtbl.fold (fun file fr acc -> if fr.fdirty > 0 then file :: acc else acc)
+    t.files []
+  |> List.sort compare
+
+let set_evict_flusher t f = t.evict_flush <- Some f
+
+(* A cluster is one contiguous disk request built from a run of adjacent
+   dirty extents, with the data captured by value (the entries can be
+   carved or evicted while the write is in flight). *)
+type cluster = {
+  cl_file : int;
+  cl_off : int;
+  cl_len : int;
+  cl_extents : int;
+  cl_data : string;
+  cl_items : (entry * int) list; (* each captured entry with its gen *)
+}
+
+let cluster_file c = c.cl_file
+let cluster_off c = c.cl_off
+let cluster_len c = c.cl_len
+let cluster_extents c = c.cl_extents
+let cluster_data c = c.cl_data
+
+let agg_blit agg buf =
+  Iobuf.Agg.fold_bytes agg ~init:() ~f:(fun () data off len ->
+      Buffer.add_subbytes buf data off len)
+
+(* Walk the file's interval index in offset order and merge maximal runs
+   of adjacent dirty extents into clusters of at most [max_cluster]
+   bytes (a single extent larger than the cap forms its own cluster).
+   Captured entries are marked so a concurrent collection — or an
+   eviction — does not capture them again. [skip] vetoes whole runs
+   without capturing them (they stay dirty for a later collection): the
+   write-back layer skips ranges overlapping an in-flight write, since
+   two outstanding writes to one range can complete in elevator order —
+   not issue order — and land stale bytes last. *)
+let collect_dirty ?(max_cluster = Iobuf.Pool.max_alloc) ?skip t ~file =
+  match Hashtbl.find_opt t.files file with
+  | None -> []
+  | Some fr ->
+    let clusters = ref [] in
+    let run = ref [] in
+    let run_len = ref 0 in
+    let run_end = ref min_int in
+    let close () =
+      (match List.rev !run with
+      | [] -> ()
+      | first :: _ as entries ->
+        let vetoed =
+          match skip with
+          | Some f -> f ~off:first.eoff ~len:!run_len
+          | None -> false
+        in
+        if not vetoed then begin
+          let buf = Buffer.create !run_len in
+          List.iter (fun e -> agg_blit e.eagg buf) entries;
+          List.iter (fun e -> e.ecaptured <- true) entries;
+          clusters :=
+            {
+              cl_file = file;
+              cl_off = first.eoff;
+              cl_len = !run_len;
+              cl_extents = List.length entries;
+              cl_data = Buffer.contents buf;
+              cl_items = List.map (fun e -> (e, e.egen)) entries;
+            }
+            :: !clusters
+        end);
+      run := [];
+      run_len := 0;
+      run_end := min_int
+    in
+    Itree.iter fr.ftree (fun e ->
+        if e.edirty && not e.ecaptured then begin
+          if !run_end <> e.eoff || !run_len + e.elen > max_cluster then
+            close ();
+          run := e :: !run;
+          run_len := !run_len + e.elen;
+          run_end := e.eoff + e.elen
+        end
+        else close ());
+    close ();
+    List.rev !clusters
+
+(* Durable-completion acknowledgement: clear the dirty bit of every
+   captured entry whose bytes the completed write actually covered — an
+   entry carved away since capture was superseded (newer bytes will be
+   flushed by a later cluster; its stale completion only counts). An
+   entry evicted since capture is clean in the sense that matters (its
+   bytes are durable) but holds no accounting to release. Returns
+   (entries cleaned, entries superseded). *)
+let ack_cluster t c =
+  let cleaned = ref 0 in
+  let superseded = ref 0 in
+  List.iter
+    (fun (e, gen) ->
+      if e.esuperseded || (not e.edirty) || e.egen <> gen then begin
+        incr superseded;
+        (* The carve that superseded a captured entry deferred the count
+           to this completion (avoiding double counting). *)
+        if e.esuperseded && e.ecaptured then incr t.cells.cc_superseded
+      end
+      else begin
+        incr cleaned;
+        e.edirty <- false;
+        (match Hashtbl.find_opt t.index (key e) with
+        | Some e' when e' == e ->
+          (match Hashtbl.find_opt t.files e.efile with
+          | Some fr -> fr.fdirty <- fr.fdirty - e.elen
+          | None -> ());
+          t.dirty <- t.dirty - e.elen
+        | _ -> ())
+      end;
+      e.ecaptured <- false)
+    c.cl_items;
+  (!cleaned, !superseded)
 
 let total_bytes t = t.bytes
 let total_slices t = t.slices

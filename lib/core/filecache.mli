@@ -59,11 +59,16 @@ val lookup : t -> file:int -> off:int -> len:int -> Iobuf.Agg.t option
 val covered : t -> file:int -> off:int -> len:int -> bool
 (** Hit test without constructing an aggregate or recording an access. *)
 
-val insert : t -> file:int -> off:int -> Iobuf.Agg.t -> unit
+val insert : ?dirty:bool -> t -> file:int -> off:int -> Iobuf.Agg.t -> unit
 (** Installs the aggregate as cache contents for
     [off, off + length agg). Takes ownership of the aggregate.
     Overlapping older entries are replaced (trimmed or dropped) — their
-    buffers persist while referenced elsewhere. *)
+    buffers persist while referenced elsewhere. [dirty] (default
+    [false]) marks the new entry as a parked delayed write: it holds
+    bytes newer than the backing store, counts toward {!dirty_bytes},
+    and is stamped with a fresh generation so a re-write before its
+    flush supersedes the queued I/O (replacing a dirty entry counts a
+    [write.superseded]). *)
 
 val backfill : ?prefetched:bool -> t -> file:int -> off:int -> Iobuf.Agg.t -> unit
 (** Like {!insert} but for data arriving from backing store: existing
@@ -100,6 +105,68 @@ val evict_one : t -> int
 
 val file_bytes : t -> file:int -> int
 (** Cached bytes for one file. O(1): maintained incrementally per file. *)
+
+(** {2 Delayed write-back (dirty-extent tracking)}
+
+    Dirty entries park in the cache until a write-back layer collects
+    them into clusters. A {!cluster} is one contiguous disk request
+    built from a run of adjacent dirty extents of one file; its data is
+    captured by value at collection time, so the entries may be carved
+    by newer writes or evicted while the write is in flight — the
+    completion's {!ack_cluster} then tells freshly durable bytes from
+    superseded ones by generation stamp. *)
+
+val dirty_bytes : t -> int
+(** Total parked dirty bytes (cleared only on durable completion). *)
+
+val file_dirty_bytes : t -> file:int -> int
+(** Dirty bytes of one file. O(1). *)
+
+val dirty_files : t -> int list
+(** Files with dirty bytes, ascending id (deterministic walk order). *)
+
+type cluster
+
+val collect_dirty :
+  ?max_cluster:int ->
+  ?skip:(off:int -> len:int -> bool) ->
+  t ->
+  file:int ->
+  cluster list
+(** Walk the file's interval index in offset order and merge maximal
+    runs of adjacent, not-yet-captured dirty extents into clusters of
+    at most [max_cluster] bytes (default one extent,
+    [Iobuf.Pool.max_alloc]; a single larger extent forms its own
+    cluster). Captured entries stay dirty — and so count toward
+    {!dirty_bytes} — until {!ack_cluster}. [skip] vetoes whole runs
+    {e without} capturing them, leaving them dirty for a later
+    collection: the write-back layer vetoes ranges overlapping an
+    in-flight write, because two outstanding writes to one range may
+    complete in elevator order and land stale bytes last (the
+    write-order hazard the crash harness checks). *)
+
+val cluster_file : cluster -> int
+val cluster_off : cluster -> int
+val cluster_len : cluster -> int
+
+val cluster_extents : cluster -> int
+(** Dirty extents merged into this cluster. *)
+
+val cluster_data : cluster -> string
+(** The captured bytes (the durable-write payload). *)
+
+val ack_cluster : t -> cluster -> int * int
+(** Durable-completion acknowledgement: [(cleaned, superseded)] over
+    the cluster's captured entries. A captured entry replaced by a
+    newer write since collection counts as superseded (and increments
+    the [write.superseded] metric); the rest have their dirty bits
+    cleared and their bytes released from {!dirty_bytes}. *)
+
+val set_evict_flusher : t -> (file:int -> unit) -> unit
+(** Hook called by {!evict_one} before dropping a dirty victim no flush
+    has captured yet: the write-back layer must capture the victim
+    file's dirty clusters (e.g. {!collect_dirty} + submit), after which
+    the drop loses no buffered writes. Counted by [cache.evict_flush]. *)
 
 (** {2 Introspection} *)
 

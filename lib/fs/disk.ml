@@ -15,7 +15,20 @@ type request = {
   r_submit : float; (* virtual submission time, for the async span *)
   r_proc : string option; (* submitting process, for trace args *)
   r_ctx : int; (* submitter's flow context; 0 for async submissions *)
+  r_data : string option; (* write payload, recorded in the durable log *)
   r_done : unit -> unit;
+}
+
+(* One durably completed write: appended when the request's service
+   extent ends, so a simulation crashed (Engine.run ~until) mid-service
+   has not logged it — the log is exactly what survives the crash. *)
+type write_record = {
+  wl_seq : int;
+  wl_file : int;
+  wl_off : int;
+  wl_len : int;
+  wl_data : string option;
+  wl_time : float;
 }
 
 type t = {
@@ -38,6 +51,9 @@ type t = {
   mutable bytes_read : int;
   mutable bytes_written : int;
   mutable busy : float;
+  mutable log_writes : bool;
+  mutable wlog : write_record list; (* newest first *)
+  mutable wseq : int;
   trace : Trace.t;
   attrib : Attrib.t;
 }
@@ -66,11 +82,32 @@ let create ?(backend = `Queued) ?(qdepth = 64) ?(positioning_s = 0.008)
     bytes_read = 0;
     bytes_written = 0;
     busy = 0.0;
+    log_writes = false;
+    wlog = [];
+    wseq = 0;
     trace = (match trace with Some tr -> tr | None -> Trace.create ());
     attrib = (match attrib with Some a -> a | None -> Attrib.create ());
   }
 
 let op_name = function `Read -> "read" | `Write -> "write"
+
+(* Append a completed write to the durable log. Runs at service-extent
+   end, inside a simulation fiber, so [Proc.now] is the completion's
+   virtual time. *)
+let log_write t op ~file ~off ~bytes data =
+  if t.log_writes && op = `Write then begin
+    t.wseq <- t.wseq + 1;
+    t.wlog <-
+      {
+        wl_seq = t.wseq;
+        wl_file = file;
+        wl_off = off;
+        wl_len = bytes;
+        wl_data = data;
+        wl_time = Proc.now ();
+      }
+      :: t.wlog
+  end
 
 (* Counters account at service time, inside the request's traced
    extent, so a congested disk's spans and counters always agree. *)
@@ -115,7 +152,7 @@ let legacy_traced t name ~file ~bytes f =
       f
   else f ()
 
-let legacy_op t op ~file ~off ~bytes =
+let legacy_op ?data t op ~file ~off ~bytes =
   legacy_traced t (op_name op) ~file ~bytes (fun () ->
       let a = t.attrib in
       let ctx =
@@ -138,6 +175,7 @@ let legacy_op t op ~file ~off ~bytes =
         Attrib.note a ~ctx Disk_service (Attrib.now a -. t1)
       end
       else legacy_service t ~file ~off ~bytes;
+      log_write t op ~file ~off ~bytes data;
       account t op bytes)
 
 (* ------------------------------ queued ----------------------------- *)
@@ -225,6 +263,8 @@ let rec dispatch t =
             (Attrib.now t.attrib -. t_svc)
         end;
         t.in_service <- t.in_service - 1;
+        log_write t r.r_op ~file:r.r_file ~off:r.r_off ~bytes:r.r_bytes
+          r.r_data;
         account t r.r_op r.r_bytes;
         complete_span t r;
         Sync.Semaphore.release t.ring;
@@ -236,7 +276,7 @@ let rec dispatch t =
 (* Enqueueing is split from slot acquisition and dispatcher spawn: the
    latter two perform engine effects and so must run in the submitting
    fiber proper, never inside a [Proc.suspend] register closure. *)
-let enqueue t ~proc ~ctx ~op ~file ~off ~bytes k =
+let enqueue ?data t ~proc ~ctx ~op ~file ~off ~bytes k =
   let r =
     {
       r_op = op;
@@ -249,6 +289,7 @@ let enqueue t ~proc ~ctx ~op ~file ~off ~bytes k =
          else 0.0);
       r_proc = proc;
       r_ctx = ctx;
+      r_data = data;
       r_done = k;
     }
   in
@@ -263,30 +304,32 @@ let ensure_dispatcher t =
 
 let submitter_name t = if Trace.enabled t.trace then Proc.self () else None
 
-let submit_queued t ~op ~file ~off ~bytes k =
+let submit_queued ?data ?(ctx = 0) t ~op ~file ~off ~bytes k =
   (* Backpressure: block the submitter while the ring is full. Async
-     submissions carry no flow context — nobody is suspended on the
-     completion, so nothing should be charged for its waits. *)
+     submissions usually carry no flow context — nobody is suspended on
+     the completion, so nothing should be charged for its waits; a
+     caller may pass a detached (negative) context so the request still
+     stitches into its flow. *)
   let proc = submitter_name t in
   Sync.Semaphore.acquire t.ring;
-  enqueue t ~proc ~ctx:0 ~op ~file ~off ~bytes k;
+  enqueue ?data t ~proc ~ctx ~op ~file ~off ~bytes k;
   ensure_dispatcher t
 
 (* ------------------------------ public ----------------------------- *)
 
-let submit t ~op ~file ~off ~bytes k =
+let submit ?data ?(ctx = 0) t ~op ~file ~off ~bytes k =
   match t.backend with
-  | `Queued -> submit_queued t ~op ~file ~off ~bytes k
+  | `Queued -> submit_queued ?data ~ctx t ~op ~file ~off ~bytes k
   | `Legacy ->
     (* The legacy device has no ring; model an async submission as a
        helper fiber serialized by the device semaphore. *)
     Proc.spawn ~name:"disk.legacy-submit" (fun () ->
-        legacy_op t op ~file ~off ~bytes;
+        legacy_op ?data t op ~file ~off ~bytes;
         k ())
 
-let blocking t op ~file ~off ~bytes =
+let blocking ?data t op ~file ~off ~bytes =
   match t.backend with
-  | `Legacy -> legacy_op t op ~file ~off ~bytes
+  | `Legacy -> legacy_op ?data t op ~file ~off ~bytes
   | `Queued ->
     let proc = submitter_name t in
     let a = t.attrib in
@@ -304,10 +347,20 @@ let blocking t op ~file ~off ~bytes =
        it observes the request pushed by the register closure. *)
     ensure_dispatcher t;
     Proc.suspend (fun resume ->
-        enqueue t ~proc ~ctx ~op ~file ~off ~bytes resume)
+        enqueue ?data t ~proc ~ctx ~op ~file ~off ~bytes resume)
 
 let read t ~file ~off ~bytes = blocking t `Read ~file ~off ~bytes
-let write t ~file ~off ~bytes = blocking t `Write ~file ~off ~bytes
+let write ?data t ~file ~off ~bytes = blocking ?data t `Write ~file ~off ~bytes
+
+let set_write_log t on =
+  t.log_writes <- on;
+  if not on then begin
+    t.wlog <- [];
+    t.wseq <- 0
+  end
+
+let write_log t = List.rev t.wlog
+let durable_writes t = t.wseq
 let backend t = t.backend
 let queue_depth t = t.in_service
 let batches t = t.batch_seq

@@ -58,16 +58,22 @@ val read : t -> file:int -> off:int -> bytes:int -> unit
     queueing + positioning + transfer. Sequentiality is detected per
     device from the previously serviced request. *)
 
-val write : t -> file:int -> off:int -> bytes:int -> unit
+val write : ?data:string -> t -> file:int -> off:int -> bytes:int -> unit
+(** [data], when given, is the write's payload for the durable-write
+    log (see {!set_write_log}). *)
 
-val submit : t -> op:op -> file:int -> off:int -> bytes:int ->
-  (unit -> unit) -> unit
+val submit : ?data:string -> ?ctx:int -> t -> op:op -> file:int ->
+  off:int -> bytes:int -> (unit -> unit) -> unit
 (** Asynchronous submission: enqueue the request and return once a
     ring slot is held (blocking only while the ring is full). The
     callback fires at virtual completion time. It runs on the
     dispatcher fiber, so it must not block — resume a waiter or record
     completion, nothing more. Under [`Legacy] the submission is a
-    helper fiber serialized by the device semaphore. *)
+    helper fiber serialized by the device semaphore. [data] is the
+    payload recorded in the durable-write log; [ctx] (default 0) is a
+    flow context for trace stitching — pass a detached (negative)
+    context so the request joins its flow without being charged
+    attribution. *)
 
 val backend : t -> backend
 
@@ -86,3 +92,31 @@ val writes : t -> int
 val bytes_read : t -> int
 val bytes_written : t -> int
 val busy_time : t -> float
+
+(** {2 Durable-write log (crash-consistency harness support)}
+
+    When enabled, every {e completed} write is appended to an in-order
+    log at the end of its service extent. A simulation stopped at an
+    arbitrary virtual time ([Engine.run ~until]) therefore leaves
+    exactly the durable prefix in the log: in-flight writes whose
+    service had not finished are absent, which is the crash model —
+    replaying the log into a fresh store reconstructs what the disk
+    would hold after the crash. *)
+
+type write_record = {
+  wl_seq : int;  (** completion order, 1-based *)
+  wl_file : int;
+  wl_off : int;
+  wl_len : int;
+  wl_data : string option;  (** payload, when the submitter passed one *)
+  wl_time : float;  (** virtual completion time *)
+}
+
+val set_write_log : t -> bool -> unit
+(** Enable/disable logging (off by default; disabling clears the log). *)
+
+val write_log : t -> write_record list
+(** Completed writes, oldest first. *)
+
+val durable_writes : t -> int
+(** Number of writes logged so far. *)

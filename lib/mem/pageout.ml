@@ -25,6 +25,7 @@ type t = {
   segments : segment Queue.t;
   mutable evictor : unit -> int;
   mutable swapper : swapper option;
+  mutable pressure : (needed:int -> unit) option;
   (* Counters for the Section 3.7 rule, reset at each entry eviction. *)
   mutable selected_since_evict : int;
   mutable io_selected_since_evict : int;
@@ -45,6 +46,7 @@ let create ?trace ?attrib ~physmem ~seed () =
     segments = Queue.create ();
     evictor = (fun () -> 0);
     swapper = None;
+    pressure = None;
     selected_since_evict = 0;
     io_selected_since_evict = 0;
     total_selected = 0;
@@ -61,6 +63,7 @@ let register_segment ?(dirty = false) t ~name ~is_io_cache ~resident ~reclaim =
 
 let set_entry_evictor t f = t.evictor <- f
 let set_swapper t sw = t.swapper <- Some sw
+let set_pressure_hook t f = t.pressure <- Some f
 
 (* Pick a segment with probability proportional to resident size. *)
 let pick_segment t =
@@ -81,6 +84,11 @@ let pick_segment t =
   end
 
 let run_round t ~needed =
+  (* Memory pressure starts a clustered flush of the dirty backlog (a
+     non-blocking kick): dirty cache entries become clean — and so
+     evictable without the per-victim flush path — by the time later
+     rounds reach them, instead of being blindly swapped out. *)
+  (match t.pressure with Some f -> f ~needed | None -> ());
   let freed = ref 0 in
   let stall = ref 0 in
   (* Victim writes for the whole reclaim round are submitted

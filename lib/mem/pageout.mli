@@ -70,6 +70,13 @@ type swapper = {
 
 val set_swapper : t -> swapper -> unit
 
+val set_pressure_hook : t -> (needed:int -> unit) -> unit
+(** Called (non-blocking) at the start of every reclaim round with the
+    byte deficit. The OS layer installs the delayed write-back kick
+    here, so memory pressure drains the dirty backlog as clustered
+    writes and later rounds find clean, directly evictable cache
+    entries instead of blindly swapping dirty ones. *)
+
 val run : t -> needed:int -> int
 (** Select victims until [needed] bytes are freed or no progress can be
     made. Returns bytes freed. Usually installed as the physical memory

@@ -274,23 +274,40 @@ let iol_read ?pool proc ~file ~off ~len =
         iol_read_body ?pool proc ~file ~off ~len)
   else iol_read_body ?pool proc ~file ~off ~len
 
-let write_back kernel ~file ~off ~len =
-  (* Asynchronous write-back: the disk work happens off the caller's
-     critical path, as with any write-behind buffer cache. *)
-  Iolite_sim.Engine.spawn ~name:"disk-writeback" (Kernel.engine kernel)
-    (fun () ->
-      Iolite_fs.Disk.write (Kernel.disk kernel) ~file ~off ~bytes:len)
+(* Payload snapshot for the durable-write log / eager queue: a host
+   copy, free in simulated time (the simulated copy cost, when the
+   caller wants one, was already paid building the aggregate). *)
+let capture_bytes agg =
+  let b = Buffer.create (Iobuf.Agg.length agg) in
+  Iobuf.Agg.fold_bytes agg ~init:() ~f:(fun () data off len ->
+      Buffer.add_subbytes b data off len);
+  Buffer.contents b
 
 let iol_write_body proc ~file ~off agg =
   let kernel = Process.kernel proc in
   let sys = Kernel.sys kernel in
   let _size = file_size proc ~file in
   let len = Iobuf.Agg.length agg in
+  let wb = Kernel.writeback kernel in
+  let eager_data =
+    match Writeback.mode wb with
+    | `Eager when len > 0 -> Some (capture_bytes agg)
+    | _ -> None
+  in
   (* The kernel side (filecache, write-back) gains the data by reference;
      repeated writes on the same stream hit the grant-epoch fast path. *)
   Transfer.grant sys agg ~to_:(Iosys.kernel sys);
-  Filecache.insert (Kernel.unified_cache kernel) ~file ~off agg;
-  if len > 0 then write_back kernel ~file ~off ~len;
+  (match eager_data with
+  | None ->
+    (* Delayed write-back: the extent parks dirty in the cache and
+       returns at memory speed; the sync daemon clusters and flushes
+       it later (superseded if rewritten first). *)
+    Filecache.insert ~dirty:(len > 0) (Kernel.unified_cache kernel) ~file
+      ~off agg;
+    if len > 0 then Writeback.note_write wb ~file ~off ~len
+  | Some data ->
+    Filecache.insert (Kernel.unified_cache kernel) ~file ~off agg;
+    Writeback.eager_write wb ~file ~off ~len ~data);
   Process.charge proc (Kernel.cost kernel).Costmodel.syscall
 
 let iol_write proc ~file ~off agg =
@@ -302,6 +319,32 @@ let iol_write proc ~file ~off agg =
         [ ("file", Trace.Int file); ("len", Trace.Int (Iolite_core.Iobuf.Agg.length agg)) ]
       (fun () -> iol_write_body proc ~file ~off agg)
   else iol_write_body proc ~file ~off agg
+
+let fsync proc ~file =
+  let kernel = Process.kernel proc in
+  let _size = file_size proc ~file in
+  let tr = Kernel.trace kernel in
+  let body () = Writeback.fsync (Kernel.writeback kernel) ~file in
+  (if Trace.enabled tr then
+     Trace.span tr ~cat:"os" ~name:"fsync"
+       ~args:[ ("file", Trace.Int file) ]
+       (fun () ->
+         let c = Iolite_sim.Engine.Proc.ctx () in
+         if c <> 0 then
+           Trace.flow_step tr ~id:c
+             ~args:[ ("at", Trace.Str "fsync"); ("file", Trace.Int file) ]
+             ();
+         body ())
+   else body ());
+  Process.charge proc (Kernel.cost kernel).Costmodel.syscall
+
+let sync proc =
+  let kernel = Process.kernel proc in
+  let tr = Kernel.trace kernel in
+  let body () = Writeback.sync (Kernel.writeback kernel) in
+  (if Trace.enabled tr then Trace.span tr ~cat:"os" ~name:"sync" body
+   else body ());
+  Process.charge proc (Kernel.cost kernel).Costmodel.syscall
 
 let read_string proc ~file ~off ~len =
   let kernel = Process.kernel proc in

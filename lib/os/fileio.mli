@@ -45,7 +45,20 @@ val iol_read :
 val iol_write : Process.t -> file:int -> off:int -> Iolite_core.Iobuf.Agg.t -> unit
 (** Replaces the file range with the aggregate's contents (takes
     ownership). The cache entry is replaced — earlier readers keep their
-    snapshots. Write-back to disk is asynchronous. *)
+    snapshots. Write-back to disk is asynchronous: under the default
+    [`Delayed] mode the extent parks dirty in the unified cache and the
+    sync daemon later flushes it clustered with its neighbours
+    ({!Writeback}); under [`Eager] it queues to the bounded
+    single-writer fiber. Either way the caller returns at memory speed
+    unless write-throttled at the dirty hard limit (or the eager queue
+    is full). *)
+
+val fsync : Process.t -> file:int -> unit
+(** Flush [file]'s buffered writes and block until they are durable.
+    Waits only on that file's dirty extents and in-flight writes. *)
+
+val sync : Process.t -> unit
+(** Flush and await every file's buffered writes. *)
 
 (** {2 POSIX compatibility API (copying)} *)
 

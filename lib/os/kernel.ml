@@ -16,6 +16,11 @@ type config = {
   disk_backend : Iolite_fs.Disk.backend;
   readahead : bool;
   swap_writeback : bool;
+  write_mode : Writeback.mode;
+  flush_interval : float;
+  dirty_hi_ratio : float;
+  dirty_hard_ratio : float;
+  log_durable_writes : bool;
 }
 
 let log = Iolite_util.Logging.src "kernel"
@@ -33,6 +38,11 @@ let default_config () =
     disk_backend = `Queued;
     readahead = true;
     swap_writeback = true;
+    write_mode = `Delayed;
+    flush_interval = Writeback.default_config.Writeback.wb_flush_interval;
+    dirty_hi_ratio = Writeback.default_config.Writeback.wb_hi_ratio;
+    dirty_hard_ratio = Writeback.default_config.Writeback.wb_hard_ratio;
+    log_durable_writes = false;
   }
 
 (* Per-file sequential-readahead state (Fileio drives the policy). *)
@@ -56,6 +66,7 @@ type t = {
   page_pool : Iolite_core.Iobuf.Pool.t;
   file_pool : Iolite_core.Iobuf.Pool.t;
   ra : (int, ra) Hashtbl.t;
+  writeback : Writeback.t;
   mutable swap_cursor : int; (* next free swap-partition offset *)
   mutable pending : float;
   mutable next_pid : int;
@@ -100,6 +111,33 @@ let create ?config engine =
         if got = 0 then continue := false else freed := !freed + got
       done;
       !freed);
+  let disk =
+    Iolite_fs.Disk.create ~backend:config.disk_backend
+      ~trace:(Iosys.trace sys) ~attrib:(Iosys.attrib sys) ()
+  in
+  if config.log_durable_writes then Iolite_fs.Disk.set_write_log disk true;
+  let writeback =
+    Writeback.create ~engine ~disk ~cache:unified_cache
+      ~metrics:(Iosys.metrics sys) ~trace:(Iosys.trace sys)
+      ~flow:(Iosys.flow sys)
+      ~budget:(fun () -> Physmem.io_budget (Iosys.physmem sys))
+      {
+        Writeback.default_config with
+        Writeback.wb_mode = config.write_mode;
+        wb_flush_interval = config.flush_interval;
+        wb_hi_ratio = config.dirty_hi_ratio;
+        wb_hard_ratio = config.dirty_hard_ratio;
+      }
+  in
+  (* A dirty cache victim forces a clustered flush of its file instead
+     of silently dropping buffered writes with the page. *)
+  Filecache.set_evict_flusher unified_cache (fun ~file ->
+      Writeback.evict_flush writeback ~file);
+  (* Memory pressure kicks the sync daemon so the dirty backlog drains
+     as clustered writes while reclaim proceeds. *)
+  Iolite_mem.Pageout.set_pressure_hook (Iosys.pageout sys) (fun ~needed:_ ->
+      if Filecache.dirty_bytes unified_cache > 0 then
+        Writeback.kick ~reason:"pressure" writeback);
   let t =
     {
       engine;
@@ -108,9 +146,7 @@ let create ?config engine =
       cpu =
         Cpu.create ~context_switch:config.cost.Costmodel.context_switch
           ~attrib:(Iosys.attrib sys) ();
-      disk =
-        Iolite_fs.Disk.create ~backend:config.disk_backend
-          ~trace:(Iosys.trace sys) ~attrib:(Iosys.attrib sys) ();
+      disk;
       link =
         Iolite_net.Link.create ~trace:(Iosys.trace sys)
           ~bits_per_sec:config.link_bits_per_sec ();
@@ -125,6 +161,7 @@ let create ?config engine =
       file_pool =
         Iolite_core.Iobuf.Pool.create sys ~name:"filecache" ~acl:Vm.Public;
       ra = Hashtbl.create 64;
+      writeback;
       swap_cursor = 0;
       pending = 0.0;
       next_pid = 0;
@@ -207,6 +244,8 @@ let create ?config engine =
       Filecache.entry_count unified_cache);
   Iolite_obs.Metrics.set_gauge m "cache.conv_bytes" (fun () ->
       Filecache.total_bytes conv_cache);
+  Iolite_obs.Metrics.set_gauge m "cache.dirty_bytes" (fun () ->
+      Filecache.dirty_bytes unified_cache);
   Iolite_obs.Metrics.set_gauge m "mem.free_bytes" (fun () ->
       Physmem.free_bytes (Iosys.physmem sys));
   Iolite_obs.Metrics.set_gauge m "vm.pageout_pages" (fun () ->
@@ -245,6 +284,7 @@ let config t = t.config
 let cost t = t.config.cost
 let cpu t = t.cpu
 let disk t = t.disk
+let writeback t = t.writeback
 let link t = t.link
 let store t = t.store
 let unified_cache t = t.unified_cache

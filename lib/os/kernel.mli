@@ -36,6 +36,20 @@ type config = {
           swap partition on the disk (default [true]). Victim writes
           are submitted asynchronously per reclaim round and joined at
           the end; swap-ins suspend only the faulting process. *)
+  write_mode : Writeback.mode;
+      (** [`Delayed] (default): [IOL_write] parks dirty extents in the
+          cache and the sync daemon flushes them clustered.
+          [`Eager]: write-through via the bounded single-writer queue
+          (the pre-delayed cost model). *)
+  flush_interval : float;  (** sync-daemon period, default 0.5 s *)
+  dirty_hi_ratio : float;
+      (** dirty-byte fraction of the I/O budget that starts an early
+          flush, default 0.25 *)
+  dirty_hard_ratio : float;
+      (** dirty-byte fraction that write-throttles, default 0.5 *)
+  log_durable_writes : bool;
+      (** Record completed disk writes in {!Iolite_fs.Disk.write_log}
+          (crash-consistency harness support, default [false]). *)
 }
 
 val default_config : unit -> config
@@ -50,6 +64,11 @@ val config : t -> config
 val cost : t -> Costmodel.t
 val cpu : t -> Cpu.t
 val disk : t -> Iolite_fs.Disk.t
+
+val writeback : t -> Writeback.t
+(** The delayed write-back layer (sync daemon). Wired to the unified
+    cache's dirty-victim hook; {!Fileio.iol_write} routes through it. *)
+
 val link : t -> Iolite_net.Link.t
 val store : t -> Iolite_fs.Filestore.t
 

@@ -154,17 +154,41 @@ let sync t =
   check_live t;
   if Hashtbl.length t.dirty > 0 then begin
     (* Install dirty pages as new cache contents — replacing entries, so
-       earlier IOL_read snapshots keep their data (Section 3.5). *)
-    let pages = Hashtbl.fold (fun p () acc -> p :: acc) t.dirty [] in
-    List.iter
-      (fun page ->
-        let off = page * Page.page_size in
-        let len = min Page.page_size (t.size - off) in
-        let data = String.sub (page_string t page) 0 len in
-        Fileio.write_string t.proc ~file:t.file ~off data)
-      (List.sort compare pages);
+       earlier IOL_read snapshots keep their data (Section 3.5). Pages
+       are walked in index order and contiguous runs coalesce into one
+       write each, so the delayed write-back layer receives pre-merged
+       extents instead of page-sized fragments. *)
+    let pages = List.sort compare (Hashtbl.fold (fun p () acc -> p :: acc) t.dirty []) in
+    Iolite_obs.Metrics.add
+      (Kernel.metrics (kernel t))
+      "mmap.msync_pages" (List.length pages);
+    let flush_run first last =
+      let off = first * Page.page_size in
+      let buf = Buffer.create ((last - first + 1) * Page.page_size) in
+      for page = first to last do
+        let len = min Page.page_size (t.size - (page * Page.page_size)) in
+        Buffer.add_string buf (String.sub (page_string t page) 0 len)
+      done;
+      Fileio.write_string t.proc ~file:t.file ~off (Buffer.contents buf)
+    in
+    (match pages with
+    | [] -> ()
+    | p0 :: rest ->
+      let first = ref p0 and last = ref p0 in
+      List.iter
+        (fun p ->
+          if p = !last + 1 then last := p
+          else begin
+            flush_run !first !last;
+            first := p;
+            last := p
+          end)
+        rest;
+      flush_run !first !last);
     Hashtbl.reset t.dirty
   end
+
+let msync = sync
 
 let unmap proc t =
   if t.live then begin

@@ -40,8 +40,13 @@ val write : t -> off:int -> string -> unit
 
 val sync : t -> unit
 (** msync: replace the file's cache contents with the mapping's current
-    data (dirty pages only) and write them back to disk
-    asynchronously. *)
+    data (dirty pages only) and write them back through the delayed
+    write-back layer. Dirty pages are walked in index order and
+    contiguous runs coalesce into one write each before entering the
+    dirty-extent tracker; [mmap.msync_pages] counts pages flushed. *)
+
+val msync : t -> unit
+(** Alias of {!sync} (the POSIX name). *)
 
 val unmap : Process.t -> t -> unit
 

@@ -1,0 +1,100 @@
+(** Clustered delayed write-back — the sync daemon (Section 4.2's
+    write path, grown the rest of the way to Unix's [bdwrite]/B_DELWRI
+    scheme).
+
+    [IOL_write] no longer spawns a disk fiber per call. In [`Delayed]
+    mode (default) the written aggregate parks in the file cache as a
+    dirty extent and the writer returns at memory speed; a sync daemon
+    — a re-armed cancelable timer, so an idle system's event queue
+    still drains — later walks the per-file interval index, merges
+    runs of adjacent dirty extents into extent-sized contiguous disk
+    requests ({!Iolite_core.Filecache.collect_dirty}), and submits the
+    whole round back to back through the async ring so the C-SCAN
+    elevator services it as one batch. Completion callbacks clear
+    dirty bits only on durable completion; a re-write racing a flush
+    supersedes the captured bytes by generation stamp and the newer
+    data simply rides the next round.
+
+    Three pressure responses keep the scheme honest:
+    - the {b high watermark} ([wb_hi_ratio] of the I/O budget) starts
+      an early flush without blocking anyone;
+    - the {b hard limit} ([wb_hard_ratio]) blocks writers until the
+      backlog drains — the CAWL disk-bound regime, where sustained
+      write throughput degrades from memory speed to drain speed;
+    - a {b dirty cache victim} triggers {!evict_flush} (wired via
+      {!Iolite_core.Filecache.set_evict_flusher}), so pageout forces a
+      clustered write-back instead of losing buffered writes.
+
+    [`Eager] mode preserves the old write-through cost model but fixes
+    its unbounded fiber spawn: writes queue (bounded, blocking when
+    full) to one writer fiber. *)
+
+type t
+
+type mode = [ `Delayed | `Eager ]
+
+type config = {
+  wb_mode : mode;
+  wb_flush_interval : float;  (** sync-daemon period, seconds *)
+  wb_hi_ratio : float;
+      (** dirty/[budget] fraction that starts an early flush; set [>=
+          wb_hard_ratio] to disable the watermark (CAWL sweeps do) *)
+  wb_hard_ratio : float;  (** dirty fraction that blocks writers *)
+  wb_max_cluster : int;  (** clustered-request size cap, bytes *)
+  wb_eager_qdepth : int;  (** eager-mode writer queue bound *)
+}
+
+val default_config : config
+(** [`Delayed], 0.5 s interval, hi/hard ratios 0.25/0.5, extent-sized
+    ([Iobuf.Pool.max_alloc]) clusters, 64-deep eager queue. *)
+
+val create :
+  engine:Iolite_sim.Engine.t ->
+  disk:Iolite_fs.Disk.t ->
+  cache:Iolite_core.Filecache.t ->
+  metrics:Iolite_obs.Metrics.t ->
+  trace:Iolite_obs.Trace.t ->
+  flow:Iolite_obs.Flow.t ->
+  budget:(unit -> int) ->
+  config ->
+  t
+(** [budget] supplies the byte base for the watermark ratios (the
+    kernel passes [Physmem.io_budget]). The caller wires
+    {!evict_flush} into the cache's evict-flusher hook. *)
+
+val mode : t -> mode
+
+val note_write : t -> file:int -> off:int -> len:int -> unit
+(** Delayed-mode write notification, called after the dirty insert:
+    arms the daemon, kicks an early flush past the high watermark, and
+    blocks the caller while dirty bytes exceed the hard limit
+    (counting [write.throttled]). Must run inside a simulation
+    process. *)
+
+val eager_write : t -> file:int -> off:int -> len:int -> data:string -> unit
+(** Eager-mode write: enqueue to the single writer fiber, blocking
+    while the bounded queue is full (counting [write.eager_blocked]).
+    Durability then follows queue order; {!fsync} observes it. *)
+
+val kick : ?reason:string -> t -> unit
+(** Start a flush round now (an engine fiber; coalesced if one is
+    already pending). *)
+
+val fsync : t -> file:int -> unit
+(** Flush [file]'s dirty extents and block the caller until that
+    file's dirty bytes and in-flight writes — only that file's — reach
+    zero. Must run inside a simulation process. *)
+
+val sync : t -> unit
+(** Flush every file and block until the whole backlog is durable. *)
+
+val evict_flush : t -> file:int -> unit
+(** The cache's dirty-victim hook: captures the file's dirty clusters
+    synchronously (before the victim entry drops), submits them from a
+    fresh fiber. *)
+
+val quiescent : t -> bool
+(** No dirty bytes, no in-flight clustered writes, empty eager queue. *)
+
+val inflight_clusters : t -> file:int -> int
+(** In-flight clustered writes of one file (test support). *)

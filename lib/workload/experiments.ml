@@ -1398,3 +1398,206 @@ let print_async_tail points =
           ~rows
       end)
     points
+
+(* ------------------------------------------------------------------ *)
+(* Clustered delayed write-back: clustering headline + CAWL regimes    *)
+(* ------------------------------------------------------------------ *)
+
+type write_point = {
+  wp_label : string;
+  wp_flush_interval : float;
+  wp_burst : int;
+  wp_x : float;
+  wp_writes : int;
+  wp_bytes : int;
+  wp_disk_writes : int;
+  wp_disk_bytes : int;
+  wp_cluster_writes : int;
+  wp_clustered : int;
+  wp_flushes : int;
+  wp_superseded : int;
+  wp_throttled : int;
+  wp_write_s : float;
+  wp_mbps : float;
+}
+
+let write_metrics kernel ~label ~flush_interval ~burst ~x ~writes ~bytes
+    ~write_s =
+  let m = Kernel.metrics kernel in
+  let disk = Kernel.disk kernel in
+  {
+    wp_label = label;
+    wp_flush_interval = flush_interval;
+    wp_burst = burst;
+    wp_x = x;
+    wp_writes = writes;
+    wp_bytes = bytes;
+    wp_disk_writes = Iolite_fs.Disk.writes disk;
+    wp_disk_bytes = Iolite_fs.Disk.bytes_written disk;
+    wp_cluster_writes = Iolite_obs.Metrics.get m "write.cluster_writes";
+    wp_clustered = Iolite_obs.Metrics.get m "write.clustered";
+    wp_flushes = Iolite_obs.Metrics.get m "write.flushes";
+    wp_superseded = Iolite_obs.Metrics.get m "write.superseded";
+    wp_throttled = Iolite_obs.Metrics.get m "write.throttled";
+    wp_write_s = write_s;
+    wp_mbps = float_of_int bytes /. 1048576.0 /. Float.max 1e-9 write_s;
+  }
+
+(* The write points build kernels with custom write-back configs
+   (bypassing [make_kernel]), so they wire the shared trace sink and
+   per-point metrics printing themselves. *)
+let write_obs_start ~label kernel =
+  match !obs_sink with
+  | Some sink ->
+    Kernel.enable_tracing kernel;
+    incr kernel_seq;
+    Iolite_obs.Trace.Sink.absorb sink ~label (Kernel.trace kernel)
+  | None -> ()
+
+let write_obs_finish ~label kernel =
+  if !obs_metrics then
+    Printf.printf "\n-- metrics: %s --\n%s%!" label
+      (Iolite_obs.Metrics.render (Kernel.metrics kernel))
+
+(* The clustering headline: 2 MB of small sequential writes plus a
+   rewrite of the first eighth (issued before any flush, so the parked
+   extents are superseded in place), then fsync. Eager pays one disk
+   request per write; delayed merges adjacent dirty extents into
+   extent-sized clusters — the disk-operation ratio is the figure. *)
+let write_seq_point ?(eager = false) () =
+  let engine = Engine.create () in
+  let config =
+    {
+      (Kernel.default_config ()) with
+      Kernel.write_mode = (if eager then `Eager else `Delayed);
+    }
+  in
+  let kernel = Kernel.create ~config engine in
+  let label = if eager then "write eager" else "write delayed" in
+  write_obs_start ~label kernel;
+  let size = 2 * 1024 * 1024 in
+  let chunk = 4096 in
+  let file = Kernel.add_file kernel ~name:"/wlog.dat" ~size in
+  let writes = ref 0 and bytes = ref 0 and write_s = ref 0.0 in
+  ignore
+    (Process.spawn kernel ~name:"seq-writer" (fun proc ->
+         let data = String.make chunk 'w' in
+         let do_write off =
+           let t0 = Engine.now engine in
+           Iolite_os.Fileio.write_string proc ~file ~off data;
+           write_s := !write_s +. (Engine.now engine -. t0);
+           incr writes;
+           bytes := !bytes + chunk
+         in
+         for i = 0 to (size / chunk) - 1 do
+           do_write (i * chunk)
+         done;
+         (* Rewrite before the first flush: supersedes parked extents. *)
+         for i = 0 to (size / 8 / chunk) - 1 do
+           do_write (i * chunk)
+         done;
+         let t0 = Engine.now engine in
+         Iolite_os.Fileio.fsync proc ~file;
+         write_s := !write_s +. (Engine.now engine -. t0)));
+  Engine.run engine;
+  write_obs_finish ~label kernel;
+  write_metrics kernel
+    ~label:(if eager then "eager" else "delayed")
+    ~flush_interval:(Kernel.config kernel).Kernel.flush_interval ~burst:0
+    ~x:0.0 ~writes:!writes ~bytes:!bytes ~write_s:!write_s
+
+(* One CAWL point: bursts of [burst] bytes every 0.1 s against a small
+   dirty hard limit, high watermark disabled. Below the knee the writer
+   runs at memory (copy) speed; once a flush interval's accumulation
+   crosses the hard limit the writer blocks on the drain — write
+   throughput collapses to disk speed. The knee's position in
+   [x = burst / hard] moves with the flush interval. *)
+let write_cawl_point ~flush_interval ~burst () =
+  let engine = Engine.create () in
+  let config =
+    {
+      (Kernel.default_config ()) with
+      Kernel.mem_capacity = 32 * 1024 * 1024;
+      flush_interval;
+      dirty_hi_ratio = 1.0;
+      dirty_hard_ratio = 0.05;
+    }
+  in
+  let kernel = Kernel.create ~config engine in
+  let label = Printf.sprintf "cawl F=%.1fs %dKB" flush_interval (burst / 1024) in
+  write_obs_start ~label kernel;
+  let hard =
+    int_of_float
+      (config.Kernel.dirty_hard_ratio
+      *. float_of_int
+           (Iolite_mem.Physmem.io_budget
+              (Iolite_core.Iosys.physmem (Kernel.sys kernel))))
+  in
+  let size = 8 * 1024 * 1024 in
+  let file = Kernel.add_file kernel ~name:"/cawl.dat" ~size in
+  let period = 0.1 in
+  let bursts = 40 in
+  let writes = ref 0 and bytes = ref 0 and write_s = ref 0.0 in
+  ignore
+    (Process.spawn kernel ~name:"burst-writer" (fun proc ->
+         let data = String.make burst 'b' in
+         for b = 0 to bursts - 1 do
+           let start = Engine.now engine in
+           let off = b * burst mod size in
+           Iolite_os.Fileio.write_string proc ~file ~off data;
+           write_s := !write_s +. (Engine.now engine -. start);
+           incr writes;
+           bytes := !bytes + burst;
+           let elapsed = Engine.now engine -. start in
+           if elapsed < period then
+             Iolite_sim.Engine.Proc.sleep (period -. elapsed)
+         done));
+  Engine.run engine;
+  write_obs_finish ~label kernel;
+  write_metrics kernel
+    ~label:(Printf.sprintf "F=%.1fs" flush_interval)
+    ~flush_interval ~burst
+    ~x:(float_of_int burst /. float_of_int hard)
+    ~writes:!writes ~bytes:!bytes ~write_s:!write_s
+
+let write_seq () = [ write_seq_point ~eager:true (); write_seq_point () ]
+
+let write_cawl_sweep () =
+  let ks = [ 128; 256; 512; 1024; 2048 ] in
+  List.concat_map
+    (fun flush_interval ->
+      List.map
+        (fun k -> write_cawl_point ~flush_interval ~burst:(k * 1024) ())
+        ks)
+    [ 0.2; 0.8 ]
+
+let print_write points =
+  let rows =
+    List.map
+      (fun p ->
+        [
+          p.wp_label;
+          (if p.wp_burst = 0 then "-"
+           else Printf.sprintf "%d" (p.wp_burst / 1024));
+          (if p.wp_x = 0.0 then "-" else Printf.sprintf "%.2f" p.wp_x);
+          string_of_int p.wp_writes;
+          Printf.sprintf "%.1f" (float_of_int p.wp_bytes /. 1048576.0);
+          string_of_int p.wp_disk_writes;
+          string_of_int p.wp_cluster_writes;
+          string_of_int p.wp_clustered;
+          string_of_int p.wp_flushes;
+          string_of_int p.wp_superseded;
+          string_of_int p.wp_throttled;
+          Printf.sprintf "%.4f" p.wp_write_s;
+          Printf.sprintf "%.1f" p.wp_mbps;
+        ])
+      points
+  in
+  Table.print
+    ~header:
+      [
+        "point"; "burst KB"; "x"; "writes"; "MB"; "disk ops"; "clusters";
+        "clustered"; "flushes"; "superseded"; "throttled"; "write s";
+        "MB/s";
+      ]
+    ~rows

@@ -214,3 +214,49 @@ val print_async_tail : async_point list -> unit
     slowest-K table — per retained request its five-way breakdown,
     dominant cause and coverage (components / wall, the >=95%
     contract). *)
+
+(** {2 Clustered delayed write-back: clustering headline and CAWL
+    regimes} *)
+
+type write_point = {
+  wp_label : string;  (** ["eager"] / ["delayed"] / ["F=0.2s"] ... *)
+  wp_flush_interval : float;
+  wp_burst : int;  (** CAWL burst bytes; 0 for the headline points *)
+  wp_x : float;  (** burst / hard dirty limit; 0 for the headline *)
+  wp_writes : int;  (** write syscalls issued *)
+  wp_bytes : int;
+  wp_disk_writes : int;  (** disk write operations *)
+  wp_disk_bytes : int;
+  wp_cluster_writes : int;  (** clustered requests submitted *)
+  wp_clustered : int;  (** dirty extents that rode a >=2-extent cluster *)
+  wp_flushes : int;  (** flush rounds that submitted work *)
+  wp_superseded : int;  (** parked extents replaced before durable *)
+  wp_throttled : int;  (** writes blocked at the dirty hard limit *)
+  wp_write_s : float;  (** simulated time inside write syscalls + fsync *)
+  wp_mbps : float;  (** bytes / write_s *)
+}
+
+val write_seq_point : ?eager:bool -> unit -> write_point
+(** The clustering headline: 2 MB of 4 KB sequential writes, a rewrite
+    of the first eighth before any flush (superseding the parked
+    extents), then [fsync]. Eager issues one disk request per write
+    through the bounded single-writer queue; delayed merges adjacent
+    dirty extents into extent-sized clusters — compare
+    [wp_disk_writes]. *)
+
+val write_seq : unit -> write_point list
+(** [eager; delayed]. *)
+
+val write_cawl_point :
+  flush_interval:float -> burst:int -> unit -> write_point
+(** One CAWL point: 40 bursts of [burst] bytes every 0.1 s against a
+    small dirty hard limit (high watermark disabled). Below the knee
+    the writer runs at memory speed; when one flush interval's
+    accumulation crosses the hard limit, write throughput collapses to
+    the drain (disk) speed. *)
+
+val write_cawl_sweep : unit -> write_point list
+(** Bursts 128 KB ... 2 MB under flush intervals 0.2 s and 0.8 s: the
+    knee's position in [x] shifts by the interval ratio. *)
+
+val print_write : write_point list -> unit
