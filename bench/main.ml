@@ -37,6 +37,14 @@
          # sequential headline, the CAWL burst sweep at two flush
          # intervals, and the crash-at-any-point consistency harness
          # (default ./BENCH_write.json, 1000 crash points).
+     dune exec bench/main.exe -- tier [label] [out.json] [scale]
+         # NVMM second cache tier: Fig. 10-style working-set sweeps on a
+         # small (64MB) machine, DRAM-only baseline first then the
+         # tiered configuration, plus the single-request latency probe
+         # (DRAM hit / warm tier hit / cold disk fill). Appends one
+         # "dram-baseline" run and one "tiered" run with the demotion /
+         # promotion / staging traffic decomposed per working-set point
+         # (default ./BENCH_tier.json).
 *)
 
 open Bechamel
@@ -915,6 +923,69 @@ let run_write ?(label = "current") ?(out = "BENCH_write.json")
     ~run_json:(write_json_of_run ~label ~crash points)
 
 (* ------------------------------------------------------------------ *)
+(* NVMM second cache tier                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Fig. 10 revisited on a small machine: working-set sweeps well past
+   the DRAM budget, once DRAM-only (the recorded baseline — the capacity
+   knee sits at the io budget) and once with the tier armed (the knee
+   moves out to the tier budget; misses past DRAM promote at NVMM speed
+   instead of paying disk positioning). The probe records the three
+   latency classes for one small file — DRAM hit, warm tier hit, cold
+   disk fill — whose ordering and spread CI asserts. *)
+
+let tier_json_of_run ~label ?probe points =
+  let module E = Iolite_workload.Experiments in
+  let b = Stdlib.Buffer.create 1024 in
+  Stdlib.Buffer.add_string b
+    (Printf.sprintf "    {\n      \"label\": %S,\n      \"entries\": [\n" label);
+  List.iteri
+    (fun i p ->
+      Stdlib.Buffer.add_string b
+        (Printf.sprintf
+           "        {\"variant\": %S, \"ws_mb\": %d, \"mbps\": %.2f, \
+            \"dram_hits\": %d, \"dram_evictions\": %d, \"tier_hit\": %d, \
+            \"tier_miss\": %d, \"tier_demote\": %d, \"tier_promote\": %d, \
+            \"tier_wb_stage\": %d, \"tier_evict\": %d, \"disk_reads\": \
+            %d}%s\n"
+           p.E.tp_label p.E.tp_ws_mb p.E.tp_mbps p.E.tp_dram_hits
+           p.E.tp_dram_evictions p.E.tp_tier_hit p.E.tp_tier_miss
+           p.E.tp_tier_demote p.E.tp_tier_promote p.E.tp_tier_stage
+           p.E.tp_tier_evict p.E.tp_disk_reads
+           (if i = List.length points - 1 then "" else ",")))
+    points;
+  (match probe with
+  | None -> Stdlib.Buffer.add_string b "      ]\n    }"
+  | Some pr ->
+    Stdlib.Buffer.add_string b
+      (Printf.sprintf
+         "      ],\n      \"probe\": {\"dram_hit_s\": %.6f, \
+          \"warm_tier_hit_s\": %.6f, \"cold_disk_fill_s\": %.6f, \
+          \"speedup\": %.2f, \"demote\": %d, \"promote\": %d, \
+          \"wb_stage\": %d}\n    }"
+         pr.E.pr_dram_hit_s pr.E.pr_tier_hit_s pr.E.pr_cold_disk_s
+         pr.E.pr_speedup pr.E.pr_demote pr.E.pr_promote pr.E.pr_stage));
+  Stdlib.Buffer.contents b
+
+let run_tier ?(label = "current") ?(out = "BENCH_tier.json") ?(scale = 1.0) ()
+    =
+  Printf.printf "\n== NVMM second tier: working-set sweep (label: %s) ==\n%!"
+    label;
+  let module E = Iolite_workload.Experiments in
+  Printf.printf "  dram-only baseline...\n%!";
+  let baseline = E.tier_sweep ~scale ~variant:`Baseline () in
+  Gc.full_major ();
+  Printf.printf "  tiered sweep...\n%!";
+  let tiered = E.tier_sweep ~scale ~variant:`Tiered () in
+  Gc.full_major ();
+  let probe = E.tier_probe_run () in
+  E.print_tier (baseline @ tiered) (Some probe);
+  append_json_text ~benchmark:"nvmm-tier" ~out
+    ~run_json:(tier_json_of_run ~label:(label ^ " dram-baseline") baseline);
+  append_json_text ~benchmark:"nvmm-tier" ~out
+    ~run_json:(tier_json_of_run ~label:(label ^ " tiered") ~probe tiered)
+
+(* ------------------------------------------------------------------ *)
 (* Paper figures                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -999,6 +1070,14 @@ let () =
       match rest with _ :: _ :: n :: _ -> Some (int_of_string n) | _ -> None
     in
     run_write ~label ~out ?crash_runs ()
+  | _ :: "tier" :: rest ->
+    (* tier [LABEL] [OUT] [SCALE] *)
+    let label = match rest with l :: _ -> l | [] -> "current" in
+    let out = match rest with _ :: o :: _ -> o | _ -> "BENCH_tier.json" in
+    let scale =
+      match rest with _ :: _ :: s :: _ -> float_of_string s | _ -> 1.0
+    in
+    run_tier ~label ~out ~scale ()
   | _ :: "figures" :: rest ->
     (* figures [SCALE] [--metrics] [--trace FILE] *)
     let scale = ref 0.5 in

@@ -77,6 +77,7 @@ type cells = {
   cc_ra_wasted : int ref; (* cache.readahead_wasted: evicted undemanded *)
   cc_superseded : int ref; (* write.superseded: dirty bytes obsoleted pre-durable *)
   cc_evict_flush : int ref; (* cache.evict_flush: dirty victims force-flushed *)
+  cc_evict_veto : int ref; (* cache.evict_veto: chosen victims vetoed, retried *)
 }
 
 type t = {
@@ -107,6 +108,11 @@ type t = {
      clusters before the entry is dropped, so reclaim never loses
      buffered writes. *)
   mutable evict_flush : (file:int -> unit) option;
+  (* Called (if set) with a snapshot of each evicted entry's bytes just
+     before the entry is dropped: the next cache tier down admits the
+     victim instead of losing it (demotion). *)
+  mutable demoter :
+    (file:int -> off:int -> len:int -> gen:int -> data:string -> unit) option;
 }
 
 let key e = (e.efile, e.eoff)
@@ -186,72 +192,101 @@ let drop_entry t e =
   Iobuf.Agg.free e.eagg;
   t.bytes <- t.bytes - e.elen
 
+(* A vetoed victim (dirty, uncapturable because its range overlaps an
+   in-flight write) used to end the eviction round; instead the policy is
+   re-consulted up to this many times with the vetoed keys excluded, so
+   one stuck extent cannot stall reclaim for a whole round. *)
+let max_evict_retries = 4
+
 let evict_one t =
-  (* The policy returns the key of its final eligible-true probe (see
-     the {!Policy.t} contract), so capturing the entry there avoids a
-     second index lookup on the chosen victim. *)
-  let victim = ref None in
-  let eligible_unref k =
-    match Hashtbl.find_opt t.index k with
-    | Some e ->
-      incr t.cells.cc_refcheck;
-      if !(e.eref_cell) = 0 then begin
+  let vetoed = ref [] in
+  let rec attempt tries =
+    (* The policy returns the key of its final eligible-true probe (see
+       the {!Policy.t} contract), so capturing the entry there avoids a
+       second index lookup on the chosen victim. *)
+    let victim = ref None in
+    let eligible_unref k =
+      (not (List.mem k !vetoed))
+      &&
+      match Hashtbl.find_opt t.index k with
+      | Some e ->
+        incr t.cells.cc_refcheck;
+        if !(e.eref_cell) = 0 then begin
+          victim := Some e;
+          true
+        end
+        else false
+      | None -> false
+    in
+    let eligible_any k =
+      (not (List.mem k !vetoed))
+      &&
+      match Hashtbl.find_opt t.index k with
+      | Some e ->
         victim := Some e;
         true
-      end
-      else false
-    | None -> false
-  in
-  let eligible_any k =
-    match Hashtbl.find_opt t.index k with
+      | None -> false
+    in
+    (match t.policy.Policy.choose ~eligible:eligible_unref with
+    | Some _ -> ()
+    | None ->
+      (* All entries are referenced: fall back to the policy's choice
+         among them (Section 3.7). *)
+      victim := None;
+      ignore (t.policy.Policy.choose ~eligible:eligible_any));
+    match !victim with
+    | None -> 0
     | Some e ->
-      victim := Some e;
-      true
-    | None -> false
+      (* A dirty victim whose bytes no flush holds yet would lose
+         buffered writes: hand the file to the write-back layer first.
+         The hook captures the file's dirty clusters (data snapshots —
+         see {!collect_dirty}), after which dropping the entry is
+         safe. *)
+      if e.edirty && not e.ecaptured then begin
+        match t.evict_flush with
+        | Some hook ->
+          incr t.cells.cc_evict_flush;
+          hook ~file:e.efile
+        | None -> ()
+      end;
+      if e.edirty && not e.ecaptured then begin
+        (* The hook could not capture the victim (its range overlaps an
+           in-flight write): dropping it would lose buffered writes.
+           Veto it and retry the policy against the remaining
+           population; give up the round only when the retry budget is
+           spent. *)
+        incr t.cells.cc_evict_veto;
+        vetoed := key e :: !vetoed;
+        if tries < max_evict_retries then attempt (tries + 1) else 0
+      end
+      else begin
+        if e.eprefetch then incr t.cells.cc_ra_wasted;
+        (* Demotion: hand the victim's bytes (with its dirty generation)
+           to the next tier down before they are freed. *)
+        (match t.demoter with
+        | Some demote when e.elen > 0 && not e.esuperseded ->
+          let buf = Buffer.create e.elen in
+          Iobuf.Agg.fold_bytes e.eagg ~init:() ~f:(fun () data off len ->
+              Buffer.add_subbytes buf data off len);
+          demote ~file:e.efile ~off:e.eoff ~len:e.elen ~gen:e.egen
+            ~data:(Buffer.contents buf)
+        | _ -> ());
+        drop_entry t e;
+        t.evictions <- t.evictions + 1;
+        incr t.cells.cc_eviction;
+        (let tr = Iosys.trace t.sys in
+         if Trace.enabled tr then
+           Trace.instant tr ~cat:"cache" ~name:"evict"
+             ~args:[ ("file", Int e.efile); ("bytes", Int e.elen) ]
+             ());
+        Logs.debug ~src:log (fun m ->
+            m "evicted file %d [%d,+%d) under %s; %d entries / %d bytes remain"
+              e.efile e.eoff e.elen t.policy.Policy.name
+              (Hashtbl.length t.index) t.bytes);
+        e.elen
+      end
   in
-  (match t.policy.Policy.choose ~eligible:eligible_unref with
-  | Some _ -> ()
-  | None ->
-    (* All entries are referenced: fall back to the policy's choice
-       among them (Section 3.7). *)
-    victim := None;
-    ignore (t.policy.Policy.choose ~eligible:eligible_any));
-  match !victim with
-  | None -> 0
-  | Some e ->
-    (* A dirty victim whose bytes no flush holds yet would lose buffered
-       writes: hand the file to the write-back layer first. The hook
-       captures the file's dirty clusters (data snapshots — see
-       {!collect_dirty}), after which dropping the entry is safe. *)
-    if e.edirty && not e.ecaptured then begin
-      match t.evict_flush with
-      | Some hook ->
-        incr t.cells.cc_evict_flush;
-        hook ~file:e.efile
-      | None -> ()
-    end;
-    if e.edirty && not e.ecaptured then
-      (* The hook could not capture the victim (its range overlaps an
-         in-flight write): dropping it would lose buffered writes, so
-         report no progress — the write completes within the round and
-         a later probe succeeds. *)
-      0
-    else begin
-    if e.eprefetch then incr t.cells.cc_ra_wasted;
-    drop_entry t e;
-    t.evictions <- t.evictions + 1;
-    incr t.cells.cc_eviction;
-    (let tr = Iosys.trace t.sys in
-     if Trace.enabled tr then
-       Trace.instant tr ~cat:"cache" ~name:"evict"
-         ~args:[ ("file", Int e.efile); ("bytes", Int e.elen) ]
-         ());
-    Logs.debug ~src:log (fun m ->
-        m "evicted file %d [%d,+%d) under %s; %d entries / %d bytes remain"
-          e.efile e.eoff e.elen t.policy.Policy.name
-          (Hashtbl.length t.index) t.bytes);
-    e.elen
-    end
+  attempt 0
 
 let create ?(policy = Policy.lru ()) ?(register_with_pageout = true) sys () =
   let m = Iosys.metrics sys in
@@ -278,6 +313,7 @@ let create ?(policy = Policy.lru ()) ?(register_with_pageout = true) sys () =
           cc_ra_wasted = Metrics.counter m "cache.readahead_wasted";
           cc_superseded = Metrics.counter m "write.superseded";
           cc_evict_flush = Metrics.counter m "cache.evict_flush";
+          cc_evict_veto = Metrics.counter m "cache.evict_veto";
         };
       bytes = 0;
       slices = 0;
@@ -288,6 +324,7 @@ let create ?(policy = Policy.lru ()) ?(register_with_pageout = true) sys () =
       dirty = 0;
       gen = 0;
       evict_flush = None;
+      demoter = None;
     }
   in
   if register_with_pageout then begin
@@ -613,6 +650,7 @@ let dirty_files t =
   |> List.sort compare
 
 let set_evict_flusher t f = t.evict_flush <- Some f
+let set_demoter t f = t.demoter <- Some f
 
 (* A cluster is one contiguous disk request built from a run of adjacent
    dirty extents, with the data captured by value (the entries can be
@@ -631,6 +669,11 @@ let cluster_off c = c.cl_off
 let cluster_len c = c.cl_len
 let cluster_extents c = c.cl_extents
 let cluster_data c = c.cl_data
+
+(* The newest dirty generation captured in the cluster: the write-ahead
+   staging tier tags the staged bytes with it so a later promotion can
+   tell these bytes from an older demotion of the same range. *)
+let cluster_gen c = List.fold_left (fun acc (_, g) -> max acc g) 0 c.cl_items
 
 let agg_blit agg buf =
   Iobuf.Agg.fold_bytes agg ~init:() ~f:(fun () data off len ->

@@ -155,6 +155,10 @@ val cluster_extents : cluster -> int
 val cluster_data : cluster -> string
 (** The captured bytes (the durable-write payload). *)
 
+val cluster_gen : cluster -> int
+(** The newest dirty generation among the captured entries — the
+    generation the write-ahead staging tier tags the payload with. *)
+
 val ack_cluster : t -> cluster -> int * int
 (** Durable-completion acknowledgement: [(cleaned, superseded)] over
     the cluster's captured entries. A captured entry replaced by a
@@ -166,7 +170,20 @@ val set_evict_flusher : t -> (file:int -> unit) -> unit
 (** Hook called by {!evict_one} before dropping a dirty victim no flush
     has captured yet: the write-back layer must capture the victim
     file's dirty clusters (e.g. {!collect_dirty} + submit), after which
-    the drop loses no buffered writes. Counted by [cache.evict_flush]. *)
+    the drop loses no buffered writes. Counted by [cache.evict_flush].
+
+    A victim the hook could not capture (its range overlaps an
+    in-flight write) is vetoed — counted by [cache.evict_veto] — and
+    the policy is re-consulted with the vetoed keys excluded, a bounded
+    number of times per round, before the round reports no progress. *)
+
+val set_demoter :
+  t -> (file:int -> off:int -> len:int -> gen:int -> data:string -> unit) -> unit
+(** Hook called by {!evict_one} with a by-value snapshot of each
+    victim's bytes (and its dirty generation — 0 for clean entries)
+    just before the entry is dropped: the next cache tier down admits
+    the victim instead of losing it (demotion). Superseded dirty
+    entries are not offered — their bytes are stale by definition. *)
 
 (** {2 Introspection} *)
 

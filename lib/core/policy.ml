@@ -6,6 +6,7 @@ type t = {
   on_access : key -> size:int -> unit;
   on_remove : key -> unit;
   choose : eligible:(key -> bool) -> key option;
+  set_cost : ((key -> size:int -> float) -> unit) option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -75,6 +76,7 @@ let lru () =
     on_access = (fun k ~size:_ -> Lru_impl.touch st k);
     on_remove = (fun k -> Lru_impl.remove st k);
     choose = (fun ~eligible -> Lru_impl.choose st ~eligible);
+    set_cost = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -134,6 +136,7 @@ module Fheap = struct
 end
 
 let gds ?(cost = fun _ ~size:_ -> 1.0) () =
+  let cost = ref cost in
   let infos : (key, float * int) Hashtbl.t = Hashtbl.create 256 in
   let heap = Fheap.create () in
   let inflation = ref 0.0 in
@@ -144,7 +147,7 @@ let gds ?(cost = fun _ ~size:_ -> 1.0) () =
     Fheap.push heap (h, !stamp, k)
   in
   let priority k ~size =
-    !inflation +. (cost k ~size /. float_of_int (max 1 size))
+    !inflation +. (!cost k ~size /. float_of_int (max 1 size))
   in
   let choose ~eligible =
     (* Pop stale and ineligible entries; reinsert what we skipped. *)
@@ -176,4 +179,8 @@ let gds ?(cost = fun _ ~size:_ -> 1.0) () =
     on_access = (fun k ~size -> set k (priority k ~size));
     on_remove = (fun k -> Hashtbl.remove infos k);
     choose;
+    (* Re-parameterize in place: the priority structure is kept — old H
+       values age out as entries are touched or evicted, and the
+       inflation value L (the aging floor) carries over unchanged. *)
+    set_cost = Some (fun f -> cost := f);
   }

@@ -28,6 +28,14 @@ type t = {
           [true] (both built-in policies stop probing at their first
           eligible key). Callers rely on this to capture the victim's
           state inside the predicate instead of re-resolving [k]. *)
+  set_cost : ((key -> size:int -> float) -> unit) option;
+      (** Swap the refetch-cost model of a cost-aware policy in place,
+          without rebuilding the priority structure: already-ranked
+          entries keep their H values (they age out naturally as the
+          inflation floor L rises), and L itself survives the switch.
+          [None] for policies with no cost model (LRU). Used to make a
+          live cache tier-aware — the cost of a miss becomes the refetch
+          latency from the {e next} tier down. *)
 }
 
 val lru : unit -> t

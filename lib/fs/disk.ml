@@ -362,6 +362,15 @@ let set_write_log t on =
 let write_log t = List.rev t.wlog
 let durable_writes t = t.wseq
 let backend t = t.backend
+let positioning_s t = t.positioning_s
+let bytes_per_sec t = t.bytes_per_sec
+
+(* What a cold refetch of [bytes] would cost, random positioning
+   included: the tier-aware GDS cost of an entry whose next copy down
+   is on this disk. *)
+let refetch_time t ~bytes =
+  t.positioning_s +. (float_of_int bytes /. t.bytes_per_sec)
+
 let queue_depth t = t.in_service
 let batches t = t.batch_seq
 let batched t = t.batched

@@ -77,6 +77,14 @@ val submit : ?data:string -> ?ctx:int -> t -> op:op -> file:int ->
 
 val backend : t -> backend
 
+val positioning_s : t -> float
+val bytes_per_sec : t -> float
+
+val refetch_time : t -> bytes:int -> float
+(** Cost of a cold refetch of [bytes] with random positioning — the
+    refetch-from-next-tier latency a tier-aware replacement policy
+    charges for entries whose only other copy is on this disk. *)
+
 val queue_depth : t -> int
 (** Requests submitted but not yet serviced (queued backend). *)
 

@@ -52,6 +52,41 @@ let disk_fetch_range proc ~pool ~file ~off ~bytes =
 let disk_fetch proc ~pool ~file ~size =
   disk_fetch_range proc ~pool ~file ~off:0 ~bytes:size
 
+(* Probe the persistent second tier before the disk: a fully covered
+   range promotes — the bytes move back up at NVMM speed (pure transfer,
+   no positioning) instead of paying a disk refetch. Only the unified
+   cache fronts the tier; conventional-cache fills bypass it. Returns
+   the caller-owned aggregate, built like a DMA fill. *)
+let tier_fetch_range proc cache ~pool ~file ~off ~bytes =
+  let kernel = Process.kernel proc in
+  match Kernel.tier kernel with
+  | Some tier when cache == Kernel.unified_cache kernel -> (
+    match Iolite_core.Tier.promote tier ~file ~off ~len:bytes with
+    | None -> None
+    | Some data ->
+      if Iolite_sim.Engine.Proc.running () then
+        Iolite_sim.Engine.Proc.sleep
+          (Iolite_core.Tier.read_time tier ~bytes);
+      let sys = Kernel.sys kernel in
+      let kd = Iosys.kernel sys in
+      let rec build pos acc =
+        if pos >= bytes then List.rev acc
+        else begin
+          let n = min Iobuf.Pool.max_alloc (bytes - pos) in
+          let b = Iobuf.Pool.alloc ~paged:true pool ~producer:kd n in
+          Iosys.with_fill_mode sys `Dma (fun () ->
+              Iobuf.Buffer.blit_string b ~src:data ~src_off:pos ~dst_off:0
+                ~len:n);
+          Iobuf.Buffer.seal b;
+          build (pos + n) (Iobuf.Agg.of_buffer_owned b :: acc)
+        end
+      in
+      let parts = build 0 [] in
+      let agg = Iobuf.Agg.concat_list parts in
+      List.iter Iobuf.Agg.free parts;
+      Some agg)
+  | _ -> None
+
 (* Admission control: an object bigger than this fraction of the cache
    budget is served uncached — inserting it would wipe out a large slice
    of the working set for a document that is unlikely to be re-referenced
@@ -81,9 +116,12 @@ let ensure_cached proc cache ~pool ~file =
     && not (Filecache.covered cache ~file ~off:0 ~len:size)
   in
   single_flight cache ~file ~needed (fun () ->
-      let agg = disk_fetch proc ~pool ~file ~size in
-      (* Backfill: cache entries may hold writes newer than the disk. *)
-      Filecache.backfill cache ~file ~off:0 agg);
+      match tier_fetch_range proc cache ~pool ~file ~off:0 ~bytes:size with
+      | Some agg -> Filecache.backfill cache ~file ~off:0 agg
+      | None ->
+        let agg = disk_fetch proc ~pool ~file ~size in
+        (* Backfill: cache entries may hold writes newer than the disk. *)
+        Filecache.backfill cache ~file ~off:0 agg);
   size
 
 (* The unified cache fills from the kernel's world-readable file pool:
@@ -159,8 +197,11 @@ let fill_extent ?(prefetched = false) proc cache ~pool ~file ~size ~lo =
   let hi = min size (lo + extent) in
   let needed () = not (Filecache.covered cache ~file ~off:lo ~len:(hi - lo)) in
   single_flight cache ~file ~off:lo ~needed (fun () ->
-      let agg = disk_fetch_range proc ~pool ~file ~off:lo ~bytes:(hi - lo) in
-      Filecache.backfill ~prefetched cache ~file ~off:lo agg)
+      match tier_fetch_range proc cache ~pool ~file ~off:lo ~bytes:(hi - lo) with
+      | Some agg -> Filecache.backfill cache ~file ~off:lo agg
+      | None ->
+        let agg = disk_fetch_range proc ~pool ~file ~off:lo ~bytes:(hi - lo) in
+        Filecache.backfill ~prefetched cache ~file ~off:lo agg)
 
 (* Ensure the extent-aligned span covering [off, off+len) is cached.
    Each extent fills under its own latch, so a reader coalescing onto an
@@ -297,6 +338,11 @@ let iol_write_body proc ~file ~off agg =
   (* The kernel side (filecache, write-back) gains the data by reference;
      repeated writes on the same stream hit the grant-epoch fast path. *)
   Transfer.grant sys agg ~to_:(Iosys.kernel sys);
+  (* Whatever the second tier holds for this range is now stale. *)
+  (match Kernel.tier kernel with
+  | Some tier when len > 0 ->
+    Iolite_core.Tier.invalidate tier ~file ~off ~len
+  | _ -> ());
   (match eager_data with
   | None ->
     (* Delayed write-back: the extent parks dirty in the cache and

@@ -21,6 +21,12 @@ type config = {
   dirty_hi_ratio : float;
   dirty_hard_ratio : float;
   log_durable_writes : bool;
+  (* The persistent second cache tier (NVCache-style NVMM between the
+     unified DRAM cache and the disk). Off by default: DRAM-only is the
+     recorded baseline, and the tier changes eviction into demotion. *)
+  tier_enabled : bool;
+  tier_capacity : int option; (* bytes; [None] = 10x the io budget *)
+  tier_bytes_per_sec : float;
 }
 
 let log = Iolite_util.Logging.src "kernel"
@@ -43,6 +49,9 @@ let default_config () =
     dirty_hi_ratio = Writeback.default_config.Writeback.wb_hi_ratio;
     dirty_hard_ratio = Writeback.default_config.Writeback.wb_hard_ratio;
     log_durable_writes = false;
+    tier_enabled = false;
+    tier_capacity = None;
+    tier_bytes_per_sec = 20e6;
   }
 
 (* Per-file sequential-readahead state (Fileio drives the policy). *)
@@ -67,6 +76,7 @@ type t = {
   file_pool : Iolite_core.Iobuf.Pool.t;
   ra : (int, ra) Hashtbl.t;
   writeback : Writeback.t;
+  tier : Iolite_core.Tier.t option;
   mutable swap_cursor : int; (* next free swap-partition offset *)
   mutable pending : float;
   mutable next_pid : int;
@@ -133,6 +143,40 @@ let create ?config engine =
      of silently dropping buffered writes with the page. *)
   Filecache.set_evict_flusher unified_cache (fun ~file ->
       Writeback.evict_flush writeback ~file);
+  (* The persistent second tier: DRAM evictions demote into it, the
+     write-back stream stages through it, and the DRAM cache's GDS cost
+     becomes tier-aware — a miss refetches from the NVMM tier when it
+     holds the bytes, from the disk otherwise. *)
+  let tier =
+    if not config.tier_enabled then None
+    else begin
+      let tier =
+        Iolite_core.Tier.create
+          ~policy:
+            (Policy.gds
+               ~cost:(fun _ ~size -> Iolite_fs.Disk.refetch_time disk ~bytes:size)
+               ())
+          ~bytes_per_sec:config.tier_bytes_per_sec sys ()
+      in
+      Iolite_core.Tier.set_capacity tier
+        (Some
+           (fun () ->
+             match config.tier_capacity with
+             | Some bytes -> bytes
+             | None -> 10 * Physmem.io_budget (Iosys.physmem sys)));
+      Filecache.set_demoter unified_cache (fun ~file ~off ~len:_ ~gen ~data ->
+          Iolite_core.Tier.demote tier ~file ~off ~gen data);
+      Writeback.set_tier writeback tier;
+      (match config.cache_policy.Policy.set_cost with
+      | Some set ->
+        set (fun (file, off) ~size ->
+            if Iolite_core.Tier.covered tier ~file ~off ~len:size then
+              Iolite_core.Tier.read_time tier ~bytes:size
+            else Iolite_fs.Disk.refetch_time disk ~bytes:size)
+      | None -> ());
+      Some tier
+    end
+  in
   (* Memory pressure kicks the sync daemon so the dirty backlog drains
      as clustered writes while reclaim proceeds. *)
   Iolite_mem.Pageout.set_pressure_hook (Iosys.pageout sys) (fun ~needed:_ ->
@@ -162,6 +206,7 @@ let create ?config engine =
         Iolite_core.Iobuf.Pool.create sys ~name:"filecache" ~acl:Vm.Public;
       ra = Hashtbl.create 64;
       writeback;
+      tier;
       swap_cursor = 0;
       pending = 0.0;
       next_pid = 0;
@@ -246,6 +291,19 @@ let create ?config engine =
       Filecache.total_bytes conv_cache);
   Iolite_obs.Metrics.set_gauge m "cache.dirty_bytes" (fun () ->
       Filecache.dirty_bytes unified_cache);
+  (match tier with
+  | Some tier ->
+    (* NVMM writes (demotion, staging) cost simulated time like any
+       other data touch: accumulate and charge the next syscall. *)
+    Iolite_core.Tier.set_charge tier
+      (Some (fun dt -> t.pending <- t.pending +. dt));
+    Iolite_obs.Metrics.set_gauge m "cache.tier_bytes" (fun () ->
+        Iolite_core.Tier.total_bytes tier);
+    Iolite_obs.Metrics.set_gauge m "cache.tier_entries" (fun () ->
+        Iolite_core.Tier.entry_count tier);
+    Iolite_obs.Metrics.set_gauge m "cache.tier_staged_bytes" (fun () ->
+        Iolite_core.Tier.staged_bytes tier)
+  | None -> ());
   Iolite_obs.Metrics.set_gauge m "mem.free_bytes" (fun () ->
       Physmem.free_bytes (Iosys.physmem sys));
   Iolite_obs.Metrics.set_gauge m "vm.pageout_pages" (fun () ->
@@ -289,6 +347,7 @@ let link t = t.link
 let store t = t.store
 let unified_cache t = t.unified_cache
 let conv_cache t = t.conv_cache
+let tier t = t.tier
 let cksum_cache t = t.cksum_cache
 let filter t = t.filter
 let page_pool t = t.page_pool

@@ -50,6 +50,20 @@ type config = {
   log_durable_writes : bool;
       (** Record completed disk writes in {!Iolite_fs.Disk.write_log}
           (crash-consistency harness support, default [false]). *)
+  tier_enabled : bool;
+      (** Arm the persistent NVMM second cache tier (default [false]):
+          DRAM evictions demote into it, re-references promote back,
+          the write-back stream stages through it, and — when
+          [cache_policy] supports {!Iolite_core.Policy.t.set_cost} —
+          the DRAM replacement cost becomes the refetch-from-next-tier
+          latency. *)
+  tier_capacity : int option;
+      (** Tier byte budget; [None] (default) tracks 10x the I/O
+          budget. *)
+  tier_bytes_per_sec : float;
+      (** Simulated NVMM transfer rate, default 20 MB/s (5x slower than
+          DRAM copies, faster than the disk's streaming rate,
+          byte-addressable: no positioning cost). *)
 }
 
 val default_config : unit -> config
@@ -78,6 +92,11 @@ val unified_cache : t -> Iolite_core.Filecache.t
 val conv_cache : t -> Iolite_core.Filecache.t
 (** The conventional VM file cache (bounded by [Physmem.io_budget] minus
     a small reserve). *)
+
+val tier : t -> Iolite_core.Tier.t option
+(** The persistent second cache tier, when [tier_enabled]. Unified-cache
+    demotions, write-back staging and the tier-aware GDS cost are wired
+    at creation; {!Fileio}'s fill paths probe it before the disk. *)
 
 val cksum_cache : t -> Iolite_net.Cksum.Cache.t
 val filter : t -> Iolite_net.Packetfilter.t

@@ -67,6 +67,12 @@ type t = {
   queued : (int, int) Hashtbl.t; (* file -> queued eager writes *)
   mutable eager_running : bool;
   eager_slots : Sync.Semaphore.t;
+  (* NVMM write-ahead staging (the second cache tier): each cluster
+     payload is copied there before the disk write is submitted and
+     unpinned when it completes, so evicted-then-reread dirty data can
+     be promoted from the tier instead of refetched from a disk that
+     may not have it yet. *)
+  mutable tier : Iolite_core.Tier.t option;
 }
 
 let create ~engine ~disk ~cache ~metrics ~trace ~flow ~budget cfg =
@@ -100,7 +106,10 @@ let create ~engine ~disk ~cache ~metrics ~trace ~flow ~budget cfg =
     queued = Hashtbl.create 16;
     eager_running = false;
     eager_slots = Sync.Semaphore.create (max 1 cfg.wb_eager_qdepth);
+    tier = None;
   }
+
+let set_tier t tier = t.tier <- Some tier
 
 let mode t = t.cfg.wb_mode
 let hard_limit t = int_of_float (t.cfg.wb_hard_ratio *. float_of_int (t.budget ()))
@@ -217,11 +226,22 @@ and submit_clusters t ~reason clusters =
               ();
           bump t.inflight file 1;
           t.inflight_total <- t.inflight_total + 1;
+          (* Write-ahead staging: the payload lands in the persistent
+             tier (pinned) before the disk write goes out. *)
+          (match t.tier with
+          | Some tier ->
+            Iolite_core.Tier.stage tier ~file ~off
+              ~gen:(Filecache.cluster_gen c)
+              (Filecache.cluster_data c)
+          | None -> ());
           Disk.submit ~data:(Filecache.cluster_data c)
             ~ctx:(if fid > 0 then Flow.detach fid else 0)
             t.disk ~op:`Write ~file ~off ~bytes:len (fun () ->
               (* Dispatcher-fiber completion: bookkeeping only. *)
               ignore (Filecache.ack_cluster t.cache c);
+              (match t.tier with
+              | Some tier -> Iolite_core.Tier.unstage tier ~file ~off ~len
+              | None -> ());
               bump t.inflight file (-1);
               remove_range t file (off, len);
               t.inflight_total <- t.inflight_total - 1;

@@ -64,6 +64,13 @@ val create :
 
 val mode : t -> mode
 
+val set_tier : t -> Iolite_core.Tier.t -> unit
+(** Arm NVMM write-ahead staging: every flushed cluster's payload is
+    {!Iolite_core.Tier.stage}d (pinned, tagged with the cluster's
+    newest dirty generation) before its disk write is submitted, and
+    unstaged when the write completes — the Section 9 flush path
+    doubling as the tier's write-ahead log. *)
+
 val note_write : t -> file:int -> off:int -> len:int -> unit
 (** Delayed-mode write notification, called after the dirty insert:
     arms the daemon, kicks an early flush past the high watermark, and

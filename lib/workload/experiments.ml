@@ -1601,3 +1601,278 @@ let print_write points =
         "MB/s";
       ]
     ~rows
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 10 revisited: working-set sweeps across the NVMM second tier   *)
+(* ------------------------------------------------------------------ *)
+
+type tier_point = {
+  tp_label : string;
+  tp_ws_mb : int;
+  tp_mbps : float;
+  tp_dram_hits : int;
+  tp_dram_evictions : int;
+  tp_tier_hit : int;
+  tp_tier_miss : int;
+  tp_tier_demote : int;
+  tp_tier_promote : int;
+  tp_tier_stage : int;
+  tp_tier_evict : int;
+  tp_disk_reads : int;
+}
+
+type tier_probe = {
+  pr_dram_hit_s : float;
+  pr_tier_hit_s : float;
+  pr_cold_disk_s : float;
+  pr_speedup : float;
+  pr_demote : int;
+  pr_promote : int;
+  pr_stage : int;
+}
+
+(* The tier points build kernels with custom configs (small DRAM, tier
+   armed), so they wire observability themselves, like the write points.
+   The cache policy object is returned alongside: Flash re-installs the
+   unified-cache policy at startup, and handing it the same GDS instance
+   the kernel parameterized keeps the tier-aware refetch cost alive. *)
+let tier_kernel ~tiered ?(mem_mb = 64) ?tier_capacity
+    ?(tier_bytes_per_sec = 20e6) ~label () =
+  let engine = Engine.create () in
+  let config =
+    {
+      (Kernel.default_config ()) with
+      Kernel.mem_capacity = mem_mb * 1024 * 1024;
+      cache_policy = Policy.gds ();
+      tier_enabled = tiered;
+      tier_capacity;
+      tier_bytes_per_sec;
+    }
+  in
+  let kernel = Kernel.create ~config engine in
+  write_obs_start ~label kernel;
+  (engine, kernel, config.Kernel.cache_policy)
+
+let tier_server kernel ~policy =
+  let f = Flash.start ~variant:Flash.Iolite ~policy kernel ~port:80 in
+  {
+    srv_listener = Flash.listener f;
+    srv_latency = (fun () -> Flash.latency_stats f);
+  }
+
+(* Warm-start the tier the way [preload_cache] warms DRAM: the popular
+   files that did not fit (or were not admitted) upstairs are demoted
+   straight in, up to 90% of the tier budget. Contents come from the
+   defining content function, so promoted bytes pass integrity checks.
+   The direct demotions charge NVMM write time to the kernel's pending
+   accumulator; drain it so the first measured request starts clean. *)
+let preload_tier kernel ~trace ~prefix_ranks =
+  match Kernel.tier kernel with
+  | None -> ()
+  | Some tier ->
+    let module Filecache = Iolite_core.Filecache in
+    let module Tier = Iolite_core.Tier in
+    let cache = Kernel.unified_cache kernel in
+    let store = Kernel.store kernel in
+    let budget =
+      (match (Kernel.config kernel).Kernel.tier_capacity with
+      | Some c -> c
+      | None ->
+        10
+        * Iolite_mem.Physmem.io_budget
+            (Iolite_core.Iosys.physmem (Kernel.sys kernel)))
+      * 9 / 10
+    in
+    let ranks =
+      match prefix_ranks with
+      | Some set ->
+        let l = Hashtbl.fold (fun r () acc -> r :: acc) set [] in
+        List.sort compare l
+      | None -> List.init (Trace.file_count trace) Fun.id
+    in
+    let rec load = function
+      | [] -> ()
+      | rank :: rest ->
+        if Tier.total_bytes tier < budget then begin
+          (match Iolite_fs.Filestore.lookup store (Trace.file_path ~rank) with
+          | None -> ()
+          | Some file ->
+            let size = Iolite_fs.Filestore.size store file in
+            if
+              size > 0
+              && not (Filecache.covered cache ~file ~off:0 ~len:size)
+              && not (Tier.covered tier ~file ~off:0 ~len:size)
+            then
+              Tier.demote tier ~file ~off:0 ~gen:0
+                (String.init size (fun i ->
+                     Iolite_fs.Filestore.content_byte ~file ~off:i)));
+          load rest
+        end
+    in
+    load ranks;
+    ignore (Kernel.take_pending kernel)
+
+let tier_point ~tiered ?tier_capacity ?tier_bytes_per_sec ~trace ~log ~scale
+    mb =
+  let target = mb * 1024 * 1024 in
+  let prefix = Trace.prefix_for_dataset trace ~log ~target_bytes:target in
+  let variant = if tiered then "tiered" else "dram-only" in
+  let label = Printf.sprintf "%s %dMB" variant mb in
+  let _engine, kernel, policy =
+    tier_kernel ~tiered ?tier_capacity ?tier_bytes_per_sec ~label ()
+  in
+  Trace.register_files trace kernel ~prefix_ranks:None;
+  let clients = 64 in
+  let server = tier_server kernel ~policy in
+  let listener = server.srv_listener in
+  let in_prefix = Hashtbl.create 4096 in
+  for i = 0 to prefix - 1 do
+    Hashtbl.replace in_prefix log.(i) ()
+  done;
+  preload_cache kernel ~conv:false ~trace ~prefix_ranks:(Some in_prefix);
+  if tiered then preload_tier kernel ~trace ~prefix_ranks:(Some in_prefix);
+  let m = Kernel.metrics kernel in
+  let get k = Iolite_obs.Metrics.get m k in
+  let module F = Iolite_core.Filecache in
+  let uc = Kernel.unified_cache kernel in
+  let disk = Kernel.disk kernel in
+  (* Preload demotions are warm-start plumbing, not measured traffic. *)
+  let demote0 = get "cache.tier.demote" in
+  let hits0 = F.hits uc and evictions0 = F.evictions uc in
+  let reads0 = Iolite_fs.Disk.reads disk in
+  let rng = Rng.create 0x5BEC99L in
+  let pick ~client:_ ~iter:_ = Trace.file_path ~rank:log.(Rng.int rng prefix) in
+  let config =
+    {
+      Client.default with
+      Client.clients;
+      persistent = false;
+      warmup = Float.max 2.0 (8.0 *. scale);
+      duration = Float.max 2.0 (20.0 *. scale);
+    }
+  in
+  let r = Client.run kernel listener config ~pick in
+  report_point ~label kernel server;
+  write_obs_finish ~label kernel;
+  {
+    tp_label = variant;
+    tp_ws_mb = mb;
+    tp_mbps = r.Client.mbps;
+    tp_dram_hits = F.hits uc - hits0;
+    tp_dram_evictions = F.evictions uc - evictions0;
+    tp_tier_hit = get "cache.tier.hit";
+    tp_tier_miss = get "cache.tier.miss";
+    tp_tier_demote = get "cache.tier.demote" - demote0;
+    tp_tier_promote = get "cache.tier.promote";
+    tp_tier_stage = get "cache.tier.wb_stage";
+    tp_tier_evict = get "cache.tier.evict";
+    tp_disk_reads = Iolite_fs.Disk.reads disk - reads0;
+  }
+
+let tier_ws_sizes_mb = [ 8; 16; 24; 48; 96; 150 ]
+
+let tier_sweep ?(scale = 1.0) ?(variant = `Both) ?tier_capacity
+    ?tier_bytes_per_sec () =
+  let trace, log = merged_subtrace () in
+  let run tiered =
+    List.map
+      (tier_point ~tiered ?tier_capacity ?tier_bytes_per_sec ~trace ~log
+         ~scale)
+      tier_ws_sizes_mb
+  in
+  match variant with
+  | `Baseline -> run false
+  | `Tiered -> run true
+  | `Both -> run false @ run true
+
+(* The latency exhibit: one small file read cold (disk: positioning +
+   transfer), warm (DRAM hit), and from the tier (demotion forced by
+   draining the DRAM cache, so the next read promotes: pure NVMM
+   transfer). A small file keeps the disk's positioning term dominant —
+   that is exactly the cost the byte-addressable tier deletes. *)
+let tier_probe_run () =
+  let size = 4096 in
+  let engine, kernel, _policy =
+    tier_kernel ~tiered:true ~mem_mb:16 ~label:"tier probe" ()
+  in
+  let file = Kernel.add_file kernel ~name:"/probe.dat" ~size in
+  let tier =
+    match Kernel.tier kernel with Some t -> t | None -> assert false
+  in
+  let uc = Kernel.unified_cache kernel in
+  let module F = Iolite_core.Filecache in
+  let cold = ref 0.0 and warm = ref 0.0 and thit = ref 0.0 in
+  ignore
+    (Process.spawn kernel ~name:"tier-probe" (fun proc ->
+         let timed cell =
+           let t0 = Engine.now engine in
+           let s = Iolite_os.Fileio.read_string proc ~file ~off:0 ~len:size in
+           cell := Engine.now engine -. t0;
+           assert (Iolite_fs.Filestore.check_string ~file ~off:0 s)
+         in
+         timed cold;
+         timed warm;
+         (* Push the probe downstairs: evict until the tier holds it. *)
+         let guard = ref 0 in
+         while
+           (not (Iolite_core.Tier.covered tier ~file ~off:0 ~len:size))
+           && !guard < 64
+         do
+           incr guard;
+           ignore (F.evict_one uc)
+         done;
+         timed thit;
+         (* A write staged ahead of its disk ack exercises wb_stage. *)
+         Iolite_os.Fileio.write_string proc ~file ~off:0
+           (String.init 2048 (fun i ->
+                Iolite_fs.Filestore.content_byte ~file ~off:i));
+         Iolite_os.Fileio.fsync proc ~file));
+  Engine.run engine;
+  let m = Kernel.metrics kernel in
+  let get k = Iolite_obs.Metrics.get m k in
+  write_obs_finish ~label:"tier probe" kernel;
+  {
+    pr_dram_hit_s = !warm;
+    pr_tier_hit_s = !thit;
+    pr_cold_disk_s = !cold;
+    pr_speedup = !cold /. Float.max 1e-9 !thit;
+    pr_demote = get "cache.tier.demote";
+    pr_promote = get "cache.tier.promote";
+    pr_stage = get "cache.tier.wb_stage";
+  }
+
+let print_tier points probe =
+  let rows =
+    List.map
+      (fun p ->
+        [
+          p.tp_label;
+          string_of_int p.tp_ws_mb;
+          Printf.sprintf "%.1f" p.tp_mbps;
+          string_of_int p.tp_dram_hits;
+          string_of_int p.tp_dram_evictions;
+          string_of_int p.tp_tier_hit;
+          string_of_int p.tp_tier_miss;
+          string_of_int p.tp_tier_demote;
+          string_of_int p.tp_tier_promote;
+          string_of_int p.tp_tier_stage;
+          string_of_int p.tp_tier_evict;
+          string_of_int p.tp_disk_reads;
+        ])
+      points
+  in
+  Table.print
+    ~header:
+      [
+        "variant"; "WS MB"; "MB/s"; "dram hit"; "dram evict"; "tier hit";
+        "tier miss"; "demote"; "promote"; "wb_stage"; "tier evict";
+        "disk reads";
+      ]
+    ~rows;
+  match probe with
+  | None -> ()
+  | Some pr ->
+    Printf.printf
+      "\nprobe (4KB): dram hit %.6fs | tier hit %.6fs | cold disk %.6fs | speedup %.1fx | demote=%d promote=%d wb_stage=%d\n"
+      pr.pr_dram_hit_s pr.pr_tier_hit_s pr.pr_cold_disk_s pr.pr_speedup
+      pr.pr_demote pr.pr_promote pr.pr_stage

@@ -260,3 +260,60 @@ val write_cawl_sweep : unit -> write_point list
     knee's position in [x] shifts by the interval ratio. *)
 
 val print_write : write_point list -> unit
+
+(** {2 NVMM second tier: working-set sweeps and the latency probe} *)
+
+type tier_point = {
+  tp_label : string;  (** ["dram-only"] / ["tiered"] *)
+  tp_ws_mb : int;  (** working-set target (MB of distinct bytes) *)
+  tp_mbps : float;
+  tp_dram_hits : int;  (** unified-cache hits during the run *)
+  tp_dram_evictions : int;  (** DRAM evictions (the demotion source) *)
+  tp_tier_hit : int;
+  tp_tier_miss : int;
+  tp_tier_demote : int;  (** run-time demotions (preload excluded) *)
+  tp_tier_promote : int;
+  tp_tier_stage : int;  (** write-ahead cluster stagings *)
+  tp_tier_evict : int;
+  tp_disk_reads : int;
+}
+
+type tier_probe = {
+  pr_dram_hit_s : float;  (** warm unified-cache read *)
+  pr_tier_hit_s : float;  (** read promoting from the NVMM tier *)
+  pr_cold_disk_s : float;  (** cold read through the disk *)
+  pr_speedup : float;  (** cold_disk / tier_hit *)
+  pr_demote : int;
+  pr_promote : int;
+  pr_stage : int;
+}
+
+val tier_ws_sizes_mb : int list
+(** [8; 16; 24; 48; 96; 150] against a 64 MB machine: the
+    cache-absorbing regime, the DRAM knee, and the tier-bound tail. *)
+
+val tier_sweep :
+  ?scale:float ->
+  ?variant:[ `Baseline | `Tiered | `Both ] ->
+  ?tier_capacity:int ->
+  ?tier_bytes_per_sec:float ->
+  unit ->
+  tier_point list
+(** Fig. 10's working-set sweep replayed on a small (64 MB) machine,
+    with and without the tier armed. [`Baseline] runs DRAM-only (the
+    recorded reference), [`Tiered] the NVMM configuration, [`Both]
+    (default) baseline first then tiered. [tier_capacity] (bytes) and
+    [tier_bytes_per_sec] override the kernel defaults (10x the I/O
+    budget, 20 MB/s) — the CLI's sizing knobs. DRAM and tier are
+    warm-started the way {!val-fig10} warms the cache; the tier's
+    warm-up demotions are excluded from [tp_tier_demote]. *)
+
+val tier_probe_run : unit -> tier_probe
+(** Deterministic single-request latency exhibit on a 16 MB machine: a
+    4 KB file read cold (disk positioning dominates), warm (DRAM), and
+    after a forced demotion (pure NVMM transfer) — the warm tier hit
+    must land between the DRAM hit and the cold disk fill. Finishes with
+    a write + [fsync] so the write-ahead staging path shows up in
+    [pr_stage]. *)
+
+val print_tier : tier_point list -> tier_probe option -> unit

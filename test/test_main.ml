@@ -5,4 +5,4 @@ let () =
    @ Test_os.suites @ Test_httpd.suites @ Test_apps.suites
    @ Test_workload.suites @ Test_stdiol.suites @ Test_mmapio.suites
    @ Test_faults.suites @ Test_transfer.suites @ Test_misc.suites
-   @ Test_obs.suites @ Test_writeback.suites)
+   @ Test_obs.suites @ Test_writeback.suites @ Test_tier.suites)
